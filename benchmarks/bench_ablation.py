@@ -1,0 +1,82 @@
+"""Ablation benches: which optimizer component buys what.
+
+DESIGN.md calls out three design choices; each bench disables one and
+measures the same workloads:
+
+* blocking (pipelined-only),
+* value forwarding (redundancy elimination),
+* placement/motion (split-phase marking only).
+
+The assertions are qualitative floors: the full optimizer is never worse
+than any ablated configuration by more than a small tolerance (it may
+tie where a component finds nothing to do).
+"""
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.comm.optimizer import CommConfig
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import catalog, get_benchmark
+
+ABLATIONS = {
+    "no-blocking": CommConfig(enable_blocking=False),
+    "no-forwarding": CommConfig(enable_forwarding=False),
+    "no-placement": CommConfig(enable_placement=False),
+    "full": CommConfig(),
+}
+
+NAMES = [spec.name for spec in catalog()]
+
+
+def run_config(name, config, nodes=8):
+    spec = get_benchmark(name)
+    compiled = compile_earthc(spec.source(), name, optimize=True,
+                              config=config, inline=spec.inline)
+    return execute(compiled, num_nodes=nodes, args=spec.small_args)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_ablation_matrix(benchmark, name):
+    def sweep():
+        return {label: run_config(name, config)
+                for label, config in ABLATIONS.items()}
+
+    results = pedantic(benchmark, sweep)
+    print()
+    values = {label: r.value for label, r in results.items()}
+    assert len(set(values.values())) == 1, values
+    full = results["full"].time_ns
+    for label, result in results.items():
+        print(f"  {name:<10} {label:<14} {result.time_ns / 1e6:8.3f} ms "
+              f"(ops={result.stats.total_comm_ops})")
+        assert full <= result.time_ns * 1.05, (label, name)
+
+
+@pytest.mark.parametrize("name", ["tsp", "perimeter"])
+def test_blocking_reduces_ops_on_blocking_benchmarks(benchmark, name):
+    def sweep():
+        return (run_config(name, ABLATIONS["no-blocking"]),
+                run_config(name, ABLATIONS["full"]))
+
+    no_blocking, full = pedantic(benchmark, sweep)
+    assert full.stats.total_comm_ops < no_blocking.stats.total_comm_ops
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_field_reordering_extension(benchmark, name):
+    """The paper's further-work extension: struct field reordering plus
+    prefix block moves must never hurt and must preserve results."""
+    spec = get_benchmark(name)
+
+    def sweep():
+        base = compile_earthc(spec.source(), name, optimize=True,
+                              inline=spec.inline)
+        packed = compile_earthc(spec.source(), name, optimize=True,
+                                inline=spec.inline, reorder_fields=True)
+        return (execute(base, num_nodes=8, args=spec.small_args),
+                execute(packed, num_nodes=8, args=spec.small_args))
+
+    base, packed = pedantic(benchmark, sweep)
+    assert packed.value == base.value
+    assert packed.time_ns <= base.time_ns * 1.05

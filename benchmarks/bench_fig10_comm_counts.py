@@ -1,0 +1,45 @@
+"""Figure 10: dynamic counts of communication operations.
+
+Regenerates the paper's normalized bars (simple = 100) with the
+read-data / write-data / blkmov breakdown, and asserts the figure's
+qualitative content:
+
+* the total number of communication operations drops for every
+  benchmark;
+* read-data and write-data counts never increase;
+* blkmov counts increase (individual operations were combined), except
+  where a benchmark offers no blocking opportunity.
+"""
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.harness.experiments import format_fig10, measure_fig10
+from repro.olden.loader import catalog
+
+NAMES = [spec.name for spec in catalog()]
+
+
+def test_fig10_regenerates(benchmark):
+    bars = pedantic(
+        benchmark, lambda: measure_fig10(num_nodes=8, small=True))
+    print()
+    print(format_fig10(bars))
+    assert len(bars) == len(NAMES)
+    # The paper's three claims about the figure, bar by bar:
+    # 1. "in all cases the total number of communication operations
+    #    reduces";
+    for bar in bars:
+        assert bar.optimized_total < bar.simple_total, bar.benchmark
+    # 2. "the number of read-data and write-data operations reduce";
+    for bar in bars:
+        assert bar.optimized_counts["read_data"] \
+            <= bar.simple_counts["read_data"], bar.benchmark
+        assert bar.optimized_counts["write_data"] \
+            <= bar.simple_counts["write_data"], bar.benchmark
+    # 3. "the number of blkmov operations increases" (where blocking
+    #    finds opportunities -- require most benchmarks).
+    increased = [bar.benchmark for bar in bars
+                 if bar.optimized_counts["blkmov"]
+                 > bar.simple_counts["blkmov"]]
+    assert len(increased) >= 4, increased

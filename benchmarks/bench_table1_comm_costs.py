@@ -1,0 +1,46 @@
+"""Table I: cost of communication on (simulated) EARTH-MANNA.
+
+Measures the six numbers of the paper's Table I end-to-end through the
+simulator -- sequential and pipelined read / write / blkmov costs -- and
+asserts each is within a few percent of the paper's measurement (this is
+a calibration *check*: the machine parameters are derived from Table I,
+but the bench verifies they survive the full queue/network/SU model).
+"""
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.harness.experiments import (
+    PAPER_TABLE1,
+    format_table1,
+    measure_table1,
+)
+
+#: Allowed relative deviation from the paper's numbers.  The residual
+#: few percent is interpreter dispatch (one SIMPLE statement per
+#: operation) that the real compiler folds into the operation itself.
+TOLERANCE = 0.05
+
+
+def test_table1_regenerates(benchmark):
+    measured = pedantic(benchmark, measure_table1)
+    print()
+    print(format_table1(measured))
+    for key, paper_value in PAPER_TABLE1.items():
+        ours = measured[key]
+        assert ours == pytest.approx(paper_value, rel=TOLERANCE), key
+
+
+def test_pipelining_always_beats_sequential(benchmark):
+    measured = pedantic(benchmark, measure_table1)
+    for kind in ("read", "write", "blkmov"):
+        assert measured[(kind, "pipelined")] \
+            < measured[(kind, "sequential")]
+
+
+def test_blkmov_beats_three_pipelined_reads(benchmark):
+    """The paper's rule of thumb: a block move is better when three or
+    more words move together."""
+    measured = pedantic(benchmark, measure_table1)
+    assert measured[("blkmov", "pipelined")] \
+        < 3 * measured[("read", "pipelined")]

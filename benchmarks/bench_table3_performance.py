@@ -1,0 +1,51 @@
+"""Table III: performance improvement of the communication optimization.
+
+One bench per Olden benchmark.  Each regenerates that benchmark's rows
+(sequential / simple / optimized over processor counts) at the scaled
+problem size and asserts the paper's qualitative shape:
+
+* the optimized version is at least as fast as the simple version at
+  the largest processor count;
+* the improvement does not shrink (much) as processors are added --
+  the paper: "In general the performance improvement increases as the
+  number of processors increases".
+"""
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.harness.experiments import format_table3, measure_table3
+from repro.olden.loader import catalog
+
+PROCS = (1, 4, 16)
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_benchmark_rows(benchmark, name):
+    rows = pedantic(
+        benchmark,
+        lambda: measure_table3(PROCS, benchmarks=[name], small=True))
+    print()
+    print(format_table3(rows))
+    by_procs = {row.processors: row for row in rows}
+    high = by_procs[max(PROCS)]
+    # At the *small* sizes the fixed per-blkmov overhead is relatively
+    # larger, so perimeter hovers around zero; positivity for every
+    # benchmark at the full DESIGN.md sizes is asserted below in
+    # test_all_benchmarks_full_sizes_at_16_procs.
+    assert high.improvement_pct > -2.5, \
+        f"{name}: optimization must not lose at {max(PROCS)} processors"
+    low = by_procs[min(PROCS)]
+    assert high.improvement_pct >= low.improvement_pct - 2.0, \
+        f"{name}: improvement should grow (or hold) with processors"
+
+
+def test_all_benchmarks_full_sizes_at_16_procs(benchmark):
+    """The headline result at the DESIGN.md (non-small) sizes."""
+    rows = pedantic(
+        benchmark,
+        lambda: measure_table3((16,), small=False))
+    print()
+    print(format_table3(rows))
+    for row in rows:
+        assert row.improvement_pct > 0, row

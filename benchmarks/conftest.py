@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness (pytest-benchmark).
+
+Every bench regenerates one of the paper's tables or figures; run with
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks use the scaled-down problem sizes so the full suite finishes
+in about a minute; ``python -m repro.harness.report`` runs the full
+(DESIGN.md) sizes.
+"""
+
+import pytest
+
+
+def pedantic(benchmark, fn, rounds=1):
+    """One-round measurement for expensive end-to-end harness runs."""
+    return benchmark.pedantic(fn, rounds=rounds, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""repro -- a reproduction of *Communication Optimizations for Parallel C
+Programs* (Zhu & Hendren, PLDI 1998).
+
+The package contains a complete toolchain:
+
+* :mod:`repro.frontend` -- EARTH-C lexer/parser/type checker, goto
+  elimination, local function inlining, and the Simplify lowering;
+* :mod:`repro.simple` -- the SIMPLE compositional IR;
+* :mod:`repro.analysis` -- points-to, connection/alias queries,
+  read/write sets, locality and nilness analyses;
+* :mod:`repro.comm` -- the paper's contribution: possible-placement
+  analysis and communication selection (pipelining / blocking), plus
+  redundant remote access elimination and the Table I cost model;
+* :mod:`repro.backend` -- the Threaded-C fiber partitioner;
+* :mod:`repro.earth` -- a discrete-event EARTH-MANNA simulator;
+* :mod:`repro.olden` -- the five Olden benchmarks in EARTH-C;
+* :mod:`repro.harness` -- experiment drivers regenerating the paper's
+  tables and figures.
+
+Quickstart::
+
+    from repro import compile_earthc, execute
+
+    compiled = compile_earthc(SOURCE, optimize=True)
+    print(compiled.listing())
+    result = execute(compiled, num_nodes=4)
+    print(result.value, result.time_ns, result.stats)
+"""
+
+from repro.comm.costmodel import CommCostModel
+from repro.comm.optimizer import (
+    CommConfig,
+    CommunicationOptimizer,
+    OptimizationReport,
+    optimize_program,
+)
+from repro.earth.interpreter import Interpreter, RunResult
+from repro.earth.machine import Machine
+from repro.earth.params import MachineParams
+from repro.errors import ReproError
+from repro.harness.pipeline import (
+    CompiledProgram,
+    compile_earthc,
+    execute,
+    run_three_ways,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommCostModel",
+    "CommConfig",
+    "CommunicationOptimizer",
+    "CompiledProgram",
+    "Interpreter",
+    "Machine",
+    "MachineParams",
+    "OptimizationReport",
+    "ReproError",
+    "RunResult",
+    "__version__",
+    "compile_earthc",
+    "execute",
+    "optimize_program",
+    "run_three_ways",
+]

@@ -1,0 +1,154 @@
+"""Command-line compiler driver.
+
+    python -m repro FILE.ec [options]
+
+Compiles an EARTH-C file and, on request, prints its SIMPLE form, its
+Threaded-C fiber form, the communication tuples, and/or runs it on the
+simulated EARTH-MANNA machine.
+
+Examples::
+
+    python -m repro prog.ec --show simple
+    python -m repro prog.ec -O --show simple,threaded
+    python -m repro prog.ec -O --run --nodes 4 --args 100
+    python -m repro prog.ec -O --show tuples --function walk
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.connection import ConnectionInfo
+from repro.analysis.points_to import analyze_points_to
+from repro.analysis.rw_sets import EffectsAnalysis
+from repro.comm.placement import analyze_placement
+from repro.errors import ReproError
+from repro.harness.pipeline import compile_earthc, execute
+from repro.simple import nodes as s
+from repro.simple.printer import print_function
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EARTH-C compiler + EARTH-MANNA simulator "
+                    "(reproduction of Zhu & Hendren, PLDI 1998)")
+    parser.add_argument("file", help="EARTH-C source file")
+    parser.add_argument("-O", "--optimize", action="store_true",
+                        help="run the communication optimization")
+    parser.add_argument("--inline", action="store_true",
+                        help="inline small local functions first")
+    parser.add_argument("--reorder-fields", action="store_true",
+                        help="apply the struct field reordering "
+                             "extension")
+    parser.add_argument("--show", default="",
+                        help="comma list of: simple, threaded, tuples, "
+                             "stats")
+    parser.add_argument("--function", default=None,
+                        help="restrict --show output to one function")
+    parser.add_argument("--run", action="store_true",
+                        help="execute main() on the simulator")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="number of EARTH nodes (default 1)")
+    parser.add_argument("--args", default="",
+                        help="comma-separated integer arguments to main")
+    parser.add_argument("--entry", default="main")
+    return parser.parse_args(argv)
+
+
+def _selected_functions(compiled, only):
+    functions = compiled.simple.functions
+    if only is None:
+        return list(functions.values())
+    if only not in functions:
+        raise ReproError(f"no function named {only!r} "
+                         f"(have: {', '.join(functions)})")
+    return [functions[only]]
+
+
+def _show_tuples(compiled, only):
+    simple = compiled.simple
+    pts = analyze_points_to(simple)
+    conn = ConnectionInfo(simple, pts, EffectsAnalysis(simple, pts))
+    for function in _selected_functions(compiled, only):
+        placement = analyze_placement(function, conn)
+        print(f"== RemoteReads / RemoteWrites per statement: "
+              f"{function.name}")
+        for stmt in function.body.walk():
+            if isinstance(stmt, s.SeqStmt):
+                continue
+            reads = placement.remote_reads(stmt.label)
+            writes = placement.remote_writes(stmt.label)
+            if len(reads) or len(writes):
+                line = f"  S{stmt.label:<5}"
+                if len(reads):
+                    line += f" RR={reads}"
+                if len(writes):
+                    line += f" RW={writes}"
+                print(line)
+        print()
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    shows = [part.strip() for part in args.show.split(",") if part.strip()]
+    unknown = set(shows) - {"simple", "threaded", "tuples", "stats"}
+    if unknown:
+        print(f"error: unknown --show item(s): {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        compiled = compile_earthc(
+            source, args.file, optimize=args.optimize,
+            inline=args.inline, reorder_fields=args.reorder_fields)
+
+        if "simple" in shows:
+            for function in _selected_functions(compiled, args.function):
+                print(print_function(function))
+                print()
+        if "threaded" in shows:
+            print(compiled.threaded_listing())
+            print()
+        if "tuples" in shows:
+            _show_tuples(compiled, args.function)
+        if "stats" in shows and compiled.report is not None:
+            print("== optimization report")
+            for name, stats in compiled.report.selections.items():
+                forwarding = compiled.report.forwarding.get(name)
+                print(f"  {name:<24} {stats} forwarding={forwarding}")
+            print()
+
+        if args.run:
+            run_args = [int(part) for part in args.args.split(",")
+                        if part.strip()]
+            result = execute(compiled, num_nodes=args.nodes,
+                             entry=args.entry, args=run_args)
+            for line in result.output:
+                print(line)
+            stats = result.stats
+            print(f"result  = {result.value}")
+            print(f"time    = {result.time_ns / 1e6:.3f} ms simulated "
+                  f"on {args.nodes} node(s)")
+            print(f"remote  = {stats.remote_reads} reads, "
+                  f"{stats.remote_writes} writes, "
+                  f"{stats.remote_blkmovs} blkmovs")
+            print(f"local   = {stats.local_reads} reads, "
+                  f"{stats.local_writes} writes, "
+                  f"{stats.local_blkmovs} blkmovs")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

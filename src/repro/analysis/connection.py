@@ -1,0 +1,78 @@
+"""Connection-analysis-style alias queries (paper terminology facade).
+
+Ghiya & Hendren's connection analysis answers "may these two
+heap-directed pointers point into the same data structure?", with
+*anchor handles* distinguishing direct accesses through a pointer from
+accesses through a possible alias.  Our implementation derives the same
+queries from the Andersen points-to result and the read/write-set
+records (which keep the syntactic base variable of each heap access, our
+anchor handle):
+
+* :meth:`connected` -- may two pointers reach the same object;
+* :meth:`var_written` -- the paper's ``varWritten(p, S)``;
+* :meth:`accessed_via_alias` -- the paper's
+  ``accessedViaAlias(p, f, d, S, mode)``.
+
+This is the exact interface the possible-placement rules of the paper's
+Figure 5/6 consume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.points_to import PointsToResult
+from repro.analysis.rw_sets import EffectsAnalysis, FieldKey
+from repro.frontend.types import FieldPath
+from repro.simple import nodes as s
+
+
+def path_key(path: Optional[FieldPath]) -> FieldKey:
+    """Field key of a communication tuple's field component (``None``
+    means a whole-object / scalar-deref access)."""
+    if path is None:
+        return ("*",)
+    return tuple(path.names)
+
+
+class ConnectionInfo:
+    """Alias queries over one SIMPLE program."""
+
+    def __init__(self, program: s.SimpleProgram, pts: PointsToResult,
+                 effects: EffectsAnalysis):
+        self.program = program
+        self.pts = pts
+        self.effects = effects
+
+    def connected(self, func_a: str, var_a: str,
+                  func_b: str, var_b: str) -> bool:
+        """May the two pointers point into the same structure?"""
+        return self.pts.may_alias_objects(func_a, var_a, func_b, var_b)
+
+    def var_written(self, func: s.SimpleFunction, name: str,
+                    stmt: s.Stmt) -> bool:
+        return self.effects.var_written(func, name, stmt)
+
+    def accessed_via_alias(self, func: s.SimpleFunction, base: str,
+                           path: Optional[FieldPath], stmt: s.Stmt,
+                           mode: str) -> bool:
+        return self.effects.accessed_via_alias(
+            func, base, path_key(path), stmt, mode)
+
+    def accessed_directly(self, func: s.SimpleFunction, base: str,
+                          path: Optional[FieldPath], stmt: s.Stmt,
+                          mode: str) -> bool:
+        """May the statement access ``base->path`` *through base itself*
+        (the direct/anchored case the alias query excludes)?  Used by the
+        sound variants of the kill rules and by blocking-region checks."""
+        assert mode in ("read", "write")
+        records = self.effects.effects(func, stmt)
+        table = records.heap_reads if mode == "read" else records.heap_writes
+        key = path_key(path)
+        for effect in table.values():
+            if effect.base != base:
+                continue
+            from repro.analysis.rw_sets import keys_overlap
+            if keys_overlap(effect.key, key):
+                return True
+        return False

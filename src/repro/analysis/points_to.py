@@ -1,0 +1,316 @@
+"""Whole-program points-to analysis over SIMPLE.
+
+The paper builds on Emami's context-sensitive points-to analysis and
+Ghiya's connection/heap analysis.  We implement an Andersen-style
+(inclusion-based, flow- and context-insensitive) analysis, which is
+strictly more conservative: it can only *add* aliases, which makes the
+communication optimizer's kill sets larger, never smaller -- so every
+transformation remains safe, at some (small, for the Olden kernels)
+precision cost.  The substitution is recorded in DESIGN.md.
+
+Abstract locations:
+
+* ``("heap", site)`` -- one location per allocation site;
+* ``("global", name)`` -- a global variable whose address is taken;
+* ``("structvar", func, name)`` -- a local struct variable (blkmov
+  buffers hold pointer fields too).
+
+Pointer *holders* (things that contain pointers):
+
+* ``("var", func, name)`` -- a local/param pointer variable;
+* ``("gvar", name)`` -- a global pointer variable;
+* ``(loc, field_key)`` -- a pointer field of an abstract location, where
+  ``field_key`` is a tuple of field names or ``"*"`` for unknown
+  offsets (array elements, scalar derefs).
+
+The solver is a straightforward worklist over subset constraints with
+complex (field dereference) rules re-derived as points-to sets grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.simple import nodes as s
+
+Loc = Tuple  # abstract location
+Holder = Tuple  # pointer holder
+
+STAR = "*"
+
+
+def _field_key(path) -> Tuple[str, ...]:
+    return tuple(path.names) if path is not None else (STAR,)
+
+
+class PointsToResult:
+    """Query interface over the solved constraint system."""
+
+    def __init__(self, sets: Dict[Holder, Set[Loc]]):
+        self._sets = sets
+
+    def points_to(self, func: str, var: str) -> FrozenSet[Loc]:
+        """Locations the pointer variable ``var`` of ``func`` may target
+        (globals use ``func=""``)."""
+        found = self._sets.get(("var", func, var))
+        if found is None:
+            found = self._sets.get(("gvar", var), set())
+        return frozenset(found)
+
+    def may_alias_objects(self, func_a: str, var_a: str,
+                          func_b: str, var_b: str) -> bool:
+        """May the two pointers target the same abstract object?"""
+        return bool(self.points_to(func_a, var_a)
+                    & self.points_to(func_b, var_b))
+
+    def holder_sets(self) -> Dict[Holder, Set[Loc]]:
+        return self._sets
+
+
+class PointsToAnalysis:
+    """Builds and solves the constraint system for one program."""
+
+    def __init__(self, program: s.SimpleProgram):
+        self.program = program
+        # subset edges: src holder -> dst holders (pts(dst) >= pts(src))
+        self._copy_edges: Dict[Holder, Set[Holder]] = {}
+        self._sets: Dict[Holder, Set[Loc]] = {}
+        # complex constraints, re-applied as sets grow
+        self._field_loads: List[Tuple[Holder, Holder, Tuple[str, ...]]] = []
+        self._field_stores: List[Tuple[Holder, Holder, Tuple[str, ...]]] = []
+        self._struct_copies: List[Tuple] = []
+
+    # -- construction ----------------------------------------------------------
+
+    def run(self) -> PointsToResult:
+        for function in self.program.functions.values():
+            self._collect_function(function)
+        self._solve()
+        return PointsToResult(self._sets)
+
+    def _var_holder(self, func: s.SimpleFunction, name: str) -> Holder:
+        if name in func.variables:
+            return ("var", func.name, name)
+        return ("gvar", name)
+
+    def _base_points(self, holder: Holder) -> Set[Loc]:
+        return self._sets.setdefault(holder, set())
+
+    def _add_copy(self, src: Holder, dst: Holder) -> None:
+        self._copy_edges.setdefault(src, set()).add(dst)
+
+    def _is_pointerish(self, func: s.SimpleFunction, name: str) -> bool:
+        var = func.variables.get(name) or self.program.globals.get(name)
+        return var is not None and var.type.is_pointer
+
+    def _collect_function(self, func: s.SimpleFunction) -> None:
+        for stmt in func.body.walk():
+            if isinstance(stmt, s.AssignStmt):
+                self._collect_assign(func, stmt)
+            elif isinstance(stmt, s.AllocStmt):
+                self._base_points(
+                    self._var_holder(func, stmt.target)).add(
+                        ("heap", stmt.site))
+            elif isinstance(stmt, s.BlkmovStmt):
+                self._collect_blkmov(func, stmt)
+            elif isinstance(stmt, s.CallStmt):
+                self._collect_call(func, stmt)
+            elif isinstance(stmt, s.ReturnStmt):
+                if stmt.value is not None and \
+                        isinstance(stmt.value, s.VarUse) and \
+                        self._is_pointerish(func, stmt.value.name):
+                    self._add_copy(self._var_holder(func, stmt.value.name),
+                                   ("ret", func.name))
+
+    def _collect_assign(self, func: s.SimpleFunction,
+                        stmt: s.AssignStmt) -> None:
+        rhs = stmt.rhs
+        lhs = stmt.lhs
+        # Destination holder (only pointer-valued destinations matter).
+        dst: Optional[Holder] = None
+        if isinstance(lhs, s.VarLV):
+            if self._is_pointerish(func, lhs.name):
+                dst = self._var_holder(func, lhs.name)
+        elif isinstance(lhs, s.FieldWriteLV):
+            self._field_stores.append(
+                (self._var_holder(func, lhs.base),
+                 self._rhs_source(func, rhs),
+                 _field_key(lhs.path)))
+            return
+        elif isinstance(lhs, s.DerefWriteLV):
+            self._field_stores.append(
+                (self._var_holder(func, lhs.base),
+                 self._rhs_source(func, rhs), (STAR,)))
+            return
+        elif isinstance(lhs, s.IndexWriteLV):
+            self._field_stores.append(
+                (self._var_holder(func, lhs.base),
+                 self._rhs_source(func, rhs), (STAR,)))
+            return
+        elif isinstance(lhs, s.StructFieldWriteLV):
+            source = self._rhs_source(func, rhs)
+            if source is not None:
+                self._add_copy(
+                    source,
+                    (("structvar", func.name, lhs.struct_var),
+                     _field_key(lhs.path)))
+            return
+        if dst is None:
+            return
+        # Source side.
+        if isinstance(rhs, (s.OperandRhs, s.ConvertRhs)):
+            operand = rhs.operand if isinstance(rhs, s.ConvertRhs) \
+                else rhs.operand
+            if isinstance(operand, s.VarUse) and \
+                    self._is_pointerish(func, operand.name):
+                self._add_copy(self._var_holder(func, operand.name), dst)
+        elif isinstance(rhs, s.BinaryRhs):
+            # Pointer arithmetic: result targets what the pointer side
+            # targets.
+            for operand in (rhs.left, rhs.right):
+                if isinstance(operand, s.VarUse) and \
+                        self._is_pointerish(func, operand.name):
+                    self._add_copy(self._var_holder(func, operand.name), dst)
+        elif isinstance(rhs, s.AddrOfRhs):
+            self._base_points(dst).add(("global", rhs.var))
+        elif isinstance(rhs, s.FieldAddrRhs):
+            # An interior pointer: conservatively targets the same
+            # objects as the base pointer (accesses through it alias
+            # accesses through the base).
+            self._add_copy(self._var_holder(func, rhs.base), dst)
+        elif isinstance(rhs, s.FieldReadRhs):
+            self._field_loads.append(
+                (self._var_holder(func, rhs.base), dst,
+                 _field_key(rhs.path)))
+        elif isinstance(rhs, s.DerefReadRhs):
+            self._field_loads.append(
+                (self._var_holder(func, rhs.base), dst, (STAR,)))
+        elif isinstance(rhs, s.IndexReadRhs):
+            self._field_loads.append(
+                (self._var_holder(func, rhs.base), dst, (STAR,)))
+        elif isinstance(rhs, s.StructFieldReadRhs):
+            self._add_copy(
+                (("structvar", func.name, rhs.struct_var),
+                 _field_key(rhs.path)),
+                dst)
+
+    def _rhs_source(self, func: s.SimpleFunction,
+                    rhs: s.Rhs) -> Optional[Holder]:
+        """Holder feeding a store's value, if it may carry a pointer."""
+        if isinstance(rhs, s.OperandRhs) and \
+                isinstance(rhs.operand, s.VarUse) and \
+                self._is_pointerish(func, rhs.operand.name):
+            return self._var_holder(func, rhs.operand.name)
+        return None
+
+    def _collect_blkmov(self, func: s.SimpleFunction,
+                        stmt: s.BlkmovStmt) -> None:
+        self._struct_copies.append((func.name, stmt.src, stmt.dst))
+
+    def _collect_call(self, func: s.SimpleFunction,
+                      stmt: s.CallStmt) -> None:
+        callee = self.program.functions.get(stmt.func)
+        if callee is None:
+            return  # builtin: no pointer flow (malloc handled as AllocStmt)
+        for arg, param in zip(stmt.args, callee.params):
+            if isinstance(arg, s.VarUse) and \
+                    self._is_pointerish(func, arg.name) and \
+                    param.type.is_pointer:
+                self._add_copy(self._var_holder(func, arg.name),
+                               ("var", callee.name, param.name))
+        if stmt.target is not None and \
+                self._is_pointerish(func, stmt.target) and \
+                callee.return_type.is_pointer:
+            self._add_copy(("ret", callee.name),
+                           self._var_holder(func, stmt.target))
+
+    # -- solving -----------------------------------------------------------------
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            # Copy edges.
+            for src, dsts in self._copy_edges.items():
+                src_set = self._base_points(src)
+                if not src_set:
+                    continue
+                for dst in dsts:
+                    dst_set = self._base_points(dst)
+                    before = len(dst_set)
+                    dst_set |= src_set
+                    if len(dst_set) != before:
+                        changed = True
+            # Field loads: dst >= pts((loc, key)) for loc in pts(base).
+            for base, dst, key in self._field_loads:
+                dst_set = self._base_points(dst)
+                for loc in list(self._base_points(base)):
+                    for use_key in self._matching_keys(loc, key):
+                        src_set = self._base_points((loc, use_key))
+                        before = len(dst_set)
+                        dst_set |= src_set
+                        if len(dst_set) != before:
+                            changed = True
+            # Field stores: (loc, key) >= pts(value) for loc in pts(base).
+            for base, source, key in self._field_stores:
+                if source is None:
+                    continue
+                src_set = self._base_points(source)
+                if not src_set:
+                    continue
+                for loc in list(self._base_points(base)):
+                    dst_set = self._base_points((loc, key))
+                    before = len(dst_set)
+                    dst_set |= src_set
+                    if len(dst_set) != before:
+                        changed = True
+            # Struct copies: every field key flows from src object(s) to
+            # dst object(s).
+            for func_name, src_ep, dst_ep in self._struct_copies:
+                src_objs = self._endpoint_objects(func_name, src_ep)
+                dst_objs = self._endpoint_objects(func_name, dst_ep)
+                for src_obj in src_objs:
+                    for key, src_set in list(self._object_fields(src_obj)):
+                        if not src_set:
+                            continue
+                        for dst_obj in dst_objs:
+                            dst_set = self._base_points((dst_obj, key))
+                            before = len(dst_set)
+                            dst_set |= src_set
+                            if len(dst_set) != before:
+                                changed = True
+
+    def _matching_keys(self, loc: Loc, key: Tuple[str, ...]
+                       ) -> Iterable[Tuple[str, ...]]:
+        """Field keys stored for ``loc`` that may overlap ``key``."""
+        for holder, pts in self._sets.items():
+            if not pts:
+                continue
+            if isinstance(holder, tuple) and len(holder) == 2 \
+                    and holder[0] == loc:
+                stored = holder[1]
+                if key == (STAR,) or stored == (STAR,) or stored == key \
+                        or _prefix(stored, key) or _prefix(key, stored):
+                    yield stored
+
+    def _object_fields(self, obj: Loc):
+        for holder, pts in self._sets.items():
+            if isinstance(holder, tuple) and len(holder) == 2 \
+                    and holder[0] == obj:
+                yield holder[1], pts
+
+    def _endpoint_objects(self, func_name: str, endpoint) -> Set[Loc]:
+        kind, name, _offset = endpoint
+        if kind == "local":
+            return {("structvar", func_name, name)}
+        return set(self._base_points(("var", func_name, name)) or
+                   self._base_points(("gvar", name)))
+
+
+def _prefix(a: Tuple[str, ...], b: Tuple[str, ...]) -> bool:
+    return len(a) <= len(b) and b[:len(a)] == a
+
+
+def analyze_points_to(program: s.SimpleProgram) -> PointsToResult:
+    """Run whole-program points-to analysis."""
+    return PointsToAnalysis(program).run()

@@ -1,0 +1,275 @@
+"""Read/write set analysis for SIMPLE statements.
+
+The paper decorates every basic *and compound* statement with the set of
+locations read/written, including heap read/write sets from connection
+analysis; these drive the kill rules of possible-placement analysis
+(``varWritten``, ``accessedViaAlias``).  This module computes:
+
+* **variable effects** -- which stack/global variables a statement reads
+  or writes (directly; stack variables have no aliases in the dialect
+  because taking the address of a stack scalar is rejected);
+* **heap effects** -- records ``(base, loc, key)`` meaning "memory of
+  abstract object ``loc`` at field key ``key`` is accessed, syntactically
+  through pointer variable ``base``".  ``base is None`` for effects
+  imported from callees -- the paper's *anchor handle* information:
+  an access with the same base variable is a *direct* access, anything
+  else is a potential alias access;
+* **function summaries** -- heap/global/shared effects of whole calls,
+  computed to a fixed point over the (possibly recursive) call graph.
+
+Effects for compound statements aggregate their children (and are cached
+by label), matching the paper's per-statement decoration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.points_to import STAR, PointsToResult
+from repro.simple import nodes as s
+from repro.simple.traversal import basic_defs, basic_uses, cond_uses
+
+#: Matches any abstract object in overlap queries.
+UNKNOWN = ("unknown",)
+
+FieldKey = Tuple[str, ...]
+
+
+def keys_overlap(a: FieldKey, b: FieldKey) -> bool:
+    """May two field keys touch overlapping words?  A key is a path of
+    field names or ``("*",)`` (whole object / unknown offset).  Nested
+    struct fields overlap when one path is a prefix of the other."""
+    if a == (STAR,) or b == (STAR,):
+        return True
+    shorter = min(len(a), len(b))
+    return a[:shorter] == b[:shorter]
+
+
+class HeapEffect:
+    """One heap access record."""
+
+    __slots__ = ("base", "loc", "key")
+
+    def __init__(self, base: Optional[str], loc: Tuple, key: FieldKey):
+        self.base = base
+        self.loc = loc
+        self.key = key
+
+    def ident(self) -> Tuple:
+        return (self.base, self.loc, self.key)
+
+    def __repr__(self) -> str:
+        return f"HeapEffect(base={self.base}, loc={self.loc}, key={self.key})"
+
+
+class Effects:
+    """Aggregated effects of one statement (or one function summary)."""
+
+    __slots__ = ("var_reads", "var_writes", "heap_reads", "heap_writes",
+                 "shared_vars")
+
+    def __init__(self):
+        self.var_reads: Set[str] = set()
+        self.var_writes: Set[str] = set()
+        self.heap_reads: Dict[Tuple, HeapEffect] = {}
+        self.heap_writes: Dict[Tuple, HeapEffect] = {}
+        self.shared_vars: Set[str] = set()
+
+    def add_heap_read(self, effect: HeapEffect) -> None:
+        self.heap_reads[effect.ident()] = effect
+
+    def add_heap_write(self, effect: HeapEffect) -> None:
+        self.heap_writes[effect.ident()] = effect
+
+    def merge(self, other: "Effects",
+              drop_locals_of: Optional[Set[str]] = None,
+              anonymize: bool = False) -> bool:
+        """Union ``other`` into self; returns True when something new
+        was added.  ``drop_locals_of`` filters out variable effects on
+        names in that set (used when importing a callee summary into a
+        caller -- callee locals are invisible).  ``anonymize`` clears the
+        base variable of imported heap effects (they are alias accesses
+        from the caller's perspective)."""
+        before = self._size()
+        var_reads = other.var_reads
+        var_writes = other.var_writes
+        if drop_locals_of is not None:
+            var_reads = var_reads - drop_locals_of
+            var_writes = var_writes - drop_locals_of
+        self.var_reads |= var_reads
+        self.var_writes |= var_writes
+        for effect in other.heap_reads.values():
+            if anonymize:
+                effect = HeapEffect(None, effect.loc, effect.key)
+            self.add_heap_read(effect)
+        for effect in other.heap_writes.values():
+            if anonymize:
+                effect = HeapEffect(None, effect.loc, effect.key)
+            self.add_heap_write(effect)
+        self.shared_vars |= other.shared_vars
+        return self._size() != before
+
+    def _size(self) -> int:
+        return (len(self.var_reads) + len(self.var_writes)
+                + len(self.heap_reads) + len(self.heap_writes)
+                + len(self.shared_vars))
+
+    def __repr__(self) -> str:
+        return (f"Effects(vr={sorted(self.var_reads)}, "
+                f"vw={sorted(self.var_writes)}, "
+                f"hr={len(self.heap_reads)}, hw={len(self.heap_writes)})")
+
+
+class EffectsAnalysis:
+    """Computes per-statement effects with interprocedural summaries.
+
+    Create once per program (after points-to), then query
+    :meth:`effects`, :meth:`var_written` and :meth:`accessed_via_alias`.
+    """
+
+    def __init__(self, program: s.SimpleProgram, pts: PointsToResult):
+        self.program = program
+        self.pts = pts
+        self._summaries: Dict[str, Effects] = {}
+        self._cache: Dict[Tuple[str, int], Effects] = {}
+        self._compute_summaries()
+
+    # -- public queries -----------------------------------------------------------
+
+    def effects(self, func: s.SimpleFunction, stmt: s.Stmt) -> Effects:
+        """The full effect set of ``stmt`` (compound statements aggregate
+        children, calls import callee summaries)."""
+        key = (func.name, stmt.label)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._stmt_effects(func, stmt)
+            self._cache[key] = cached
+        return cached
+
+    def var_written(self, func: s.SimpleFunction, name: str,
+                    stmt: s.Stmt) -> bool:
+        """The paper's ``varWritten(p, stmt)``: may the statement change
+        the value of variable ``name``?"""
+        return name in self.effects(func, stmt).var_writes
+
+    def accessed_via_alias(self, func: s.SimpleFunction, base: str,
+                           key: FieldKey, stmt: s.Stmt, mode: str) -> bool:
+        """The paper's ``accessedViaAlias(p, f, d, stmt, mode)``: may the
+        statement read (``mode="read"``) or write (``mode="write"``) the
+        memory named by ``base->key`` through anything *other than*
+        ``base`` itself?"""
+        assert mode in ("read", "write")
+        effects = self.effects(func, stmt)
+        records = (effects.heap_reads if mode == "read"
+                   else effects.heap_writes)
+        targets = self.pts.points_to(func.name, base)
+        for effect in records.values():
+            if effect.base == base:
+                continue  # direct access via the anchor handle
+            if not keys_overlap(effect.key, key):
+                continue
+            if effect.loc == UNKNOWN:
+                return True
+            if not targets:
+                # Unknown points-to set for the base: be conservative.
+                return True
+            if effect.loc in targets:
+                return True
+        return False
+
+    def summary(self, func_name: str) -> Effects:
+        return self._summaries.get(func_name, Effects())
+
+    # -- summaries ------------------------------------------------------------------
+
+    def _compute_summaries(self) -> None:
+        for name in self.program.functions:
+            self._summaries[name] = Effects()
+        changed = True
+        while changed:
+            changed = False
+            for name, func in self.program.functions.items():
+                fresh = Effects()
+                locals_ = set(func.variables)
+                for stmt in func.body.basic_stmts():
+                    fresh.merge(self._basic_effects(func, stmt),
+                                drop_locals_of=locals_, anonymize=True)
+                if self._summaries[name].merge(fresh):
+                    changed = True
+
+    # -- per-statement computation ------------------------------------------------------
+
+    def _stmt_effects(self, func: s.SimpleFunction, stmt: s.Stmt) -> Effects:
+        if isinstance(stmt, s.BasicStmt):
+            return self._basic_effects(func, stmt)
+        effects = Effects()
+        if isinstance(stmt, (s.IfStmt, s.WhileStmt, s.DoStmt,
+                             s.ForallStmt)):
+            effects.var_reads |= cond_uses(stmt.cond)
+        if isinstance(stmt, s.SwitchStmt):
+            effects.var_reads |= set(stmt.scrutinee.variables())
+        for child in stmt.children():
+            effects.merge(self.effects(func, child))
+        return effects
+
+    def _basic_effects(self, func: s.SimpleFunction,
+                       stmt: s.BasicStmt) -> Effects:
+        effects = Effects()
+        effects.var_reads |= basic_uses(stmt)
+        effects.var_writes |= basic_defs(stmt)
+
+        if isinstance(stmt, s.AssignStmt):
+            self._rhs_heap(func, effects, stmt.rhs)
+            self._lhs_heap(func, effects, stmt.lhs)
+        elif isinstance(stmt, s.BlkmovStmt):
+            if stmt.src[0] == "ptr":
+                self._add_ptr_effect(func, effects, stmt.src[1], (STAR,),
+                                     write=False)
+            if stmt.dst[0] == "ptr":
+                self._add_ptr_effect(func, effects, stmt.dst[1], (STAR,),
+                                     write=True)
+        elif isinstance(stmt, s.CallStmt):
+            callee = self.program.functions.get(stmt.func)
+            if callee is not None:
+                effects.merge(self._summaries[stmt.func],
+                              anonymize=True)
+            # Built-ins have no heap effects beyond their arguments.
+        elif isinstance(stmt, s.SharedOpStmt):
+            effects.shared_vars.add(stmt.shared_var)
+        return effects
+
+    def _rhs_heap(self, func: s.SimpleFunction, effects: Effects,
+                  rhs: s.Rhs) -> None:
+        if isinstance(rhs, s.FieldReadRhs):
+            self._add_ptr_effect(func, effects, rhs.base,
+                                 tuple(rhs.path.names), write=False)
+        elif isinstance(rhs, s.DerefReadRhs):
+            self._add_ptr_effect(func, effects, rhs.base, (STAR,),
+                                 write=False)
+        elif isinstance(rhs, s.IndexReadRhs):
+            self._add_ptr_effect(func, effects, rhs.base, (STAR,),
+                                 write=False)
+
+    def _lhs_heap(self, func: s.SimpleFunction, effects: Effects,
+                  lhs: s.LValue) -> None:
+        if isinstance(lhs, s.FieldWriteLV):
+            self._add_ptr_effect(func, effects, lhs.base,
+                                 tuple(lhs.path.names), write=True)
+        elif isinstance(lhs, s.DerefWriteLV):
+            self._add_ptr_effect(func, effects, lhs.base, (STAR,),
+                                 write=True)
+        elif isinstance(lhs, s.IndexWriteLV):
+            self._add_ptr_effect(func, effects, lhs.base, (STAR,),
+                                 write=True)
+
+    def _add_ptr_effect(self, func: s.SimpleFunction, effects: Effects,
+                        base: str, key: FieldKey, write: bool) -> None:
+        targets: Iterable[Tuple] = self.pts.points_to(func.name, base)
+        if not targets:
+            targets = [UNKNOWN]
+        for loc in targets:
+            effect = HeapEffect(base, loc, key)
+            if write:
+                effects.add_heap_write(effect)
+            else:
+                effects.add_heap_read(effect)

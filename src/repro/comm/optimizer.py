@@ -1,0 +1,176 @@
+"""The communication optimization driver (the paper's Phase II).
+
+Runs, in order:
+
+1. **locality analysis** -- demotes accesses through provably-local
+   pointers (companion analysis, Zhu & Hendren PACT'97);
+2. **redundant remote access elimination** -- value forwarding
+   (read-read and store-to-load);
+3. **possible-placement analysis** per function;
+4. **communication selection** per function (pipelining / blocking);
+5. marks every remaining remote operation split-phase (the thread
+   generator's job in the real compiler) and re-validates the program.
+
+The unoptimized ("simple") configuration of the paper corresponds to not
+running this driver at all: every remote access then executes as a
+synchronous (sequential-cost) operation in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.connection import ConnectionInfo
+from repro.analysis.locality import LocalityResult, analyze_locality
+from repro.analysis.nilness import analyze_nilness
+from repro.analysis.points_to import analyze_points_to
+from repro.analysis.rw_sets import EffectsAnalysis
+from repro.comm.costmodel import CommCostModel
+from repro.comm.forwarding import ForwardingStats, forward_remote_values
+from repro.comm.placement import PlacementResult, analyze_placement
+from repro.comm.selection import CommSelection, SelectionStats
+from repro.simple import nodes as s
+from repro.simple.validate import validate_program
+
+
+class CommConfig:
+    """Knobs for the optimization pipeline.
+
+    ``speculative_reads`` mirrors the paper's runtime option of issuing
+    remote reads to potentially-invalid addresses (footnote 2); when
+    False, selection falls back to the nilness analysis.
+    """
+
+    def __init__(
+        self,
+        enable_locality: bool = True,
+        enable_forwarding: bool = True,
+        enable_placement: bool = True,
+        enable_blocking: bool = True,
+        speculative_reads: bool = True,
+        split_phase_residuals: bool = True,
+    ):
+        self.enable_locality = enable_locality
+        self.enable_forwarding = enable_forwarding
+        self.enable_placement = enable_placement
+        self.enable_blocking = enable_blocking
+        self.speculative_reads = speculative_reads
+        self.split_phase_residuals = split_phase_residuals
+
+    def __repr__(self) -> str:
+        flags = [name for name in ("enable_locality", "enable_forwarding",
+                                   "enable_placement", "enable_blocking",
+                                   "speculative_reads",
+                                   "split_phase_residuals")
+                 if getattr(self, name)]
+        return f"CommConfig({', '.join(flags)})"
+
+
+class OptimizationReport:
+    """Results of one optimizer run, for tests/examples/benchmarks."""
+
+    def __init__(self):
+        self.locality: Optional[LocalityResult] = None
+        self.forwarding: Dict[str, ForwardingStats] = {}
+        self.placements: Dict[str, PlacementResult] = {}
+        self.selections: Dict[str, SelectionStats] = {}
+
+    def total_forwarded(self) -> int:
+        return sum(stat.total for stat in self.forwarding.values())
+
+    def __repr__(self) -> str:
+        return (f"OptimizationReport(forwarded={self.total_forwarded()}, "
+                f"functions={sorted(self.selections)})")
+
+
+class CommunicationOptimizer:
+    """Applies the paper's communication optimization to a program."""
+
+    def __init__(self, program: s.SimpleProgram,
+                 config: Optional[CommConfig] = None,
+                 cost_model: Optional[CommCostModel] = None):
+        self.program = program
+        self.config = config or CommConfig()
+        self.cost_model = cost_model or CommCostModel()
+
+    def run(self) -> OptimizationReport:
+        report = OptimizationReport()
+        config = self.config
+
+        if config.enable_locality:
+            report.locality = analyze_locality(self.program)
+
+        if config.enable_forwarding:
+            conn = self._fresh_connection()
+            for function in self.program.functions.values():
+                report.forwarding[function.name] = \
+                    forward_remote_values(function, conn)
+
+        if config.enable_placement:
+            # Phase R: earliest placement of reads, all functions.
+            conn = self._fresh_connection()
+            read_selections = {}
+            for function in self.program.functions.values():
+                placement = analyze_placement(function, conn)
+                report.placements[function.name] = placement
+                nilness = analyze_nilness(function)
+                selection = CommSelection(
+                    function, placement, conn, nilness, self.cost_model,
+                    speculative_reads=config.speculative_reads,
+                    enable_blocking=config.enable_blocking)
+                selection.run_reads()
+                read_selections[function.name] = selection
+            # Phase W: latest placement of writes, against a fresh
+            # analysis of the read-transformed program -- the inserted
+            # comm reads must kill write sinking past them (otherwise a
+            # hoisted read and a sunk write of the same location could
+            # cross).
+            conn = self._fresh_connection()
+            for function in self.program.functions.values():
+                placement = analyze_placement(function, conn)
+                nilness = analyze_nilness(function)
+                prior = read_selections[function.name]
+                selection = CommSelection(
+                    function, placement, conn, nilness, self.cost_model,
+                    speculative_reads=config.speculative_reads,
+                    enable_blocking=config.enable_blocking,
+                    stats=prior.stats,
+                    block_regions=prior.block_regions)
+                selection.run_writes()
+                report.selections[function.name] = selection.stats
+
+        if config.split_phase_residuals:
+            for function in self.program.functions.values():
+                _mark_residual_split_phase(function)
+
+        validate_program(self.program)
+        return report
+
+    def _fresh_connection(self) -> ConnectionInfo:
+        """(Re)build the alias information for the current program
+        state -- cheap at benchmark scale, and keeps every pass exact."""
+        pts = analyze_points_to(self.program)
+        effects = EffectsAnalysis(self.program, pts)
+        return ConnectionInfo(self.program, pts, effects)
+
+
+def _mark_residual_split_phase(function: s.SimpleFunction) -> None:
+    """Make every remaining remote operation split-phase.
+
+    In the real compiler the thread generator (Phase III) builds fibers
+    that synchronize on split-phase completions regardless of Phase II;
+    the simulator's sync-on-use semantics models that, so unselected
+    remote operations (array element accesses, blkmovs from struct
+    assignments) also overlap when data dependences allow.
+    """
+    for stmt in function.body.basic_stmts():
+        if isinstance(stmt, (s.AssignStmt, s.BlkmovStmt)) and stmt.is_remote:
+            stmt.split_phase = True
+
+
+def optimize_program(program: s.SimpleProgram,
+                     config: Optional[CommConfig] = None,
+                     cost_model: Optional[CommCostModel] = None
+                     ) -> OptimizationReport:
+    """Run the full communication optimization (in place)."""
+    return CommunicationOptimizer(program, config, cost_model).run()

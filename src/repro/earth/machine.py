@@ -1,0 +1,332 @@
+"""Discrete-event simulation of the EARTH-MANNA multiprocessor.
+
+Each node has an Execution Unit (EU) running one fiber at a time from a
+ready queue, and a Synchronization Unit (SU) servicing remote requests
+(paper Section 5.1/Figure 9).  Remote memory operations are split-phase:
+the EU pays an *issue* cost and continues; the request crosses the
+network (one-way latency), is serviced by the target SU (serialized --
+SU contention is modeled), and the reply fulfills a :class:`Slot` that
+consumers synchronize on.
+
+Fibers are Python generators yielding actions:
+
+* ``("busy", ns)`` -- occupy the EU;
+* ``("issue", kind, target_node, words, do_op, slot)`` -- start a
+  split-phase operation (``kind`` in read/write/blkmov/shared/malloc);
+  ``do_op()`` performs the memory side effect when the request is
+  serviced and returns the slot value;
+* ``("wait", slot)`` -- block until a slot is fulfilled (the EU switches
+  to another ready fiber);
+* ``("spawn", fiber)`` -- put a new fiber on its node's ready queue.
+
+A fiber performing a *synchronous* remote operation issues and
+immediately waits -- reproducing Table I's sequential cost; back-to-back
+issues without waits reproduce the pipelined cost.
+
+Causality note: a running fiber executes ahead of the global event clock
+until it blocks; its *local* memory effects apply immediately while
+cross-node effects are applied by SU events in timestamp order.  Under
+the EARTH-C non-interference contract (no concurrent conflicting access
+to ordinary memory) the observable behaviour is unaffected.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.earth.memory import GlobalMemory
+from repro.earth.params import MachineParams
+from repro.earth.stats import MachineStats
+from repro.errors import SimulatorError
+
+
+class Slot:
+    """A split-phase synchronization slot."""
+
+    __slots__ = ("ready", "value", "waiters", "label")
+
+    def __init__(self, label: str = ""):
+        self.ready = False
+        self.value = None
+        self.waiters: List["Fiber"] = []
+        self.label = label
+
+    def __repr__(self) -> str:
+        state = "ready" if self.ready else "pending"
+        return f"Slot({self.label!r}, {state})"
+
+
+class JoinCounter:
+    """Fulfills its slot when ``remaining`` child fibers have finished."""
+
+    __slots__ = ("remaining", "slot")
+
+    def __init__(self, count: int):
+        self.remaining = count
+        self.slot = Slot("join")
+        if count == 0:
+            self.slot.ready = True
+
+    def child_done(self, machine: "Machine", time: float) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            machine.fulfill(self.slot, None, time)
+
+
+class Fiber:
+    """One EARTH fiber: a generator plus scheduling state."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("gen", "node", "name", "done", "on_done", "id",
+                 "resume_slot")
+
+    def __init__(self, gen, node: int, name: str = "fiber"):
+        self.gen = gen
+        self.node = node
+        self.name = name
+        self.done = False
+        self.on_done: List[Callable[["Machine", float], None]] = []
+        self.id = next(self._ids)
+        #: The slot this fiber parked on; its value is delivered into the
+        #: generator when the fiber resumes.
+        self.resume_slot: Optional["Slot"] = None
+
+    def __repr__(self) -> str:
+        return f"Fiber#{self.id}({self.name}@{self.node})"
+
+
+class Machine:
+    """The simulated multiprocessor."""
+
+    def __init__(self, num_nodes: int,
+                 params: Optional[MachineParams] = None,
+                 strict_nil_reads: bool = False):
+        self.params = params or MachineParams()
+        self.memory = GlobalMemory(num_nodes)
+        self.num_nodes = num_nodes
+        self.stats = MachineStats()
+        self.strict_nil_reads = strict_nil_reads
+        self.time = 0.0
+        self.output: List[str] = []
+
+        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = itertools.count()
+        self._ready: List[List[Tuple[float, int, Fiber]]] = [
+            [] for _ in range(num_nodes)]
+        self._running = [False] * num_nodes
+        self._run_scheduled = [False] * num_nodes
+        self._eu_free = [0.0] * num_nodes
+        self._su_free = [0.0] * num_nodes
+        self._last_fiber: List[Optional[int]] = [None] * num_nodes
+        self._parked_count = 0
+
+    # -- event machinery ----------------------------------------------------------
+
+    def _schedule(self, time: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (time, next(self._event_seq), fn))
+
+    def add_fiber(self, fiber: Fiber, earliest: float = 0.0) -> None:
+        self.stats.fibers_spawned += 1
+        heapq.heappush(self._ready[fiber.node],
+                       (earliest, fiber.id, fiber))
+        self._kick(fiber.node, earliest)
+
+    def _kick(self, node: int, at_time: float) -> None:
+        if self._running[node] or self._run_scheduled[node]:
+            return
+        if not self._ready[node]:
+            return
+        earliest = self._ready[node][0][0]
+        start = max(earliest, self._eu_free[node], at_time)
+        self._run_scheduled[node] = True
+        self._schedule(start, lambda: self._run_node(node))
+
+    def run(self) -> None:
+        """Process events until the machine is quiescent."""
+        while self._events:
+            time, _seq, fn = heapq.heappop(self._events)
+            if time > self.time:
+                self.time = time
+            fn()
+        if self._parked_count:
+            raise SimulatorError(
+                f"deadlock: {self._parked_count} fiber(s) blocked forever "
+                f"at t={self.time:.0f}ns")
+
+    # -- EU execution -------------------------------------------------------------
+
+    def _run_node(self, node: int) -> None:
+        self._run_scheduled[node] = False
+        if self._running[node] or not self._ready[node]:
+            return
+        earliest, _fid, fiber = self._ready[node][0]
+        start = max(earliest, self._eu_free[node], self.time)
+        if start > self.time:
+            self._kick(node, start)
+            return
+        heapq.heappop(self._ready[node])
+        self._running[node] = True
+        t = start
+        if self._last_fiber[node] is not None \
+                and self._last_fiber[node] != fiber.id:
+            t += self.params.ctx_switch_ns
+            self.stats.context_switches += 1
+        self._last_fiber[node] = fiber.id
+        resume_value = None
+        if fiber.resume_slot is not None:
+            resume_value = fiber.resume_slot.value
+            fiber.resume_slot = None
+        self._execute(fiber, t, resume_value)
+
+    def _execute(self, fiber: Fiber, t: float, send_value) -> None:
+        """Run the fiber until it blocks or finishes, starting at local
+        time ``t``."""
+        node = fiber.node
+        params = self.params
+        gen = fiber.gen
+        try:
+            while True:
+                action = gen.send(send_value)
+                send_value = None
+                kind = action[0]
+                if kind == "busy":
+                    t += action[1]
+                elif kind == "issue":
+                    _tag, op, target, words, do_op, slot = action
+                    t = self._issue(fiber, t, op, target, words, do_op,
+                                    slot)
+                elif kind == "wait":
+                    slot: Slot = action[1]
+                    if slot.ready:
+                        send_value = slot.value
+                        continue
+                    slot.waiters.append(fiber)
+                    fiber.resume_slot = slot
+                    self._parked_count += 1
+                    self._release_eu(node, t)
+                    return
+                elif kind == "spawn":
+                    child: Fiber = action[1]
+                    t += params.spawn_ns
+                    self.add_fiber(child, earliest=t)
+                elif kind == "fulfill":
+                    self.fulfill(action[1], action[2], t)
+                elif kind == "print":
+                    self.output.append(action[1])
+                else:  # pragma: no cover
+                    raise SimulatorError(f"unknown action {action!r}")
+        except StopIteration:
+            fiber.done = True
+            for callback in fiber.on_done:
+                callback(self, t)
+            self._release_eu(node, t)
+
+    def _release_eu(self, node: int, t: float) -> None:
+        self._eu_free[node] = t
+        self._running[node] = False
+        self._kick(node, t)
+
+    # -- split-phase operations ----------------------------------------------------
+
+    def _issue(self, fiber: Fiber, t: float, op: str, target: int,
+               words: int, do_op: Callable[[], object],
+               slot: Optional[Slot]) -> float:
+        """Issue one operation; returns the new fiber-local time."""
+        params = self.params
+        node = fiber.node
+        if op == "shared":
+            self.stats.shared_ops += 1
+            if target == node:
+                t += params.shared_op_ns
+                value = do_op()
+                if slot is not None:
+                    self.fulfill(slot, value, t)
+                return t
+            t += params.shared_op_ns
+            self._send_request(node, t, "write", target, do_op, slot, 1)
+            return t
+        if op == "malloc":
+            if target == node:
+                t += params.malloc_ns
+                value = do_op()
+                if slot is not None:
+                    self.fulfill(slot, value, t)
+                return t
+            t += params.malloc_ns + params.remote_malloc_extra_ns
+            value = do_op()  # allocation itself is instantaneous
+            if slot is not None:
+                self.fulfill(slot, value, t)
+            return t
+        # read / write / blkmov
+        if target == node:
+            t += params.local_op_cost(op, words)
+            self._count_op(op, local=True, words=words)
+            value = do_op()
+            if slot is not None:
+                self.fulfill(slot, value, t)
+            return t
+        t += params.issue_cost(op, words)
+        self._count_op(op, local=False, words=words)
+        self._send_request(node, t, op, target, do_op, slot, words)
+        return t
+
+    def _send_request(self, origin: int, t: float, op: str, target: int,
+                      do_op: Callable[[], object],
+                      slot: Optional[Slot], words: int) -> None:
+        one_way = self.params.one_way_latency(op if op != "shared"
+                                              else "write")
+        arrival = t + one_way
+        su_time = self.params.su_service_ns
+        if op == "blkmov":
+            su_time += self.params.su_blkmov_per_word_ns * words
+
+        def service() -> None:
+            su_start = max(arrival, self._su_free[target])
+            su_done = su_start + su_time
+            self._su_free[target] = su_done
+            value = do_op()
+            if slot is not None:
+                reply_at = su_done + one_way
+                self._schedule(reply_at,
+                               lambda: self.fulfill(slot, value, reply_at))
+
+        self._schedule(arrival, service)
+
+    def _count_op(self, op: str, local: bool, words: int) -> None:
+        stats = self.stats
+        if op == "read":
+            if local:
+                stats.local_reads += 1
+            else:
+                stats.remote_reads += 1
+        elif op == "write":
+            if local:
+                stats.local_writes += 1
+            else:
+                stats.remote_writes += 1
+        elif op == "blkmov":
+            if local:
+                stats.local_blkmovs += 1
+            else:
+                stats.remote_blkmovs += 1
+                stats.remote_blkmov_words += words
+        else:  # pragma: no cover
+            raise SimulatorError(f"unknown op {op}")
+
+    # -- slots -----------------------------------------------------------------------
+
+    def fulfill(self, slot: Slot, value, time: float) -> None:
+        if slot.ready:
+            raise SimulatorError(f"slot {slot!r} fulfilled twice")
+        slot.ready = True
+        slot.value = value
+        if slot.waiters:
+            self._parked_count -= len(slot.waiters)
+            for fiber in slot.waiters:
+                heapq.heappush(self._ready[fiber.node],
+                               (time, fiber.id, fiber))
+                self._kick(fiber.node, time)
+            slot.waiters.clear()

@@ -1,0 +1,159 @@
+"""The EARTH global address space.
+
+EARTH-MANNA aggregates the local memories of all nodes into one global
+address space (paper Section 5.1).  We encode a global address as a
+Python int: ``node * NODE_SPAN + offset`` with word granularity.  NULL
+is 0; allocations start at a nonzero offset so no valid address is 0.
+
+Each node's memory is a flat word array.  A ``double`` occupies two
+words: the float lives in the first word and the second holds the
+:data:`FILLER` sentinel, so word-granular ``blkmov`` copies structs
+correctly without knowing field types.  Reading an uninitialized or
+filler word yields 0 (the speculative-read semantics of the EARTH
+runtime; strict mode can be enabled to fault instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import MemoryFault
+
+#: Address span reserved per node.
+NODE_SPAN = 1 << 40
+
+#: First allocatable word offset (0 is NULL, low words are reserved).
+_HEAP_BASE = 16
+
+
+class _Filler:
+    """Sentinel filling the second word of a double."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<filler>"
+
+
+FILLER = _Filler()
+
+Word = Union[int, float, _Filler, None]
+
+
+def make_address(node: int, offset: int) -> int:
+    return node * NODE_SPAN + offset
+
+
+def node_of(address: int) -> int:
+    return address // NODE_SPAN
+
+
+def offset_of(address: int) -> int:
+    return address % NODE_SPAN
+
+
+class NodeMemory:
+    """One node's local word-addressed memory with a bump allocator."""
+
+    def __init__(self, node: int):
+        self.node = node
+        self._words: List[Word] = [None] * _HEAP_BASE
+        self.allocated_words = 0
+
+    def allocate(self, words: int) -> int:
+        """Allocate ``words`` words; returns the *global* address."""
+        if words <= 0:
+            raise MemoryFault(f"allocation of {words} words", self.node)
+        offset = len(self._words)
+        self._words.extend([None] * words)
+        self.allocated_words += words
+        return make_address(self.node, offset)
+
+    def read(self, offset: int) -> Word:
+        if offset < 0 or offset >= len(self._words):
+            raise MemoryFault(f"read of unmapped offset {offset}",
+                              self.node, offset)
+        return self._words[offset]
+
+    def write(self, offset: int, value: Word) -> None:
+        if offset < 0 or offset >= len(self._words):
+            raise MemoryFault(f"write of unmapped offset {offset}",
+                              self.node, offset)
+        self._words[offset] = value
+
+    def read_block(self, offset: int, words: int) -> List[Word]:
+        if offset < 0 or offset + words > len(self._words):
+            raise MemoryFault(
+                f"block read [{offset}, {offset + words}) out of range",
+                self.node, offset)
+        return self._words[offset:offset + words]
+
+    def write_block(self, offset: int, values: List[Word]) -> None:
+        if offset < 0 or offset + len(values) > len(self._words):
+            raise MemoryFault(
+                f"block write [{offset}, {offset + len(values)}) out of "
+                f"range", self.node, offset)
+        self._words[offset:offset + len(values)] = values
+
+    @property
+    def size_words(self) -> int:
+        return len(self._words)
+
+
+class GlobalMemory:
+    """The aggregate of all node memories plus the globals segment.
+
+    Globals live at fixed offsets in node 0's memory, so their addresses
+    can be taken (``&global``) and they are remote from every other node
+    -- the paper's "references to global variables are remote".
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes <= 0:
+            raise MemoryFault(f"machine needs >= 1 node, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.nodes = [NodeMemory(i) for i in range(num_nodes)]
+        self._global_addrs: Dict[str, int] = {}
+
+    # -- global variables ---------------------------------------------------------
+
+    def register_global(self, name: str, words: int) -> int:
+        address = self.nodes[0].allocate(words)
+        self._global_addrs[name] = address
+        return address
+
+    def global_address(self, name: str) -> int:
+        return self._global_addrs[name]
+
+    def has_global(self, name: str) -> bool:
+        return name in self._global_addrs
+
+    # -- typed access helpers --------------------------------------------------------
+
+    def allocate(self, node: int, words: int) -> int:
+        return self.nodes[node].allocate(words)
+
+    def read_word(self, address: int) -> Word:
+        if address == 0:
+            raise MemoryFault("nil dereference (read)")
+        return self.nodes[node_of(address)].read(offset_of(address))
+
+    def write_word(self, address: int, value: Word) -> None:
+        if address == 0:
+            raise MemoryFault("nil dereference (write)")
+        self.nodes[node_of(address)].write(offset_of(address), value)
+
+    def read_block(self, address: int, words: int) -> List[Word]:
+        if address == 0:
+            raise MemoryFault("nil dereference (block read)")
+        return self.nodes[node_of(address)].read_block(
+            offset_of(address), words)
+
+    def write_block(self, address: int, values: List[Word]) -> None:
+        if address == 0:
+            raise MemoryFault("nil dereference (block write)")
+        self.nodes[node_of(address)].write_block(
+            offset_of(address), values)
+
+    def total_allocated_words(self) -> int:
+        return sum(node.allocated_words for node in self.nodes)

@@ -1,0 +1,75 @@
+"""Dynamic operation counters for simulated runs.
+
+These feed the paper's Figure 10 (dynamic communication counts split
+into read-data / write-data / blkmov) and general reporting.  Truly
+remote operations (target node differs from the issuing node) are
+counted separately from EARTH operations that hit local memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MachineStats:
+    def __init__(self):
+        # Truly remote (cross-node) operations.
+        self.remote_reads = 0
+        self.remote_writes = 0
+        self.remote_blkmovs = 0
+        self.remote_blkmov_words = 0
+        # EARTH operations that turned out to target local memory.
+        self.local_reads = 0
+        self.local_writes = 0
+        self.local_blkmovs = 0
+        # Shared-variable atomic operations.
+        self.shared_ops = 0
+        # Threading.
+        self.fibers_spawned = 0
+        self.context_switches = 0
+        self.remote_calls = 0
+        # Interpreter volume.
+        self.basic_stmts_executed = 0
+        # Speculative reads that hit nil (allowed unless strict).
+        self.speculative_nil_reads = 0
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def total_remote_ops(self) -> int:
+        return self.remote_reads + self.remote_writes + self.remote_blkmovs
+
+    @property
+    def total_comm_ops(self) -> int:
+        """All EARTH communication operations, local-hitting included --
+        the quantity Figure 10 normalizes."""
+        return (self.total_remote_ops + self.local_reads
+                + self.local_writes + self.local_blkmovs)
+
+    def comm_breakdown(self) -> Dict[str, int]:
+        """read-data / write-data / blkmov counts (local + remote), the
+        three segments of the paper's Figure 10 bars."""
+        return {
+            "read_data": self.remote_reads + self.local_reads,
+            "write_data": self.remote_writes + self.local_writes,
+            "blkmov": self.remote_blkmovs + self.local_blkmovs,
+        }
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "remote_reads", "remote_writes", "remote_blkmovs",
+                "remote_blkmov_words", "local_reads", "local_writes",
+                "local_blkmovs", "shared_ops", "fibers_spawned",
+                "context_switches", "remote_calls",
+                "basic_stmts_executed", "speculative_nil_reads",
+            )
+        }
+
+    def __repr__(self) -> str:
+        return (f"MachineStats(reads={self.remote_reads}, "
+                f"writes={self.remote_writes}, "
+                f"blkmovs={self.remote_blkmovs}, "
+                f"local={self.local_reads + self.local_writes + self.local_blkmovs}, "
+                f"stmts={self.basic_stmts_executed})")

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the repro compiler and simulator.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch one type.  Frontend errors carry source locations;
+simulator errors carry simulated time and node ids where available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SourceLocation:
+    """A position in an EARTH-C source file (1-based line and column)."""
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename: str = "<input>", line: int = 0, column: int = 0):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.filename!r}, {self.line}, {self.column})"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.filename, self.line, self.column) == (
+            other.filename,
+            other.line,
+            other.column,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.column))
+
+
+class FrontendError(ReproError):
+    """An error detected while lexing, parsing, or type-checking EARTH-C."""
+
+    def __init__(self, message: str, location: "SourceLocation | None" = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid token in EARTH-C source."""
+
+
+class ParseError(FrontendError):
+    """Invalid syntax in EARTH-C source."""
+
+
+class TypeError_(FrontendError):
+    """EARTH-C type error (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+class SimplifyError(ReproError):
+    """The AST could not be lowered to SIMPLE form."""
+
+
+class AnalysisError(ReproError):
+    """An analysis precondition was violated (e.g. unvalidated SIMPLE)."""
+
+
+class TransformError(ReproError):
+    """A program transformation produced or encountered an invalid state."""
+
+
+class SimulatorError(ReproError):
+    """Base class for errors raised by the EARTH-MANNA simulator."""
+
+
+class MemoryFault(SimulatorError):
+    """An access to an unmapped or freed global address."""
+
+    def __init__(self, message: str, node: "int | None" = None,
+                 address: "int | None" = None):
+        self.node = node
+        self.address = address
+        if node is not None:
+            message = f"node {node}: {message}"
+        super().__init__(message)
+
+
+class InterpreterError(SimulatorError):
+    """Dynamic error while executing a SIMPLE program (nil dereference
+    outside speculative mode, unknown function, bad operand types...)."""
+
+
+class InterferenceError(SimulatorError):
+    """Reserved for a future vector-clock race detector: two concurrent
+    fibers touching the same ordinary memory location with at least one
+    write violates the EARTH-C programmer contract (paper Section 2.2)."""
+
+
+class HarnessError(ReproError):
+    """Experiment-harness misconfiguration."""

@@ -1,0 +1,79 @@
+"""Built-in functions of the EARTH-C dialect.
+
+Three groups:
+
+* **EARTH runtime primitives** -- ``malloc`` (placeable with ``@node``),
+  ``blkmov``, the atomic shared-variable operations ``writeto`` /
+  ``addto`` / ``valueof`` (paper Section 2.1), and topology queries
+  ``num_nodes`` / ``my_node`` / ``owner_of`` used by the benchmarks'
+  data-distribution code.
+* **libc math** -- ``sqrt``, ``fabs``, ``floor``, ``ceil``.
+* **I/O** -- a variadic ``printf`` (simulated output is captured per run).
+
+``writeto``/``addto``/``valueof`` are *generic* over the pointee type, so
+their result types are resolved per call site by the type checker rather
+than from the signature table (the signature stores ``void*``/``void``
+placeholders and sets :data:`GENERIC_SHARED_OPS`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.frontend.symtab import FunctionSymbol
+from repro.frontend.types import (
+    DOUBLE,
+    INT,
+    VOID,
+    FunctionType,
+    PointerType,
+)
+
+VOID_PTR = PointerType(VOID)
+
+#: Built-ins whose argument/result types depend on the pointee type of the
+#: first argument; the type checker special-cases them.
+GENERIC_SHARED_OPS = frozenset({"writeto", "addto", "valueof"})
+
+#: Built-ins that the simplifier must treat as having a side effect on
+#: memory that read/write-set analysis cannot see through (the analyses
+#: consult :mod:`repro.analysis.rw_sets` for the precise modeling).
+MEMORY_BUILTINS = frozenset({"malloc", "blkmov", "writeto", "addto"})
+
+#: Built-ins that may legally take an ``@`` placement annotation.
+PLACEABLE_BUILTINS = frozenset({"malloc"})
+
+
+def builtin_symbols() -> Dict[str, FunctionSymbol]:
+    """A fresh name -> symbol mapping of every built-in."""
+
+    def sym(name: str, ret, params, variadic: bool = False) -> FunctionSymbol:
+        return FunctionSymbol(name, FunctionType(ret, params),
+                              is_builtin=True, is_variadic=variadic)
+
+    table = [
+        # EARTH runtime.
+        sym("malloc", VOID_PTR, [INT]),
+        sym("blkmov", VOID, [VOID_PTR, VOID_PTR, INT]),
+        sym("writeto", VOID, [VOID_PTR, INT]),
+        sym("addto", VOID, [VOID_PTR, INT]),
+        sym("valueof", INT, [VOID_PTR]),
+        sym("num_nodes", INT, []),
+        sym("my_node", INT, []),
+        sym("owner_of", INT, [VOID_PTR]),
+        # Math.
+        sym("sqrt", DOUBLE, [DOUBLE]),
+        sym("fabs", DOUBLE, [DOUBLE]),
+        sym("floor", DOUBLE, [DOUBLE]),
+        sym("ceil", DOUBLE, [DOUBLE]),
+        # I/O.
+        sym("printf", INT, [], variadic=True),
+    ]
+    return {symbol.name: symbol for symbol in table}
+
+
+def is_builtin(name: str) -> bool:
+    return name in _BUILTIN_NAMES
+
+
+_BUILTIN_NAMES = frozenset(builtin_symbols().keys())

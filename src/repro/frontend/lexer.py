@@ -1,0 +1,255 @@
+"""Hand-written lexer for the EARTH-C dialect.
+
+Produces a list of :class:`Token`.  EARTH-C extensions over the C subset:
+
+* ``{^`` and ``^}`` delimit parallel statement sequences (the two
+  characters must be adjacent, as in the paper's examples),
+* ``@`` introduces a call placement annotation,
+* the keywords ``forall``, ``shared`` and ``local``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import LexError, SourceLocation
+
+KEYWORDS = frozenset({
+    "int", "double", "float", "char", "void", "struct",
+    "if", "else", "while", "do", "for", "forall",
+    "switch", "case", "default",
+    "return", "break", "continue", "goto",
+    "sizeof", "shared", "local", "NULL",
+})
+
+# Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = [
+    "{^", "^}",
+    "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+]
+
+_SINGLE_OPS = "+-*/%<>=!&|^~?:;,.(){}[]@"
+
+
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"id"``, ``"keyword"``, ``"int"``, ``"float"``,
+    ``"char"``, ``"string"``, ``"op"`` or ``"eof"``; ``text`` is the
+    source spelling and ``value`` the decoded literal value where
+    applicable.
+    """
+
+    __slots__ = ("kind", "text", "value", "loc")
+
+    def __init__(self, kind: str, text: str, loc: SourceLocation,
+                 value: object = None):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.loc = loc
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @ {self.loc})"
+
+
+class Lexer:
+    """Tokenizes one EARTH-C source string."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    # -- whitespace and comments -------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start)
+            elif ch == "#":
+                # Preprocessor lines (e.g. #include) are skipped whole; the
+                # dialect has no preprocessor but benchmark sources may keep
+                # decorative directives.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    # -- token scanners -----------------------------------------------------
+
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        saw_dot = False
+        saw_exp = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            return Token("int", text, loc, value=int(text, 16))
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self.pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    saw_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self.source[start:self.pos]
+        if saw_dot or saw_exp:
+            return Token("float", text, loc, value=float(text))
+        return Token("int", text, loc, value=int(text))
+
+    def _scan_identifier(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in KEYWORDS:
+            return Token("keyword", text, loc)
+        return Token("id", text, loc)
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0",
+                "\\": "\\", "'": "'", '"': '"'}
+
+    def _scan_char(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._advance()
+            if esc not in self._ESCAPES:
+                raise LexError(f"bad escape \\{esc}", loc)
+            value = self._ESCAPES[esc]
+        elif ch == "" or ch == "'":
+            raise LexError("empty character literal", loc)
+        else:
+            value = self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token("char", f"'{value}'", loc, value=value)
+
+    def _scan_string(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "" or ch == "\n":
+                raise LexError("unterminated string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._advance()
+                if esc not in self._ESCAPES:
+                    raise LexError(f"bad escape \\{esc}", loc)
+                chars.append(self._ESCAPES[esc])
+            else:
+                chars.append(self._advance())
+        value = "".join(chars)
+        return Token("string", f'"{value}"', loc, value=value)
+
+    def _scan_operator(self) -> Token:
+        loc = self._loc()
+        for op in _MULTI_OPS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, loc)
+        ch = self._peek()
+        if ch in _SINGLE_OPS:
+            self._advance()
+            return Token("op", ch, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    # -- public API -----------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token("eof", "", self._loc())
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number()
+        if ch.isalpha() or ch == "_":
+            return self._scan_identifier()
+        if ch == "'":
+            return self._scan_char()
+        if ch == '"':
+            return self._scan_string()
+        return self._scan_operator()
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind == "eof":
+                return tokens
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize ``source``, returning a list ending with an EOF token."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,453 @@
+"""Type checker and name resolver for EARTH-C ASTs.
+
+Annotates every :class:`~repro.frontend.ast_nodes.Expr` with its type,
+resolves :class:`VarRef.symbol` / :class:`Call.func_symbol`, and enforces
+the dialect's rules:
+
+* ``shared`` variables may only be accessed through the atomic built-ins
+  (their only legal appearance is under ``&`` as an argument to
+  ``writeto`` / ``addto`` / ``valueof``) -- paper Section 2.1/2.2;
+* call placement annotations (``@OWNER_OF(p)``, ``@HOME``, ``@expr``)
+  only apply to user functions and ``malloc``;
+* ``forall`` loop conditions/steps follow the ``for`` shape;
+* lvalues are variables, dereferences, field accesses or indexing.
+
+The checker merges function prototypes with their definitions and returns
+a :class:`ProgramSymbols` with the final signature table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TypeError_
+from repro.frontend import ast_nodes as ast
+from repro.frontend.builtins import (
+    GENERIC_SHARED_OPS,
+    PLACEABLE_BUILTINS,
+    builtin_symbols,
+)
+from repro.frontend.symtab import (
+    FunctionSymbol,
+    ProgramSymbols,
+    Scope,
+    VarSymbol,
+)
+from repro.frontend.types import (
+    INT,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    ScalarType,
+    StructType,
+    Type,
+    common_numeric_type,
+    is_assignable,
+)
+
+
+class TypeChecker:
+    """Checks one program; use :func:`check_program`."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.symbols = ProgramSymbols()
+        self.builtins = builtin_symbols()
+        self._current_function: Optional[ast.FunctionDecl] = None
+        self._current_return_type: Type = VOID
+
+    # -- entry point -----------------------------------------------------------
+
+    def check(self) -> ProgramSymbols:
+        for struct in self.program.structs:
+            self.symbols.structs[struct.name] = struct
+        for decl in self.program.globals:
+            self._declare_global(decl)
+        # First pass: signatures (so calls may precede definitions).
+        definitions: Dict[str, ast.FunctionDecl] = {}
+        for func in self.program.functions:
+            signature = FunctionType(func.return_type,
+                                     [p.type for p in func.params])
+            self.symbols.declare_function(FunctionSymbol(func.name, signature))
+            if func.body.stmts or not self._is_prototype(func):
+                if func.name in definitions:
+                    raise TypeError_(f"function {func.name!r} defined twice")
+                definitions[func.name] = func
+        # Drop prototype-only entries from the AST function list so later
+        # phases see one node per function.
+        self.program.functions = [
+            f for f in self.program.functions
+            if definitions.get(f.name) is f
+        ]
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.symbols
+
+    @staticmethod
+    def _is_prototype(func: ast.FunctionDecl) -> bool:
+        return not func.body.stmts
+
+    # -- declarations -----------------------------------------------------------
+
+    def _declare_global(self, decl: ast.GlobalVarDecl) -> None:
+        symbol = VarSymbol(decl.name, decl.var_type, "global", decl.is_shared)
+        self.symbols.global_scope.declare(symbol)
+        if decl.init is not None:
+            init_type = self._check_expr(decl.init, self.symbols.global_scope)
+            if not is_assignable(decl.var_type, init_type):
+                raise TypeError_(
+                    f"cannot initialize {decl.var_type} {decl.name} "
+                    f"from {init_type}")
+
+    def _check_function(self, func: ast.FunctionDecl) -> None:
+        self._current_function = func
+        self._current_return_type = func.return_type
+        scope = Scope(self.symbols.global_scope)
+        for param in func.params:
+            scope.declare(VarSymbol(param.name, param.type, "param"))
+        self._check_block(func.body, scope)
+        self._current_function = None
+
+    # -- statements ---------------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, parent: Scope) -> None:
+        scope = Scope(parent)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.var_type.is_void:
+                raise TypeError_(f"variable {stmt.name!r} has type void")
+            symbol = VarSymbol(stmt.name, stmt.var_type, "local",
+                               stmt.is_shared)
+            scope.declare(symbol)
+            if stmt.init is not None:
+                if stmt.is_shared:
+                    raise TypeError_(
+                        f"shared variable {stmt.name!r} must be initialized "
+                        f"via writeto(), not `=`")
+                init_type = self._check_expr(stmt.init, scope)
+                if not is_assignable(stmt.var_type, init_type):
+                    raise TypeError_(
+                        f"cannot initialize {stmt.var_type} {stmt.name} "
+                        f"from {init_type}")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.ParallelSeq):
+            inner = Scope(scope)
+            for child in stmt.stmts:
+                self._check_stmt(child, inner)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.cond, scope)
+            self._check_stmt(stmt.then_body, Scope(scope))
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, Scope(scope))
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.cond, scope)
+            self._check_stmt(stmt.body, Scope(scope))
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_stmt(stmt.body, Scope(scope))
+            self._check_condition(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, scope)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, scope)
+            self._check_stmt(stmt.body, Scope(scope))
+        elif isinstance(stmt, ast.Switch):
+            scrutinee_type = self._check_expr(stmt.scrutinee, scope)
+            if not scrutinee_type.is_integral:
+                raise TypeError_(
+                    f"switch scrutinee must be integral, got {scrutinee_type}")
+            seen: set = set()
+            for case in stmt.cases:
+                if case.value in seen:
+                    label = "default" if case.value is None else case.value
+                    raise TypeError_(f"duplicate switch label {label}")
+                seen.add(case.value)
+                inner = Scope(scope)
+                for child in case.stmts:
+                    self._check_stmt(child, inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if not self._current_return_type.is_void:
+                    raise TypeError_(
+                        "return without a value in a non-void function")
+            else:
+                value_type = self._check_expr(stmt.value, scope)
+                if self._current_return_type.is_void:
+                    raise TypeError_("return with a value in a void function")
+                if not is_assignable(self._current_return_type, value_type):
+                    raise TypeError_(
+                        f"cannot return {value_type} from a function "
+                        f"returning {self._current_return_type}")
+        elif isinstance(stmt, ast.Labeled):
+            self._check_stmt(stmt.stmt, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue, ast.Goto,
+                               ast.EmptyStmt)):
+            pass
+        else:  # pragma: no cover - exhaustive over Stmt subclasses
+            raise TypeError_(f"unknown statement {stmt!r}")
+
+    def _check_condition(self, cond: ast.Expr, scope: Scope) -> None:
+        cond_type = self._check_expr(cond, scope)
+        if not (cond_type.is_numeric or cond_type.is_pointer):
+            raise TypeError_(f"condition has non-scalar type {cond_type}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> Type:
+        result = self._compute_type(expr, scope)
+        expr.type = result
+        return result
+
+    def _compute_type(self, expr: ast.Expr, scope: Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return ScalarType("double")
+        if isinstance(expr, ast.CharLit):
+            return ScalarType("char")
+        if isinstance(expr, ast.StringLit):
+            return PointerType(ScalarType("char"))
+        if isinstance(expr, ast.VarRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise TypeError_(f"undeclared variable {expr.name!r}")
+            if symbol.is_shared:
+                raise TypeError_(
+                    f"shared variable {expr.name!r} accessed directly; use "
+                    f"writeto/addto/valueof")
+            expr.symbol = symbol
+            if isinstance(symbol.type, ArrayType):
+                return PointerType(symbol.type.element)
+            return symbol.type
+        if isinstance(expr, ast.AddrOf):
+            return self._check_addr_of(expr, scope)
+        if isinstance(expr, ast.Deref):
+            pointee = self._check_expr(expr.pointer, scope)
+            if not isinstance(pointee, PointerType):
+                raise TypeError_(f"cannot dereference non-pointer {pointee}")
+            if pointee.target.is_void:
+                raise TypeError_("cannot dereference void*")
+            return pointee.target
+        if isinstance(expr, ast.FieldAccess):
+            base_type = self._check_expr(expr.base, scope)
+            if expr.arrow:
+                if not isinstance(base_type, PointerType):
+                    raise TypeError_(
+                        f"`->` applied to non-pointer type {base_type}")
+                struct = base_type.target
+            else:
+                struct = base_type
+            if not isinstance(struct, StructType):
+                raise TypeError_(
+                    f"field access {expr.field!r} on non-struct {struct}")
+            return struct.field(expr.field).type
+        if isinstance(expr, ast.Index):
+            base_type = self._check_expr(expr.base, scope)
+            index_type = self._check_expr(expr.index, scope)
+            if not index_type.is_integral:
+                raise TypeError_(f"array index must be integral, got "
+                                 f"{index_type}")
+            if isinstance(base_type, PointerType):
+                return base_type.target
+            if isinstance(base_type, ArrayType):
+                return base_type.element
+            raise TypeError_(f"indexing non-array type {base_type}")
+        if isinstance(expr, ast.BinOp):
+            return self._check_binop(expr, scope)
+        if isinstance(expr, ast.UnOp):
+            operand_type = self._check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if not (operand_type.is_numeric or operand_type.is_pointer):
+                    raise TypeError_(f"`!` applied to {operand_type}")
+                return INT
+            if expr.op == "~":
+                if not operand_type.is_integral:
+                    raise TypeError_(f"`~` applied to {operand_type}")
+                return INT
+            if not operand_type.is_numeric:
+                raise TypeError_(f"unary {expr.op} applied to {operand_type}")
+            return operand_type
+        if isinstance(expr, ast.IncDec):
+            operand_type = self._check_expr(expr.operand, scope)
+            self._require_lvalue(expr.operand)
+            if not (operand_type.is_numeric or operand_type.is_pointer):
+                raise TypeError_(f"{expr.op} applied to {operand_type}")
+            return operand_type
+        if isinstance(expr, ast.Assign):
+            return self._check_assign(expr, scope)
+        if isinstance(expr, ast.CondExpr):
+            self._check_condition(expr.cond, scope)
+            then_type = self._check_expr(expr.then_value, scope)
+            else_type = self._check_expr(expr.else_value, scope)
+            if then_type.is_numeric and else_type.is_numeric:
+                return common_numeric_type(then_type, else_type)
+            if is_assignable(then_type, else_type):
+                return then_type
+            if is_assignable(else_type, then_type):
+                return else_type
+            raise TypeError_(
+                f"incompatible ternary arms: {then_type} vs {else_type}")
+        if isinstance(expr, ast.SizeOf):
+            expr.target_type.size_words()  # validates completeness
+            return INT
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, scope)
+            return expr.target_type
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        raise TypeError_(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _check_addr_of(self, expr: ast.AddrOf, scope: Scope) -> Type:
+        operand = expr.operand
+        if isinstance(operand, ast.VarRef):
+            symbol = scope.lookup(operand.name)
+            if symbol is None:
+                raise TypeError_(f"undeclared variable {operand.name!r}")
+            operand.symbol = symbol
+            # `&shared_var` is the one legal way to touch a shared variable.
+            operand.type = symbol.type
+            return PointerType(symbol.type)
+        operand_type = self._check_expr(operand, scope)
+        self._require_lvalue(operand)
+        return PointerType(operand_type)
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.VarRef, ast.Deref, ast.FieldAccess,
+                             ast.Index)):
+            return
+        raise TypeError_(f"expression is not an lvalue: {expr!r}")
+
+    def _check_binop(self, expr: ast.BinOp, scope: Scope) -> Type:
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        op = expr.op
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.is_pointer or right.is_pointer:
+                ok = (left.is_pointer and right.is_pointer) or \
+                    (left.is_pointer and right.is_integral) or \
+                    (right.is_pointer and left.is_integral)
+                if not ok:
+                    raise TypeError_(
+                        f"invalid comparison between {left} and {right}")
+                return INT
+            common_numeric_type(left, right)
+            return INT
+        if op in ("&&", "||"):
+            for side in (left, right):
+                if not (side.is_numeric or side.is_pointer):
+                    raise TypeError_(f"`{op}` applied to {side}")
+            return INT
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (left.is_integral and right.is_integral):
+                raise TypeError_(
+                    f"`{op}` requires integral operands, got {left}, {right}")
+            return INT
+        # Additive/multiplicative.
+        if op in ("+", "-") and left.is_pointer and right.is_integral:
+            return left
+        if op == "+" and right.is_pointer and left.is_integral:
+            return right
+        return common_numeric_type(left, right)
+
+    def _check_assign(self, expr: ast.Assign, scope: Scope) -> Type:
+        lhs_type = self._check_expr(expr.lhs, scope)
+        self._require_lvalue(expr.lhs)
+        rhs_type = self._check_expr(expr.rhs, scope)
+        if expr.op is not None:
+            if expr.op in ("+", "-") and lhs_type.is_pointer \
+                    and rhs_type.is_integral:
+                return lhs_type
+            common_numeric_type(lhs_type, rhs_type)
+            return lhs_type
+        if not is_assignable(lhs_type, rhs_type):
+            raise TypeError_(f"cannot assign {rhs_type} to {lhs_type}")
+        return lhs_type
+
+    def _check_call(self, expr: ast.Call, scope: Scope) -> Type:
+        symbol = self.symbols.function(expr.name)
+        if symbol is None:
+            symbol = self.builtins.get(expr.name)
+        if symbol is None:
+            raise TypeError_(f"call to undeclared function {expr.name!r}")
+        expr.func_symbol = symbol
+        if expr.placement is not None:
+            self._check_placement(expr, symbol, scope)
+        if expr.name in GENERIC_SHARED_OPS:
+            return self._check_shared_op(expr, scope)
+        arg_types = [self._check_expr(arg, scope) for arg in expr.args]
+        params = symbol.type.param_types
+        if symbol.is_variadic:
+            if len(arg_types) < len(params):
+                raise TypeError_(
+                    f"{expr.name}: expected at least {len(params)} "
+                    f"arguments, got {len(arg_types)}")
+        elif len(arg_types) != len(params):
+            raise TypeError_(
+                f"{expr.name}: expected {len(params)} arguments, "
+                f"got {len(arg_types)}")
+        for i, (param, arg) in enumerate(zip(params, arg_types)):
+            if not is_assignable(param, arg):
+                raise TypeError_(
+                    f"{expr.name}: argument {i + 1} has type {arg}, "
+                    f"expected {param}")
+        return symbol.type.return_type
+
+    def _check_placement(self, expr: ast.Call, symbol: FunctionSymbol,
+                         scope: Scope) -> None:
+        if symbol.is_builtin and expr.name not in PLACEABLE_BUILTINS:
+            raise TypeError_(
+                f"built-in {expr.name!r} cannot take a placement annotation")
+        placement = expr.placement
+        assert placement is not None
+        if placement.kind == ast.Placement.KIND_OWNER_OF:
+            target_type = self._check_expr(placement.expr, scope)
+            if not target_type.is_pointer:
+                raise TypeError_("OWNER_OF expects a pointer argument")
+        elif placement.kind == ast.Placement.KIND_NODE:
+            node_type = self._check_expr(placement.expr, scope)
+            if not node_type.is_integral:
+                raise TypeError_("@node placement expects an integer")
+
+    def _check_shared_op(self, expr: ast.Call, scope: Scope) -> Type:
+        """Type a writeto/addto/valueof call against the pointee type."""
+        name = expr.name
+        expected_args = 1 if name == "valueof" else 2
+        if len(expr.args) != expected_args:
+            raise TypeError_(
+                f"{name}: expected {expected_args} arguments, "
+                f"got {len(expr.args)}")
+        target = expr.args[0]
+        target_type = self._check_expr(target, scope)
+        if not isinstance(target_type, PointerType):
+            raise TypeError_(f"{name}: first argument must be a pointer")
+        pointee = target_type.target
+        if isinstance(target, ast.AddrOf) and \
+                isinstance(target.operand, ast.VarRef):
+            symbol = target.operand.symbol
+            if symbol is not None and not symbol.is_shared:
+                raise TypeError_(
+                    f"{name}: {symbol.name!r} is not a shared variable")
+        if name == "valueof":
+            return pointee
+        value_type = self._check_expr(expr.args[1], scope)
+        if name == "addto" and not (pointee.is_numeric
+                                    and value_type.is_numeric):
+            raise TypeError_("addto: requires numeric shared variable")
+        if not is_assignable(pointee, value_type):
+            raise TypeError_(
+                f"{name}: cannot store {value_type} into shared {pointee}")
+        return VOID
+
+
+def check_program(program: ast.Program) -> ProgramSymbols:
+    """Type-check ``program`` in place and return its symbol tables."""
+    return TypeChecker(program).check()

@@ -1,0 +1,178 @@
+"""End-to-end compile-and-run pipeline (the paper's Figure 2).
+
+``compile_earthc`` drives: parse -> goto elimination -> (optional)
+inlining -> type check -> simplify -> (optional) communication
+optimization.  ``execute`` runs a compiled program on a fresh simulated
+machine.  ``run_three_ways`` produces the paper's three configurations
+(sequential C / simple / optimized) for one source program -- the
+building block of the Table III and Figure 10 harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
+
+from repro.backend.threaded import render_threaded_program
+from repro.comm.costmodel import CommCostModel
+from repro.comm.optimizer import (
+    CommConfig,
+    CommunicationOptimizer,
+    OptimizationReport,
+)
+from repro.earth.interpreter import Interpreter, RunResult
+from repro.earth.machine import Machine
+from repro.earth.params import MachineParams
+from repro.frontend.goto_elim import eliminate_gotos
+from repro.frontend.inline import inline_functions
+from repro.frontend.parser import parse_program
+from repro.frontend.simplify import simplify_program
+from repro.frontend.typecheck import check_program
+from repro.simple import nodes as s
+from repro.simple.printer import print_program
+from repro.simple.validate import validate_program
+
+
+class CompiledProgram:
+    """A SIMPLE program plus everything the pipeline learned about it."""
+
+    def __init__(self, simple: s.SimpleProgram, optimized: bool,
+                 report: Optional[OptimizationReport],
+                 inlined_calls: int):
+        self.simple = simple
+        self.optimized = optimized
+        self.report = report
+        self.inlined_calls = inlined_calls
+
+    def listing(self) -> str:
+        """The SIMPLE listing (deterministic; used by examples/tests)."""
+        return print_program(self.simple)
+
+    def threaded_listing(self) -> str:
+        """The Threaded-C (Phase III) listing."""
+        return render_threaded_program(self.simple)
+
+    def __repr__(self) -> str:
+        tag = "optimized" if self.optimized else "simple"
+        return f"CompiledProgram({tag}, {len(self.simple.functions)} funcs)"
+
+
+def compile_earthc(
+    source: str,
+    filename: str = "<input>",
+    optimize: bool = False,
+    config: Optional[CommConfig] = None,
+    cost_model: Optional[CommCostModel] = None,
+    inline: Union[bool, Set[str]] = False,
+    reorder_fields: bool = False,
+) -> CompiledProgram:
+    """Compile EARTH-C source text.
+
+    ``optimize`` runs the paper's communication optimization (Phase II).
+    ``inline`` enables local function inlining: ``True`` uses the size
+    heuristic, a set of names restricts it to those functions.
+    ``reorder_fields`` applies the struct-field reordering extension
+    (the paper's stated further work): remotely-accessed fields cluster
+    at the front of each struct, improving blocked communication.
+    """
+    program = parse_program(source, filename)
+    eliminate_gotos(program)
+    inlined = 0
+    if inline:
+        only = inline if isinstance(inline, set) else None
+        inlined = inline_functions(program, only=only)
+    symbols = check_program(program)
+    if reorder_fields:
+        from repro.comm.reorder import reorder_struct_fields
+        reorder_struct_fields(program)
+    simple = simplify_program(program, symbols)
+    validate_program(simple)
+    report = None
+    if optimize:
+        optimizer = CommunicationOptimizer(simple, config, cost_model)
+        report = optimizer.run()
+    return CompiledProgram(simple, optimize, report, inlined)
+
+
+def execute(
+    compiled: CompiledProgram,
+    num_nodes: int = 1,
+    params: Optional[MachineParams] = None,
+    entry: str = "main",
+    args: Sequence[Union[int, float]] = (),
+    max_stmts: int = 200_000_000,
+    strict_nil_reads: bool = False,
+) -> RunResult:
+    """Run a compiled program on a fresh machine."""
+    machine = Machine(num_nodes, params,
+                      strict_nil_reads=strict_nil_reads)
+    interpreter = Interpreter(compiled.simple, machine,
+                              max_stmts=max_stmts)
+    return interpreter.run(entry, args)
+
+
+def run_three_ways(
+    source: str,
+    filename: str = "<benchmark>",
+    num_nodes: int = 4,
+    entry: str = "main",
+    args: Sequence[Union[int, float]] = (),
+    inline: Union[bool, Set[str]] = False,
+    config: Optional[CommConfig] = None,
+    max_stmts: int = 200_000_000,
+) -> Dict[str, RunResult]:
+    """The paper's three configurations of one program.
+
+    * ``sequential`` -- 1 node, no EARTH overheads (Table III column 1);
+    * ``simple`` -- ``num_nodes`` nodes, without communication
+      optimization.  Like the paper's simple versions, this still goes
+      through locality analysis and Phase III thread generation, so
+      remote operations are split-phase with sync-on-use -- they just
+      are not *moved*, merged, or blocked;
+    * ``optimized`` -- ``num_nodes`` nodes, after communication
+      optimization.
+
+    All three must compute the same value (checked).
+    """
+    results: Dict[str, RunResult] = {}
+
+    sequential = compile_earthc(source, filename, optimize=False,
+                                inline=inline)
+    results["sequential"] = execute(
+        sequential, 1, MachineParams.sequential_c(), entry, args,
+        max_stmts=max_stmts)
+
+    simple = compile_earthc(source, filename, optimize=True,
+                            config=simple_baseline_config(),
+                            inline=inline)
+    results["simple"] = execute(simple, num_nodes, None, entry, args,
+                                max_stmts=max_stmts)
+
+    optimized = compile_earthc(source, filename, optimize=True,
+                               config=config, inline=inline)
+    results["optimized"] = execute(optimized, num_nodes, None, entry,
+                                   args, max_stmts=max_stmts)
+
+    values = {name: result.value for name, result in results.items()}
+    if len({_norm(v) for v in values.values()}) != 1:
+        raise AssertionError(
+            f"configurations disagree on the program result: {values}")
+    return results
+
+
+def simple_baseline_config() -> CommConfig:
+    """The paper's *simple* configuration: locality analysis and thread
+    generation run (split-phase ops, sync-on-use), but no communication
+    movement, redundancy elimination, or blocking."""
+    return CommConfig(
+        enable_locality=True,
+        enable_forwarding=False,
+        enable_placement=False,
+        enable_blocking=False,
+        split_phase_residuals=True,
+    )
+
+
+def _norm(value):
+    if isinstance(value, float):
+        return round(value, 6)
+    return value

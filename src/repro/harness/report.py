@@ -1,0 +1,67 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run as::
+
+    python -m repro.harness.report [--small] [--nodes 1,2,4,8,16]
+
+Prints Table I (communication cost calibration), Table II (workloads),
+Table III (performance improvement) and Figure 10 (dynamic communication
+counts).  ``--small`` uses the reduced problem sizes (fast; used by the
+test suite), the default uses the DESIGN.md sizes and takes a minute or
+two.  EXPERIMENTS.md records a default run's output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import (
+    format_fig10,
+    format_table1,
+    format_table2,
+    format_table3,
+    measure_fig10,
+    measure_table1,
+    measure_table3,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation tables/figures")
+    parser.add_argument("--small", action="store_true",
+                        help="use reduced problem sizes")
+    parser.add_argument("--nodes", default="1,2,4,8,16",
+                        help="comma-separated processor counts for "
+                             "Table III")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    args = parser.parse_args(argv)
+
+    processor_counts = [int(n) for n in args.nodes.split(",")]
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+
+    start = time.time()
+    print("=" * 72)
+    print(format_table1(measure_table1()))
+    print()
+    print("=" * 72)
+    print(format_table2())
+    print()
+    print("=" * 72)
+    rows = measure_table3(processor_counts, benchmarks, small=args.small)
+    print(format_table3(rows))
+    print()
+    print("=" * 72)
+    bars = measure_fig10(max(processor_counts), benchmarks,
+                         small=args.small)
+    print(format_fig10(bars))
+    print()
+    print(f"(total harness time: {time.time() - start:.1f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

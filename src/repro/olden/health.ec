@@ -1,0 +1,333 @@
+/* health -- Olden Colombian health-care simulation, EARTH-C version.
+ *
+ * A 4-way tree of villages; each village has a hospital with waiting /
+ * assess / inside patient lists.  Every time step, each village
+ * generates patients, assesses them, treats some locally and passes the
+ * rest up to its parent.  Top-level villages live on different nodes
+ * (the paper: "the 4-way tree is evenly distributed among the
+ * processors and only top-level tree nodes have their children spread
+ * among different processors").
+ *
+ * The communication patterns match the paper's Fig. 11(c): the
+ * loop-invariant `village->hosp.free_personnel` is hoisted out of the
+ * patient loop (nested struct field path!), and the read-decrement-
+ * write-reread of `p->time_left` collapses through store-to-load
+ * forwarding.
+ *
+ * main(levels, steps) returns a checksum over treated patients.
+ */
+
+struct patient {
+    int id;
+    int hosps_visited;
+    int time_in_system;
+    int time_left;
+    struct patient *next;
+};
+
+struct hosp {
+    int free_personnel;
+    int num_waiting;
+    struct patient *waiting;
+    struct patient *assess;
+    struct patient *inside;
+};
+
+struct village {
+    int level;
+    int label;
+    int seed;
+    int treated;
+    int treated_time;
+    struct village *child0;
+    struct village *child1;
+    struct village *child2;
+    struct village *child3;
+    struct hosp hosp;
+};
+
+int my_rand(int seed)
+{
+    /* Deterministic LCG (31-bit). */
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+struct village *build_village(int level, int label, int where)
+{
+    struct village *v;
+    int child_where;
+    v = (struct village *) malloc(sizeof(struct village)) @ where;
+    v->level = level;
+    v->label = label;
+    v->seed = label * 2654435769 + 1;
+    if (v->seed < 0)
+        v->seed = -(v->seed);
+    v->treated = 0;
+    v->treated_time = 0;
+    v->hosp.free_personnel = level + 2;
+    v->hosp.num_waiting = 0;
+    v->hosp.waiting = NULL;
+    v->hosp.assess = NULL;
+    v->hosp.inside = NULL;
+    if (level == 0) {
+        v->child0 = NULL;
+        v->child1 = NULL;
+        v->child2 = NULL;
+        v->child3 = NULL;
+        return v;
+    }
+    /* Children of the root spread over the nodes; deeper children stay
+     * with their parent. */
+    child_where = where;
+    if (level >= 2) {
+        /* Spread children over the nodes and build them in parallel. */
+        struct village *c0;
+        struct village *c1;
+        struct village *c2;
+        struct village *c3;
+        int w0;
+        int w1;
+        int w2;
+        int w3;
+        w0 = (4 * label + 0) % num_nodes();
+        w1 = (4 * label + 1) % num_nodes();
+        w2 = (4 * label + 2) % num_nodes();
+        w3 = (4 * label + 3) % num_nodes();
+        {^
+            c0 = build_village(level - 1, label * 4 + 1, w0) @ w0;
+            c1 = build_village(level - 1, label * 4 + 2, w1) @ w1;
+            c2 = build_village(level - 1, label * 4 + 3, w2) @ w2;
+            c3 = build_village(level - 1, label * 4 + 4, w3) @ w3;
+        ^}
+        v->child0 = c0;
+        v->child1 = c1;
+        v->child2 = c2;
+        v->child3 = c3;
+    } else {
+        v->child0 = build_village(level - 1, label * 4 + 1, child_where);
+        v->child1 = build_village(level - 1, label * 4 + 2, child_where);
+        v->child2 = build_village(level - 1, label * 4 + 3, child_where);
+        v->child3 = build_village(level - 1, label * 4 + 4, child_where);
+    }
+    return v;
+}
+
+/* Walk the inside list: patients whose treatment completes free their
+ * personnel and are recorded as treated (the paper's Fig. 11c loop). */
+int check_patients_inside(struct village local *village)
+{
+    struct patient *p;
+    struct patient *list;
+    struct patient *keep;
+    int free_p;
+    int treated;
+    int treated_time;
+
+    free_p = village->hosp.free_personnel;
+    treated = village->treated;
+    treated_time = village->treated_time;
+    keep = NULL;
+    list = village->hosp.inside;
+    while (list != NULL) {
+        p = list;
+        list = p->next;
+        /* The paper's Fig. 11(c) shape: decrement in memory, then
+         * re-read -- the compiler's store-to-load forwarding collapses
+         * the second read. */
+        p->time_left = p->time_left - 1;
+        if (p->time_left == 0) {
+            free_p = free_p + 1;
+            treated = treated + 1;
+            treated_time = treated_time + p->time_in_system;
+        } else {
+            p->next = keep;
+            keep = p;
+        }
+    }
+    village->hosp.inside = keep;
+    village->hosp.free_personnel = free_p;
+    village->treated = treated;
+    village->treated_time = treated_time;
+    return 0;
+}
+
+/* Assess patients: after assessment they are treated locally (moved to
+ * `inside`) or passed up to the parent (returned as a list). */
+struct patient *check_patients_assess(struct village local *village)
+{
+    struct patient *p;
+    struct patient *list;
+    struct patient *keep;
+    struct patient *up;
+    int seed;
+
+    keep = NULL;
+    up = NULL;
+    seed = village->seed;
+    list = village->hosp.assess;
+    while (list != NULL) {
+        p = list;
+        list = p->next;
+        p->time_left = p->time_left - 1;
+        if (p->time_left == 0) {
+            seed = my_rand(seed);
+            if (seed % 10 < 3 && village->level > 0) {
+                /* Passed up to the parent village. */
+                p->time_left = 2;
+                p->hosps_visited = p->hosps_visited + 1;
+                p->next = up;
+                up = p;
+            } else {
+                p->time_left = 4;
+                p->next = village->hosp.inside;
+                village->hosp.inside = p;
+            }
+        } else {
+            p->next = keep;
+            keep = p;
+        }
+    }
+    village->hosp.assess = keep;
+    village->seed = seed;
+    return up;
+}
+
+/* Admit waiting patients while personnel are free. */
+int check_patients_waiting(struct village local *village)
+{
+    struct patient *p;
+    struct patient *list;
+    struct patient *keep;
+    int free_p;
+
+    free_p = village->hosp.free_personnel;
+    keep = NULL;
+    list = village->hosp.waiting;
+    while (list != NULL) {
+        p = list;
+        list = p->next;
+        if (free_p > 0) {
+            free_p = free_p - 1;
+            p->time_left = 2;
+            p->next = village->hosp.assess;
+            village->hosp.assess = p;
+        } else {
+            p->time_in_system = p->time_in_system + 1;
+            p->next = keep;
+            keep = p;
+        }
+    }
+    village->hosp.waiting = keep;
+    village->hosp.free_personnel = free_p;
+    return 0;
+}
+
+/* Maybe generate one new patient in this village. */
+int generate_patient(struct village local *village)
+{
+    int seed;
+    struct patient *p;
+    seed = my_rand(village->seed);
+    village->seed = seed;
+    if (seed % 100 < 25) {
+        p = (struct patient *) malloc(sizeof(struct patient))
+            @ owner_of(village);
+        p->id = seed % 10000;
+        p->hosps_visited = 0;
+        p->time_in_system = 0;
+        p->time_left = 0;
+        p->next = village->hosp.waiting;
+        village->hosp.waiting = p;
+        village->hosp.num_waiting = village->hosp.num_waiting + 1;
+    }
+    return 0;
+}
+
+/* Append list b onto the waiting list of a village. */
+int put_in_waiting(struct village local *village, struct patient *arrivals)
+{
+    struct patient *p;
+    p = arrivals;
+    while (p != NULL) {
+        arrivals = p->next;
+        p->next = village->hosp.waiting;
+        village->hosp.waiting = p;
+        p = arrivals;
+    }
+    return 0;
+}
+
+/* One simulation step for the subtree rooted at this village; returns
+ * the list of patients passed up to the caller. */
+struct patient *sim(struct village local *village)
+{
+    struct patient *up0;
+    struct patient *up1;
+    struct patient *up2;
+    struct patient *up3;
+    struct patient *up;
+    int dummy;
+
+    if (village->level > 0) {
+        {^
+            up0 = sim(village->child0) @ OWNER_OF(village->child0);
+            up1 = sim(village->child1) @ OWNER_OF(village->child1);
+            up2 = sim(village->child2) @ OWNER_OF(village->child2);
+            up3 = sim(village->child3) @ OWNER_OF(village->child3);
+        ^}
+        dummy = put_in_waiting(village, up0);
+        dummy = put_in_waiting(village, up1);
+        dummy = put_in_waiting(village, up2);
+        dummy = put_in_waiting(village, up3);
+    }
+    dummy = check_patients_inside(village);
+    up = check_patients_assess(village);
+    dummy = check_patients_waiting(village);
+    dummy = generate_patient(village);
+    return up;
+}
+
+/* Checksum over the whole tree after simulation. */
+int tally(struct village *village)
+{
+    int total;
+    if (village == NULL)
+        return 0;
+    total = village->treated * 100 + village->treated_time;
+    if (village->level > 0) {
+        total = total + tally(village->child0);
+        total = total + tally(village->child1);
+        total = total + tally(village->child2);
+        total = total + tally(village->child3);
+    }
+    return total;
+}
+
+int main(int levels, int steps)
+{
+    struct village *top;
+    struct patient *up;
+    struct patient *p;
+    int step;
+    int leftovers;
+
+    top = build_village(levels, 0, 0);
+    for (step = 0; step < steps; step++) {
+        up = sim(top);
+        /* Patients leaving the root re-enter its waiting list. */
+        p = up;
+        while (p != NULL) {
+            up = p->next;
+            p->next = top->hosp.waiting;
+            top->hosp.waiting = p;
+            p = up;
+        }
+    }
+    leftovers = 0;
+    p = top->hosp.waiting;
+    while (p != NULL) {
+        leftovers = leftovers + 1;
+        p = p->next;
+    }
+    return tally(top) * 10 + leftovers;
+}

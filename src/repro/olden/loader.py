@@ -1,0 +1,121 @@
+"""Benchmark catalog: the five Olden programs of the paper's Table II.
+
+Each :class:`BenchmarkSpec` bundles the EARTH-C source, entry point,
+default (scaled-down) problem size, and pipeline options.  Sizes are
+scaled from the paper's (see DESIGN.md Section 6) because the simulator
+interprets SIMPLE in Python; the communication *patterns* per node are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+class BenchmarkSpec:
+    """One benchmark program and how to run it."""
+
+    def __init__(
+        self,
+        name: str,
+        filename: str,
+        description: str,
+        paper_size: str,
+        our_size: str,
+        default_args: Sequence[int],
+        small_args: Sequence[int],
+        inline: Union[bool, Set[str]] = False,
+        max_stmts: int = 200_000_000,
+    ):
+        self.name = name
+        self.filename = filename
+        self.description = description
+        self.paper_size = paper_size
+        self.our_size = our_size
+        self.default_args = tuple(default_args)
+        self.small_args = tuple(small_args)
+        self.inline = inline
+        self.max_stmts = max_stmts
+
+    def source(self) -> str:
+        path = os.path.join(_HERE, self.filename)
+        with open(path) as handle:
+            return handle.read()
+
+    def __repr__(self) -> str:
+        return f"BenchmarkSpec({self.name!r}, args={self.default_args})"
+
+
+_SPECS: List[BenchmarkSpec] = [
+    BenchmarkSpec(
+        name="power",
+        filename="power.ec",
+        description="Power system optimization problem on a variable "
+                    "k-nary tree",
+        paper_size="10,000 leaves",
+        our_size="16x4x4 tree (256 leaves), 3 steps",
+        default_args=(16, 4, 4, 3),
+        small_args=(4, 3, 3, 2),
+    ),
+    BenchmarkSpec(
+        name="perimeter",
+        filename="perimeter.ec",
+        description="Computes the perimeter of a quad-tree encoded "
+                    "raster image",
+        paper_size="maximum tree-depth 11",
+        our_size="maximum tree-depth 6",
+        default_args=(6,),
+        small_args=(4,),
+        inline={"child", "adj", "reflect"},
+    ),
+    BenchmarkSpec(
+        name="tsp",
+        filename="tsp.ec",
+        description="Finds a sub-optimal tour for the traveling "
+                    "salesperson problem (closest-point heuristic)",
+        paper_size="32K cities",
+        our_size="128 cities",
+        default_args=(128,),
+        small_args=(32,),
+        inline={"distance_pts"},
+    ),
+    BenchmarkSpec(
+        name="health",
+        filename="health.ec",
+        description="Simulates the Colombian health-care system on a "
+                    "4-way tree of villages",
+        paper_size="4 levels, 600 iterations",
+        our_size="3 levels, 16 iterations",
+        default_args=(3, 16),
+        small_args=(2, 8),
+    ),
+    BenchmarkSpec(
+        name="voronoi",
+        filename="voronoi.ec",
+        description="Divide-and-conquer geometric merge over a "
+                    "distributed point tree (Voronoi-style merge walk)",
+        paper_size="32K points",
+        our_size="128 points",
+        default_args=(128,),
+        small_args=(32,),
+    ),
+]
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def catalog() -> List[BenchmarkSpec]:
+    """All benchmarks, in the paper's Table II order."""
+    return list(_SPECS)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r} (known: {known})") \
+            from None

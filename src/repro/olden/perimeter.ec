@@ -1,0 +1,336 @@
+/* perimeter -- Olden quadtree-perimeter benchmark, EARTH-C version.
+ *
+ * Builds the region quadtree of a disk image of size 2^depth x 2^depth
+ * (computed analytically, so the tree is deterministic), then computes
+ * the perimeter of the black region with the classic Samet algorithm:
+ * for every black leaf, find the greater-or-equal-size adjacent
+ * neighbor in each direction and add the exposed boundary.
+ *
+ * The four top-level quadrants are distributed across nodes and
+ * processed in parallel; neighbor lookups cross quadrant boundaries and
+ * are the irregular remote accesses the paper optimizes (its Fig. 11b
+ * shows exactly the blkmov the optimizer inserts in sum_adjacent).
+ *
+ * Colors: 0 = white, 1 = black, 2 = grey.
+ * Child types / directions: 0 = nw, 1 = ne, 2 = sw, 3 = se and
+ * 0 = north, 1 = east, 2 = south, 3 = west.
+ *
+ * main(depth) returns the perimeter (in unit edges).
+ */
+
+struct quad {
+    int color;
+    int childtype;
+    struct quad *nw;
+    struct quad *ne;
+    struct quad *sw;
+    struct quad *se;
+    struct quad *parent;
+};
+
+/* Is a child of type ct adjacent to side d of its parent? */
+int adj(int d, int ct)
+{
+    int result;
+    result = 0;
+    switch (d) {
+    case 0:
+        if (ct == 0 || ct == 1) result = 1;
+        break;
+    case 1:
+        if (ct == 1 || ct == 3) result = 1;
+        break;
+    case 2:
+        if (ct == 2 || ct == 3) result = 1;
+        break;
+    case 3:
+        if (ct == 0 || ct == 2) result = 1;
+        break;
+    }
+    return result;
+}
+
+/* Mirror child type ct across side d. */
+int reflect(int d, int ct)
+{
+    int result;
+    result = ct;
+    if (d == 0 || d == 2) {
+        /* vertical flip: nw<->sw, ne<->se */
+        switch (ct) {
+        case 0: result = 2; break;
+        case 1: result = 3; break;
+        case 2: result = 0; break;
+        case 3: result = 1; break;
+        }
+    } else {
+        /* horizontal flip: nw<->ne, sw<->se */
+        switch (ct) {
+        case 0: result = 1; break;
+        case 1: result = 0; break;
+        case 2: result = 3; break;
+        case 3: result = 2; break;
+        }
+    }
+    return result;
+}
+
+struct quad *child(struct quad *q, int ct)
+{
+    struct quad *result;
+    result = NULL;
+    switch (ct) {
+    case 0: result = q->nw; break;
+    case 1: result = q->ne; break;
+    case 2: result = q->sw; break;
+    case 3: result = q->se; break;
+    }
+    return result;
+}
+
+/* Color of the square [x, x+size) x [y, y+size) against the disk of
+ * squared radius r2 centered at the origin: 1 inside, 0 outside,
+ * 2 partially covered. */
+int square_color(int x, int y, int size, int r2)
+{
+    int x2;
+    int y2;
+    int far_x;
+    int far_y;
+    int near_d2;
+    int far_d2;
+    int nx;
+    int ny;
+    int tmp;
+
+    /* Farthest corner from the origin: max(|x|, |x+size|) per axis. */
+    x2 = x + size;
+    y2 = y + size;
+    far_x = x;
+    if (far_x < 0) far_x = -far_x;
+    tmp = x2;
+    if (tmp < 0) tmp = -tmp;
+    if (tmp > far_x) far_x = tmp;
+    far_y = y;
+    if (far_y < 0) far_y = -far_y;
+    tmp = y2;
+    if (tmp < 0) tmp = -tmp;
+    if (tmp > far_y) far_y = tmp;
+    far_d2 = far_x * far_x + far_y * far_y;
+
+    /* Nearest point of the square to the origin. */
+    nx = 0;
+    if (x > 0) nx = x;
+    if (x2 < 0) nx = x2;
+    ny = 0;
+    if (y > 0) ny = y;
+    if (y2 < 0) ny = y2;
+    near_d2 = nx * nx + ny * ny;
+
+    if (far_d2 <= r2) return 1;
+    if (near_d2 >= r2) return 0;
+    return 2;
+}
+
+struct quad *maketree(int x, int y, int size, int r2,
+                      struct quad *parent, int ct, int spread, int where)
+{
+    struct quad *q;
+    int color;
+    int half;
+    int s;
+    int nn;
+
+    color = square_color(x, y, size, r2);
+    q = (struct quad *) malloc(sizeof(struct quad)) @ where;
+    q->childtype = ct;
+    q->parent = parent;
+    if (color != 2 || size == 1) {
+        if (color == 2) color = 1;
+        q->color = color;
+        q->nw = NULL;
+        q->ne = NULL;
+        q->sw = NULL;
+        q->se = NULL;
+        return q;
+    }
+    q->color = 2;
+    half = size / 2;
+    s = spread - 1;
+    if (spread > 0) {
+        /* Distribute subtrees round-robin over the nodes (the paper's
+         * perimeter is communication-intensive: "each computation
+         * requires accesses to tree nodes which may not be physically
+         * close to each other") and build them in parallel, each on its
+         * own node so its allocations and writes stay local. */
+        int w1;
+        int w2;
+        int w3;
+        int w4;
+        struct quad *t1;
+        struct quad *t2;
+        struct quad *t3;
+        struct quad *t4;
+        nn = num_nodes();
+        w1 = (4 * where + 1) % nn;
+        w2 = (4 * where + 2) % nn;
+        w3 = (4 * where + 3) % nn;
+        w4 = (4 * where + 4) % nn;
+        {^
+            t1 = maketree(x, y + half, half, r2, q, 0, s, w1) @ w1;
+            t2 = maketree(x + half, y + half, half, r2, q, 1, s, w2) @ w2;
+            t3 = maketree(x, y, half, r2, q, 2, s, w3) @ w3;
+            t4 = maketree(x + half, y, half, r2, q, 3, s, w4) @ w4;
+        ^}
+        q->nw = t1;
+        q->ne = t2;
+        q->sw = t3;
+        q->se = t4;
+    } else {
+        q->nw = maketree(x, y + half, half, r2, q, 0, 0, where);
+        q->ne = maketree(x + half, y + half, half, r2, q, 1, 0, where);
+        q->sw = maketree(x, y, half, r2, q, 2, 0, where);
+        q->se = maketree(x + half, y, half, r2, q, 3, 0, where);
+    }
+    return q;
+}
+
+struct quad *gtequal_adj_neighbor(struct quad *q, int d)
+{
+    struct quad *qp;
+    struct quad *q2;
+    int ct;
+    int color;
+    qp = q->parent;
+    ct = q->childtype;
+    if (qp != NULL && adj(d, ct))
+        q2 = gtequal_adj_neighbor(qp, d);
+    else
+        q2 = qp;
+    if (q2 != NULL) {
+        color = q2->color;
+        if (color == 2)
+            return child(q2, reflect(d, ct));
+    }
+    return q2;
+}
+
+/* Sum the exposed edge length along the side of a grey neighbor:
+ * q1/q2 are the child types of the two quadrants touching our square. */
+int sum_adjacent(struct quad *p, int q1, int q2, int size)
+{
+    int color;
+    struct quad *p1;
+    struct quad *p2;
+    int half;
+    color = p->color;
+    if (color == 2) {
+        p1 = child(p, q1);
+        p2 = child(p, q2);
+        half = size / 2;
+        return sum_adjacent(p1, q1, q2, half)
+             + sum_adjacent(p2, q1, q2, half);
+    }
+    if (color == 0)
+        return size;
+    return 0;
+}
+
+int perimeter(struct quad *q, int size)
+{
+    int total;
+    int half;
+    int color;
+    struct quad *neighbor;
+    int ncolor;
+
+    color = q->color;
+    if (color == 2) {
+        half = size / 2;
+        return perimeter(q->nw, half) + perimeter(q->ne, half)
+             + perimeter(q->sw, half) + perimeter(q->se, half);
+    }
+    if (color == 0)
+        return 0;
+    total = 0;
+    /* north: the neighbor's south children touch us */
+    neighbor = gtequal_adj_neighbor(q, 0);
+    if (neighbor == NULL) total = total + size;
+    else {
+        ncolor = neighbor->color;
+        if (ncolor == 0) total = total + size;
+        if (ncolor == 2) total = total + sum_adjacent(neighbor, 2, 3, size);
+    }
+    /* east: neighbor's west children */
+    neighbor = gtequal_adj_neighbor(q, 1);
+    if (neighbor == NULL) total = total + size;
+    else {
+        ncolor = neighbor->color;
+        if (ncolor == 0) total = total + size;
+        if (ncolor == 2) total = total + sum_adjacent(neighbor, 0, 2, size);
+    }
+    /* south: neighbor's north children */
+    neighbor = gtequal_adj_neighbor(q, 2);
+    if (neighbor == NULL) total = total + size;
+    else {
+        ncolor = neighbor->color;
+        if (ncolor == 0) total = total + size;
+        if (ncolor == 2) total = total + sum_adjacent(neighbor, 0, 1, size);
+    }
+    /* west: neighbor's east children */
+    neighbor = gtequal_adj_neighbor(q, 3);
+    if (neighbor == NULL) total = total + size;
+    else {
+        ncolor = neighbor->color;
+        if (ncolor == 0) total = total + size;
+        if (ncolor == 2) total = total + sum_adjacent(neighbor, 1, 3, size);
+    }
+    return total;
+}
+
+/* Parallel driver: fan out over grey children for `levels` levels
+ * (work migrates to each subtree owner), then compute sequentially. */
+int perimeter_par(struct quad local *q, int size, int levels)
+{
+    int half;
+    int p1;
+    int p2;
+    int p3;
+    int p4;
+    if (levels > 0 && q->color == 2) {
+        half = size / 2;
+        {^
+            p1 = perimeter_par(q->nw, half, levels - 1)
+                 @ OWNER_OF(q->nw);
+            p2 = perimeter_par(q->ne, half, levels - 1)
+                 @ OWNER_OF(q->ne);
+            p3 = perimeter_par(q->sw, half, levels - 1)
+                 @ OWNER_OF(q->sw);
+            p4 = perimeter_par(q->se, half, levels - 1)
+                 @ OWNER_OF(q->se);
+        ^}
+        return p1 + p2 + p3 + p4;
+    }
+    return perimeter(q, size);
+}
+
+int main(int depth)
+{
+    int size;
+    int i;
+    int r2;
+    struct quad *root;
+
+    size = 1;
+    for (i = 0; i < depth; i++)
+        size = size * 2;
+    r2 = (size * size) * 2 / 5;
+
+    /* Scatter all but the bottom two tree levels across the nodes:
+     * neighbor lookups then routinely cross node boundaries, matching
+     * the paper's characterization of perimeter as communication-
+     * intensive. */
+    root = maketree(0 - size / 2, 0 - size / 2, size, r2, NULL, 0,
+                    depth - 2, 0);
+    return perimeter_par(root, size, 2);
+}

@@ -1,0 +1,293 @@
+/* power -- Olden power-system-optimization benchmark, EARTH-C version.
+ *
+ * A four-level tree (root -> laterals -> branches -> leaves) models a
+ * power distribution network.  Each optimization step propagates prices
+ * down the tree and aggregates power demands (P, Q) back up; leaves
+ * compute their demand from the current prices.
+ *
+ * The communication pattern matches the paper's description: functions
+ * read several double fields of one node into scalars, compute, and
+ * write results back -- exactly the pattern the optimizer turns into a
+ * blkmov-in / compute / blkmov-out region (paper Fig. 11a).
+ *
+ * Laterals are distributed round-robin across nodes; work migrates to
+ * the owner of each lateral via @OWNER_OF.
+ *
+ * main(laterals_per_root, branches_per_lateral, leaves_per_branch,
+ *      steps) returns a scaled checksum of the final root demand.
+ */
+
+struct leaf {
+    double P;
+    double Q;
+    double pi_R;
+    double pi_I;
+    struct leaf *next;
+};
+
+struct branch {
+    double P;
+    double Q;
+    double alpha;
+    double beta;
+    double R;
+    double X;
+    struct leaf *leaves;
+    struct branch *next;
+};
+
+struct lateral {
+    double P;
+    double Q;
+    double alpha;
+    double beta;
+    double R;
+    double X;
+    struct branch *branches;
+    struct lateral *next;
+};
+
+/* Root-local list of lateral references (the Olden root holds an array
+ * of feeder pointers; a node-0-local reference list plays that role, so
+ * walking the feeders never leaves the root's node). */
+struct latref {
+    struct lateral *lat;
+    struct latref *next;
+};
+
+struct root {
+    double P;
+    double Q;
+    double theta_R;
+    double theta_I;
+    struct latref *feeders;
+};
+
+struct leaf *build_leaves(int count)
+{
+    struct leaf *head;
+    struct leaf *l;
+    int i;
+    head = NULL;
+    for (i = 0; i < count; i++) {
+        l = (struct leaf *) malloc(sizeof(struct leaf));
+        l->P = 1.0;
+        l->Q = 1.0;
+        l->pi_R = 0.0;
+        l->pi_I = 0.0;
+        l->next = head;
+        head = l;
+    }
+    return head;
+}
+
+struct branch *build_branches(int count, int leaves)
+{
+    struct branch *head;
+    struct branch *b;
+    int i;
+    head = NULL;
+    for (i = 0; i < count; i++) {
+        b = (struct branch *) malloc(sizeof(struct branch));
+        b->P = 0.0;
+        b->Q = 0.0;
+        b->alpha = 0.0;
+        b->beta = 0.0;
+        b->R = 0.0001;
+        b->X = 0.0002;
+        b->leaves = build_leaves(leaves);
+        b->next = head;
+        head = b;
+    }
+    return head;
+}
+
+/* Runs on the lateral owner: builds its subtree with local allocation. */
+int fill_lateral(struct lateral local *lat, int branches, int leaves)
+{
+    lat->branches = build_branches(branches, leaves);
+    return 0;
+}
+
+struct root *build_tree(int laterals, int branches, int leaves)
+{
+    struct root *r;
+    struct lateral *lat;
+    struct latref *ref;
+    struct latref *prev;
+    int i;
+    int nn;
+    nn = num_nodes();
+    r = (struct root *) malloc(sizeof(struct root));
+    r->P = 0.0;
+    r->Q = 0.0;
+    r->theta_R = 0.8;
+    r->theta_I = 0.16;
+    prev = NULL;
+    for (i = 0; i < laterals; i++) {
+        lat = (struct lateral *) malloc(sizeof(struct lateral)) @ (i % nn);
+        lat->P = 0.0;
+        lat->Q = 0.0;
+        lat->alpha = 0.0;
+        lat->beta = 0.0;
+        lat->R = 0.001;
+        lat->X = 0.0018;
+        lat->branches = NULL;
+        lat->next = NULL;
+        ref = (struct latref *) malloc(sizeof(struct latref));
+        ref->lat = lat;
+        ref->next = prev;
+        prev = ref;
+    }
+    r->feeders = prev;
+    /* Fill the lateral subtrees in parallel, each on its own node. */
+    forall (ref = r->feeders; ref != NULL; ref = ref->next) {
+        int dummy;
+        struct lateral *flat;
+        flat = ref->lat;
+        dummy = fill_lateral(flat, branches, leaves) @ OWNER_OF(flat);
+    }
+    return r;
+}
+
+/* Leaf demand given prices: the Olden optimize_node kernel -- a small
+ * Newton iteration maximizing the customer benefit function, as in the
+ * original benchmark (power is computation-intensive; this local math
+ * dominates its runtime, paper Section 5.2). */
+int compute_leaf(struct leaf local *l, double pi_R, double pi_I)
+{
+    double new_P;
+    double new_Q;
+    double g;
+    double h;
+    int it;
+    new_P = l->P;
+    new_Q = l->Q;
+    for (it = 0; it < 4; it++) {
+        /* Gradient steps toward demand satisfying marginal price. */
+        g = 1.0 / (new_P + 0.1) - pi_R - 0.01 * new_P;
+        h = 1.0 / (new_Q + 0.1) - pi_I - 0.01 * new_Q;
+        new_P = new_P + 0.4 * g;
+        new_Q = new_Q + 0.4 * h;
+        if (new_P < 0.05) new_P = 0.05;
+        if (new_Q < 0.05) new_Q = 0.05;
+    }
+    l->P = new_P;
+    l->Q = new_Q;
+    l->pi_R = pi_R;
+    l->pi_I = pi_I;
+    return 0;
+}
+
+int compute_branch(struct branch *br, double theta_R, double theta_I)
+{
+    struct leaf *l;
+    double sum_P;
+    double sum_Q;
+    double a;
+    double b;
+    double r_val;
+    double x_val;
+    double pi_R;
+    double pi_I;
+    int dummy;
+
+    r_val = br->R;
+    x_val = br->X;
+    pi_R = theta_R + r_val;
+    pi_I = theta_I + x_val;
+    sum_P = 0.0;
+    sum_Q = 0.0;
+    l = br->leaves;
+    while (l != NULL) {
+        dummy = compute_leaf(l, pi_R, pi_I);
+        sum_P = sum_P + l->P;
+        sum_Q = sum_Q + l->Q;
+        l = l->next;
+    }
+    a = br->alpha;
+    b = br->beta;
+    br->alpha = 0.5 * (a + sum_P * r_val);
+    br->beta = 0.5 * (b + sum_Q * x_val);
+    br->P = sum_P + br->alpha;
+    br->Q = sum_Q + br->beta;
+    return 0;
+}
+
+int compute_lateral(struct lateral local *lat, double theta_R,
+                    double theta_I)
+{
+    struct branch *br;
+    double sum_P;
+    double sum_Q;
+    double a;
+    double b;
+    double r_val;
+    double x_val;
+    int dummy;
+
+    r_val = lat->R;
+    x_val = lat->X;
+    sum_P = 0.0;
+    sum_Q = 0.0;
+    br = lat->branches;
+    while (br != NULL) {
+        dummy = compute_branch(br, theta_R + r_val, theta_I + x_val);
+        sum_P = sum_P + br->P;
+        sum_Q = sum_Q + br->Q;
+        br = br->next;
+    }
+    a = lat->alpha;
+    b = lat->beta;
+    lat->alpha = 0.5 * (a + sum_P * r_val);
+    lat->beta = 0.5 * (b + sum_Q * x_val);
+    lat->P = sum_P + lat->alpha;
+    lat->Q = sum_Q + lat->beta;
+    return 0;
+}
+
+int compute_tree(struct root *r)
+{
+    struct latref *ref;
+    double theta_R;
+    double theta_I;
+    double sum_P;
+    double sum_Q;
+    shared double acc_P;
+    shared double acc_Q;
+    int dummy;
+
+    theta_R = r->theta_R;
+    theta_I = r->theta_I;
+    writeto(&acc_P, 0.0);
+    writeto(&acc_Q, 0.0);
+    forall (ref = r->feeders; ref != NULL; ref = ref->next) {
+        struct lateral *lat;
+        lat = ref->lat;
+        dummy = compute_lateral(lat, theta_R, theta_I) @ OWNER_OF(lat);
+        addto(&acc_P, lat->P);
+        addto(&acc_Q, lat->Q);
+    }
+    sum_P = valueof(&acc_P);
+    sum_Q = valueof(&acc_Q);
+    r->P = sum_P;
+    r->Q = sum_Q;
+    /* Price adjustment for the next step. */
+    r->theta_R = 0.7 * r->theta_R + 0.0001 * sum_P;
+    r->theta_I = 0.7 * r->theta_I + 0.0001 * sum_Q;
+    return 0;
+}
+
+int main(int laterals, int branches, int leaves, int steps)
+{
+    struct root *r;
+    int step;
+    int dummy;
+    double check;
+    r = build_tree(laterals, branches, leaves);
+    for (step = 0; step < steps; step++) {
+        dummy = compute_tree(r);
+    }
+    check = 1000.0 * (r->P + r->Q) + 10.0 * (r->theta_R + r->theta_I);
+    return (int) check;
+}

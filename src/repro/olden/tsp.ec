@@ -1,0 +1,204 @@
+/* tsp -- Olden traveling-salesperson benchmark, EARTH-C version.
+ *
+ * Builds a balanced binary tree of cities (deterministic pseudo-random
+ * coordinates), solves the two subtrees in parallel, and merges the two
+ * circular subtours with the closest-point heuristic: find the closest
+ * pair of cities (one per subtour) and splice the cycles there.
+ *
+ * The distance helper is inlined (the compiler's "local function
+ * inlining" -- paper Section 6 notes tsp's interprocedural redundancy
+ * is exposed this way): after inlining, the coordinates of the
+ * outer-loop city are loop-invariant remote reads that the placement
+ * analysis hoists out of the inner loop.
+ *
+ * Top subtree roots are placed on different nodes.
+ *
+ * main(ncities) returns the tour length scaled to an int.
+ */
+
+struct tree {
+    double x;
+    double y;
+    struct tree *left;
+    struct tree *right;
+    struct tree *next;   /* circular tour successor */
+};
+
+int next_seed(int seed)
+{
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+double coord_from(int seed)
+{
+    return (seed % 10000) * 0.0001;
+}
+
+/* Build a balanced tree of n cities; the top `spread` levels place
+ * their children round-robin across the nodes. */
+struct tree *build_tree(int n, int seed, int spread, int where)
+{
+    struct tree *t;
+    int left_n;
+    int right_n;
+    int s1;
+    int s2;
+    int w1;
+    int w2;
+
+    if (n == 0)
+        return NULL;
+    t = (struct tree *) malloc(sizeof(struct tree)) @ where;
+    s1 = next_seed(seed);
+    s2 = next_seed(s1);
+    t->x = coord_from(s1);
+    t->y = coord_from(s2);
+    t->next = NULL;
+    left_n = (n - 1) / 2;
+    right_n = n - 1 - left_n;
+    if (spread > 0) {
+        /* Build distributed subtrees in parallel on their own nodes. */
+        struct tree *tl;
+        struct tree *tr;
+        w1 = (2 * where + 1) % num_nodes();
+        w2 = (2 * where + 2) % num_nodes();
+        {^
+            tl = build_tree(left_n, next_seed(s2 + 7), spread - 1, w1)
+                 @ w1;
+            tr = build_tree(right_n, next_seed(s2 + 13), spread - 1, w2)
+                 @ w2;
+        ^}
+        t->left = tl;
+        t->right = tr;
+    } else {
+        t->left = build_tree(left_n, next_seed(s2 + 7), 0, where);
+        t->right = build_tree(right_n, next_seed(s2 + 13), 0, where);
+    }
+    return t;
+}
+
+double distance_pts(struct tree *a, struct tree *b)
+{
+    double dx;
+    double dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}
+
+/* Merge two circular tours with a closest-point co-walk: both tours
+ * are traversed once, alternating irregularly (the tour whose current
+ * city is farther from the other's advances), and the cycles are
+ * spliced at the closest pair seen.  Linear like Olden's closest-point
+ * merge, and the walk order is data-dependent. */
+struct tree *merge_tours(struct tree *a, struct tree *b)
+{
+    struct tree *u;
+    struct tree *v;
+    struct tree *best_u;
+    struct tree *best_v;
+    struct tree *tmp;
+    double best;
+    double d;
+    double du;
+    double dv;
+    int u_wrapped;
+    int v_wrapped;
+
+    if (a == NULL)
+        return b;
+    if (b == NULL)
+        return a;
+    best = 1.0e30;
+    best_u = a;
+    best_v = b;
+    u = a;
+    v = b;
+    u_wrapped = 0;
+    v_wrapped = 0;
+    while (u_wrapped == 0 || v_wrapped == 0) {
+        d = distance_pts(u, v);
+        if (d < best) {
+            best = d;
+            best_u = u;
+            best_v = v;
+        }
+        /* Advance the side that looks more promising next (irregular,
+         * data-dependent alternation), unless it has already wrapped. */
+        du = distance_pts(u->next, v);
+        dv = distance_pts(u, v->next);
+        if (v_wrapped == 1 || (u_wrapped == 0 && du < dv)) {
+            u = u->next;
+            if (u == a)
+                u_wrapped = 1;
+        } else {
+            v = v->next;
+            if (v == b)
+                v_wrapped = 1;
+        }
+    }
+    /* Splice the two cycles at (best_u, best_v). */
+    tmp = best_u->next;
+    best_u->next = best_v->next;
+    best_v->next = tmp;
+    return a;
+}
+
+/* Solve the subtree: returns a circular tour of its cities. */
+struct tree *tsp(struct tree local *t)
+{
+    struct tree *ltour;
+    struct tree *rtour;
+    struct tree *tour;
+
+    if (t == NULL)
+        return NULL;
+    if (t->left == NULL && t->right == NULL) {
+        t->next = t;
+        return t;
+    }
+    {^
+        ltour = tsp(t->left) @ OWNER_OF(t->left);
+        rtour = tsp(t->right) @ OWNER_OF(t->right);
+    ^}
+    t->next = t;
+    tour = merge_tours(ltour, rtour);
+    tour = merge_tours(tour, t);
+    return tour;
+}
+
+double tour_length(struct tree *tour)
+{
+    struct tree *p;
+    struct tree *q;
+    double total;
+    double dx;
+    double dy;
+    int first;
+
+    if (tour == NULL)
+        return 0.0;
+    total = 0.0;
+    p = tour;
+    first = 1;
+    while (first == 1 || p != tour) {
+        first = 0;
+        q = p->next;
+        dx = p->x - q->x;
+        dy = p->y - q->y;
+        total = total + sqrt(dx * dx + dy * dy);
+        p = q;
+    }
+    return total;
+}
+
+int main(int ncities)
+{
+    struct tree *t;
+    struct tree *tour;
+    double len;
+    t = build_tree(ncities, 42, 2, 0);
+    tour = tsp(t);
+    len = tour_length(tour);
+    return (int) (len * 1000.0);
+}

@@ -1,0 +1,183 @@
+/* voronoi -- Olden-style divide-and-conquer geometric merge, EARTH-C
+ * version.
+ *
+ * SUBSTITUTION NOTE (see DESIGN.md): the original Olden voronoi builds
+ * a Delaunay triangulation with the quad-edge data structure.  Its
+ * communication signature -- the one the paper's Section 5 discusses --
+ * is the *merge phase*: "the merge phase walks along the convex hull of
+ * the two sub-diagrams, alternating between [them] in an irregular
+ * fashion, so the benchmark spends a significant time in data
+ * accesses".  We reproduce exactly that signature: points are stored in
+ * a distributed binary tree; each subtree recursively computes its
+ * "frontier" (a linked list of its points ordered by y); merging walks
+ * the two frontiers alternating irregularly (data-dependent), accruing
+ * a diagram cost from consecutive cross-pairs.  Each visited node
+ * requires reads of y, x and the list link -- three-plus remote reads
+ * through one pointer, the blocking pattern the paper reports for
+ * voronoi ("redundant communication elimination and blocking").
+ *
+ * main(npoints) returns a scaled checksum of the merge cost.
+ */
+
+struct vpoint {
+    double x;
+    double y;
+    double w;
+    struct vpoint *left;
+    struct vpoint *right;
+    struct vpoint *frontier;   /* next point in the merged frontier */
+};
+
+int v_next_seed(int seed)
+{
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+double v_coord(int seed)
+{
+    return (seed % 20000) * 0.0001;
+}
+
+/* Balanced tree of n points; the top `spread` levels distribute their
+ * children round-robin over the nodes. */
+struct vpoint *build_points(int n, int seed, int spread, int where)
+{
+    struct vpoint *t;
+    int left_n;
+    int s1;
+    int s2;
+    int w1;
+    int w2;
+
+    if (n == 0)
+        return NULL;
+    t = (struct vpoint *) malloc(sizeof(struct vpoint)) @ where;
+    s1 = v_next_seed(seed);
+    s2 = v_next_seed(s1);
+    t->x = v_coord(s1);
+    t->y = v_coord(s2);
+    t->w = 0.0;
+    t->frontier = NULL;
+    left_n = (n - 1) / 2;
+    if (spread > 0) {
+        /* Build distributed subtrees in parallel on their own nodes. */
+        struct vpoint *tl;
+        struct vpoint *tr;
+        w1 = (2 * where + 1) % num_nodes();
+        w2 = (2 * where + 2) % num_nodes();
+        {^
+            tl = build_points(left_n, v_next_seed(s2 + 3), spread - 1, w1)
+                 @ w1;
+            tr = build_points(n - 1 - left_n, v_next_seed(s2 + 11),
+                              spread - 1, w2) @ w2;
+        ^}
+        t->left = tl;
+        t->right = tr;
+    } else {
+        t->left = build_points(left_n, v_next_seed(s2 + 3), 0, where);
+        t->right = build_points(n - 1 - left_n, v_next_seed(s2 + 11),
+                                0, where);
+    }
+    return t;
+}
+
+/* Merge two frontiers ordered by y, alternating between the lists in a
+ * data-dependent (irregular) fashion; accumulate the "diagram cost" of
+ * each cross pair into the adopted node's weight. */
+struct vpoint *merge_frontiers(struct vpoint *a, struct vpoint *b)
+{
+    struct vpoint *head;
+    struct vpoint *tail;
+    struct vpoint *pick;
+    struct vpoint *an;
+    struct vpoint *bn;
+    double ay;
+    double by;
+    double ax;
+    double bx;
+    double dx;
+    double dy;
+
+    if (a == NULL)
+        return b;
+    if (b == NULL)
+        return a;
+    head = NULL;
+    tail = NULL;
+    while (a != NULL && b != NULL) {
+        /* Load both frontier candidates: y for the ordering decision,
+         * x for the cross-pair cost, and the list link -- three reads
+         * through each pointer, which selection turns into one blkmov
+         * per candidate (the paper: voronoi "mainly benefits from
+         * redundant communication elimination and blocking"). */
+        ay = a->y;
+        ax = a->x;
+        an = a->frontier;
+        by = b->y;
+        bx = b->x;
+        bn = b->frontier;
+        dx = ax - bx;
+        dy = ay - by;
+        if (ay < by) {
+            pick = a;
+            a = an;
+        } else {
+            pick = b;
+            b = bn;
+        }
+        /* Cross-pair cost between the candidates just considered. */
+        pick->w = pick->w + sqrt(dx * dx + dy * dy);
+        if (head == NULL) {
+            head = pick;
+            tail = pick;
+        } else {
+            tail->frontier = pick;
+            tail = pick;
+        }
+    }
+    if (a == NULL)
+        tail->frontier = b;
+    else
+        tail->frontier = a;
+    return head;
+}
+
+/* Recursively build the frontier of a subtree. */
+struct vpoint *voronoi(struct vpoint local *t)
+{
+    struct vpoint *lfront;
+    struct vpoint *rfront;
+    struct vpoint *merged;
+
+    if (t == NULL)
+        return NULL;
+    {^
+        lfront = voronoi(t->left) @ OWNER_OF(t->left);
+        rfront = voronoi(t->right) @ OWNER_OF(t->right);
+    ^}
+    t->frontier = NULL;
+    merged = merge_frontiers(lfront, rfront);
+    merged = merge_frontiers(merged, t);
+    return merged;
+}
+
+int main(int npoints)
+{
+    struct vpoint *t;
+    struct vpoint *front;
+    struct vpoint *p;
+    double total;
+    int count;
+
+    t = build_points(npoints, 7, 2, 0);
+    front = voronoi(t);
+    total = 0.0;
+    count = 0;
+    p = front;
+    while (p != NULL) {
+        total = total + p->w;
+        count = count + 1;
+        p = p->frontier;
+    }
+    return count * 100000 + (int) (total * 100.0);
+}

@@ -1,0 +1,112 @@
+"""Threaded-C backend (fiber partitioning) tests."""
+
+from repro.backend.threaded import generate_threaded, render_threaded_program
+from repro.harness.pipeline import compile_earthc
+from tests.conftest import to_simple
+
+NODE = "struct node { int v; int w; struct node *next; };"
+
+
+def threaded(source, func, optimize=True):
+    compiled = compile_earthc(source, optimize=optimize)
+    return generate_threaded(compiled.simple.functions[func])
+
+
+class TestPartitioning:
+    def test_pure_local_function_is_one_fiber(self):
+        result = threaded("int f(int x) { return x * x + 1; }", "f")
+        assert len(result.fibers) == 1
+        assert result.fibers[0].sync_count == 0
+
+    def test_split_read_and_consumer_in_different_fibers(self):
+        result = threaded(NODE + """
+            int f(struct node *p) {
+                int t;
+                t = p->v;
+                return t + 1;
+            }
+        """, "f")
+        assert len(result.fibers) >= 2
+        # Some later fiber synchronizes on the read's completion.
+        assert any(fiber.sync_count >= 1 for fiber in result.fibers[1:])
+
+    def test_pipelined_reads_sync_together(self):
+        result = threaded(NODE + """
+            int f(struct node *p) {
+                return p->v + p->w;
+            }
+        """, "f")
+        # Both split-phase completions are consumed by later fibers.
+        assert sum(f.sync_count for f in result.fibers) == 2
+
+    def test_get_sync_spelling(self):
+        result = threaded(NODE + """
+            int f(struct node *p) { return p->v; }
+        """, "f")
+        text = result.render()
+        assert "GET_SYNC(" in text
+        assert "SYNC_SLOTS(" in text
+        assert "END_FIBER" in text
+
+    def test_blkmov_sync_spelling(self):
+        source = NODE + """
+            int f(struct node *p) {
+                return p->v + p->w + (p->next == NULL);
+            }
+        """
+        compiled = compile_earthc(source, optimize=True)
+        text = generate_threaded(
+            compiled.simple.functions["f"]).render()
+        assert "BLKMOV_SYNC(" in text
+
+    def test_remote_invoke_spelling(self):
+        source = NODE + """
+            int g(struct node local *p) { return p->v; }
+            int f(struct node *p) { return g(p) @ OWNER_OF(p); }
+        """
+        compiled = compile_earthc(source, optimize=True)
+        text = generate_threaded(
+            compiled.simple.functions["f"]).render()
+        assert "INVOKE_REMOTE(" in text
+
+    def test_par_branches_join(self):
+        source = """
+            int g(int x) { return x; }
+            int f() {
+                int a; int b;
+                {^ a = g(1) @ 0; b = g(2) @ 1; ^}
+                return a + b;
+            }
+        """
+        compiled = compile_earthc(source, optimize=True)
+        text = generate_threaded(
+            compiled.simple.functions["f"]).render()
+        assert "SPAWN_PAR(2)" in text
+        assert "JOIN_PAR" in text
+
+    def test_loop_structure_preserved(self):
+        result = threaded(NODE + """
+            int f(struct node *p) {
+                int t; t = 0;
+                while (p != NULL) { t = t + p->v; p = p->next; }
+                return t;
+            }
+        """, "f")
+        text = result.render()
+        assert "WHILE (" in text
+        assert "ENDWHILE" in text
+
+    def test_render_whole_program(self):
+        compiled = compile_earthc(NODE + """
+            int g(int x) { return x; }
+            int f(struct node *p) { return g(p->v); }
+        """, optimize=True)
+        text = render_threaded_program(compiled.simple)
+        assert text.count("THREADED ") == 2
+        assert text.count("END_THREADED") == 2
+
+    def test_unoptimized_program_also_partitions(self):
+        result = threaded(NODE + """
+            int f(struct node *p) { return p->v; }
+        """, "f", optimize=False)
+        assert len(result.fibers) >= 1

@@ -1,0 +1,153 @@
+"""Struct field reordering (the paper's Section 7 further work) and the
+prefix block moves it enables."""
+
+import pytest
+
+from repro.comm.reorder import reorder_struct_fields
+from repro.frontend.goto_elim import eliminate_gotos
+from repro.frontend.parser import parse_program
+from repro.frontend.typecheck import check_program
+from repro.harness.pipeline import compile_earthc, execute
+from repro.simple import nodes as s
+
+BIG = """
+struct big { double cold1; double cold2; double cold3; double cold4;
+             double cold5; double cold6; int hot_a; int hot_b;
+             int hot_c; };
+"""
+
+READER = BIG + """
+int reader(struct big *p) {
+    int t; int i;
+    t = 0;
+    for (i = 0; i < 10; i++) {
+        t = t + p->hot_a + p->hot_b + p->hot_c;
+    }
+    return t;
+}
+int main() {
+    struct big *p;
+    p = (struct big *) malloc(sizeof(struct big)) @ 1;
+    p->hot_a = 1; p->hot_b = 2; p->hot_c = 3;
+    p->cold1 = 9.0;
+    return reader(p);
+}
+"""
+
+
+def reordered(source):
+    program = parse_program(source)
+    eliminate_gotos(program)
+    check_program(program)
+    report = reorder_struct_fields(program)
+    return program, report
+
+
+class TestReorderPass:
+    def test_hot_fields_move_to_front(self):
+        program, report = reordered(READER)
+        struct = next(st for st in program.structs if st.name == "big")
+        order = [f.name for f in struct.fields]
+        assert order[:3] == ["hot_a", "hot_b", "hot_c"]
+        assert "big" in report.changed
+
+    def test_loop_weighting(self):
+        # in_loop accessed once inside a loop must outrank straight-line.
+        source = """
+            struct s { int straight; int in_loop; };
+            int f(struct s *p, int n) {
+                int t; int i;
+                t = p->straight;
+                for (i = 0; i < n; i++) t = t + p->in_loop;
+                return t;
+            }
+        """
+        program, report = reordered(source)
+        struct = next(st for st in program.structs if st.name == "s")
+        assert [f.name for f in struct.fields][0] == "in_loop"
+
+    def test_size_invariant(self):
+        program, report = reordered(READER)
+        struct = next(st for st in program.structs if st.name == "big")
+        assert struct.size_words() == 6 * 2 + 3
+
+    def test_local_accesses_do_not_count(self):
+        source = """
+            struct s { int via_local; int via_remote; };
+            int f(struct s local *lp, struct s *rp) {
+                return lp->via_local + rp->via_remote;
+            }
+        """
+        program, report = reordered(source)
+        struct = next(st for st in program.structs if st.name == "s")
+        assert [f.name for f in struct.fields][0] == "via_remote"
+
+    def test_untouched_struct_unchanged(self):
+        source = """
+            struct quiet { int a; int b; };
+            int f(int x) { return x; }
+        """
+        program, report = reordered(source)
+        assert report.changed == []
+
+    def test_stable_for_equal_scores(self):
+        source = """
+            struct s { int a; int b; int c; };
+            int f(struct s *p) { return p->a + p->b + p->c; }
+        """
+        program, report = reordered(source)
+        struct = next(st for st in program.structs if st.name == "s")
+        assert [f.name for f in struct.fields] == ["a", "b", "c"]
+
+
+class TestPrefixBlocking:
+    def test_prefix_block_replaces_pipelined_reads(self):
+        plain = compile_earthc(READER, optimize=True)
+        packed = compile_earthc(READER, optimize=True,
+                                reorder_fields=True)
+        # Without reordering the hot fields sit behind 12 cold words:
+        # the spurious-field rule forbids blocking.
+        assert plain.report.selections["reader"].blocked_read_groups == 0
+        # With reordering they form a 3-word prefix: one short blkmov.
+        sel = packed.report.selections["reader"]
+        assert sel.blocked_read_groups == 1
+        assert sel.prefix_blocks == 1
+
+    def test_prefix_block_words(self):
+        packed = compile_earthc(READER, optimize=True,
+                                reorder_fields=True)
+        func = packed.simple.functions["reader"]
+        moves = [st for st in func.body.basic_stmts()
+                 if isinstance(st, s.BlkmovStmt)]
+        assert len(moves) == 1
+        assert moves[0].words == 3  # hot prefix only, not 15 words
+
+    def test_semantics_preserved(self):
+        for reorder in (False, True):
+            compiled = compile_earthc(READER, optimize=True,
+                                      reorder_fields=reorder)
+            assert execute(compiled, num_nodes=2).value == 60
+
+    def test_fewer_remote_ops_with_reordering(self):
+        plain = execute(compile_earthc(READER, optimize=True),
+                        num_nodes=2)
+        packed = execute(compile_earthc(READER, optimize=True,
+                                        reorder_fields=True),
+                         num_nodes=2)
+        assert packed.value == plain.value
+        assert packed.stats.total_remote_ops < plain.stats.total_remote_ops
+
+    def test_benchmarks_unharmed_by_reordering(self):
+        from repro.olden.loader import get_benchmark
+        for name in ("power", "health"):
+            spec = get_benchmark(name)
+            baseline = execute(
+                compile_earthc(spec.source(), name, optimize=True,
+                               inline=spec.inline),
+                num_nodes=4, args=spec.small_args)
+            packed = execute(
+                compile_earthc(spec.source(), name, optimize=True,
+                               inline=spec.inline, reorder_fields=True),
+                num_nodes=4, args=spec.small_args)
+            assert packed.value == baseline.value
+            assert packed.time_ns <= baseline.time_ns * 1.05

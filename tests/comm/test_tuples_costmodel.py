@@ -1,0 +1,112 @@
+"""Tuple algebra and cost model tests."""
+
+import pytest
+
+from repro.comm.costmodel import CommCostModel
+from repro.comm.tuples import CommSet, CommTuple, selected_ops
+from repro.frontend.types import FieldPath
+
+
+def t(base, field, freq, *labels):
+    path = FieldPath.single(field) if field else None
+    return CommTuple(base, path, freq, frozenset(labels))
+
+
+class TestCommTuple:
+    def test_single_constructor(self):
+        tup = CommTuple.single("p", FieldPath.single("x"), 7)
+        assert tup.freq == 1.0
+        assert tup.dlist == frozenset({7})
+
+    def test_key_distinguishes_fields(self):
+        assert t("p", "x", 1, 1).key != t("p", "y", 1, 1).key
+        assert t("p", "x", 1, 1).key == t("p", "x", 2, 9).key
+
+    def test_deref_key(self):
+        assert t("p", None, 1, 1).key == ("p", None)
+
+    def test_merge_sums_and_unions(self):
+        merged = t("p", "x", 1, 4).merged_with(t("p", "x", 10, 11))
+        assert merged.freq == 11
+        assert merged.dlist == frozenset({4, 11})
+
+    def test_scaled(self):
+        assert t("p", "x", 4, 1).scaled(0.5).freq == 2.0
+
+    def test_selected_ops_enumeration(self):
+        ops = set(selected_ops(t("p", "x", 1, 3, 9)))
+        assert ops == {("p", ("x",), 3), ("p", ("x",), 9)}
+
+    def test_repr_matches_paper_style(self):
+        assert repr(t("t", "x", 11, 11, 4)) == "(t->x, 11, S4:S11)"
+
+
+class TestCommSet:
+    def test_add_merges_same_location(self):
+        cs = CommSet()
+        cs.add(t("p", "x", 1, 1))
+        cs.add(t("p", "x", 1, 2))
+        assert len(cs) == 1
+        assert cs.get(("p", ("x",))).freq == 2
+
+    def test_add_keeps_distinct_locations(self):
+        cs = CommSet([t("p", "x", 1, 1), t("p", "y", 1, 2),
+                      t("q", "x", 1, 3)])
+        assert len(cs) == 3
+
+    def test_copy_is_independent(self):
+        cs = CommSet([t("p", "x", 1, 1)])
+        copy = cs.copy()
+        copy.add(t("p", "y", 1, 2))
+        assert len(cs) == 1
+        assert len(copy) == 2
+
+    def test_contains_and_remove(self):
+        cs = CommSet([t("p", "x", 1, 1)])
+        assert ("p", ("x",)) in cs
+        cs.remove(("p", ("x",)))
+        assert ("p", ("x",)) not in cs
+
+
+class TestCostModel:
+    def test_table1_defaults(self):
+        model = CommCostModel()
+        assert model.read_cost(pipelined=True) == 1908.0
+        assert model.read_cost(pipelined=False) == 7109.0
+        assert model.write_cost(pipelined=True) == 1749.0
+        assert model.blkmov_cost(1, pipelined=True) == 2602.0
+        assert model.blkmov_cost(1, pipelined=False) == 9700.0
+
+    def test_threshold_of_three_accesses(self):
+        model = CommCostModel()
+        # Two accesses pipeline (paper Fig 8's t group)...
+        assert not model.should_block(2, 2.0, 4, 4)
+        # ...three block (Fig 8's p group).
+        assert model.should_block(3, 3.0, 5, 5)
+
+    def test_expected_frequency_floor(self):
+        model = CommCostModel()
+        # Five syntactic accesses but expected below the floor: the
+        # block move would rarely pay for itself.
+        assert not model.should_block(5, 1.5, 5, 7)
+        # The paper's sum_adjacent shape: 5 fields, expectation 2.0.
+        assert model.should_block(5, 2.0, 5, 7)
+
+    def test_spurious_field_correction(self):
+        model = CommCostModel()
+        # 3 needed words inside a giant 100-word struct: pipeline.
+        assert not model.should_block(3, 3.0, 3, 100)
+        assert model.should_block(3, 3.0, 3, 12)
+
+    def test_zero_words_never_blocks(self):
+        model = CommCostModel()
+        assert not model.should_block(5, 5.0, 0, 8)
+
+    def test_sync_extras(self):
+        model = CommCostModel()
+        assert model.read_sync_extra_ns() == pytest.approx(5201.0)
+        assert model.write_sync_extra_ns() == pytest.approx(4709.0)
+
+    def test_custom_threshold(self):
+        model = CommCostModel(block_access_threshold=2)
+        assert model.should_block(2, 2.0, 4, 4)

@@ -1,0 +1,47 @@
+"""Shared helpers for the test suite."""
+
+import pytest
+
+from repro.comm.optimizer import CommConfig
+from repro.frontend.goto_elim import eliminate_gotos
+from repro.frontend.parser import parse_program
+from repro.frontend.simplify import simplify_program
+from repro.frontend.typecheck import check_program
+from repro.harness.pipeline import compile_earthc, execute
+
+
+def front(source, filename="<test>"):
+    """Parse + goto-eliminate + type-check; returns (ast, symbols)."""
+    program = parse_program(source, filename)
+    eliminate_gotos(program)
+    symbols = check_program(program)
+    return program, symbols
+
+
+def to_simple(source, filename="<test>"):
+    """Full frontend to SIMPLE (no optimization)."""
+    program, symbols = front(source, filename)
+    return simplify_program(program, symbols)
+
+
+def run_value(source, optimize=False, num_nodes=1, args=(),
+              entry="main", **kwargs):
+    """Compile and run; returns the program result value."""
+    compiled = compile_earthc(source, optimize=optimize, **kwargs)
+    return execute(compiled, num_nodes=num_nodes, entry=entry,
+                   args=args).value
+
+
+def run_both(source, num_nodes=2, args=(), entry="main", inline=False):
+    """Run unoptimized and optimized; asserts equal results and returns
+    (unoptimized RunResult, optimized RunResult)."""
+    plain = compile_earthc(source, optimize=False, inline=inline)
+    opt = compile_earthc(source, optimize=True, inline=inline)
+    r1 = execute(plain, num_nodes=num_nodes, entry=entry, args=args)
+    r2 = execute(opt, num_nodes=num_nodes, entry=entry, args=args)
+    v1, v2 = r1.value, r2.value
+    if isinstance(v1, float) or isinstance(v2, float):
+        assert v1 == pytest.approx(v2, rel=1e-9, abs=1e-9)
+    else:
+        assert v1 == v2
+    return r1, r2

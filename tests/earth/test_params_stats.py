@@ -1,0 +1,78 @@
+"""Machine parameter and statistics tests (Table I calibration math)."""
+
+import pytest
+
+from repro.earth.params import MachineParams
+from repro.earth.stats import MachineStats
+
+
+class TestParams:
+    def test_sequential_totals_match_table1(self):
+        p = MachineParams()
+        read_total = p.read_issue_ns + 2 * p.read_one_way_ns \
+            + p.su_service_ns
+        write_total = p.write_issue_ns + 2 * p.write_one_way_ns \
+            + p.su_service_ns
+        blkmov_total = p.issue_cost("blkmov", 1) \
+            + 2 * p.blkmov_one_way_ns + p.su_service_ns \
+            + p.su_blkmov_per_word_ns
+        assert read_total == pytest.approx(7109.0)
+        assert write_total == pytest.approx(6458.0)
+        assert blkmov_total == pytest.approx(9700.0)
+
+    def test_issue_costs_match_pipelined_column(self):
+        p = MachineParams()
+        assert p.issue_cost("read") == 1908.0
+        assert p.issue_cost("write") == 1749.0
+        assert p.issue_cost("blkmov", 1) == 2602.0
+
+    def test_blkmov_issue_flat_in_words(self):
+        p = MachineParams()
+        assert p.issue_cost("blkmov", 1) == p.issue_cost("blkmov", 16)
+
+    def test_local_ops_much_cheaper_than_remote(self):
+        p = MachineParams()
+        assert p.local_op_cost("read") < p.issue_cost("read")
+        assert p.local_op_cost("blkmov", 8) < p.issue_cost("blkmov", 8)
+
+    def test_unknown_kind_rejected(self):
+        p = MachineParams()
+        with pytest.raises(ValueError):
+            p.issue_cost("teleport")
+        with pytest.raises(ValueError):
+            p.one_way_latency("teleport")
+
+    def test_sequential_c_profile_has_no_overheads(self):
+        p = MachineParams.sequential_c()
+        assert p.spawn_ns == 0.0
+        assert p.ctx_switch_ns == 0.0
+        assert p.local_op_cost("read") == p.local_stmt_ns
+
+
+class TestStats:
+    def test_totals(self):
+        stats = MachineStats()
+        stats.remote_reads = 3
+        stats.remote_writes = 2
+        stats.remote_blkmovs = 1
+        stats.local_reads = 10
+        assert stats.total_remote_ops == 6
+        assert stats.total_comm_ops == 16
+
+    def test_breakdown_keys(self):
+        stats = MachineStats()
+        stats.remote_reads = 1
+        stats.local_reads = 2
+        stats.local_blkmovs = 4
+        breakdown = stats.comm_breakdown()
+        assert breakdown == {"read_data": 3, "write_data": 0,
+                             "blkmov": 4}
+
+    def test_snapshot_roundtrip(self):
+        stats = MachineStats()
+        stats.remote_reads = 5
+        stats.shared_ops = 2
+        snap = stats.snapshot()
+        assert snap["remote_reads"] == 5
+        assert snap["shared_ops"] == 2
+        assert "basic_stmts_executed" in snap

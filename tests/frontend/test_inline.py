@@ -1,0 +1,196 @@
+"""Function inlining tests."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.inline import Inliner, inline_functions
+from repro.frontend.parser import parse_program
+from tests.conftest import run_value
+
+
+def calls_in(program, func_name):
+    func = program.function(func_name)
+    return [node.name for node in ast.walk(func.body)
+            if isinstance(node, ast.Call)]
+
+
+class TestInlinability:
+    def test_small_leaf_inlined(self):
+        program = parse_program("""
+            int sq(int x) { return x * x; }
+            int main() { return sq(3) + sq(4); }
+        """)
+        expanded = inline_functions(program)
+        assert expanded == 2
+        assert "sq" not in calls_in(program, "main")
+
+    def test_recursive_function_not_inlined(self):
+        program = parse_program("""
+            int fact(int n) { if (n <= 1) return 1;
+                              return n * fact(n - 1); }
+            int main() { return fact(4); }
+        """)
+        assert inline_functions(program) == 0
+
+    def test_mutually_recursive_not_inlined(self):
+        program = parse_program("""
+            int even(int n);
+            int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+            int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+            int main() { return even(4); }
+        """)
+        assert inline_functions(program) == 0
+
+    def test_only_restricts_candidates(self):
+        program = parse_program("""
+            int a(int x) { return x + 1; }
+            int b(int x) { return x + 2; }
+            int main() { return a(1) + b(2); }
+        """)
+        inline_functions(program, only={"a"})
+        assert "a" not in calls_in(program, "main")
+        assert "b" in calls_in(program, "main")
+
+    def test_placed_call_not_inlined(self):
+        program = parse_program("""
+            int g(int x) { return x; }
+            int main() { return g(1) @ 1; }
+        """)
+        inline_functions(program)
+        assert "g" in calls_in(program, "main")
+
+    def test_function_with_parallel_constructs_not_inlined(self):
+        program = parse_program("""
+            int g() { int a; int b; {^ a = 1; b = 2; ^} return a + b; }
+            int main() { return g(); }
+        """)
+        assert inline_functions(program) == 0
+
+    def test_mid_function_return_not_inlined(self):
+        program = parse_program("""
+            int g(int x) { if (x) return 1; return 2; }
+            int main() { return g(1); }
+        """)
+        assert inline_functions(program) == 0
+
+    def test_size_limit(self):
+        body = " ".join(f"t = t + {i};" for i in range(50))
+        program = parse_program(f"""
+            int g(int x) {{ int t; t = x; {body} return t; }}
+            int main() {{ return g(1); }}
+        """)
+        assert inline_functions(program) == 0
+
+
+class TestInlineSemantics:
+    def test_inlined_result_matches(self):
+        source = """
+            int sq(int x) { return x * x; }
+            int main() { return sq(3) + sq(4); }
+        """
+        assert run_value(source) == run_value(source, inline=True) == 25
+
+    def test_void_inline(self):
+        source = """
+            struct c { int v; };
+            void bump(struct c *p) { p->v = p->v + 1; }
+            int main() {
+                struct c *p;
+                p = (struct c *) malloc(sizeof(struct c));
+                p->v = 5;
+                bump(p);
+                bump(p);
+                return p->v;
+            }
+        """
+        assert run_value(source, inline=True) == 7
+
+    def test_nested_inline_rounds(self):
+        source = """
+            int inc(int x) { return x + 1; }
+            int inc2(int x) { return inc(inc(x)); }
+            int main() { return inc2(5); }
+        """
+        program = parse_program(source)
+        expanded = inline_functions(program)
+        assert expanded >= 3
+        assert run_value(source, inline=True) == 7
+
+    def test_argument_evaluated_once(self):
+        # The argument expression has a side effect via a call chain; with
+        # a complex argument a binding temp must be used.
+        source = """
+            struct c { int v; };
+            int take(int x) { return x + x; }
+            int bump(struct c *p) { p->v = p->v + 1; return p->v; }
+            int main() {
+                struct c *p;
+                p = (struct c *) malloc(sizeof(struct c));
+                p->v = 0;
+                return take(bump(p));
+            }
+        """
+        assert run_value(source, inline=True) == 2
+
+    def test_param_substitution_keeps_base_variable(self):
+        program = parse_program("""
+            struct n { int a; int b; };
+            int pick(struct n *q, int which) {
+                int result;
+                result = 0;
+                if (which) result = q->a;
+                else result = q->b;
+                return result;
+            }
+            int main(struct n *p) { return pick(p, 1); }
+        """)
+        inline_functions(program)
+        reads = [node for node in ast.walk(program.function("main").body)
+                 if isinstance(node, ast.FieldAccess)]
+        assert reads
+        assert all(isinstance(r.base, ast.VarRef) and r.base.name == "p"
+                   for r in reads)
+
+    def test_reassigned_param_gets_binding_temp(self):
+        source = """
+            int clamp(int x) {
+                if (x > 10) x = 10;
+                return x;
+            }
+            int main() { int v; v = 42; return clamp(v) + v; }
+        """
+        # v must still be 42 after the call even though the param is
+        # reassigned inside.
+        assert run_value(source, inline=True) == 52
+
+    def test_condition_call_hoisted_before_if(self):
+        source = """
+            int is_big(int x) { return x > 5; }
+            int main() {
+                int t; t = 0;
+                if (is_big(9)) t = 1;
+                return t;
+            }
+        """
+        assert run_value(source, inline=True) == 1
+
+    def test_call_in_loop_condition_left_alone(self):
+        source = """
+            int lt(int a, int b) { return a < b; }
+            int main() {
+                int i; i = 0;
+                while (lt(i, 4)) i = i + 1;
+                return i;
+            }
+        """
+        program = parse_program(source)
+        inline_functions(program)
+        assert "lt" in calls_in(program, "main")
+        assert run_value(source, inline=True) == 4
+
+    def test_locals_renamed_no_capture(self):
+        source = """
+            int helper(int x) { int t; t = x * 2; return t; }
+            int main() { int t; t = 100; return helper(3) + t; }
+        """
+        assert run_value(source, inline=True) == 106

@@ -1,0 +1,173 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifier(self):
+        (tok,) = tokenize("hello")[:-1]
+        assert tok.kind == "id"
+        assert tok.text == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (tok,) = tokenize("_my_var2")[:-1]
+        assert tok.kind == "id"
+
+    def test_keywords_recognized(self):
+        for word in ("int", "double", "while", "forall", "shared",
+                     "local", "struct", "sizeof", "NULL"):
+            (tok,) = tokenize(word)[:-1]
+            assert tok.kind == "keyword", word
+
+    def test_keyword_prefix_is_identifier(self):
+        (tok,) = tokenize("integer")[:-1]
+        assert tok.kind == "id"
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert kinds("a \t\n b") == ["id", "id"]
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.kind == "int"
+        assert tok.value == 42
+
+    def test_hex_int(self):
+        (tok,) = tokenize("0x1F")[:-1]
+        assert tok.value == 31
+
+    def test_float_with_dot(self):
+        (tok,) = tokenize("3.25")[:-1]
+        assert tok.kind == "float"
+        assert tok.value == 3.25
+
+    def test_float_with_exponent(self):
+        (tok,) = tokenize("1e3")[:-1]
+        assert tok.kind == "float"
+        assert tok.value == 1000.0
+
+    def test_float_with_negative_exponent(self):
+        (tok,) = tokenize("2.5e-2")[:-1]
+        assert tok.value == 0.025
+
+    def test_leading_dot_float(self):
+        (tok,) = tokenize(".5")[:-1]
+        assert tok.kind == "float"
+        assert tok.value == 0.5
+
+    def test_int_then_member_access_not_float(self):
+        # `x.y` after ident: dot is an operator
+        assert kinds("s.f") == ["id", "op", "id"]
+
+
+class TestOperators:
+    def test_arrow(self):
+        assert texts("p->next") == ["p", "->", "next"]
+
+    def test_parallel_sequence_delimiters(self):
+        assert texts("{^ ^}") == ["{^", "^}"]
+
+    def test_caret_alone_is_xor(self):
+        assert texts("a ^ b") == ["a", "^", "b"]
+
+    def test_shift_operators(self):
+        assert texts("a << b >> c") == ["a", "<<", "b", ">>", "c"]
+
+    def test_relational_operators(self):
+        assert texts("a <= b >= c == d != e") == \
+            ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+    def test_logical_operators(self):
+        assert texts("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_compound_assignment(self):
+        assert texts("a += 1") == ["a", "+=", "1"]
+
+    def test_increment_decrement(self):
+        assert texts("a++ --b") == ["a", "++", "--", "b"]
+
+    def test_at_sign(self):
+        assert texts("f(x) @ 3") == ["f", "(", "x", ")", "@", "3"]
+
+    def test_maximal_munch_prefers_longest(self):
+        # `<<=` is one token, not `<<` `=`.
+        assert texts("a <<= 2") == ["a", "<<=", "2"]
+
+
+class TestLiteralsAndComments:
+    def test_char_literal(self):
+        (tok,) = tokenize("'x'")[:-1]
+        assert tok.kind == "char"
+        assert tok.value == "x"
+
+    def test_char_escape(self):
+        (tok,) = tokenize(r"'\n'")[:-1]
+        assert tok.value == "\n"
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hi there"')[:-1]
+        assert tok.kind == "string"
+        assert tok.value == "hi there"
+
+    def test_string_with_escapes(self):
+        (tok,) = tokenize(r'"a\tb"')[:-1]
+        assert tok.value == "a\tb"
+
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\n b") == ["id", "id"]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\n y */ b") == ["id", "id"]
+
+    def test_preprocessor_line_skipped(self):
+        assert kinds("#include <stdio.h>\nint") == ["keyword"]
+
+
+class TestErrorsAndLocations:
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"open')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].loc.line == 1
+        assert tokens[1].loc.line == 2
+        assert tokens[1].loc.column == 3
+
+    def test_token_helpers(self):
+        token = tokenize("while")[0]
+        assert token.is_keyword("while")
+        assert not token.is_op("while")

@@ -1,0 +1,298 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_program
+from repro.frontend.types import ArrayType, PointerType, StructType
+
+
+def parse_fn(body, header="int f()"):
+    program = parse_program(f"{header} {{ {body} }}")
+    return program.functions[0]
+
+
+class TestDeclarations:
+    def test_struct_declaration(self):
+        program = parse_program(
+            "struct node { int value; struct node *next; };")
+        (struct,) = program.structs
+        assert struct.name == "node"
+        assert struct.field("value").offset_words == 0
+        assert struct.field("next").offset_words == 1
+
+    def test_struct_multiple_declarators_per_line(self):
+        program = parse_program("struct p { double x, y; };")
+        (struct,) = program.structs
+        assert struct.size_words() == 4
+
+    def test_forward_struct_reference(self):
+        program = parse_program("""
+            struct a { struct b *peer; };
+            struct b { struct a *peer; };
+        """)
+        assert {s.name for s in program.structs} == {"a", "b"}
+
+    def test_global_variable(self):
+        program = parse_program("int counter = 3;")
+        (decl,) = program.globals
+        assert decl.name == "counter"
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_shared_global(self):
+        program = parse_program("shared int total;")
+        assert program.globals[0].is_shared
+
+    def test_function_with_params(self):
+        program = parse_program("int add(int a, int b) { return a + b; }")
+        func = program.functions[0]
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        program = parse_program("int f(void) { return 0; }")
+        assert program.functions[0].params == []
+
+    def test_prototype_then_definition_merged_by_checker(self):
+        program = parse_program("""
+            int f(int x);
+            int f(int x) { return x; }
+        """)
+        assert len(program.functions) == 2  # merged later by typecheck
+
+    def test_local_pointer_qualifier(self):
+        program = parse_program(
+            "struct n { int v; };"
+            "int f(struct n local *p) { return p->v; }")
+        param_type = program.functions[0].params[0].type
+        assert isinstance(param_type, PointerType)
+        assert param_type.is_local
+
+    def test_array_declarator(self):
+        program = parse_program("int table[8];")
+        assert isinstance(program.globals[0].var_type, ArrayType)
+        assert program.globals[0].var_type.length == 8
+
+    def test_multiple_locals_split(self):
+        func = parse_fn("int a, b, c; return 0;")
+        decls = [s for s in func.body.stmts if isinstance(s, ast.VarDecl)]
+        assert [d.name for d in decls] == ["a", "b", "c"]
+
+
+class TestStatements:
+    def test_if_else(self):
+        func = parse_fn("if (1) return 1; else return 2;")
+        (stmt,) = func.body.stmts
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        func = parse_fn("if (1) if (2) return 1; else return 2; return 3;")
+        outer = func.body.stmts[0]
+        assert isinstance(outer, ast.If)
+        assert outer.else_body is None
+        assert isinstance(outer.then_body, ast.If)
+        assert outer.then_body.else_body is not None
+
+    def test_while_loop(self):
+        func = parse_fn("int i; i = 0; while (i < 3) i = i + 1; return i;")
+        assert any(isinstance(s, ast.While) for s in func.body.stmts)
+
+    def test_do_while(self):
+        func = parse_fn("int i; i = 0; do i = i + 1; while (i < 3);"
+                        " return i;")
+        assert any(isinstance(s, ast.DoWhile) for s in func.body.stmts)
+
+    def test_for_loop(self):
+        func = parse_fn("int i; int t; t = 0;"
+                        "for (i = 0; i < 4; i++) t = t + i; return t;")
+        loop = next(s for s in func.body.stmts if isinstance(s, ast.For))
+        assert not loop.is_forall
+
+    def test_forall_loop(self):
+        func = parse_fn("int i; forall (i = 0; i < 4; i++) ; return 0;")
+        loop = next(s for s in func.body.stmts if isinstance(s, ast.For))
+        assert loop.is_forall
+
+    def test_parallel_sequence(self):
+        func = parse_fn("int a; int b; {^ a = 1; b = 2; ^} return a + b;")
+        par = next(s for s in func.body.stmts
+                   if isinstance(s, ast.ParallelSeq))
+        assert len(par.stmts) == 2
+
+    def test_switch_with_breaks(self):
+        func = parse_fn("""
+            int x; x = 2;
+            switch (x) {
+            case 1: x = 10; break;
+            case 2: x = 20; break;
+            default: x = 0; break;
+            }
+            return x;
+        """)
+        switch = next(s for s in func.body.stmts
+                      if isinstance(s, ast.Switch))
+        assert len(switch.cases) == 3
+        assert switch.cases[2].value is None
+
+    def test_switch_case_ending_in_return(self):
+        func = parse_fn("""
+            int x; x = 1;
+            switch (x) { case 1: return 5; default: break; }
+            return 0;
+        """)
+        switch = next(s for s in func.body.stmts
+                      if isinstance(s, ast.Switch))
+        assert isinstance(switch.cases[0].stmts[-1], ast.Return)
+
+    def test_switch_fallthrough_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fn("switch (1) { case 1: case 2: break; } return 0;")
+
+    def test_negative_case_label(self):
+        func = parse_fn(
+            "switch (0) { case -1: break; } return 0;")
+        switch = next(s for s in func.body.stmts
+                      if isinstance(s, ast.Switch))
+        assert switch.cases[0].value == -1
+
+    def test_goto_and_label(self):
+        func = parse_fn("goto out; out: return 1;")
+        assert isinstance(func.body.stmts[0], ast.Goto)
+        assert isinstance(func.body.stmts[1], ast.Labeled)
+
+    def test_return_with_parens(self):
+        func = parse_fn("return (42);")
+        assert isinstance(func.body.stmts[0].value, ast.IntLit)
+
+    def test_empty_statement(self):
+        func = parse_fn("; return 0;")
+        assert isinstance(func.body.stmts[0], ast.EmptyStmt)
+
+    def test_declaration_must_be_in_block(self):
+        with pytest.raises(ParseError):
+            parse_fn("if (1) int x; return 0;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        func = parse_fn("return 1 + 2 * 3;")
+        expr = func.body.stmts[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_parens(self):
+        func = parse_fn("return (1 + 2) * 3;")
+        expr = func.body.stmts[0].value
+        assert expr.op == "*"
+
+    def test_comparison_chain(self):
+        func = parse_fn("return 1 < 2 == 1;")
+        expr = func.body.stmts[0].value
+        assert expr.op == "=="
+
+    def test_unary_minus(self):
+        func = parse_fn("return -5;")
+        assert isinstance(func.body.stmts[0].value, ast.UnOp)
+
+    def test_ternary(self):
+        func = parse_fn("return 1 ? 2 : 3;")
+        assert isinstance(func.body.stmts[0].value, ast.CondExpr)
+
+    def test_field_access_chain(self):
+        program = parse_program("""
+            struct in { int v; };
+            struct out { struct in inner; };
+            int f(struct out *p) { return p->inner.v; }
+        """)
+        expr = program.functions[0].body.stmts[0].value
+        assert isinstance(expr, ast.FieldAccess)
+        assert not expr.arrow
+        assert isinstance(expr.base, ast.FieldAccess)
+        assert expr.base.arrow
+
+    def test_deref_and_addressof(self):
+        func = parse_fn("return *&x;", header="int f(int x)")
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.Deref)
+        assert isinstance(expr.pointer, ast.AddrOf)
+
+    def test_sizeof_struct(self):
+        program = parse_program("""
+            struct p { double x; double y; };
+            int f() { return sizeof(struct p); }
+        """)
+        expr = program.functions[0].body.stmts[0].value
+        assert isinstance(expr, ast.SizeOf)
+
+    def test_cast(self):
+        program = parse_program("""
+            struct n { int v; };
+            int f() { struct n *p; p = (struct n *) malloc(1); return 0; }
+        """)
+        assign = program.functions[0].body.stmts[1].expr
+        assert isinstance(assign.rhs, ast.Cast)
+
+    def test_call_with_placement_owner_of(self):
+        program = parse_program("""
+            struct n { int v; };
+            int g(struct n *p) { return p->v; }
+            int f(struct n *p) { return g(p) @ OWNER_OF(p); }
+        """)
+        call = program.functions[1].body.stmts[0].value
+        assert call.placement.kind == ast.Placement.KIND_OWNER_OF
+
+    def test_call_with_placement_node(self):
+        program = parse_program("int g() { return 1; }"
+                                "int f() { return g() @ 2; }")
+        call = program.functions[1].body.stmts[0].value
+        assert call.placement.kind == ast.Placement.KIND_NODE
+
+    def test_call_with_placement_home(self):
+        program = parse_program("int g() { return 1; }"
+                                "int f() { return g() @ HOME; }")
+        call = program.functions[1].body.stmts[0].value
+        assert call.placement.kind == ast.Placement.KIND_HOME
+
+    def test_null_is_zero_literal(self):
+        func = parse_fn("return NULL;")
+        value = func.body.stmts[0].value
+        assert isinstance(value, ast.IntLit)
+        assert value.value == 0
+
+    def test_index_expression(self):
+        func = parse_fn("return a[i + 1];", header="int f(int *a, int i)")
+        expr = func.body.stmts[0].value
+        assert isinstance(expr, ast.Index)
+
+    def test_compound_assignment(self):
+        func = parse_fn("int x; x = 1; x += 2; return x;")
+        assign = func.body.stmts[2].expr
+        assert assign.op == "+"
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int f() { return 1 }")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse_program("int f() { return 1;")
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError):
+            parse_program("floop f() { return 1; }")
+
+    def test_struct_requires_trailing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("struct p { int x; } int f() { return 0; }")
+
+    def test_local_on_non_pointer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int f() { int local x; return 0; }")
+
+    def test_case_label_must_be_int(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                'int f() { switch (1) { case "a": break; } return 0; }')

@@ -1,0 +1,238 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend.parser import parse_program
+from repro.frontend.typecheck import check_program
+from repro.frontend.types import DOUBLE, INT, PointerType
+
+
+def check(source):
+    program = parse_program(source)
+    symbols = check_program(program)
+    return program, symbols
+
+
+def check_fails(source, fragment=""):
+    program = parse_program(source)
+    with pytest.raises(TypeError_) as err:
+        check_program(program)
+    if fragment:
+        assert fragment in str(err.value)
+
+
+class TestBasics:
+    def test_simple_function(self):
+        check("int f(int x) { return x + 1; }")
+
+    def test_undeclared_variable(self):
+        check_fails("int f() { return y; }", "undeclared")
+
+    def test_redeclaration_in_scope(self):
+        check_fails("int f() { int x; int x; return 0; }",
+                    "redeclaration")
+
+    def test_shadowing_in_nested_scope_ok(self):
+        check("int f() { int x; x = 1; if (x) { int x; x = 2; } "
+              "return x; }")
+
+    def test_void_variable_rejected(self):
+        check_fails("int f() { void v; return 0; }")
+
+    def test_numeric_conversion_allowed(self):
+        check("double f(int x) { double d; d = x; return d; }")
+
+    def test_pointer_from_int_literal_null(self):
+        check("struct n { int v; }; int f() { struct n *p; p = 0; "
+              "return 0; }")
+
+    def test_incompatible_pointer_assignment(self):
+        check_fails("""
+            struct a { int v; };
+            struct b { int v; };
+            int f(struct a *p, struct b *q) { p = q; return 0; }
+        """)
+
+    def test_void_pointer_wildcard(self):
+        check("struct n { int v; }; "
+              "int f() { struct n *p; p = malloc(2); return 0; }")
+
+    def test_assign_to_rvalue_rejected(self):
+        check_fails("int f() { 1 = 2; return 0; }", "lvalue")
+
+
+class TestFunctions:
+    def test_call_before_definition(self):
+        check("int f() { return g(); } int g() { return 1; }")
+
+    def test_undefined_function(self):
+        check_fails("int f() { return nosuch(); }", "undeclared")
+
+    def test_wrong_arity(self):
+        check_fails("int g(int a) { return a; } int f() { return g(); }",
+                    "expected 1")
+
+    def test_wrong_argument_type(self):
+        check_fails("""
+            struct n { int v; };
+            int g(struct n *p) { return 0; }
+            int f() { double d; d = 0.0; return g(d); }
+        """)
+
+    def test_prototype_merges_with_definition(self):
+        program, _ = check("int g(int x); int f() { return g(1); } "
+                           "int g(int x) { return x; }")
+        names = [f.name for f in program.functions]
+        assert names.count("g") == 1
+
+    def test_conflicting_prototype(self):
+        check_fails("int g(int x); double g(int x) { return 1.0; }",
+                    "conflicting")
+
+    def test_return_type_mismatch(self):
+        check_fails("""
+            struct n { int v; };
+            int f(struct n *p) { return p; }
+        """)
+
+    def test_void_return_with_value_rejected(self):
+        check_fails("void f() { return 1; }")
+
+    def test_nonvoid_return_without_value_rejected(self):
+        check_fails("int f() { return; }")
+
+    def test_function_defined_twice(self):
+        check_fails("int f() { return 1; } int f() { return 2; }",
+                    "twice")
+
+    def test_variadic_printf(self):
+        check('int f() { printf("%d %d", 1, 2); return 0; }')
+
+
+class TestStructsAndPointers:
+    SRC = "struct n { int v; struct n *next; };"
+
+    def test_arrow_on_pointer(self):
+        check(self.SRC + " int f(struct n *p) { return p->v; }")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        check_fails(self.SRC + " int f(int x) { return x->v; }")
+
+    def test_dot_on_struct_value(self):
+        check(self.SRC + " int f(struct n *p) { return (*p).v; }")
+
+    def test_unknown_field(self):
+        check_fails(self.SRC + " int f(struct n *p) { return p->nope; }",
+                    "no field")
+
+    def test_deref_void_pointer_rejected(self):
+        check_fails("int f() { return *malloc(1); }")
+
+    def test_deref_non_pointer_rejected(self):
+        check_fails("int f(int x) { return *x; }")
+
+    def test_sizeof_incomplete_struct_rejected(self):
+        check_fails("int f() { return sizeof(struct mystery); }")
+
+    def test_pointer_comparison(self):
+        check(self.SRC +
+              " int f(struct n *p, struct n *q) { return p == q; }")
+
+    def test_pointer_vs_double_comparison_rejected(self):
+        check_fails(self.SRC +
+                    " int f(struct n *p) { double d; d = 1.0; "
+                    "return p == d; }")
+
+    def test_pointer_arithmetic(self):
+        check("int f(int *a) { return *(a + 2); }")
+
+    def test_array_decays_to_pointer(self):
+        check("int t[4]; int f() { return t[2]; }")
+
+    def test_index_type_must_be_integral(self):
+        check_fails("int f(int *a) { double d; d = 0.0; return a[d]; }")
+
+
+class TestSharedVariables:
+    def test_shared_access_via_builtins(self):
+        check("""
+            int f() {
+                shared int c;
+                writeto(&c, 0);
+                addto(&c, 2);
+                return valueof(&c);
+            }
+        """)
+
+    def test_direct_read_of_shared_rejected(self):
+        check_fails("int f() { shared int c; return c; }", "shared")
+
+    def test_direct_write_of_shared_rejected(self):
+        check_fails("int f() { shared int c; c = 1; return 0; }")
+
+    def test_writeto_on_ordinary_variable_rejected(self):
+        check_fails("int g; int f() { writeto(&g, 1); return 0; }",
+                    "not a shared variable")
+
+    def test_shared_init_expression_rejected(self):
+        check_fails("int f() { shared int c = 1; return 0; }")
+
+    def test_valueof_type_follows_pointee(self):
+        program, _ = check(
+            "double f() { shared double d; writeto(&d, 1.5); "
+            "return valueof(&d); }")
+
+
+class TestPlacements:
+    SRC = """
+        struct n { int v; };
+        int g(struct n *p) { return p->v; }
+    """
+
+    def test_owner_of_pointer(self):
+        check(self.SRC + "int f(struct n *p) { return g(p)@OWNER_OF(p); }")
+
+    def test_owner_of_non_pointer_rejected(self):
+        check_fails(self.SRC +
+                    "int f(struct n *p) { int i; i = 0; "
+                    "return g(p)@OWNER_OF(i); }")
+
+    def test_node_placement_must_be_integral(self):
+        check_fails(self.SRC +
+                    "int f(struct n *p) { double d; d = 0.0; "
+                    "return g(p)@d; }")
+
+    def test_builtin_placement_rejected_except_malloc(self):
+        check_fails("int f() { return num_nodes() @ 1; }")
+
+    def test_malloc_placement_allowed(self):
+        check("struct n { int v; }; int f() "
+              "{ struct n *p; p = (struct n *) "
+              "malloc(sizeof(struct n)) @ 1; return 0; }")
+
+
+class TestOperators:
+    def test_modulo_requires_ints(self):
+        check_fails("int f() { double d; d = 1.0; return 3 % d; }")
+
+    def test_bitwise_requires_ints(self):
+        check_fails("int f() { double d; d = 1.0; return 3 & d; }")
+
+    def test_logical_not_on_pointer(self):
+        check("struct n { int v; }; int f(struct n *p) { return !p; }")
+
+    def test_condition_must_be_scalar(self):
+        check_fails("""
+            struct p { int x; };
+            struct p g;
+            int f() { if (g) return 1; return 0; }
+        """)
+
+    def test_switch_scrutinee_must_be_integral(self):
+        check_fails("int f() { double d; d = 1.0; "
+                    "switch (d) { case 1: break; } return 0; }")
+
+    def test_duplicate_case_label(self):
+        check_fails("int f() { switch (1) { case 1: break; "
+                    "case 1: break; } return 0; }", "duplicate")

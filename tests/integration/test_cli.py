@@ -1,0 +1,93 @@
+"""CLI driver tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+struct point { double x; double y; };
+
+double distance(struct point *p) {
+    return sqrt(p->x * p->x + p->y * p->y);
+}
+
+int main(int scale) {
+    struct point *p;
+    p = (struct point *) malloc(sizeof(struct point)) @ 1;
+    p->x = 3.0 * scale;
+    p->y = 4.0 * scale;
+    printf("hello=%d", scale);
+    return (int) distance(p);
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.ec"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestShow:
+    def test_show_simple(self, source_file, capsys):
+        assert main([source_file, "--show", "simple"]) == 0
+        out = capsys.readouterr().out
+        assert "p->x" in out and "[R]" in out
+
+    def test_show_simple_optimized(self, source_file, capsys):
+        assert main([source_file, "-O", "--show", "simple",
+                     "--function", "distance"]) == 0
+        out = capsys.readouterr().out
+        assert "comm1" in out
+        assert "main(" not in out  # restricted to one function
+
+    def test_show_threaded(self, source_file, capsys):
+        assert main([source_file, "-O", "--show", "threaded"]) == 0
+        out = capsys.readouterr().out
+        assert "THREADED distance" in out
+        assert "GET_SYNC(" in out
+
+    def test_show_tuples(self, source_file, capsys):
+        assert main([source_file, "--show", "tuples",
+                     "--function", "distance"]) == 0
+        out = capsys.readouterr().out
+        assert "RR={" in out and "p->x" in out
+
+    def test_show_stats(self, source_file, capsys):
+        assert main([source_file, "-O", "--show", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "optimization report" in out
+        assert "distance" in out
+
+    def test_unknown_show_item(self, source_file, capsys):
+        assert main([source_file, "--show", "rainbows"]) == 2
+
+    def test_unknown_function(self, source_file, capsys):
+        assert main([source_file, "--show", "simple",
+                     "--function", "nope"]) == 1
+
+
+class TestRun:
+    def test_run_with_args(self, source_file, capsys):
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hello=2" in out
+        assert "result  = 10" in out
+        assert "remote" in out
+
+    def test_run_unoptimized_same_result(self, source_file, capsys):
+        assert main([source_file, "--run", "--nodes", "2",
+                     "--args", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "result  = 5" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/prog.ec"]) == 2
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ec"
+        bad.write_text("int main() { return undeclared_var; }")
+        assert main([str(bad), "--run"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""Experiment-harness integration tests (fast variants of the benches)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    PAPER_TABLE1,
+    format_fig10,
+    format_table1,
+    format_table2,
+    format_table3,
+    measure_fig10,
+    measure_table1,
+    measure_table3,
+    table2_rows,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return measure_table1(iters=100)
+
+    def test_all_six_cells_measured(self, measured):
+        assert set(measured) == set(PAPER_TABLE1)
+
+    def test_within_five_percent_of_paper(self, measured):
+        for key, paper in PAPER_TABLE1.items():
+            assert measured[key] == pytest.approx(paper, rel=0.05), key
+
+    def test_format_contains_paper_columns(self, measured):
+        text = format_table1(measured)
+        assert "7109" in text and "1908" in text
+        assert "Blkmov word" in text
+
+
+class TestTable2:
+    def test_five_benchmarks(self):
+        rows = table2_rows()
+        assert [r["benchmark"] for r in rows] == \
+            ["power", "perimeter", "tsp", "health", "voronoi"]
+
+    def test_format(self):
+        text = format_table2()
+        assert "32K cities" in text
+
+
+class TestTable3:
+    def test_single_benchmark_rows(self):
+        rows = measure_table3((1, 4), benchmarks=["power"], small=True)
+        assert len(rows) == 2
+        assert {r.processors for r in rows} == {1, 4}
+        for row in rows:
+            assert row.simple_ns > 0 and row.optimized_ns > 0
+            assert row.sequential_ns == rows[0].sequential_ns
+        text = format_table3(rows)
+        assert "power" in text and "paper%" in text
+
+    def test_speedup_and_improvement_math(self):
+        rows = measure_table3((4,), benchmarks=["health"], small=True)
+        row = rows[0]
+        assert row.simple_speedup == pytest.approx(
+            row.sequential_ns / row.simple_ns)
+        expected = (row.simple_ns - row.optimized_ns) / row.simple_ns * 100
+        assert row.improvement_pct == pytest.approx(expected)
+
+
+class TestFig10:
+    def test_bars_normalized_to_simple(self):
+        bars = measure_fig10(num_nodes=4, benchmarks=["tsp"], small=True)
+        (bar,) = bars
+        normalized = bar.normalized(bar.simple_counts)
+        assert sum(normalized.values()) == pytest.approx(100.0)
+        assert bar.optimized_normalized_total < 100.0
+
+    def test_format(self):
+        bars = measure_fig10(num_nodes=4, benchmarks=["power"],
+                             small=True)
+        text = format_fig10(bars)
+        assert "power" in text and "blk" in text

@@ -1,0 +1,100 @@
+"""Olden catalog and per-benchmark sanity tests."""
+
+import pytest
+
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import catalog, get_benchmark
+from repro.simple.validate import validate_program
+
+
+class TestCatalog:
+    def test_five_benchmarks_in_paper_order(self):
+        assert [s.name for s in catalog()] == \
+            ["power", "perimeter", "tsp", "health", "voronoi"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_benchmark("fft")
+
+    def test_sources_load(self):
+        for spec in catalog():
+            assert "int main(" in spec.source()
+
+    def test_sizes_declared(self):
+        for spec in catalog():
+            assert spec.default_args
+            assert spec.small_args
+            assert spec.paper_size and spec.our_size
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name",
+                             [s.name for s in catalog()])
+    def test_compiles_and_validates_both_ways(self, name):
+        spec = get_benchmark(name)
+        for optimize in (False, True):
+            compiled = compile_earthc(spec.source(), name,
+                                      optimize=optimize,
+                                      inline=spec.inline)
+            stats = validate_program(compiled.simple)
+            assert stats.basic_stmts > 50
+
+    @pytest.mark.parametrize("name",
+                             [s.name for s in catalog()])
+    def test_threaded_backend_renders(self, name):
+        spec = get_benchmark(name)
+        compiled = compile_earthc(spec.source(), name, optimize=True,
+                                  inline=spec.inline)
+        text = compiled.threaded_listing()
+        assert "THREADED main" in text
+        assert "GET_SYNC(" in text or "BLKMOV_SYNC(" in text
+
+
+class TestScalability:
+    def test_power_scales_with_laterals(self):
+        spec = get_benchmark("power")
+        small = execute(compile_earthc(spec.source(), "power"),
+                        num_nodes=1, args=(2, 2, 2, 1))
+        large = execute(compile_earthc(spec.source(), "power"),
+                        num_nodes=1, args=(4, 2, 2, 1))
+        assert large.stats.basic_stmts_executed \
+            > small.stats.basic_stmts_executed
+
+    def test_perimeter_depth_monotone(self):
+        spec = get_benchmark("perimeter")
+        values = []
+        for depth in (3, 4, 5):
+            result = execute(
+                compile_earthc(spec.source(), "perimeter",
+                               inline=spec.inline),
+                num_nodes=1, args=(depth,))
+            values.append(result.value)
+        # Deeper quadtrees refine the disk: perimeter grows.
+        assert values[0] < values[1] < values[2]
+
+    def test_tsp_tour_length_reasonable(self):
+        spec = get_benchmark("tsp")
+        result = execute(compile_earthc(spec.source(), "tsp",
+                                        inline=spec.inline),
+                         num_nodes=1, args=(32,))
+        # 32 unit-square cities: any closed tour is > 0 and a heuristic
+        # tour of random points stays well under 32 * sqrt(2).
+        assert 0 < result.value < 46_000  # scaled x1000
+
+    def test_health_conserves_patients(self):
+        # Checksum encodes treated patients; more steps, more treated.
+        spec = get_benchmark("health")
+        few = execute(compile_earthc(spec.source(), "health"),
+                      num_nodes=1, args=(2, 8))
+        many = execute(compile_earthc(spec.source(), "health"),
+                       num_nodes=1, args=(2, 14))
+        assert many.value > few.value
+
+    def test_voronoi_frontier_complete(self):
+        spec = get_benchmark("voronoi")
+        npoints = 64
+        result = execute(compile_earthc(spec.source(), "voronoi"),
+                         num_nodes=1, args=(npoints,))
+        # The checksum's high digits encode the merged frontier length,
+        # which must contain every point exactly once.
+        assert result.value // 100000 == npoints

@@ -1,0 +1,248 @@
+"""Random EARTH-C program generators for property-based testing.
+
+Two generators:
+
+* :func:`scalar_programs` -- integer-only programs with nested ifs,
+  bounded loops, ``break``/``continue``.  Each draw returns the EARTH-C
+  source *and* an equivalent Python source, so the CPython interpreter
+  serves as an independent semantic oracle (our interpreter's ints are
+  Python ints, so arithmetic semantics align; division is kept
+  positive).
+* :func:`heap_programs` -- programs over a linked structure with
+  distributed allocation, field reads/writes, conditionals and bounded
+  list walks.  These have no Python oracle; the property is that the
+  communication optimizer preserves their results across node counts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+VARS = ["v0", "v1", "v2", "v3"]
+
+
+# ---------------------------------------------------------------------------
+# Scalar programs with a Python oracle
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _expr(draw, depth):
+    if depth <= 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            value = draw(st.integers(0, 9))
+            return str(value), str(value)
+        name = draw(st.sampled_from(VARS))
+        return name, name
+    op = draw(st.sampled_from(["+", "-", "*", "<", "==", "%2+"]))
+    left_c, left_p = draw(_expr(depth - 1))
+    right_c, right_p = draw(_expr(depth - 1))
+    if op == "%2+":
+        # Keep modulo safe: constant divisor.
+        return (f"(({left_c}) % 7 + ({right_c}))",
+                f"_cmod(({left_p}), 7) + (({right_p}))")
+    if op in ("<", "=="):
+        return (f"(({left_c}) {op} ({right_c}))",
+                f"(1 if ({left_p}) {op} ({right_p}) else 0)")
+    return (f"(({left_c}) {op} ({right_c}))",
+            f"(({left_p}) {op} ({right_p}))")
+
+
+@st.composite
+def _stmts(draw, depth, in_loop, loop_id):
+    count = draw(st.integers(1, 3))
+    c_lines = []
+    p_lines = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(
+            ["assign", "assign", "if", "loop", "interrupt"]))
+        if kind == "assign" or (kind == "loop" and depth <= 0):
+            var = draw(st.sampled_from(VARS))
+            expr_c, expr_p = draw(_expr(draw(st.integers(0, 2))))
+            c_lines.append(f"{var} = {expr_c};")
+            p_lines.append(f"{var} = {expr_p}")
+        elif kind == "if":
+            cond_c, cond_p = draw(_expr(1))
+            then_c, then_p = draw(_stmts(depth - 1, in_loop, loop_id))
+            c_lines.append(f"if ({cond_c}) {{")
+            c_lines.extend("    " + line for line in then_c)
+            p_lines.append(f"if ({cond_p}) != 0:")
+            p_lines.extend("    " + line for line in then_p)
+            if draw(st.booleans()):
+                else_c, else_p = draw(_stmts(depth - 1, in_loop, loop_id))
+                c_lines.append("} else {")
+                c_lines.extend("    " + line for line in else_c)
+                c_lines.append("}")
+                p_lines.append("else:")
+                p_lines.extend("    " + line for line in else_p)
+            else:
+                c_lines.append("}")
+        elif kind == "loop":
+            new_loop = loop_id[0]
+            loop_id[0] += 1
+            counter = f"L{new_loop}"
+            bound = draw(st.integers(1, 4))
+            body_c, body_p = draw(_stmts(depth - 1, True, loop_id))
+            c_lines.append(f"{counter} = 0;")
+            c_lines.append(f"while ({counter} < {bound}) {{")
+            c_lines.append(f"    {counter} = {counter} + 1;")
+            c_lines.extend("    " + line for line in body_c)
+            c_lines.append("}")
+            p_lines.append(f"{counter} = 0")
+            p_lines.append(f"while {counter} < {bound}:")
+            p_lines.append(f"    {counter} = {counter} + 1")
+            p_lines.extend("    " + line for line in body_p)
+        elif kind == "interrupt" and in_loop:
+            word = draw(st.sampled_from(["break", "continue"]))
+            c_lines.append(f"{word};")
+            p_lines.append(word)
+        else:
+            var = draw(st.sampled_from(VARS))
+            c_lines.append(f"{var} = {var} + 1;")
+            p_lines.append(f"{var} = {var} + 1")
+    return c_lines, p_lines
+
+
+@st.composite
+def scalar_programs(draw):
+    """Returns ``(earthc_source, python_source)``; the Python program
+    defines ``result`` when exec'd with ``_cmod`` in scope."""
+    loop_id = [0]
+    body_c, body_p = draw(_stmts(2, False, loop_id))
+    result_c, result_p = draw(_expr(2))
+    counters = [f"L{i}" for i in range(loop_id[0])]
+    decls = "\n    ".join(f"int {name};"
+                          for name in VARS + counters)
+    inits_c = "\n    ".join(f"{name} = {i + 1};"
+                            for i, name in enumerate(VARS))
+    c_body = "\n    ".join(body_c)
+    source_c = f"""
+int main() {{
+    {decls}
+    {inits_c}
+    {c_body}
+    return {result_c};
+}}
+"""
+    inits_p = "\n".join(f"{name} = {i + 1}"
+                        for i, name in enumerate(VARS))
+    p_body = "\n".join(body_p)
+    source_p = f"{inits_p}\n{p_body}\nresult = {result_p}\n"
+    return source_c, source_p
+
+
+def run_python_oracle(python_source: str) -> int:
+    """Execute the oracle program and return ``result``."""
+    def _cmod(a, b):
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return a - q * b
+
+    scope = {"_cmod": _cmod}
+    exec(python_source, scope)  # noqa: S102 - test oracle
+    return scope["result"]
+
+
+# ---------------------------------------------------------------------------
+# Heap programs (optimizer-preservation property)
+# ---------------------------------------------------------------------------
+
+_HEAP_HEADER = """
+struct cell { int f0; int f1; int f2; int f3; struct cell *next; };
+
+int main() {
+    struct cell *a;
+    struct cell *b;
+    struct cell *c;
+    struct cell *p;
+    int t; int i; int nn;
+    nn = num_nodes();
+    a = (struct cell *) malloc(sizeof(struct cell)) @ (0 % nn);
+    b = (struct cell *) malloc(sizeof(struct cell)) @ (1 % nn);
+    c = (struct cell *) malloc(sizeof(struct cell)) @ (2 % nn);
+    a->f0 = 1; a->f1 = 2; a->f2 = 3; a->f3 = 4; a->next = b;
+    b->f0 = 5; b->f1 = 6; b->f2 = 7; b->f3 = 8; b->next = c;
+    c->f0 = 9; c->f1 = 10; c->f2 = 11; c->f3 = 12; c->next = NULL;
+    t = 0;
+"""
+
+_FIELDS = ["f0", "f1", "f2", "f3"]
+_PTRS = ["a", "b", "c"]
+
+
+@st.composite
+def _flat_heap_stmts(draw):
+    """Straight-line field traffic only (safe inside a walk body)."""
+    count = draw(st.integers(1, 3))
+    lines = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(["read", "write", "rmw"]))
+        ptr = draw(st.sampled_from(_PTRS))
+        field = draw(st.sampled_from(_FIELDS))
+        if kind == "read":
+            lines.append(f"t = t + {ptr}->{field};")
+        elif kind == "write":
+            value = draw(st.integers(0, 9))
+            lines.append(f"{ptr}->{field} = t + {value};")
+        else:
+            lines.append(f"{ptr}->{field} = {ptr}->{field} + 1;")
+    return lines
+
+
+@st.composite
+def _heap_stmts(draw, depth):
+    count = draw(st.integers(1, 4))
+    lines = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(
+            ["read", "write", "rmw", "if", "walk", "copy"]))
+        ptr = draw(st.sampled_from(_PTRS))
+        field = draw(st.sampled_from(_FIELDS))
+        if kind == "read":
+            lines.append(f"t = t + {ptr}->{field};")
+        elif kind == "write":
+            value = draw(st.integers(0, 9))
+            lines.append(f"{ptr}->{field} = t + {value};")
+        elif kind == "rmw":
+            lines.append(f"{ptr}->{field} = {ptr}->{field} + 1;")
+        elif kind == "if" and depth > 0:
+            inner = draw(_heap_stmts(depth - 1))
+            other = draw(st.sampled_from(_FIELDS))
+            lines.append(f"if ({ptr}->{field} < {ptr}->{other}) {{")
+            lines.extend("    " + line for line in inner)
+            lines.append("}")
+        elif kind == "walk" and depth > 0:
+            # The walk body must neither touch `p` nor contain nested
+            # walks (which would reset/clobber the cursor).
+            inner = draw(_flat_heap_stmts())
+            lines.append("p = a;")
+            lines.append("while (p != NULL) {")
+            lines.append(f"    t = t + p->{field};")
+            lines.extend("    " + line for line in inner)
+            lines.append("    p = p->next;")
+            lines.append("}")
+        else:  # copy whole struct
+            src = draw(st.sampled_from(_PTRS))
+            dst = draw(st.sampled_from([x for x in _PTRS if x != src]))
+            lines.append(f"*{dst} = *{src};")
+            lines.append(f"{dst}->next = {'NULL' if dst == 'c' else 'c'};")
+    return lines
+
+
+@st.composite
+def heap_programs(draw):
+    body = draw(_heap_stmts(2))
+    joined = "\n    ".join(body)
+    return (_HEAP_HEADER + "    " + joined + """
+    p = a;
+    i = 0;
+    while (p != NULL && i < 5) {
+        t = t * 3 + p->f0 + p->f1 + p->f2 + p->f3;
+        p = p->next;
+        i = i + 1;
+    }
+    return t;
+}
+""")

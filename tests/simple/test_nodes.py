@@ -1,0 +1,144 @@
+"""SIMPLE IR node tests."""
+
+import pytest
+
+from repro.frontend.types import DOUBLE, INT, FieldPath, PointerType, StructType
+from repro.simple import nodes as s
+
+
+def make_struct():
+    struct = StructType("pt")
+    struct.define([("x", DOUBLE), ("y", DOUBLE), ("tag", INT)])
+    return struct
+
+
+class TestOperands:
+    def test_const_equality(self):
+        assert s.Const(1) == s.Const(1)
+        assert s.Const(1) != s.Const(2)
+        assert s.Const(1) != s.Const(1.0)  # int vs float distinct
+
+    def test_varuse_variables(self):
+        assert s.VarUse("p").variables() == ("p",)
+        assert s.Const(3).variables() == ()
+
+
+class TestRemoteAccessReporting:
+    def test_field_read_remote(self):
+        stmt = s.AssignStmt(s.VarLV("x"),
+                            s.FieldReadRhs("p", FieldPath.single("v"),
+                                           remote=True))
+        access = stmt.remote_read()
+        assert access is not None
+        assert access.base == "p"
+        assert stmt.remote_write() is None
+        assert stmt.is_remote
+
+    def test_local_field_read_not_remote(self):
+        stmt = s.AssignStmt(s.VarLV("x"),
+                            s.FieldReadRhs("p", FieldPath.single("v"),
+                                           remote=False))
+        assert stmt.remote_read() is None
+        assert not stmt.is_remote
+
+    def test_field_write_remote(self):
+        stmt = s.AssignStmt(s.FieldWriteLV("p", FieldPath.single("v"),
+                                           remote=True),
+                            s.OperandRhs(s.Const(1)))
+        assert stmt.remote_write() is not None
+        assert stmt.remote_read() is None
+
+    def test_blkmov_both_sides(self):
+        stmt = s.BlkmovStmt(("ptr", "p", 0), ("ptr", "q", 0), 4)
+        assert stmt.remote_read().base == "p"
+        assert stmt.remote_write().base == "q"
+
+    def test_blkmov_local_endpoint_not_remote(self):
+        stmt = s.BlkmovStmt(("ptr", "p", 0), ("local", "buf", 0), 4)
+        assert stmt.remote_write() is None
+
+
+class TestStatements:
+    def test_labels_are_unique_and_increasing(self):
+        a = s.NopStmt()
+        b = s.NopStmt()
+        assert a.label != b.label
+
+    def test_walk_preorder(self):
+        inner = s.NopStmt()
+        seq = s.SeqStmt([inner])
+        loop = s.WhileStmt(s.CondExpr(s.Const(1)), seq)
+        assert list(loop.walk()) == [loop, seq, inner]
+
+    def test_basic_stmts_iteration(self):
+        a, b = s.NopStmt(), s.NopStmt()
+        tree = s.SeqStmt([a, s.IfStmt(s.CondExpr(s.Const(0)),
+                                      s.SeqStmt([b]), s.SeqStmt([]))])
+        assert set(tree.basic_stmts()) == {a, b}
+
+    def test_switch_alternatives(self):
+        switch = s.SwitchStmt(s.VarUse("x"),
+                              [(1, s.SeqStmt([])), (2, s.SeqStmt([]))],
+                              s.SeqStmt([]))
+        assert switch.num_alternatives == 3
+        no_default = s.SwitchStmt(s.VarUse("x"), [(1, s.SeqStmt([]))],
+                                  None)
+        assert no_default.num_alternatives == 1
+
+    def test_cond_expr_validation(self):
+        cond = s.CondExpr(s.VarUse("p"), "!=", s.Const(0))
+        assert cond.variables() == ("p",)
+        with pytest.raises(AssertionError):
+            s.CondExpr(s.VarUse("p"), "!=", None)
+
+
+class TestSimpleFunction:
+    def test_fresh_names_do_not_collide(self):
+        func = s.SimpleFunction("f", INT, [])
+        func.declare("temp_1", INT)
+        fresh = func.fresh_temp(INT)
+        assert fresh != "temp_1"
+        assert fresh in func.variables
+
+    def test_comm_and_bcomm_counters(self):
+        struct = make_struct()
+        func = s.SimpleFunction("f", INT, [])
+        assert func.fresh_comm(DOUBLE) == "comm1"
+        assert func.fresh_comm(DOUBLE) == "comm2"
+        assert func.fresh_bcomm(struct) == "bcomm1"
+        assert func.variables["bcomm1"].type is struct
+
+    def test_duplicate_declare_rejected(self):
+        func = s.SimpleFunction("f", INT, [])
+        func.declare("x", INT)
+        with pytest.raises(ValueError):
+            func.declare("x", INT)
+
+    def test_label_map(self):
+        func = s.SimpleFunction("f", INT, [])
+        stmt = s.ReturnStmt(s.Const(0))
+        func.body = s.SeqStmt([stmt])
+        label_map = func.label_map()
+        assert label_map[stmt.label] is stmt
+
+
+class TestFieldPath:
+    def test_resolve_offsets(self):
+        struct = make_struct()
+        offset, ftype = FieldPath.single("y").resolve(struct)
+        assert offset == 2
+        assert ftype is DOUBLE
+
+    def test_nested_resolution(self):
+        inner = StructType("inner")
+        inner.define([("a", INT), ("b", INT)])
+        outer = StructType("outer")
+        outer.define([("tag", INT), ("payload", inner)])
+        offset, ftype = FieldPath.parse("payload.b").resolve(outer)
+        assert offset == 2
+        assert ftype is INT
+
+    def test_extend(self):
+        path = FieldPath.single("a").extend("b")
+        assert path.names == ("a", "b")
+        assert str(path) == "a.b"
