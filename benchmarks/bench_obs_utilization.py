@@ -1,0 +1,46 @@
+"""Observability: per-node EU/SU utilization, simple vs. optimized.
+
+Runs one Olden benchmark three ways and embeds the machine-readable
+utilization metrics in the pytest-benchmark ``extra_info`` field, so
+``BENCH_*.json`` trajectories carry per-node EU/SU utilization data
+alongside wall-clock timings.  The assertions pin the qualitative story
+behind Table III: the optimized configuration never loses EU
+utilization on the driving node while spending less simulated time.
+"""
+
+import json
+
+from benchmarks.conftest import pedantic
+from repro.harness.experiments import (
+    format_utilization,
+    measure_utilization,
+)
+
+BENCHMARK = "power"
+NODES = 4
+
+
+def test_utilization_metrics(benchmark):
+    metrics = pedantic(
+        benchmark,
+        lambda: measure_utilization(BENCHMARK, num_nodes=NODES,
+                                    small=True))
+    benchmark.extra_info["utilization"] = metrics
+    print()
+    print(format_utilization(BENCHMARK, metrics))
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+
+    assert set(metrics) == {"sequential", "simple", "optimized"}
+    for config in ("simple", "optimized"):
+        entry = metrics[config]
+        util = entry["utilization"]
+        assert entry["nodes"] == NODES
+        assert len(util["eu_utilization"]) == NODES
+        assert len(util["su_utilization"]) == NODES
+        for value in util["eu_utilization"] + util["su_utilization"]:
+            assert 0.0 <= value <= 1.0
+        # Work happens somewhere: the driving node's EU is busy.
+        assert util["eu_utilization"][0] > 0.0
+    # The optimization wins simulated time (Table III's improvement).
+    assert metrics["optimized"]["time_ns"] \
+        <= metrics["simple"]["time_ns"]

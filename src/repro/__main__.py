@@ -12,11 +12,18 @@ Examples::
     python -m repro prog.ec -O --show simple,threaded
     python -m repro prog.ec -O --run --nodes 4 --args 100
     python -m repro prog.ec -O --show tuples --function walk
+    python -m repro prog.ec -O --show profile       # compile timings
+    python -m repro prog.ec -O --run --nodes 4 --trace out.json
+                       # Chrome trace-event JSON: open in
+                       # chrome://tracing or https://ui.perfetto.dev
+    python -m repro prog.ec -O --run --json         # machine-readable
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.analysis.connection import ConnectionInfo
@@ -25,6 +32,7 @@ from repro.analysis.rw_sets import EffectsAnalysis
 from repro.comm.placement import analyze_placement
 from repro.errors import ReproError
 from repro.harness.pipeline import compile_earthc, execute
+from repro.obs import TraceMetrics, Tracer, export_chrome_trace
 from repro.simple import nodes as s
 from repro.simple.printer import print_function
 
@@ -44,7 +52,7 @@ def _parse_args(argv):
                              "extension")
     parser.add_argument("--show", default="",
                         help="comma list of: simple, threaded, tuples, "
-                             "stats")
+                             "stats, profile")
     parser.add_argument("--function", default=None,
                         help="restrict --show output to one function")
     parser.add_argument("--run", action="store_true",
@@ -52,8 +60,22 @@ def _parse_args(argv):
     parser.add_argument("--nodes", type=int, default=1,
                         help="number of EARTH nodes (default 1)")
     parser.add_argument("--args", default="",
-                        help="comma-separated integer arguments to main")
+                        help="comma-separated integer arguments to main "
+                             "(for the bundled Olden benchmarks, "
+                             "defaults to the catalog problem size)")
     parser.add_argument("--entry", default="main")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="with --run: record a structured trace and "
+                             "write it as Chrome trace-event JSON "
+                             "(chrome://tracing / Perfetto)")
+    parser.add_argument("--trace-capacity", type=int, default=None,
+                        metavar="N",
+                        help="bound trace memory to the most recent N "
+                             "events (ring buffer; default unbounded)")
+    parser.add_argument("--json", action="store_true",
+                        help="with --run: print one JSON object (run "
+                             "result, MachineStats.snapshot(), per-node "
+                             "EU/SU utilization) instead of text")
     return parser.parse_args(argv)
 
 
@@ -100,9 +122,17 @@ def main(argv=None) -> int:
         return 2
 
     shows = [part.strip() for part in args.show.split(",") if part.strip()]
-    unknown = set(shows) - {"simple", "threaded", "tuples", "stats"}
+    unknown = set(shows) - {"simple", "threaded", "tuples", "stats",
+                            "profile"}
     if unknown:
         print(f"error: unknown --show item(s): {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+    if (args.trace or args.json) and not args.run:
+        print("error: --trace/--json require --run", file=sys.stderr)
+        return 2
+    if args.trace_capacity is not None and args.trace_capacity <= 0:
+        print("error: --trace-capacity must be positive",
               file=sys.stderr)
         return 2
 
@@ -126,12 +156,32 @@ def main(argv=None) -> int:
                 forwarding = compiled.report.forwarding.get(name)
                 print(f"  {name:<24} {stats} forwarding={forwarding}")
             print()
+        if "profile" in shows:
+            print(compiled.profile_text())
+            print()
 
         if args.run:
             run_args = [int(part) for part in args.args.split(",")
                         if part.strip()]
+            if not run_args and args.entry == "main":
+                run_args = _catalog_default_args(args.file)
+            tracer = None
+            if args.trace is not None:
+                tracer = Tracer(capacity=args.trace_capacity)
             result = execute(compiled, num_nodes=args.nodes,
-                             entry=args.entry, args=run_args)
+                             entry=args.entry, args=run_args,
+                             tracer=tracer)
+            if tracer is not None:
+                try:
+                    written = export_chrome_trace(tracer, args.trace,
+                                                  args.nodes)
+                except OSError as exc:
+                    print(f"error: cannot write trace: {exc}",
+                          file=sys.stderr)
+                    return 1
+            if args.json:
+                _print_json(args, compiled, result, tracer)
+                return 0
             for line in result.output:
                 print(line)
             stats = result.stats
@@ -144,10 +194,50 @@ def main(argv=None) -> int:
             print(f"local   = {stats.local_reads} reads, "
                   f"{stats.local_writes} writes, "
                   f"{stats.local_blkmovs} blkmovs")
+            if tracer is not None:
+                print(TraceMetrics(tracer, args.nodes,
+                                   result.time_ns).format_text())
+                print(f"trace   = {args.trace} ({written} trace events, "
+                      f"{tracer.dropped} dropped)")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _catalog_default_args(path):
+    """Olden benchmarks run without ``--args`` use their catalog size."""
+    from repro.olden.loader import catalog
+    basename = os.path.basename(path)
+    for spec in catalog():
+        if spec.filename == basename:
+            print(f"(no --args: using {spec.name} catalog size "
+                  f"{','.join(map(str, spec.default_args))})",
+                  file=sys.stderr)
+            return list(spec.default_args)
+    return []
+
+
+def _print_json(args, compiled, result, tracer) -> None:
+    """The ``--json`` payload: one object for scripting."""
+    payload = {
+        "file": args.file,
+        "nodes": args.nodes,
+        "optimized": compiled.optimized,
+        "result": result.value,
+        "time_ns": result.time_ns,
+        "output": result.output,
+        "stats": result.stats.snapshot(),
+        "utilization": result.utilization(),
+        "compile_profile": compiled.profile.to_dict(),
+    }
+    if compiled.report is not None:
+        payload["optimizer"] = compiled.report.to_dict()
+    if tracer is not None:
+        payload["trace"] = TraceMetrics(tracer, args.nodes,
+                                        result.time_ns).to_dict()
+        payload["trace_file"] = args.trace
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

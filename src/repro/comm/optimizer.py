@@ -18,7 +18,7 @@ synchronous (sequential-cost) operation in the simulator.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.connection import ConnectionInfo
 from repro.analysis.locality import LocalityResult, analyze_locality
@@ -29,6 +29,7 @@ from repro.comm.costmodel import CommCostModel
 from repro.comm.forwarding import ForwardingStats, forward_remote_values
 from repro.comm.placement import PlacementResult, analyze_placement
 from repro.comm.selection import CommSelection, SelectionStats
+from repro.obs.profile import PassProfile, timed_pass
 from repro.simple import nodes as s
 from repro.simple.validate import validate_program
 
@@ -74,9 +75,39 @@ class OptimizationReport:
         self.forwarding: Dict[str, ForwardingStats] = {}
         self.placements: Dict[str, PlacementResult] = {}
         self.selections: Dict[str, SelectionStats] = {}
+        #: One :class:`~repro.obs.profile.PassProfile` per optimizer
+        #: pass, in execution order (timing + work counters).
+        self.passes: List[PassProfile] = []
 
     def total_forwarded(self) -> int:
         return sum(stat.total for stat in self.forwarding.values())
+
+    def pass_counters(self) -> Dict[str, int]:
+        """All pass counters flattened into one dict (later passes win
+        on name collisions; names are distinct in practice)."""
+        merged: Dict[str, int] = {}
+        for profile in self.passes:
+            merged.update(profile.counters)
+        return merged
+
+    def profile_text(self) -> str:
+        """Printable per-pass timing/counter table
+        (``--show profile``)."""
+        total = sum(p.wall_s for p in self.passes)
+        lines = [f"== optimizer passes ({total * 1e3:.2f}ms total)"]
+        for profile in self.passes:
+            counters = " ".join(f"{key}={value}" for key, value
+                                in profile.counters.items())
+            lines.append(f"  {profile.name:<18}"
+                         f"{profile.wall_s * 1e3:>9.3f}ms  "
+                         f"{counters}".rstrip())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_forwarded": self.total_forwarded(),
+            "passes": [profile.to_dict() for profile in self.passes],
+        }
 
     def __repr__(self) -> str:
         return (f"OptimizationReport(forwarded={self.total_forwarded()}, "
@@ -98,53 +129,101 @@ class CommunicationOptimizer:
         config = self.config
 
         if config.enable_locality:
-            report.locality = analyze_locality(self.program)
+            with timed_pass(report.passes, "locality") as profile:
+                report.locality = analyze_locality(self.program)
+            profile.counters["local_pointers"] = \
+                len(report.locality.local_vars)
+            profile.counters["demoted_accesses"] = \
+                report.locality.demoted_accesses
 
         if config.enable_forwarding:
-            conn = self._fresh_connection()
-            for function in self.program.functions.values():
-                report.forwarding[function.name] = \
-                    forward_remote_values(function, conn)
+            with timed_pass(report.passes, "forwarding") as profile:
+                conn = self._fresh_connection()
+                for function in self.program.functions.values():
+                    report.forwarding[function.name] = \
+                        forward_remote_values(function, conn)
+            profile.counters["reads_forwarded"] = sum(
+                stat.reads_forwarded
+                for stat in report.forwarding.values())
+            profile.counters["stores_forwarded"] = sum(
+                stat.stores_forwarded
+                for stat in report.forwarding.values())
 
         if config.enable_placement:
             # Phase R: earliest placement of reads, all functions.
-            conn = self._fresh_connection()
-            read_selections = {}
-            for function in self.program.functions.values():
-                placement = analyze_placement(function, conn)
-                report.placements[function.name] = placement
-                nilness = analyze_nilness(function)
-                selection = CommSelection(
-                    function, placement, conn, nilness, self.cost_model,
-                    speculative_reads=config.speculative_reads,
-                    enable_blocking=config.enable_blocking)
-                selection.run_reads()
-                read_selections[function.name] = selection
+            with timed_pass(report.passes, "place/select reads") \
+                    as profile:
+                conn = self._fresh_connection()
+                read_selections = {}
+                for function in self.program.functions.values():
+                    placement = analyze_placement(function, conn)
+                    report.placements[function.name] = placement
+                    nilness = analyze_nilness(function)
+                    selection = CommSelection(
+                        function, placement, conn, nilness,
+                        self.cost_model,
+                        speculative_reads=config.speculative_reads,
+                        enable_blocking=config.enable_blocking)
+                    selection.run_reads()
+                    read_selections[function.name] = selection
+            self._placement_counters(profile, report.placements.values())
+            stats = [sel.stats for sel in read_selections.values()]
+            profile.counters["pipelined_reads"] = sum(
+                s.pipelined_reads for s in stats)
+            profile.counters["blocked_read_groups"] = sum(
+                s.blocked_read_groups for s in stats)
+            profile.counters["redundant_reads_merged"] = sum(
+                s.redundant_reads_merged for s in stats)
             # Phase W: latest placement of writes, against a fresh
             # analysis of the read-transformed program -- the inserted
             # comm reads must kill write sinking past them (otherwise a
             # hoisted read and a sunk write of the same location could
             # cross).
-            conn = self._fresh_connection()
-            for function in self.program.functions.values():
-                placement = analyze_placement(function, conn)
-                nilness = analyze_nilness(function)
-                prior = read_selections[function.name]
-                selection = CommSelection(
-                    function, placement, conn, nilness, self.cost_model,
-                    speculative_reads=config.speculative_reads,
-                    enable_blocking=config.enable_blocking,
-                    stats=prior.stats,
-                    block_regions=prior.block_regions)
-                selection.run_writes()
-                report.selections[function.name] = selection.stats
+            with timed_pass(report.passes, "place/select writes") \
+                    as profile:
+                conn = self._fresh_connection()
+                write_placements = []
+                for function in self.program.functions.values():
+                    placement = analyze_placement(function, conn)
+                    write_placements.append(placement)
+                    nilness = analyze_nilness(function)
+                    prior = read_selections[function.name]
+                    selection = CommSelection(
+                        function, placement, conn, nilness,
+                        self.cost_model,
+                        speculative_reads=config.speculative_reads,
+                        enable_blocking=config.enable_blocking,
+                        stats=prior.stats,
+                        block_regions=prior.block_regions)
+                    selection.run_writes()
+                    report.selections[function.name] = selection.stats
+            self._placement_counters(profile, write_placements)
+            stats = list(report.selections.values())
+            profile.counters["pipelined_writes"] = sum(
+                s.pipelined_writes for s in stats)
+            profile.counters["blocked_write_groups"] = sum(
+                s.blocked_write_groups for s in stats)
+            profile.counters["blkmov_merges"] = sum(
+                s.blocked_read_groups + s.blocked_write_groups
+                for s in stats)
 
         if config.split_phase_residuals:
-            for function in self.program.functions.values():
-                _mark_residual_split_phase(function)
+            with timed_pass(report.passes, "split-phase") as profile:
+                marked = 0
+                for function in self.program.functions.values():
+                    marked += _mark_residual_split_phase(function)
+            profile.counters["residuals_marked"] = marked
 
-        validate_program(self.program)
+        with timed_pass(report.passes, "validate"):
+            validate_program(self.program)
         return report
+
+    @staticmethod
+    def _placement_counters(profile: PassProfile, placements) -> None:
+        profile.counters["tuples_generated"] = sum(
+            p.tuples_generated for p in placements)
+        profile.counters["tuples_killed"] = sum(
+            p.tuples_killed for p in placements)
 
     def _fresh_connection(self) -> ConnectionInfo:
         """(Re)build the alias information for the current program
@@ -154,8 +233,9 @@ class CommunicationOptimizer:
         return ConnectionInfo(self.program, pts, effects)
 
 
-def _mark_residual_split_phase(function: s.SimpleFunction) -> None:
-    """Make every remaining remote operation split-phase.
+def _mark_residual_split_phase(function: s.SimpleFunction) -> int:
+    """Make every remaining remote operation split-phase; returns how
+    many statements were marked.
 
     In the real compiler the thread generator (Phase III) builds fibers
     that synchronize on split-phase completions regardless of Phase II;
@@ -163,9 +243,12 @@ def _mark_residual_split_phase(function: s.SimpleFunction) -> None:
     remote operations (array element accesses, blkmovs from struct
     assignments) also overlap when data dependences allow.
     """
+    marked = 0
     for stmt in function.body.basic_stmts():
         if isinstance(stmt, (s.AssignStmt, s.BlkmovStmt)) and stmt.is_remote:
             stmt.split_phase = True
+            marked += 1
+    return marked
 
 
 def optimize_program(program: s.SimpleProgram,

@@ -52,6 +52,10 @@ class PlacementResult:
         self.reads_before: Dict[int, CommSet] = {}
         #: label -> RemoteWrites(S): placeable just after S.
         self.writes_after: Dict[int, CommSet] = {}
+        #: Profiling counters: tuples created at basic statements and
+        #: tuples dropped by a kill rule while propagating.
+        self.tuples_generated = 0
+        self.tuples_killed = 0
 
     def remote_reads(self, label: int) -> CommSet:
         return self.reads_before.get(label, CommSet())
@@ -104,6 +108,7 @@ class PlacementAnalysis:
         else:
             tup = self._basic_write_tuple(stmt)
         if tup is not None:
+            self.result.tuples_generated += 1
             result.add(tup)
         return result
 
@@ -192,6 +197,7 @@ class PlacementAnalysis:
             pred_set = self._collect(pred, READ)
             for tup in current:
                 if self._read_killed_by(tup, pred):
+                    self.result.tuples_killed += 1
                     continue
                 pred_set.add(tup)
             current = pred_set
@@ -209,6 +215,7 @@ class PlacementAnalysis:
             succ_set = self._collect(succ, WRITE)
             for tup in current:
                 if self._write_killed_by(tup, succ):
+                    self.result.tuples_killed += 1
                     continue
                 succ_set.add(tup)
             current = succ_set
@@ -274,6 +281,7 @@ class PlacementAnalysis:
         if access == READ:
             for tup in body_set:
                 if self._read_killed_by(tup, stmt):
+                    self.result.tuples_killed += 1
                     continue
                 result.add(tup.scaled(LOOP_FREQUENCY_FACTOR))
             return result
@@ -281,6 +289,7 @@ class PlacementAnalysis:
             return result
         for tup in body_set:
             if self._write_killed_by_loop(tup, stmt):
+                self.result.tuples_killed += 1
                 continue
             result.add(tup.scaled(LOOP_FREQUENCY_FACTOR))
         return result
@@ -333,10 +342,14 @@ class PlacementAnalysis:
             # Body reads escape like loop reads; init reads escape
             # unscaled (init runs exactly once, before the iterations).
             for tup in body_set:
-                if not self._read_killed_by(tup, stmt):
+                if self._read_killed_by(tup, stmt):
+                    self.result.tuples_killed += 1
+                else:
                     result.add(tup.scaled(LOOP_FREQUENCY_FACTOR))
             for tup in init_set:
-                if not self._read_killed_by(tup, stmt):
+                if self._read_killed_by(tup, stmt):
+                    self.result.tuples_killed += 1
+                else:
                     result.add(tup)
             return result
         # A forall may execute zero iterations: no writes escape.
@@ -355,6 +368,7 @@ class PlacementAnalysis:
                 # ordinary variables, but we check anyway so that even
                 # contract-violating inputs are transformed safely.
                 if any(killed_by(tup, sibling) for sibling in siblings):
+                    self.result.tuples_killed += 1
                     continue
                 result.add(tup)
         return result

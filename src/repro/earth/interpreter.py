@@ -94,10 +94,23 @@ class RunResult:
         self.time_ns = time_ns
         self.stats = machine.stats
         self.output = list(machine.output)
+        self.num_nodes = machine.num_nodes
+        self.eu_busy_ns = list(machine.eu_busy_ns)
+        self.su_busy_ns = list(machine.su_busy_ns)
+        #: The tracer the machine ran with (``None`` unless tracing was
+        #: requested); feed it to :mod:`repro.obs` for detailed metrics.
+        self.tracer = machine.tracer
 
     @property
     def time_seconds(self) -> float:
         return self.time_ns / 1e9
+
+    def utilization(self) -> Dict[str, object]:
+        """Per-node EU/SU busy time and utilization (always available;
+        does not require tracing)."""
+        from repro.obs.metrics import utilization_summary
+        return utilization_summary(self.eu_busy_ns, self.su_busy_ns,
+                                   self.time_ns)
 
     def __repr__(self) -> str:
         return (f"RunResult(value={self.value!r}, "
@@ -347,6 +360,11 @@ class Interpreter:
                 f"statement budget exhausted ({self.max_stmts}); "
                 f"probable infinite loop")
         self.machine.stats.basic_stmts_executed += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            # Callsite attribution: remote ops issued while this
+            # statement runs are charged to (function, label).
+            tracer.current_site = (act.function.name, stmt.label)
         yield from self._sync_uses(act, stmt)
 
         if isinstance(stmt, s.AssignStmt):

@@ -34,24 +34,30 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.earth.memory import GlobalMemory
 from repro.earth.params import MachineParams
 from repro.earth.stats import MachineStats
 from repro.errors import SimulatorError
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+
 
 class Slot:
     """A split-phase synchronization slot."""
 
-    __slots__ = ("ready", "value", "waiters", "label")
+    __slots__ = ("ready", "value", "waiters", "label", "trace")
 
     def __init__(self, label: str = ""):
         self.ready = False
         self.value = None
         self.waiters: List["Fiber"] = []
         self.label = label
+        #: ``(op_id, origin_node)`` of the traced split-phase operation
+        #: this slot completes; ``None`` unless tracing is enabled.
+        self.trace: Optional[Tuple[int, int]] = None
 
     def __repr__(self) -> str:
         state = "ready" if self.ready else "pending"
@@ -103,14 +109,20 @@ class Machine:
 
     def __init__(self, num_nodes: int,
                  params: Optional[MachineParams] = None,
-                 strict_nil_reads: bool = False):
+                 strict_nil_reads: bool = False,
+                 tracer: Optional["Tracer"] = None):
         self.params = params or MachineParams()
         self.memory = GlobalMemory(num_nodes)
         self.num_nodes = num_nodes
         self.stats = MachineStats()
         self.strict_nil_reads = strict_nil_reads
+        self.tracer = tracer
         self.time = 0.0
         self.output: List[str] = []
+        # Always-on utilization aggregates (one float add per EU fiber
+        # slice / SU service -- cheap enough to keep unconditionally).
+        self.eu_busy_ns = [0.0] * num_nodes
+        self.su_busy_ns = [0.0] * num_nodes
 
         self._events: List[Tuple[float, int, Callable[[], None]]] = []
         self._event_seq = itertools.count()
@@ -130,6 +142,9 @@ class Machine:
 
     def add_fiber(self, fiber: Fiber, earliest: float = 0.0) -> None:
         self.stats.fibers_spawned += 1
+        if self.tracer is not None:
+            self.tracer.emit("fiber_spawn", earliest, fiber.node,
+                             fiber=fiber.id, name=fiber.name)
         heapq.heappush(self._ready[fiber.node],
                        (earliest, fiber.id, fiber))
         self._kick(fiber.node, earliest)
@@ -187,6 +202,11 @@ class Machine:
         node = fiber.node
         params = self.params
         gen = fiber.gen
+        tracer = self.tracer
+        t0 = t
+        if tracer is not None:
+            tracer.emit("fiber_start", t, node, fiber=fiber.id,
+                        name=fiber.name)
         try:
             while True:
                 action = gen.send(send_value)
@@ -206,6 +226,13 @@ class Machine:
                     slot.waiters.append(fiber)
                     fiber.resume_slot = slot
                     self._parked_count += 1
+                    self.eu_busy_ns[node] += t - t0
+                    if tracer is not None:
+                        tracer.emit("fiber_block", t, node,
+                                    fiber=fiber.id, name=fiber.name,
+                                    slot=slot.label)
+                        tracer.emit("eu_span", t0, node, dur=t - t0,
+                                    fiber=fiber.id, name=fiber.name)
                     self._release_eu(node, t)
                     return
                 elif kind == "spawn":
@@ -220,6 +247,12 @@ class Machine:
                     raise SimulatorError(f"unknown action {action!r}")
         except StopIteration:
             fiber.done = True
+            self.eu_busy_ns[node] += t - t0
+            if tracer is not None:
+                tracer.emit("fiber_done", t, node, fiber=fiber.id,
+                            name=fiber.name)
+                tracer.emit("eu_span", t0, node, dur=t - t0,
+                            fiber=fiber.id, name=fiber.name)
             for callback in fiber.on_done:
                 callback(self, t)
             self._release_eu(node, t)
@@ -283,15 +316,37 @@ class Machine:
         if op == "blkmov":
             su_time += self.params.su_blkmov_per_word_ns * words
 
+        tracer = self.tracer
+        op_id = None
+        if tracer is not None:
+            op_id = tracer.next_op_id()
+            tracer.emit("issue", t, origin, op=op, target=target,
+                        words=words, site=tracer.current_site, id=op_id)
+            tracer.emit("net_send", t, origin, op=op, dst=target,
+                        latency=one_way, words=words, id=op_id)
+            if slot is not None:
+                slot.trace = (op_id, origin)
+
         def service() -> None:
             su_start = max(arrival, self._su_free[target])
             su_done = su_start + su_time
             self._su_free[target] = su_done
+            self.su_busy_ns[target] += su_time
+            if tracer is not None:
+                tracer.emit("net_recv", arrival, target, op=op,
+                            src=origin, id=op_id)
+                tracer.emit("su_span", su_start, target, dur=su_time,
+                            op=op, queue_wait=su_start - arrival,
+                            src=origin, id=op_id)
             value = do_op()
             if slot is not None:
                 reply_at = su_done + one_way
                 self._schedule(reply_at,
                                lambda: self.fulfill(slot, value, reply_at))
+            elif tracer is not None:
+                # No reply slot: the operation logically completes when
+                # the SU is done with it.
+                tracer.emit("fulfill", su_done, origin, id=op_id)
 
         self._schedule(arrival, service)
 
@@ -323,10 +378,16 @@ class Machine:
             raise SimulatorError(f"slot {slot!r} fulfilled twice")
         slot.ready = True
         slot.value = value
+        tracer = self.tracer
+        if tracer is not None and slot.trace is not None:
+            tracer.emit("fulfill", time, slot.trace[1], id=slot.trace[0])
         if slot.waiters:
             self._parked_count -= len(slot.waiters)
             for fiber in slot.waiters:
                 heapq.heappush(self._ready[fiber.node],
                                (time, fiber.id, fiber))
                 self._kick(fiber.node, time)
+                if tracer is not None:
+                    tracer.emit("fiber_resume", time, fiber.node,
+                                fiber=fiber.id, slot=slot.label)
             slot.waiters.clear()

@@ -8,7 +8,7 @@ counted separately from EARTH operations that hit local memory.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 
 class MachineStats:
@@ -55,17 +55,28 @@ class MachineStats:
             "blkmov": self.remote_blkmovs + self.local_blkmovs,
         }
 
+    def counter_names(self) -> Tuple[str, ...]:
+        """Every public counter attribute, in declaration order."""
+        return tuple(name for name in self.__dict__
+                     if not name.startswith("_"))
+
     def snapshot(self) -> Dict[str, int]:
-        return {
-            name: getattr(self, name)
-            for name in (
-                "remote_reads", "remote_writes", "remote_blkmovs",
-                "remote_blkmov_words", "local_reads", "local_writes",
-                "local_blkmovs", "shared_ops", "fibers_spawned",
-                "context_switches", "remote_calls",
-                "basic_stmts_executed", "speculative_nil_reads",
-            )
-        }
+        """All public counters as a dict.
+
+        Derived from the instance attributes so a newly added counter
+        can never be forgotten here (tests/earth/test_stats_contract.py
+        pins this invariant).
+        """
+        return {name: getattr(self, name)
+                for name in self.counter_names()}
+
+    def merge(self, other: "MachineStats") -> "MachineStats":
+        """Accumulate another run's counters into this one (in place;
+        returns self).  Used by multi-run harnesses to aggregate stats
+        across repetitions or shards."""
+        for name in self.counter_names():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
 
     def __repr__(self) -> str:
         return (f"MachineStats(reads={self.remote_reads}, "

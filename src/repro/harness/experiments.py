@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.earth.interpreter import RunResult
 from repro.earth.params import MachineParams
 from repro.harness.pipeline import (
     compile_earthc,
@@ -338,6 +339,52 @@ def measure_fig10(num_nodes: int = 16,
             results["simple"].stats.comm_breakdown(),
             results["optimized"].stats.comm_breakdown()))
     return bars
+
+
+# ---------------------------------------------------------------------------
+# Utilization metrics (observability layer; not a paper figure)
+# ---------------------------------------------------------------------------
+
+
+def utilization_metrics(results: Dict[str, RunResult]
+                        ) -> Dict[str, Dict[str, object]]:
+    """Machine-readable metrics for one ``run_three_ways`` result set:
+    per-configuration run time, per-node EU/SU utilization, and the
+    stats snapshot.  This is what the bench harness embeds in its
+    ``BENCH_*.json`` output so benchmark trajectories carry utilization
+    data alongside timings."""
+    return {
+        name: {
+            "time_ns": result.time_ns,
+            "nodes": result.num_nodes,
+            "utilization": result.utilization(),
+            "stats": result.stats.snapshot(),
+        }
+        for name, result in results.items()
+    }
+
+
+def measure_utilization(name: str, num_nodes: int = 4,
+                        small: bool = False) -> Dict[str, Dict[str, object]]:
+    """Run one benchmark three ways and return its utilization metrics
+    (see :func:`utilization_metrics`)."""
+    return utilization_metrics(run_benchmark(name, num_nodes, small=small))
+
+
+def format_utilization(name: str,
+                       metrics: Dict[str, Dict[str, object]]) -> str:
+    lines = [f"Utilization: {name} "
+             f"(EU/SU busy fraction per node)"]
+    for config in ("sequential", "simple", "optimized"):
+        if config not in metrics:
+            continue
+        entry = metrics[config]
+        util = entry["utilization"]
+        eu = " ".join(f"{u:5.2f}" for u in util["eu_utilization"])
+        su = " ".join(f"{u:5.2f}" for u in util["su_utilization"])
+        lines.append(f"  {config:<11}{entry['time_ns'] / 1e6:>9.3f}ms"
+                     f"  EU [{eu}]  SU [{su}]")
+    return "\n".join(lines)
 
 
 def format_fig10(bars: List[Fig10Bar]) -> str:

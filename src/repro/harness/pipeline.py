@@ -27,6 +27,8 @@ from repro.frontend.inline import inline_functions
 from repro.frontend.parser import parse_program
 from repro.frontend.simplify import simplify_program
 from repro.frontend.typecheck import check_program
+from repro.obs.profile import PipelineProfile
+from repro.obs.trace import Tracer
 from repro.simple import nodes as s
 from repro.simple.printer import print_program
 from repro.simple.validate import validate_program
@@ -37,11 +39,14 @@ class CompiledProgram:
 
     def __init__(self, simple: s.SimpleProgram, optimized: bool,
                  report: Optional[OptimizationReport],
-                 inlined_calls: int):
+                 inlined_calls: int,
+                 profile: Optional[PipelineProfile] = None):
         self.simple = simple
         self.optimized = optimized
         self.report = report
         self.inlined_calls = inlined_calls
+        #: Per-phase compile timing (always recorded).
+        self.profile = profile or PipelineProfile()
 
     def listing(self) -> str:
         """The SIMPLE listing (deterministic; used by examples/tests)."""
@@ -50,6 +55,14 @@ class CompiledProgram:
     def threaded_listing(self) -> str:
         """The Threaded-C (Phase III) listing."""
         return render_threaded_program(self.simple)
+
+    def profile_text(self) -> str:
+        """Human-readable compile profile: pipeline phase timings plus,
+        when the optimizer ran, its per-pass timing/counter table."""
+        text = self.profile.format_text()
+        if self.report is not None and self.report.passes:
+            text += "\n" + self.report.profile_text()
+        return text
 
     def __repr__(self) -> str:
         tag = "optimized" if self.optimized else "simple"
@@ -74,23 +87,41 @@ def compile_earthc(
     (the paper's stated further work): remotely-accessed fields cluster
     at the front of each struct, improving blocked communication.
     """
-    program = parse_program(source, filename)
-    eliminate_gotos(program)
+    profile = PipelineProfile()
+    with profile.phase("parse") as rec:
+        program = parse_program(source, filename)
+    rec.counters["functions"] = len(program.functions)
+    with profile.phase("goto-elim"):
+        eliminate_gotos(program)
     inlined = 0
     if inline:
-        only = inline if isinstance(inline, set) else None
-        inlined = inline_functions(program, only=only)
-    symbols = check_program(program)
+        with profile.phase("inline") as rec:
+            only = inline if isinstance(inline, set) else None
+            inlined = inline_functions(program, only=only)
+        rec.counters["inlined_calls"] = inlined
+    with profile.phase("typecheck"):
+        symbols = check_program(program)
     if reorder_fields:
-        from repro.comm.reorder import reorder_struct_fields
-        reorder_struct_fields(program)
-    simple = simplify_program(program, symbols)
-    validate_program(simple)
+        with profile.phase("reorder-fields"):
+            from repro.comm.reorder import reorder_struct_fields
+            reorder_struct_fields(program)
+    with profile.phase("simplify") as rec:
+        simple = simplify_program(program, symbols)
+    rec.counters["basic_stmts"] = _basic_stmt_count(simple)
+    with profile.phase("validate"):
+        validate_program(simple)
     report = None
     if optimize:
-        optimizer = CommunicationOptimizer(simple, config, cost_model)
-        report = optimizer.run()
-    return CompiledProgram(simple, optimize, report, inlined)
+        with profile.phase("optimize") as rec:
+            optimizer = CommunicationOptimizer(simple, config, cost_model)
+            report = optimizer.run()
+        rec.counters["basic_stmts"] = _basic_stmt_count(simple)
+    return CompiledProgram(simple, optimize, report, inlined, profile)
+
+
+def _basic_stmt_count(simple: s.SimpleProgram) -> int:
+    return sum(len(list(function.body.basic_stmts()))
+               for function in simple.functions.values())
 
 
 def execute(
@@ -101,10 +132,15 @@ def execute(
     args: Sequence[Union[int, float]] = (),
     max_stmts: int = 200_000_000,
     strict_nil_reads: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
-    """Run a compiled program on a fresh machine."""
+    """Run a compiled program on a fresh machine.
+
+    ``tracer`` attaches a :class:`repro.obs.Tracer` for structured event
+    recording (default off: no tracing overhead)."""
     machine = Machine(num_nodes, params,
-                      strict_nil_reads=strict_nil_reads)
+                      strict_nil_reads=strict_nil_reads,
+                      tracer=tracer)
     interpreter = Interpreter(compiled.simple, machine,
                               max_stmts=max_stmts)
     return interpreter.run(entry, args)

@@ -3,6 +3,7 @@
 Run as::
 
     python -m repro.harness.report [--small] [--nodes 1,2,4,8,16]
+                                   [--metrics-json metrics.json]
 
 Prints Table I (communication cost calibration), Table II (workloads),
 Table III (performance improvement) and Figure 10 (dynamic communication
@@ -14,6 +15,7 @@ two.  EXPERIMENTS.md records a default run's output.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -22,10 +24,13 @@ from repro.harness.experiments import (
     format_table1,
     format_table2,
     format_table3,
+    format_utilization,
     measure_fig10,
     measure_table1,
     measure_table3,
+    measure_utilization,
 )
+from repro.olden.loader import catalog
 
 
 def main(argv=None) -> int:
@@ -38,6 +43,10 @@ def main(argv=None) -> int:
                              "Table III")
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset")
+    parser.add_argument("--metrics-json", default=None, metavar="FILE",
+                        help="also write machine-readable metrics "
+                             "(per-benchmark EU/SU utilization for the "
+                             "simple and optimized configurations)")
     args = parser.parse_args(argv)
 
     processor_counts = [int(n) for n in args.nodes.split(",")]
@@ -59,6 +68,21 @@ def main(argv=None) -> int:
                          small=args.small)
     print(format_fig10(bars))
     print()
+    if args.metrics_json:
+        names = benchmarks if benchmarks is not None \
+            else [spec.name for spec in catalog()]
+        nodes = max(processor_counts)
+        metrics = {}
+        print("=" * 72)
+        for name in names:
+            metrics[name] = measure_utilization(name, nodes,
+                                                small=args.small)
+            print(format_utilization(name, metrics[name]))
+        with open(args.metrics_json, "w") as handle:
+            json.dump({"nodes": nodes, "benchmarks": metrics}, handle,
+                      indent=2, sort_keys=True)
+        print(f"(metrics written to {args.metrics_json})")
+        print()
     print(f"(total harness time: {time.time() - start:.1f}s wall)")
     return 0
 

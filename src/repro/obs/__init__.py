@@ -1,0 +1,35 @@
+"""Observability subsystem: simulator tracing, derived metrics, and
+compile-time profiling.
+
+Three layers (all opt-in; the simulator's hot path is untouched unless a
+:class:`~repro.obs.trace.Tracer` is attached):
+
+* :mod:`repro.obs.trace` -- structured event recording for simulated
+  runs (fiber lifecycle, EU/SU busy spans, network traffic, split-phase
+  issue->fulfill edges), with a bounded-memory ring-buffer mode;
+* :mod:`repro.obs.chrome` -- export of a recorded trace as Chrome
+  ``trace_event`` JSON (loadable in ``chrome://tracing`` / Perfetto),
+  one process per node with an EU and an SU track;
+* :mod:`repro.obs.metrics` -- metrics derived from a trace or a run:
+  per-node EU/SU utilization, SU queue-length and slot-wait histograms,
+  a critical-path estimate, and per-callsite remote-op attribution (the
+  dynamic analogue of the paper's possible-placement tuples);
+* :mod:`repro.obs.profile` -- lightweight wall-clock + counter
+  profiling of compiler phases and optimizer passes.
+"""
+
+from repro.obs.chrome import chrome_trace_events, export_chrome_trace
+from repro.obs.metrics import TraceMetrics, utilization_summary
+from repro.obs.profile import PassProfile, PipelineProfile, timed_pass
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Tracer",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "TraceMetrics",
+    "utilization_summary",
+    "PassProfile",
+    "PipelineProfile",
+    "timed_pass",
+]

@@ -1,0 +1,81 @@
+"""Wall-clock + counter profiling for compiler phases and optimizer
+passes.
+
+The pipeline (:mod:`repro.harness.pipeline`) records one
+:class:`PassProfile` per phase of Figure 2; the communication optimizer
+(:mod:`repro.comm.optimizer`) records one per pass, with the pass's
+work counters (placement tuples generated/killed, selections made,
+redundant operations removed, blkmov merges).  Profiling is always on:
+it costs two ``perf_counter`` calls and one small object per phase,
+invisible next to the work each phase does.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class PassProfile:
+    """Wall time and work counters of one phase or pass."""
+
+    __slots__ = ("name", "wall_s", "counters")
+
+    def __init__(self, name: str, wall_s: float = 0.0,
+                 counters: Optional[Dict[str, int]] = None):
+        self.name = name
+        self.wall_s = wall_s
+        self.counters: Dict[str, int] = dict(counters or {})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "wall_s": self.wall_s,
+                "counters": dict(self.counters)}
+
+    def __repr__(self) -> str:
+        return (f"PassProfile({self.name!r}, {self.wall_s * 1e3:.2f}ms, "
+                f"{self.counters})")
+
+
+@contextmanager
+def timed_pass(sink: List[PassProfile], name: str) -> Iterator[PassProfile]:
+    """Record one pass: ``with timed_pass(report.passes, "x") as p: ...``
+    then fill ``p.counters``."""
+    profile = PassProfile(name)
+    start = time.perf_counter()
+    try:
+        yield profile
+    finally:
+        profile.wall_s = time.perf_counter() - start
+        sink.append(profile)
+
+
+class PipelineProfile:
+    """Per-phase timing of one ``compile_earthc`` invocation."""
+
+    def __init__(self):
+        self.phases: List[PassProfile] = []
+
+    def phase(self, name: str):
+        return timed_pass(self.phases, name)
+
+    @property
+    def total_s(self) -> float:
+        return sum(phase.wall_s for phase in self.phases)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"total_s": self.total_s,
+                "phases": [phase.to_dict() for phase in self.phases]}
+
+    def format_text(self) -> str:
+        lines = [f"== compile profile ({self.total_s * 1e3:.2f}ms total)"]
+        for phase in self.phases:
+            counters = " ".join(f"{key}={value}" for key, value
+                                in phase.counters.items())
+            lines.append(f"  {phase.name:<18}{phase.wall_s * 1e3:>9.3f}ms"
+                         f"  {counters}".rstrip())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"PipelineProfile({len(self.phases)} phases, "
+                f"{self.total_s * 1e3:.2f}ms)")

@@ -1,0 +1,142 @@
+"""Structured event tracing for the EARTH-MANNA simulator.
+
+A :class:`Tracer` is attached to a :class:`~repro.earth.machine.Machine`
+at construction (``Machine(..., tracer=Tracer())``); the machine then
+emits one event dict per interesting occurrence.  Tracing is strictly
+opt-in: with no tracer attached every hook is a single ``is None`` test
+and no event objects are allocated.
+
+Event schema -- every event is a plain dict with at least:
+
+``kind``
+    One of the `Event kinds`_ below.
+``ts``
+    Simulated time in nanoseconds.  Because a fiber executes ahead of
+    the global event clock until it blocks (see
+    :mod:`repro.earth.machine`), raw *emission* order is not globally
+    time-sorted; :meth:`Tracer.sorted_events` gives the canonical
+    ``(ts, seq)`` order used by all exporters and metrics.
+``node``
+    The node the event happened on (origin node for ``issue`` and
+    ``fulfill``, target node for ``net_recv`` and ``su_span``).
+``seq``
+    Emission sequence number (unique, monotone): the tie-breaker that
+    makes sorting stable and deterministic.
+
+Event kinds
+-----------
+
+=============  =====================================================
+kind           extra fields
+=============  =====================================================
+fiber_spawn    ``fiber`` (id), ``name``
+fiber_start    ``fiber``, ``name`` -- the fiber got the EU
+fiber_block    ``fiber``, ``name``, ``slot`` (label it parked on)
+fiber_resume   ``fiber``, ``slot`` -- its slot was fulfilled
+fiber_done     ``fiber``, ``name``
+eu_span        ``dur``, ``fiber``, ``name`` -- one EU busy interval
+su_span        ``dur``, ``op``, ``queue_wait``, ``src``, ``id``
+net_send       ``op``, ``dst``, ``latency``, ``words``, ``id``
+net_recv       ``op``, ``src``, ``id``
+issue          ``op``, ``target``, ``words``, ``site``, ``id``
+fulfill        ``id`` -- completes the matching ``issue``
+=============  =====================================================
+
+``site`` is the issuing SIMPLE statement as ``(function, label)``
+(set by the interpreter; ``None`` for machine-level traffic such as
+probe fibers driving the machine directly).  Every ``issue`` has
+exactly one matching ``fulfill`` with the same ``id`` and a later (or
+equal) timestamp; only *truly remote* operations -- the ones Figure 10
+counts -- emit ``issue``/``net_*``/``su_span`` events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Tracer:
+    """Collects structured simulator events.
+
+    ``capacity`` bounds memory: when set, the tracer keeps only the most
+    recent ``capacity`` events in a ring buffer and counts the rest in
+    :attr:`dropped` (the issue->fulfill pairing invariant then only
+    holds for pairs that both fit in the window).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.events: "deque[dict]" = deque(maxlen=capacity)
+        self.dropped = 0
+        #: ``(function, stmt_label)`` of the SIMPLE statement currently
+        #: executing -- maintained by the interpreter, consumed by the
+        #: machine's issue hook for callsite attribution.
+        self.current_site: Optional[Tuple[str, int]] = None
+        self._seq = itertools.count()
+        self._op_ids = itertools.count(1)
+
+    # -- recording ---------------------------------------------------------------
+
+    def emit(self, kind: str, ts: float, node: int, **fields) -> None:
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped += 1
+        fields["kind"] = kind
+        fields["ts"] = ts
+        fields["node"] = node
+        fields["seq"] = next(self._seq)
+        self.events.append(fields)
+
+    def next_op_id(self) -> int:
+        """Fresh id pairing one split-phase ``issue`` with its
+        ``fulfill``."""
+        return next(self._op_ids)
+
+    # -- reading -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sorted_events(self) -> List[dict]:
+        """All recorded events in canonical ``(ts, seq)`` order."""
+        return sorted(self.events, key=lambda e: (e["ts"], e["seq"]))
+
+    def events_of(self, *kinds: str) -> List[dict]:
+        """Canonically-ordered events of the given kind(s)."""
+        wanted = set(kinds)
+        return [e for e in self.sorted_events() if e["kind"] in wanted]
+
+    def by_node(self) -> Dict[int, List[dict]]:
+        """Canonically-ordered events grouped per node."""
+        nodes: Dict[int, List[dict]] = {}
+        for event in self.sorted_events():
+            nodes.setdefault(event["node"], []).append(event)
+        return nodes
+
+    def issue_fulfill_pairs(self) -> Dict[int, Tuple[Optional[dict],
+                                                     Optional[dict]]]:
+        """Map op id -> (issue event, fulfill event); either side may be
+        ``None`` when it was dropped by the ring buffer."""
+        pairs: Dict[int, List[Optional[dict]]] = {}
+        for event in self.events:
+            kind = event["kind"]
+            if kind == "issue":
+                pairs.setdefault(event["id"], [None, None])[0] = event
+            elif kind == "fulfill":
+                pairs.setdefault(event["id"], [None, None])[1] = event
+        return {op_id: (issue, fulfill)
+                for op_id, (issue, fulfill) in pairs.items()}
+
+    def __repr__(self) -> str:
+        cap = f", capacity={self.capacity}" if self.capacity else ""
+        drop = f", dropped={self.dropped}" if self.dropped else ""
+        return f"Tracer({len(self.events)} events{cap}{drop})"
+
+
+def span_intervals(events: Iterable[dict]) -> List[Tuple[float, float]]:
+    """``(start, end)`` intervals of span events, in canonical order."""
+    return [(e["ts"], e["ts"] + e["dur"])
+            for e in sorted(events, key=lambda e: (e["ts"], e["seq"]))]

@@ -1,0 +1,60 @@
+"""MachineStats drift protection: snapshot/merge must cover every
+counter, including ones added after this test was written."""
+
+from repro.earth.stats import MachineStats
+
+
+def _public_attrs(stats):
+    return {name for name in vars(stats) if not name.startswith("_")}
+
+
+class TestSnapshotContract:
+    def test_snapshot_covers_every_public_counter(self):
+        stats = MachineStats()
+        assert set(stats.snapshot()) == _public_attrs(stats)
+
+    def test_counter_names_match_attributes(self):
+        stats = MachineStats()
+        assert set(stats.counter_names()) == _public_attrs(stats)
+        assert len(stats.counter_names()) == len(set(stats.counter_names()))
+
+    def test_snapshot_reflects_every_mutation(self):
+        stats = MachineStats()
+        for i, name in enumerate(stats.counter_names()):
+            setattr(stats, name, i + 1)
+        snapshot = stats.snapshot()
+        for i, name in enumerate(stats.counter_names()):
+            assert snapshot[name] == i + 1
+
+    def test_snapshot_is_a_copy(self):
+        stats = MachineStats()
+        snapshot = stats.snapshot()
+        snapshot["remote_reads"] = 999
+        assert stats.remote_reads == 0
+
+
+class TestMerge:
+    def test_merge_sums_every_counter(self):
+        a, b = MachineStats(), MachineStats()
+        for i, name in enumerate(a.counter_names()):
+            setattr(a, name, i)
+            setattr(b, name, 10 * i)
+        merged = a.merge(b)
+        assert merged is a
+        for i, name in enumerate(a.counter_names()):
+            assert getattr(a, name) == 11 * i
+
+    def test_merge_leaves_other_untouched(self):
+        a, b = MachineStats(), MachineStats()
+        b.remote_reads = 4
+        a.merge(b)
+        assert a.remote_reads == 4
+        assert b.remote_reads == 4
+
+    def test_merged_totals_compose(self):
+        a, b = MachineStats(), MachineStats()
+        a.remote_reads, a.local_writes = 2, 3
+        b.remote_blkmovs, b.local_reads = 5, 7
+        a.merge(b)
+        assert a.total_remote_ops == 7
+        assert a.total_comm_ops == 17

@@ -91,3 +91,99 @@ class TestRun:
         bad.write_text("int main() { return undeclared_var; }")
         assert main([str(bad), "--run"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_show_profile(self, source_file, capsys):
+        assert main([source_file, "-O", "--show", "profile"]) == 0
+        out = capsys.readouterr().out
+        assert "== compile profile" in out
+        assert "parse" in out and "optimize" in out
+        assert "== optimizer passes" in out
+        assert "place/select reads" in out
+
+    def test_trace_writes_chrome_json(self, source_file, tmp_path,
+                                      capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "1", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== trace metrics" in out
+        assert f"trace   = {trace}" in out
+        document = json.loads(trace.read_text())
+        assert document["traceEvents"]
+        thread_names = {(e["pid"], e["tid"]): e["args"]["name"]
+                        for e in document["traceEvents"]
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert thread_names[(0, 0)] == "EU"
+        assert thread_names[(1, 1)] == "SU"
+
+    def test_trace_capacity_bounds_events(self, source_file, tmp_path,
+                                          capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "1", "--trace", str(trace),
+                     "--trace-capacity", "5"]) == 0
+        document = json.loads(trace.read_text())
+        assert document["otherData"]["recorded_events"] == 5
+        assert document["otherData"]["dropped_events"] > 0
+
+    def test_json_output(self, source_file, capsys):
+        import json
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == 10
+        assert payload["nodes"] == 2
+        assert payload["optimized"] is True
+        assert payload["output"] == ["hello=2"]
+        assert payload["stats"]["remote_reads"] >= 0
+        assert len(payload["utilization"]["eu_utilization"]) == 2
+        assert payload["compile_profile"]["phases"]
+        assert "optimizer" in payload
+
+    def test_json_with_trace_embeds_metrics(self, source_file,
+                                            tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "1", "--json",
+                     "--trace", str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_file"] == str(trace)
+        assert payload["trace"]["events"] > 0
+        assert "critical_path" in payload["trace"]
+
+    def test_trace_requires_run(self, source_file, tmp_path, capsys):
+        assert main([source_file, "--trace",
+                     str(tmp_path / "t.json")]) == 2
+        assert "--trace/--json require --run" in \
+            capsys.readouterr().err
+
+    def test_json_requires_run(self, source_file, capsys):
+        assert main([source_file, "--json"]) == 2
+
+    def test_non_positive_trace_capacity_rejected(self, source_file,
+                                                  tmp_path, capsys):
+        assert main([source_file, "--run", "--args", "1",
+                     "--trace", str(tmp_path / "t.json"),
+                     "--trace-capacity", "0"]) == 2
+        assert "--trace-capacity" in capsys.readouterr().err
+
+    def test_unwritable_trace_destination_reported(self, source_file,
+                                                   tmp_path, capsys):
+        assert main([source_file, "--run", "--args", "1",
+                     "--trace", str(tmp_path / "no/such/dir/t.json")
+                     ]) == 1
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_olden_benchmark_defaults_args(self, capsys):
+        import os
+        import repro.olden as olden
+        path = os.path.join(os.path.dirname(olden.__file__), "power.ec")
+        assert main([path, "-O", "--run", "--nodes", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "using power catalog size 16,4,4,3" in captured.err
+        assert "result  =" in captured.out

@@ -1,0 +1,42 @@
+"""Shared fixture: one traced run of a program with remote traffic."""
+
+import pytest
+
+from repro.harness.pipeline import compile_earthc, execute
+from repro.obs import Tracer
+
+#: Builds a linked list on node 1 while main runs on node 0, then walks
+#: it -- every malloc/field access crosses the network, so the trace
+#: contains issue/fulfill pairs, SU spans and fiber blocking.
+TRACED_SOURCE = """
+struct node { int v; struct node *next; };
+
+int main(int n) {
+    struct node *head; struct node *p;
+    int i; int total;
+    head = NULL;
+    for (i = 1; i <= n; i++) {
+        p = (struct node *) malloc(sizeof(struct node)) @ 1;
+        p->v = i;
+        p->next = head;
+        head = p;
+    }
+    total = 0;
+    p = head;
+    while (p != NULL) { total = total + p->v; p = p->next; }
+    return total;
+}
+"""
+
+NUM_NODES = 2
+
+
+@pytest.fixture(scope="session")
+def traced_run():
+    """(compiled, tracer, result) of one optimized 2-node traced run."""
+    compiled = compile_earthc(TRACED_SOURCE, optimize=True)
+    tracer = Tracer()
+    result = execute(compiled, num_nodes=NUM_NODES, args=(6,),
+                     tracer=tracer)
+    assert result.value == 21
+    return compiled, tracer, result

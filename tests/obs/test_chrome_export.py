@@ -1,0 +1,95 @@
+"""Chrome trace-event exporter tests."""
+
+import io
+import json
+
+from repro.obs import Tracer, chrome_trace_events, export_chrome_trace
+from repro.obs.chrome import EU_TID, SU_TID
+from tests.obs.conftest import NUM_NODES
+
+
+class TestMetadata:
+    def test_every_node_gets_named_eu_and_su_tracks(self, traced_run):
+        _, tracer, _ = traced_run
+        events = chrome_trace_events(tracer, NUM_NODES)
+        names = {(e["pid"], e["tid"]): e["args"]["name"]
+                 for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        for node in range(NUM_NODES):
+            assert names[(node, EU_TID)] == "EU"
+            assert names[(node, SU_TID)] == "SU"
+        processes = {e["pid"]: e["args"]["name"]
+                     for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert processes == {n: f"node{n}" for n in range(NUM_NODES)}
+
+
+class TestEvents:
+    def test_slices_are_time_sorted_per_track(self, traced_run):
+        _, tracer, _ = traced_run
+        events = chrome_trace_events(tracer, NUM_NODES)
+        tracks = {}
+        for event in events:
+            if event["ph"] == "X":
+                tracks.setdefault((event["pid"], event["tid"]),
+                                  []).append(event["ts"])
+        assert tracks
+        for track, stamps in tracks.items():
+            assert stamps == sorted(stamps), f"track {track} unsorted"
+
+    def test_async_pairs_matched_by_cat_id_name(self, traced_run):
+        _, tracer, _ = traced_run
+        events = chrome_trace_events(tracer, NUM_NODES)
+        begins = {(e["cat"], e["id"], e["name"]): e["ts"]
+                  for e in events if e["ph"] == "b"}
+        ends = {(e["cat"], e["id"], e["name"]): e["ts"]
+                for e in events if e["ph"] == "e"}
+        assert begins
+        assert set(begins) == set(ends)
+        for key, begin_ts in begins.items():
+            assert ends[key] >= begin_ts
+
+    def test_timestamps_are_microseconds(self, traced_run):
+        _, tracer, result = traced_run
+        events = chrome_trace_events(tracer, NUM_NODES)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert max(e["ts"] for e in spans) <= result.time_ns / 1000.0
+        assert all(e["dur"] > 0 for e in spans)
+
+    def test_su_slices_carry_queue_wait(self, traced_run):
+        _, tracer, _ = traced_run
+        events = chrome_trace_events(tracer, NUM_NODES)
+        su = [e for e in events
+              if e["ph"] == "X" and e["tid"] == SU_TID]
+        assert su
+        for event in su:
+            assert event["name"].startswith("su:")
+            assert event["args"]["queue_wait_ns"] >= 0.0
+
+
+class TestExport:
+    def test_export_writes_valid_json_file(self, traced_run, tmp_path):
+        _, tracer, _ = traced_run
+        path = tmp_path / "trace.json"
+        written = export_chrome_trace(tracer, str(path), NUM_NODES)
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == written
+        assert document["displayTimeUnit"] == "ns"
+        assert document["otherData"]["recorded_events"] == len(tracer)
+        assert document["otherData"]["dropped_events"] == 0
+
+    def test_export_accepts_file_object(self, traced_run):
+        _, tracer, _ = traced_run
+        buffer = io.StringIO()
+        written = export_chrome_trace(tracer, buffer, NUM_NODES)
+        document = json.loads(buffer.getvalue())
+        assert len(document["traceEvents"]) == written
+
+    def test_ring_dropped_issue_skips_orphan_fulfill(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit("issue", 1.0, 0, op="read", target=1, words=1,
+                    site=None, id=9)
+        tracer.emit("fulfill", 5.0, 0, id=9)  # pushes the issue out
+        events = chrome_trace_events(tracer, 1)
+        assert [e for e in events if e["ph"] == "b"] == []
+        assert [e for e in events if e["ph"] == "e"] == []

@@ -1,0 +1,141 @@
+"""Derived-metrics tests: utilization, histograms, attribution."""
+
+import pytest
+
+from repro.obs import TraceMetrics, utilization_summary
+from repro.obs.metrics import _wait_bucket
+from tests.obs.conftest import NUM_NODES
+
+
+class TestUtilizationSummary:
+    def test_basic_ratios(self):
+        summary = utilization_summary([500.0, 250.0], [100.0, 0.0],
+                                      1000.0)
+        assert summary["eu_utilization"] == [0.5, 0.25]
+        assert summary["su_utilization"] == [0.1, 0.0]
+        assert summary["elapsed_ns"] == 1000.0
+
+    def test_denominator_clamped_to_busiest_unit(self):
+        # A fiber can run marginally past the recorded finish time; the
+        # ratio must still land in [0, 1].
+        summary = utilization_summary([1200.0], [0.0], 1000.0)
+        assert summary["eu_utilization"] == [1.0]
+
+    def test_zero_elapsed_does_not_divide_by_zero(self):
+        summary = utilization_summary([0.0], [0.0], 0.0)
+        assert summary["eu_utilization"] == [0.0]
+
+
+class TestWaitBuckets:
+    def test_bucket_labels(self):
+        assert _wait_bucket(0.0) == "0"
+        assert _wait_bucket(-3.0) == "0"
+        assert _wait_bucket(1.0) == "<=1000ns"
+        assert _wait_bucket(1500.0) == "<=2000ns"
+        assert _wait_bucket(5e6) == ">1000000ns"
+
+
+class TestTraceMetrics:
+    def test_utilization_bounds(self, traced_run):
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES, result.time_ns)
+        util = metrics.utilization()
+        assert len(util["eu_utilization"]) == NUM_NODES
+        assert len(util["su_utilization"]) == NUM_NODES
+        for value in util["eu_utilization"] + util["su_utilization"]:
+            assert 0.0 <= value <= 1.0
+        assert util["eu_utilization"][0] > 0.0
+
+    def test_trace_utilization_agrees_with_machine_aggregates(
+            self, traced_run):
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES, result.time_ns)
+        from_trace = metrics.utilization()
+        always_on = result.utilization()
+        for node in range(NUM_NODES):
+            assert from_trace["eu_busy_ns"][node] == pytest.approx(
+                always_on["eu_busy_ns"][node], rel=1e-9)
+            assert from_trace["su_busy_ns"][node] == pytest.approx(
+                always_on["su_busy_ns"][node], rel=1e-9)
+
+    def test_elapsed_defaults_to_latest_event(self, traced_run):
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES)
+        assert metrics.elapsed_ns > 0.0
+
+    def test_queue_histogram_counts_every_arrival(self, traced_run):
+        _, tracer, _ = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES)
+        histogram = metrics.su_queue_length_histogram()
+        su_spans = tracer.events_of("su_span")
+        assert sum(histogram.values()) == len(su_spans)
+        assert all(length >= 1 for length in histogram)
+
+    def test_su_wait_histogram_counts_every_request(self, traced_run):
+        _, tracer, _ = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES)
+        histogram = metrics.su_wait_histogram()
+        assert sum(histogram.values()) == len(tracer.events_of("su_span"))
+
+    def test_slot_waits_nonnegative_and_match_blocks(self, traced_run):
+        _, tracer, _ = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES)
+        waits = metrics.slot_waits()
+        assert waits
+        assert all(wait >= 0.0 for wait in waits)
+        histogram = metrics.slot_wait_histogram()
+        assert sum(histogram.values()) == len(waits)
+
+    def test_critical_path_decomposition(self, traced_run):
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES, result.time_ns)
+        path = metrics.critical_path_estimate()
+        assert path["bound_ns"] == max(path["max_eu_busy_ns"],
+                                       path["max_su_busy_ns"])
+        assert path["bound_ns"] > 0.0
+        assert path["slack_ns"] >= 0.0
+        assert path["parallelism"] > 0.0
+
+    def test_callsite_attribution_accounts_all_remote_ops(
+            self, traced_run):
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES)
+        rows = metrics.callsite_attribution()
+        assert rows
+        stats = result.stats
+        assert sum(row["read"] for row in rows) == stats.remote_reads
+        assert sum(row["write"] for row in rows) == stats.remote_writes
+        assert sum(row["blkmov"] for row in rows) == stats.remote_blkmovs
+        counts = [row["ops"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        for row in rows:
+            assert row["ops"] == row["read"] + row["write"] + row["blkmov"]
+
+    def test_to_dict_is_json_shaped(self, traced_run):
+        import json
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES, result.time_ns)
+        data = metrics.to_dict()
+        assert {"events", "dropped_events", "utilization",
+                "su_queue_length_histogram", "su_wait_histogram",
+                "slot_wait_histogram", "critical_path",
+                "callsites"} == set(data)
+        json.dumps(data)  # must be serializable as-is
+
+    def test_format_text_renders(self, traced_run):
+        _, tracer, result = traced_run
+        metrics = TraceMetrics(tracer, NUM_NODES, result.time_ns)
+        text = metrics.format_text()
+        assert "== trace metrics" in text
+        assert "node0:" in text and "node1:" in text
+        assert "critical-path bound" in text
+        assert "remote ops by callsite" in text
+
+    def test_empty_trace_degrades_gracefully(self):
+        from repro.obs import Tracer
+        metrics = TraceMetrics(Tracer(), 2)
+        assert metrics.utilization()["eu_utilization"] == [0.0, 0.0]
+        assert metrics.su_queue_length_histogram() == {}
+        assert metrics.slot_waits() == []
+        assert metrics.callsite_attribution() == []
+        assert "== trace metrics" in metrics.format_text()

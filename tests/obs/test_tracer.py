@@ -1,0 +1,188 @@
+"""Tracer unit behaviour plus machine-integration invariants."""
+
+import pytest
+
+from repro.harness.pipeline import (
+    compile_earthc,
+    execute,
+    simple_baseline_config,
+)
+from repro.obs import Tracer
+from repro.obs.trace import span_intervals
+from repro.olden.loader import get_benchmark
+from tests.obs.conftest import NUM_NODES, TRACED_SOURCE
+
+
+class TestTracerUnit:
+    def test_emit_records_kind_ts_node_seq(self):
+        tracer = Tracer()
+        tracer.emit("issue", 10.0, 1, op="read", id=7)
+        (event,) = tracer.events
+        assert event["kind"] == "issue"
+        assert event["ts"] == 10.0
+        assert event["node"] == 1
+        assert event["op"] == "read"
+        assert event["seq"] == 0
+
+    def test_seq_is_unique_and_monotone(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.emit("fiber_spawn", 0.0, 0, fiber=i, name="f")
+        seqs = [e["seq"] for e in tracer.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_sorted_events_orders_by_ts_then_seq(self):
+        tracer = Tracer()
+        tracer.emit("eu_span", 50.0, 0, dur=1.0, fiber=1, name="a")
+        tracer.emit("su_span", 20.0, 1, dur=1.0, op="read",
+                    queue_wait=0.0, src=0, id=1)
+        tracer.emit("eu_span", 20.0, 0, dur=1.0, fiber=1, name="a")
+        ordered = tracer.sorted_events()
+        assert [e["ts"] for e in ordered] == [20.0, 20.0, 50.0]
+        assert ordered[0]["seq"] < ordered[1]["seq"]
+
+    def test_events_of_filters_kinds(self):
+        tracer = Tracer()
+        tracer.emit("issue", 1.0, 0, op="read", id=1)
+        tracer.emit("fulfill", 2.0, 0, id=1)
+        tracer.emit("issue", 3.0, 0, op="write", id=2)
+        assert len(tracer.events_of("issue")) == 2
+        assert len(tracer.events_of("issue", "fulfill")) == 3
+
+    def test_ring_buffer_keeps_most_recent_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit("fiber_spawn", float(i), 0, fiber=i, name="f")
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+        assert [e["ts"] for e in tracer.events] == [7.0, 8.0, 9.0]
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.emit("fiber_spawn", float(i), 0, fiber=i, name="f")
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(capacity=-5)
+
+    def test_next_op_id_fresh(self):
+        tracer = Tracer()
+        ids = {tracer.next_op_id() for _ in range(10)}
+        assert len(ids) == 10
+
+
+class TestMachineIntegration:
+    def test_all_event_kinds_emitted(self, traced_run):
+        _, tracer, _ = traced_run
+        kinds = {e["kind"] for e in tracer.events}
+        assert {"fiber_spawn", "fiber_start", "fiber_block",
+                "fiber_resume", "fiber_done", "eu_span", "su_span",
+                "net_send", "net_recv", "issue", "fulfill"} <= kinds
+
+    def test_issue_counts_match_machine_stats(self, traced_run):
+        _, tracer, result = traced_run
+        issues = tracer.events_of("issue")
+        by_op = {}
+        for event in issues:
+            by_op[event["op"]] = by_op.get(event["op"], 0) + 1
+        assert by_op.get("read", 0) == result.stats.remote_reads
+        assert by_op.get("write", 0) == result.stats.remote_writes
+        assert by_op.get("blkmov", 0) == result.stats.remote_blkmovs
+
+    def test_every_issue_has_a_later_fulfill(self, traced_run):
+        _, tracer, _ = traced_run
+        pairs = tracer.issue_fulfill_pairs()
+        assert pairs
+        for op_id, (issue, fulfill) in pairs.items():
+            assert issue is not None, f"op {op_id} has no issue"
+            assert fulfill is not None, f"op {op_id} has no fulfill"
+            assert fulfill["ts"] >= issue["ts"]
+
+    def test_issues_carry_callsite_attribution(self, traced_run):
+        _, tracer, _ = traced_run
+        issues = tracer.events_of("issue")
+        sites = {e["site"] for e in issues}
+        assert all(site is not None for site in sites)
+        assert "main" in {function for function, _label in sites}
+
+    def test_net_send_matches_su_service(self, traced_run):
+        _, tracer, _ = traced_run
+        sends = tracer.events_of("net_send")
+        recvs = tracer.events_of("net_recv")
+        spans = tracer.events_of("su_span")
+        assert len(sends) == len(recvs) == len(spans)
+        assert {e["id"] for e in sends} == {e["id"] for e in spans}
+
+    def test_eu_spans_disjoint_per_node(self, traced_run):
+        _, tracer, _ = traced_run
+        for node, events in tracer.by_node().items():
+            spans = [e for e in events if e["kind"] == "eu_span"]
+            intervals = span_intervals(spans)
+            for (_, end), (start, _) in zip(intervals, intervals[1:]):
+                assert start >= end - 1e-6, \
+                    f"node {node} EU spans overlap"
+
+    def test_events_confined_to_machine_nodes(self, traced_run):
+        _, tracer, _ = traced_run
+        assert set(tracer.by_node()) <= set(range(NUM_NODES))
+
+
+class TestZeroOverhead:
+    def test_tracing_does_not_change_the_simulation(self):
+        compiled = compile_earthc(TRACED_SOURCE, optimize=True)
+        plain = execute(compiled, num_nodes=NUM_NODES, args=(6,))
+        traced = execute(compiled, num_nodes=NUM_NODES, args=(6,),
+                         tracer=Tracer())
+        assert traced.value == plain.value
+        assert traced.time_ns == plain.time_ns
+        assert traced.stats.snapshot() == plain.stats.snapshot()
+        assert traced.eu_busy_ns == plain.eu_busy_ns
+        assert traced.su_busy_ns == plain.su_busy_ns
+
+    def test_untraced_run_records_no_tracer(self):
+        compiled = compile_earthc(TRACED_SOURCE)
+        result = execute(compiled, num_nodes=1, args=(2,))
+        assert result.tracer is None
+        assert result.utilization()["eu_utilization"][0] > 0.0
+
+
+def _traced_olden(name, config):
+    spec = get_benchmark(name)
+    compiled = compile_earthc(spec.source(), optimize=True,
+                              config=config, inline=spec.inline)
+    tracer = Tracer()
+    result = execute(compiled, num_nodes=4, args=spec.small_args,
+                     max_stmts=spec.max_stmts, tracer=tracer)
+    reads = [e for e in tracer.events_of("issue") if e["op"] == "read"]
+    # The trace and the counters are two views of the same run.
+    assert len(reads) == result.stats.remote_reads
+    return tracer, result
+
+
+class TestOldenTraces:
+    """The optimization's effect is visible in the event stream."""
+
+    def test_optimized_health_emits_fewer_remote_read_events(self):
+        simple, _ = _traced_olden("health", simple_baseline_config())
+        optimized, _ = _traced_olden("health", None)
+        count = lambda t: len([e for e in t.events_of("issue")
+                               if e["op"] == "read"])
+        assert count(optimized) < count(simple)
+
+    def test_optimized_power_runs_faster_with_valid_trace(self):
+        simple_tr, simple = _traced_olden("power",
+                                          simple_baseline_config())
+        optimized_tr, optimized = _traced_olden("power", None)
+        assert optimized.value == simple.value
+        assert optimized.time_ns <= simple.time_ns
+        for tracer in (simple_tr, optimized_tr):
+            for op_id, (issue, fulfill) in \
+                    tracer.issue_fulfill_pairs().items():
+                assert issue is not None and fulfill is not None
+                assert fulfill["ts"] >= issue["ts"]

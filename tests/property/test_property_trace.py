@@ -1,0 +1,79 @@
+"""Property-based trace invariants (hypothesis).
+
+Random heap programs run traced on a small machine; whatever the
+program does, the recorded event stream must satisfy the tracer's
+documented contract: canonical order is time-sorted, per-node EU/SU
+busy spans never overlap, every split-phase issue is fulfilled no
+earlier than it was issued, and the trace's remote-read count agrees
+with the always-on ``MachineStats`` counters.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.harness.pipeline import compile_earthc
+from repro.harness.pipeline import execute as _execute
+from repro.obs import Tracer
+from repro.obs.trace import span_intervals
+from tests.property.gen_programs import heap_programs
+
+NODES = 3
+
+HEAVY = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _traced(source):
+    compiled = compile_earthc(source, optimize=True)
+    tracer = Tracer()
+    result = _execute(compiled, num_nodes=NODES, tracer=tracer,
+                      max_stmts=2_000_000)
+    return tracer, result
+
+
+@HEAVY
+@given(heap_programs())
+def test_canonical_order_is_time_sorted(source):
+    tracer, _ = _traced(source)
+    stamps = [e["ts"] for e in tracer.sorted_events()]
+    assert stamps == sorted(stamps)
+
+
+@HEAVY
+@given(heap_programs())
+def test_busy_spans_disjoint_per_unit(source):
+    tracer, _ = _traced(source)
+    for node, events in tracer.by_node().items():
+        for kind in ("eu_span", "su_span"):
+            spans = [e for e in events if e["kind"] == kind]
+            intervals = span_intervals(spans)
+            for (_, end), (start, _) in zip(intervals, intervals[1:]):
+                assert start >= end - 1e-6, \
+                    f"node {node} {kind} intervals overlap"
+
+
+@HEAVY
+@given(heap_programs())
+def test_issue_fulfill_pairing(source):
+    tracer, result = _traced(source)
+    pairs = tracer.issue_fulfill_pairs()
+    for op_id, (issue, fulfill) in pairs.items():
+        assert issue is not None, f"op {op_id} missing its issue"
+        assert fulfill is not None, f"op {op_id} missing its fulfill"
+        assert fulfill["ts"] >= issue["ts"]
+    reads = [e for e, _ in pairs.values() if e["op"] == "read"]
+    assert len(reads) == result.stats.remote_reads
+
+
+@HEAVY
+@given(heap_programs())
+def test_tracing_does_not_perturb_results(source):
+    compiled = compile_earthc(source, optimize=True)
+    plain = _execute(compiled, num_nodes=NODES, max_stmts=2_000_000)
+    traced = _execute(compiled, num_nodes=NODES, tracer=Tracer(),
+                      max_stmts=2_000_000)
+    assert traced.value == plain.value
+    assert traced.time_ns == plain.time_ns
+    assert traced.stats.snapshot() == plain.stats.snapshot()
