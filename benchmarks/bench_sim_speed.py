@@ -1,0 +1,60 @@
+"""Simulator wall-clock speed: closure engine vs AST walker.
+
+One bench per (Olden benchmark, engine) pair.  Each compiles the
+benchmark once (optimized, 4 nodes) and measures pure *execution*
+wall-clock at the catalog's full problem size, so the pair directly
+yields the closure engine's speedup over the reference tree walker.
+The closure run also asserts bit-identical results against the AST
+run -- a speedup that changes the answer is a bug, not a win.
+
+Regenerate the committed ``BENCH_sim_speed.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sim_speed.py \
+        --benchmark-only --benchmark-disable-gc \
+        --benchmark-json=BENCH_sim_speed.json
+"""
+
+import pytest
+
+from repro.earth.interpreter import ENGINES
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import catalog
+
+#: Per-benchmark compiled programs and AST reference results, shared
+#: across the engine parametrization so each program compiles once.
+_COMPILED = {}
+_REFERENCE = {}
+
+
+def _compiled(spec):
+    if spec.name not in _COMPILED:
+        _COMPILED[spec.name] = compile_earthc(
+            spec.source(), spec.filename, optimize=True,
+            inline=spec.inline)
+    return _COMPILED[spec.name]
+
+
+def _run(spec, engine):
+    return execute(_compiled(spec), num_nodes=4, args=spec.default_args,
+                   max_stmts=spec.max_stmts, engine=engine)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))  # ast before closure
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_engine_speed(benchmark, name, engine):
+    spec = next(s for s in catalog() if s.name == name)
+    # Warm up once outside the timer: compiles the program and, for the
+    # closure engine, builds the per-function closures.
+    warm = _run(spec, engine)
+    result = benchmark.pedantic(lambda: _run(spec, engine),
+                                rounds=3, iterations=1,
+                                warmup_rounds=0)
+    assert result.value == warm.value
+    if engine == "ast":
+        _REFERENCE[name] = warm
+    elif name in _REFERENCE:
+        ref = _REFERENCE[name]
+        assert result.value == ref.value
+        assert result.time_ns == ref.time_ns
+        assert result.output == ref.output
+        assert result.stats.snapshot() == ref.stats.snapshot()

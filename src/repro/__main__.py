@@ -64,6 +64,11 @@ def _parse_args(argv):
                              "(for the bundled Olden benchmarks, "
                              "defaults to the catalog problem size)")
     parser.add_argument("--entry", default="main")
+    parser.add_argument("--engine", default="closure",
+                        choices=("closure", "ast"),
+                        help="execution engine: 'closure' precompiles "
+                             "SIMPLE to bound closures (default), "
+                             "'ast' walks the tree (reference)")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="with --run: record a structured trace and "
                              "write it as Chrome trace-event JSON "
@@ -170,7 +175,7 @@ def main(argv=None) -> int:
                 tracer = Tracer(capacity=args.trace_capacity)
             result = execute(compiled, num_nodes=args.nodes,
                              entry=args.entry, args=run_args,
-                             tracer=tracer)
+                             tracer=tracer, engine=args.engine)
             if tracer is not None:
                 try:
                     written = export_chrome_trace(tracer, args.trace,

@@ -1,0 +1,1638 @@
+"""Closure-compiled execution engine for SIMPLE programs.
+
+The AST-walking :class:`~repro.earth.interpreter.Interpreter` repeats
+per-statement analysis on every dynamic execution: ``isinstance``
+dispatch over node classes, :func:`basic_uses` set construction,
+``variables``/``globals`` dict lookups, field-path resolution, operator
+selection.  This module pays all of that once, at compile time.  Each
+:class:`~repro.simple.nodes.SimpleFunction` is walked a single time and
+lowered to Python closures with every static decision pre-bound:
+
+* operand readers (frame slot vs pre-resolved global address),
+* per-type coercion functions,
+* field paths resolved to ``(offset, field_type)`` constants,
+* binop implementations selected from a table,
+* ``busy`` costs folded to constants from ``MachineParams``,
+* the set of used names that can ever hold a pending
+  :class:`~repro.earth.machine.Slot`, so sync checks skip all others,
+* maximal runs of purely-local statements fused into one block that
+  performs a single ``("busy", sum)`` yield for the whole run and
+  updates the statement counter/budget in one batch.
+
+The generator protocol and the ``Machine`` action vocabulary (``busy``
+/ ``issue`` / ``wait`` / ``spawn`` / ``fulfill``) are unchanged, so
+tracing, statistics and the causality model are untouched.  Simulated
+times are bit-identical to the AST engine: every machine parameter is
+a multiple of 0.5 ns, so float summation is exact and associativity of
+the coalesced ``busy`` amounts cannot change ``time_ns``.
+
+Sync-wait ordering is replicated exactly: the compiler builds the same
+Python sets, with the same insertion sequence, that the AST engine's
+``_sync_uses`` builds at run time, and preserves their iteration order
+when filtering down to slot-capable names -- so waits happen in the
+same order and the event interleaving is identical.
+
+Known (accepted) divergence: the statement budget is charged per fused
+block, so a run that exhausts ``max_stmts`` may abort a few statements
+earlier than the AST engine would.  Both engines raise the same
+``InterpreterError`` for any program whose total statement count
+reaches the budget; completing runs are unaffected.
+
+Any statement the compiler cannot prove it can lower faithfully (e.g.
+ill-typed accesses that the validator would reject) falls back to a
+per-statement delegation into the AST engine, keeping error behaviour
+authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.earth.interpreter import (
+    _MATH_BUILTINS,
+    _MATH_COST_NS,
+    Activation,
+    Interpreter,
+    SharedCell,
+    _c_div,
+    _c_int,
+    _c_mod,
+    _normalize_word,
+)
+from repro.earth.machine import Fiber, JoinCounter, Slot
+from repro.earth.memory import FILLER, node_of
+from repro.errors import InterpreterError, MemoryFault
+from repro.frontend.types import PointerType, ScalarType, StructType, Type
+from repro.simple import nodes as s
+from repro.simple.traversal import basic_uses
+
+_PURE = 0
+_GEN = 1
+
+
+# ---------------------------------------------------------------------------
+# Pre-selected operator implementations (semantics of
+# ``interpreter._apply_binop``, one callable per operator).
+# ---------------------------------------------------------------------------
+
+
+def _op_div(left, right):
+    if isinstance(left, float) or isinstance(right, float):
+        if right == 0:
+            raise InterpreterError("division by zero")
+        return left / right
+    if right == 0:
+        raise InterpreterError("division by zero")
+    return _c_div(left, right)
+
+
+def _op_mod(left, right):
+    if right == 0:
+        raise InterpreterError("modulo by zero")
+    return _c_mod(int(left), int(right))
+
+
+_BINOPS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _op_div,
+    "%": _op_mod,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "<<": lambda a, b: int(a) << int(b),
+    ">>": lambda a, b: int(a) >> int(b),
+}
+
+
+def _char_coerce(value):
+    return _c_int(value) & 0xFF
+
+
+_KIND_COERCE: Dict[str, Callable] = {
+    "int": _c_int,
+    "char": _char_coerce,
+    "float": float,
+    "double": float,
+}
+
+
+def _coerce_fn(type: Optional[Type]) -> Optional[Callable]:
+    """The coercion callable for a declared type (``None`` = identity);
+    mirrors ``Interpreter._coerce``."""
+    if isinstance(type, ScalarType):
+        return _KIND_COERCE.get(type.kind)
+    if isinstance(type, PointerType):
+        return int
+    return None
+
+
+def _zero_of(type: Type):
+    if isinstance(type, ScalarType) and type.kind in ("float", "double"):
+        return 0.0
+    return 0
+
+
+class _Uncompilable(Exception):
+    """Internal: this statement cannot be lowered statically; delegate
+    its execution to the AST engine."""
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class ClosureEngine:
+    """Compiles the functions of one ``(program, machine)`` pair lazily
+    and caches the results.  Owned by one :class:`Interpreter`."""
+
+    __slots__ = ("interp", "program", "machine", "compiled", "_cells")
+
+    def __init__(self, interp: Interpreter):
+        self.interp = interp
+        self.program = interp.program
+        self.machine = interp.machine
+        self.compiled: Dict[str, "CompiledFunction"] = {}
+        # Call sites bind a one-element cell per callee so mutually
+        # recursive functions can reference each other before they are
+        # compiled; the cell is filled on first compilation.
+        self._cells: Dict[str, list] = {}
+
+    def cell(self, name: str) -> list:
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = self._cells[name] = [None]
+        return cell
+
+    def function(self, name: str) -> "CompiledFunction":
+        compiled = self.compiled.get(name)
+        if compiled is None:
+            func = self.program.functions.get(name)
+            if func is None:
+                raise InterpreterError(
+                    f"call to unknown function {name!r}")
+            compiled = _FunctionCompiler(self, func).compile()
+            self.compiled[name] = compiled
+            self.cell(name)[0] = compiled
+        return compiled
+
+
+class CompiledFunction:
+    """One SIMPLE function lowered to bound closures."""
+
+    __slots__ = ("name", "function", "body", "params", "inits",
+                 "default_return", "nparams")
+
+    def __init__(self, function: s.SimpleFunction, body, params, inits,
+                 default_return):
+        self.name = function.name
+        self.function = function
+        self.body = body
+        self.params = params          # ((name, coerce-or-None), ...)
+        self.inits = inits            # ((name, kind, payload), ...)
+        self.default_return = default_return
+        self.nparams = len(params)
+
+    def invoke(self, args: list, node: int, result_slot=None):
+        """Generator running one activation (same protocol as
+        ``Interpreter._exec_function``).
+
+        ``result_slot``, when given, is fulfilled with the return value
+        before the generator finishes -- this lets placed invocations
+        run the activation as the fiber's outermost generator instead
+        of wrapping it (one less frame for every action to traverse).
+        """
+        if len(args) != self.nparams:
+            raise InterpreterError(
+                f"{self.name}: expected {self.nparams} args, "
+                f"got {len(args)}")
+        act = Activation(self.function, node)
+        frame = act.frame
+        for (name, coerce), arg in zip(self.params, args):
+            frame[name] = coerce(arg) if coerce is not None else arg
+        for name, kind, payload in self.inits:
+            if kind == 0:          # scalar zero
+                frame[name] = payload
+            elif kind == 1:        # struct buffer
+                frame[name] = [0] * payload
+            else:                  # shared cell
+                frame[name] = SharedCell(payload, node)
+        signal = None
+        for step in self.body:
+            signal = yield from step(act)
+            if signal is not None:
+                break
+        for slot in act.outstanding:
+            if not slot.ready:
+                yield ("wait", slot)
+        act.outstanding.clear()
+        value = signal[1] if signal is not None else self.default_return
+        if result_slot is not None:
+            yield ("fulfill", result_slot, value)
+        return value
+
+
+# ---------------------------------------------------------------------------
+# Per-function compiler
+# ---------------------------------------------------------------------------
+
+
+class _FunctionCompiler:
+
+    def __init__(self, engine: ClosureEngine, func: s.SimpleFunction):
+        self.engine = engine
+        self.interp = engine.interp
+        self.program = engine.program
+        self.machine = engine.machine
+        self.memory = engine.machine.memory
+        self.stats = engine.machine.stats
+        self.params = engine.machine.params
+        self.func = func
+        self.local_ns = self.params.local_stmt_ns
+        self._budget_msg = (
+            f"statement budget exhausted ({self.interp.max_stmts}); "
+            f"probable infinite loop")
+        self.slotcap = self._slot_capable_names(func)
+        # Slot-capable names NOT declared in the function live in frames
+        # only transiently (dynamic shadowing of a global); reads/writes
+        # of those must keep the frame-first check.
+        self.shadowed = self.slotcap - set(func.variables)
+
+    # -- entry -------------------------------------------------------------
+
+    def compile(self) -> CompiledFunction:
+        func = self.func
+        params = tuple((p.name, _coerce_fn(p.type)) for p in func.params)
+        inits = []
+        for name, var in func.variables.items():
+            if var.kind == "param":
+                continue
+            if var.is_shared:
+                inits.append((name, 2, _zero_of(var.type)))
+            elif var.type.is_struct:
+                inits.append((name, 1, var.type.size_words()))
+            else:
+                inits.append((name, 0, _zero_of(var.type)))
+        body = self.compile_seq(func.body)
+        return CompiledFunction(func, body, params, tuple(inits),
+                                _zero_of(func.return_type))
+
+    @staticmethod
+    def _slot_capable_names(func: s.SimpleFunction) -> set:
+        """Names that can ever hold a pending Slot in a frame of this
+        function: split-phase remote reads into a plain variable, and
+        lazily-filled whole-buffer blkmov destinations."""
+        names = set()
+        for stmt in func.body.walk():
+            if isinstance(stmt, s.AssignStmt) and stmt.split_phase \
+                    and isinstance(stmt.lhs, s.VarLV) \
+                    and isinstance(stmt.rhs, (s.FieldReadRhs,
+                                              s.DerefReadRhs,
+                                              s.IndexReadRhs)) \
+                    and stmt.rhs.remote:
+                names.add(stmt.lhs.name)
+            elif isinstance(stmt, s.BlkmovStmt) and stmt.split_phase \
+                    and stmt.dst[0] == "local" and stmt.dst[2] == 0:
+                names.add(stmt.dst[1])
+        return names
+
+    # -- sequences and fusion ----------------------------------------------
+
+    def compile_seq(self, seq: s.SeqStmt) -> tuple:
+        """A sequence as a flat tuple of steps.  Consumers loop over the
+        steps inline (``for step in ...: yield from step(act)``) rather
+        than through a dedicated sequence generator -- one less frame
+        for every machine action to traverse."""
+        items: list = []
+        self._flatten(seq, items)
+        steps: list = []
+        i, n = 0, len(items)
+        while i < n:
+            if items[i][0] == _PURE:
+                execs = []
+                busy = 0.0
+                j = i
+                while j < n and items[j][0] == _PURE:
+                    busy += items[j][1]
+                    if items[j][2] is not None:
+                        execs.append(items[j][2])
+                    j += 1
+                steps.append(self._make_block(tuple(execs), busy, j - i))
+                i = j
+            else:
+                steps.append(items[i][1])
+                i += 1
+        return tuple(steps)
+
+    def _flatten(self, seq: s.SeqStmt, items: list) -> None:
+        for stmt in seq.stmts:
+            if isinstance(stmt, s.SeqStmt):
+                self._flatten(stmt, items)
+            else:
+                items.append(self.compile_stmt(stmt))
+
+    def _make_block(self, execs, busy, count):
+        """``count`` consecutive purely-local statements: one budget
+        update, one busy yield, then the effects in order."""
+        interp = self.interp
+        stats = self.stats
+        msg = self._budget_msg
+        if count == 1:
+            exec0 = execs[0] if execs else None
+
+            def block1(act):
+                interp._stmts_left -= 1
+                if interp._stmts_left <= 0:
+                    raise InterpreterError(msg)
+                stats.basic_stmts_executed += 1
+                yield ("busy", busy)
+                if exec0 is not None:
+                    exec0(act)
+                return None
+
+            return block1
+
+        def block(act):
+            interp._stmts_left -= count
+            if interp._stmts_left <= 0:
+                raise InterpreterError(msg)
+            stats.basic_stmts_executed += count
+            yield ("busy", busy)
+            for fn in execs:
+                fn(act)
+            return None
+
+        return block
+
+    # -- statement dispatch ------------------------------------------------
+
+    def compile_stmt(self, stmt: s.Stmt):
+        if isinstance(stmt, s.BasicStmt):
+            try:
+                return self._compile_basic(stmt)
+            except Exception:
+                # Anything the static lowering cannot prove: keep AST
+                # error behaviour authoritative for this one statement.
+                return self._delegate(stmt)
+        if isinstance(stmt, s.IfStmt):
+            return (_GEN, self._compile_if(stmt))
+        if isinstance(stmt, s.WhileStmt):
+            return (_GEN, self._compile_while(stmt))
+        if isinstance(stmt, s.DoStmt):
+            return (_GEN, self._compile_do(stmt))
+        if isinstance(stmt, s.SwitchStmt):
+            return (_GEN, self._compile_switch(stmt))
+        if isinstance(stmt, s.ParStmt):
+            return (_GEN, self._compile_par(stmt))
+        if isinstance(stmt, s.ForallStmt):
+            return (_GEN, self._compile_forall(stmt))
+        exc = InterpreterError(f"unknown statement {stmt!r}")
+        return (_GEN, _raise_step(exc))
+
+    def _compile_basic(self, stmt: s.BasicStmt):
+        if isinstance(stmt, s.AssignStmt):
+            return self._compile_assign(stmt)
+        if isinstance(stmt, s.CallStmt):
+            return self._compile_call(stmt)
+        if isinstance(stmt, s.AllocStmt):
+            return (_GEN, self._compile_alloc(stmt))
+        if isinstance(stmt, s.BlkmovStmt):
+            return (_GEN, self._compile_blkmov(stmt))
+        if isinstance(stmt, s.SharedOpStmt):
+            return (_GEN, self._compile_shared(stmt))
+        if isinstance(stmt, s.ReturnStmt):
+            return (_GEN, self._compile_return(stmt))
+        if isinstance(stmt, s.PrintStmt):
+            return self._pure_or_sync(stmt, 1000.0,
+                                      self._print_exec(stmt))
+        if isinstance(stmt, s.NopStmt):
+            return self._pure_or_sync(stmt, 0.0, None)
+        exc = InterpreterError(f"unknown basic statement {stmt!r}")
+        return (_GEN, self._raise_basic(stmt, exc))
+
+    # -- AST delegation fallback -------------------------------------------
+
+    _DELEGATES = {
+        s.AssignStmt: "_exec_assign",
+        s.CallStmt: "_exec_call",
+        s.AllocStmt: "_exec_alloc",
+        s.BlkmovStmt: "_exec_blkmov",
+        s.SharedOpStmt: "_exec_shared",
+    }
+
+    def _delegate(self, stmt: s.BasicStmt):
+        method_name = self._DELEGATES.get(type(stmt))
+        if method_name is None:
+            exc = InterpreterError(f"unknown basic statement {stmt!r}")
+            return (_GEN, self._raise_basic(stmt, exc))
+        method = getattr(self.interp, method_name)
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+
+        def step(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            return (yield from method(act, stmt))
+
+        return (_GEN, step)
+
+    def _raise_basic(self, stmt, exc):
+        """A statement that fails exactly where the AST engine would:
+        after the per-statement prologue and sync."""
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+
+        def step(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            raise exc
+
+        return step
+
+    # -- per-statement prologue (budget, stats, trace site) ----------------
+
+    def _prologue(self, stmt: s.BasicStmt):
+        interp = self.interp
+        stats = self.stats
+        tracer = self.machine.tracer
+        msg = self._budget_msg
+        if tracer is None:
+            def prologue():
+                interp._stmts_left -= 1
+                if interp._stmts_left <= 0:
+                    raise InterpreterError(msg)
+                stats.basic_stmts_executed += 1
+        else:
+            site = (self.func.name, stmt.label)
+
+            def prologue():
+                interp._stmts_left -= 1
+                if interp._stmts_left <= 0:
+                    raise InterpreterError(msg)
+                stats.basic_stmts_executed += 1
+                tracer.current_site = site
+        return prologue
+
+    # -- sync entries ------------------------------------------------------
+
+    def _sync_entries_for_basic(self, stmt: s.BasicStmt):
+        # Build the SAME set, via the same mutations, as the AST
+        # engine's ``_sync_uses`` so iteration order (and therefore
+        # wait order) is identical within this process.
+        names = basic_uses(stmt)
+        if isinstance(stmt, s.AssignStmt) and \
+                isinstance(stmt.lhs, s.StructFieldWriteLV):
+            names = set(names)
+            names.add(stmt.lhs.struct_var)
+        if isinstance(stmt, s.BlkmovStmt) and stmt.dst[0] == "local":
+            names = set(names)
+            names.add(stmt.dst[1])
+        return self._sync_entries(names)
+
+    def _sync_entries(self, names):
+        """Filter to slot-capable names, preserving iteration order;
+        attach the coercion the AST engine would apply on delivery."""
+        entries = []
+        variables = self.func.variables
+        for name in names:
+            if name not in self.slotcap:
+                continue
+            var = variables.get(name)
+            coerce = _coerce_fn(var.type) if var is not None else None
+            entries.append((name, coerce))
+        return tuple(entries)
+
+    def _pure_or_sync(self, stmt, busy, exec_fn):
+        entries = self._sync_entries_for_basic(stmt)
+        if not entries:
+            return (_PURE, busy, exec_fn)
+        prologue = self._prologue(stmt)
+
+        def step(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            yield ("busy", busy)
+            if exec_fn is not None:
+                exec_fn(act)
+            return None
+
+        return (_GEN, step)
+
+    # -- operand / variable readers ----------------------------------------
+
+    def _lookup_var(self, name: str) -> Optional[s.SimpleVar]:
+        var = self.func.variables.get(name)
+        if var is None:
+            var = self.program.globals.get(name)
+        return var
+
+    def _lookup_type(self, name: str) -> Type:
+        var = self._lookup_var(name)
+        if var is None:
+            raise _Uncompilable(name)
+        return var.type
+
+    def _read_var_fn(self, name: str):
+        variables = self.func.variables
+        var = variables.get(name)
+        if var is not None:
+            if name in self.slotcap or var.is_shared:
+                def read_checked(act):
+                    value = act.frame[name]
+                    if type(value) is Slot:
+                        raise InterpreterError(
+                            f"unsynchronized use of pending value "
+                            f"{name!r}")
+                    if type(value) is SharedCell:
+                        raise InterpreterError(
+                            f"shared variable {name!r} read directly")
+                    return value
+                return read_checked
+
+            def read_fast(act):
+                return act.frame[name]
+            return read_fast
+        gvar = self.program.globals.get(name)
+        if gvar is not None:
+            memory = self.memory
+            address = memory.global_address(name)
+            if name in self.shadowed:
+                def read_shadowed(act):
+                    if name in act.frame:
+                        value = act.frame[name]
+                        if type(value) is Slot:
+                            raise InterpreterError(
+                                f"unsynchronized use of pending value "
+                                f"{name!r}")
+                        if type(value) is SharedCell:
+                            raise InterpreterError(
+                                f"shared variable {name!r} read "
+                                f"directly")
+                        return value
+                    return _normalize_word(memory.read_word(address))
+                return read_shadowed
+
+            def read_global(act):
+                return _normalize_word(memory.read_word(address))
+            return read_global
+        exc = InterpreterError(f"unknown variable {name!r}")
+
+        def read_unknown(act):
+            raise exc
+        return read_unknown
+
+    def _operand_fn(self, operand: s.Operand):
+        if isinstance(operand, s.Const):
+            value = operand.value
+            return lambda act: value
+        if isinstance(operand, s.VarUse):
+            return self._read_var_fn(operand.name)
+        raise _Uncompilable(operand)
+
+    def _pointer_fn(self, name: str):
+        read = self._read_var_fn(name)
+
+        def pointer(act):
+            value = read(act)
+            if not isinstance(value, int):
+                raise InterpreterError(
+                    f"{name!r} does not hold a pointer: {value!r}")
+            return value
+        return pointer
+
+    def _store_var_fn(self, name: str):
+        """Mirror of ``Interpreter._store_var`` with the name resolved
+        at compile time."""
+        var = self.func.variables.get(name)
+        if var is not None:
+            coerce = _coerce_fn(var.type)
+            if coerce is None:
+                def store_raw(act, value):
+                    act.frame[name] = value
+                return store_raw
+
+            def store_coerced(act, value):
+                act.frame[name] = coerce(value)
+            return store_coerced
+        gvar = self.program.globals.get(name)
+        if gvar is not None:
+            memory = self.memory
+            address = memory.global_address(name)
+            coerce = _coerce_fn(gvar.type)
+            double = gvar.type.size_words() == 2
+            if name in self.shadowed:
+                def store_shadowed(act, value):
+                    if name in act.frame:
+                        act.frame[name] = value
+                        return
+                    memory.write_word(
+                        address,
+                        coerce(value) if coerce is not None else value)
+                    if double:
+                        memory.write_word(address + 1, FILLER)
+                return store_shadowed
+
+            def store_global(act, value):
+                memory.write_word(
+                    address,
+                    coerce(value) if coerce is not None else value)
+                if double:
+                    memory.write_word(address + 1, FILLER)
+            return store_global
+        exc = InterpreterError(f"unknown variable {name!r}")
+
+        def store_unknown(act, value):
+            raise exc
+        return store_unknown
+
+    # -- rhs / condition compilation ---------------------------------------
+
+    def _rhs_fn(self, rhs: s.Rhs):
+        if isinstance(rhs, s.OperandRhs):
+            return self._operand_fn(rhs.operand)
+        if isinstance(rhs, s.UnaryRhs):
+            operand = self._operand_fn(rhs.operand)
+            op = rhs.op
+            if op == "-":
+                return lambda act: -operand(act)
+            if op == "!":
+                return lambda act: 0 if operand(act) else 1
+            if op == "~":
+                return lambda act: ~_c_int(operand(act))
+            raise _Uncompilable(rhs)
+        if isinstance(rhs, s.BinaryRhs):
+            left = self._operand_fn(rhs.left)
+            right = self._operand_fn(rhs.right)
+            binop = _BINOPS.get(rhs.op)
+            if binop is None:
+                raise _Uncompilable(rhs)
+            return lambda act: binop(left(act), right(act))
+        if isinstance(rhs, s.ConvertRhs):
+            operand = self._operand_fn(rhs.operand)
+            coerce = _KIND_COERCE.get(rhs.kind)
+            if coerce is None:
+                return operand
+            return lambda act: coerce(operand(act))
+        if isinstance(rhs, s.AddrOfRhs):
+            if self.memory.has_global(rhs.var):
+                address = self.memory.global_address(rhs.var)
+                return lambda act: address
+            exc = InterpreterError(
+                f"&{rhs.var}: only globals are addressable")
+
+            def raise_addr(act):
+                raise exc
+            return raise_addr
+        if isinstance(rhs, s.FieldAddrRhs):
+            base_fn = self._pointer_fn(rhs.base)
+            ptr_type = self._lookup_type(rhs.base)
+            target = getattr(ptr_type, "target", None)
+            offset, _ = rhs.path.resolve(target)
+
+            def field_addr(act):
+                base = base_fn(act)
+                if base == 0:
+                    raise MemoryFault("&(nil->field)")
+                return base + offset
+            return field_addr
+        if isinstance(rhs, s.StructFieldReadRhs):
+            name = rhs.struct_var
+            struct_type = self.func.var_type(name)
+            offset, field_type = rhs.path.resolve(struct_type)
+            coerce = _coerce_fn(field_type)
+
+            def struct_read(act):
+                buffer = act.frame.get(name)
+                if not isinstance(buffer, list):
+                    raise InterpreterError(
+                        f"{name!r} is not a struct buffer")
+                value = _normalize_word(buffer[offset])
+                return coerce(value) if coerce is not None else value
+            return struct_read
+        raise _Uncompilable(rhs)
+
+    def _cond_fn(self, cond: s.CondExpr):
+        left = self._operand_fn(cond.left)
+        if cond.op is None:
+            return lambda act: bool(left(act))
+        right = self._operand_fn(cond.right)
+        binop = _BINOPS.get(cond.op)
+        if binop is None:
+            raise _Uncompilable(cond)
+        return lambda act: bool(binop(left(act), right(act)))
+
+    # -- heap accesses -----------------------------------------------------
+
+    def _access_fn(self, access) -> Tuple[Callable, Type]:
+        """(address closure, value type) of a field/deref/index access;
+        mirrors ``Interpreter._access_address``."""
+        if isinstance(access, (s.FieldReadRhs, s.FieldWriteLV)):
+            base_fn = self._pointer_fn(access.base)
+            ptr_type = self._lookup_type(access.base)
+            struct = getattr(ptr_type, "target", None)
+            if not isinstance(struct, StructType):
+                raise _Uncompilable(access)
+            offset, field_type = access.path.resolve(struct)
+            if offset == 0:
+                return base_fn, field_type
+
+            def field_addr(act):
+                base = base_fn(act)
+                return base + offset if base != 0 else 0
+            return field_addr, field_type
+        if isinstance(access, (s.DerefReadRhs, s.DerefWriteLV)):
+            base_fn = self._pointer_fn(access.base)
+            ptr_type = self._lookup_type(access.base)
+            if not isinstance(ptr_type, PointerType):
+                raise _Uncompilable(access)
+            return base_fn, ptr_type.target
+        if isinstance(access, (s.IndexReadRhs, s.IndexWriteLV)):
+            base_fn = self._pointer_fn(access.base)
+            index_fn = self._operand_fn(access.index)
+            ptr_type = self._lookup_type(access.base)
+            if not isinstance(ptr_type, PointerType):
+                raise _Uncompilable(access)
+
+            def index_addr(act):
+                base = base_fn(act)
+                index = index_fn(act)
+                return base + int(index) if base != 0 else 0
+            return index_addr, ptr_type.target
+        raise _Uncompilable(access)
+
+    def _local_load_fn(self):
+        memory = self.memory
+        fname = self.func.name
+
+        def load(address, act):
+            if address == 0:
+                raise MemoryFault(
+                    f"{fname}: nil dereference (local read)")
+            if node_of(address) != act.node:
+                raise InterpreterError(
+                    f"{fname}: access compiled as local touches node "
+                    f"{node_of(address)} from node {act.node} -- "
+                    f"locality analysis or `local` declaration is "
+                    f"wrong")
+            return _normalize_word(memory.read_word(address))
+        return load
+
+    # -- lvalue stores -----------------------------------------------------
+
+    def _store_pure(self, lhs: s.LValue):
+        """Non-yielding store closure, or ``None`` when storing needs
+        machine actions (remote heap write)."""
+        if isinstance(lhs, s.VarLV):
+            return self._store_var_fn(lhs.name)
+        if isinstance(lhs, s.StructFieldWriteLV):
+            name = lhs.struct_var
+            if name not in self.func.variables:
+                raise _Uncompilable(lhs)
+            struct_type = self.func.var_type(name)
+            offset, field_type = lhs.path.resolve(struct_type)
+            coerce = _coerce_fn(field_type)
+            double = field_type.size_words() == 2
+
+            def store_buffer(act, value):
+                buffer = act.frame[name]
+                if not isinstance(buffer, list):
+                    raise InterpreterError(
+                        f"{name!r} is not a struct buffer")
+                buffer[offset] = \
+                    coerce(value) if coerce is not None else value
+                if double:
+                    buffer[offset + 1] = FILLER
+            return store_buffer
+        # Heap write.
+        addr_fn, field_type = self._access_fn(lhs)
+        if lhs.remote:
+            return None
+        coerce = _coerce_fn(field_type)
+        double = field_type.size_words() == 2
+        memory = self.memory
+        fname = self.func.name
+
+        def store_local_heap(act, value):
+            address = addr_fn(act)
+            if address == 0:
+                raise MemoryFault(f"{fname}: nil dereference (write)")
+            if node_of(address) != act.node:
+                raise InterpreterError(
+                    f"{fname}: write compiled as local touches node "
+                    f"{node_of(address)} from node {act.node} -- "
+                    f"locality analysis or `local` declaration is "
+                    f"wrong")
+            memory.write_word(
+                address, coerce(value) if coerce is not None else value)
+            if double:
+                memory.write_word(address + 1, FILLER)
+        return store_local_heap
+
+    def _store_gen(self, lhs: s.LValue, split_phase):
+        """Generator store covering every lvalue, for contexts where
+        the AST engine uses ``yield from self._store_lvalue(...)``."""
+        pure = self._store_pure(lhs)
+        if pure is not None:
+            def store_wrapped(act, value):
+                pure(act, value)
+                return None
+                yield  # pragma: no cover -- makes this a generator
+            return store_wrapped
+        # Remote heap write.
+        addr_fn, field_type = self._access_fn(lhs)
+        coerce = _coerce_fn(field_type)
+        double = field_type.size_words() == 2
+        words = field_type.size_words() or 1
+        memory = self.memory
+        fname = self.func.name
+        split = bool(split_phase)
+
+        def store_remote(act, value):
+            address = addr_fn(act)
+            if address == 0:
+                raise MemoryFault(f"{fname}: nil dereference (write)")
+            coerced = coerce(value) if coerce is not None else value
+
+            def do_write(addr=address, val=coerced):
+                memory.write_word(addr, val)
+                if double:
+                    memory.write_word(addr + 1, FILLER)
+                return None
+
+            slot = Slot("write")
+            yield ("issue", "write", node_of(address), words, do_write,
+                   slot)
+            if split:
+                act.outstanding.append(slot)
+            else:
+                yield ("wait", slot)
+            return None
+        return store_remote
+
+    # -- assignments -------------------------------------------------------
+
+    def _compile_assign(self, stmt: s.AssignStmt):
+        rhs, lhs = stmt.rhs, stmt.lhs
+        local_ns = self.local_ns
+
+        if isinstance(rhs, (s.FieldReadRhs, s.DerefReadRhs,
+                            s.IndexReadRhs)):
+            addr_fn, value_type = self._access_fn(rhs)
+            if not rhs.remote:
+                load = self._local_load_fn()
+                # NB the AST engine passes value_type (truthy) as the
+                # split flag here; replicated for exactness.
+                store = self._store_pure(lhs)
+                if store is not None:
+                    def exec_local_read(act):
+                        store(act, load(addr_fn(act), act))
+                    return self._pure_or_sync(stmt, local_ns,
+                                              exec_local_read)
+                store_gen = self._store_gen(lhs, bool(value_type))
+                entries = self._sync_entries_for_basic(stmt)
+                prologue = self._prologue(stmt)
+
+                def step_local_read(act):
+                    prologue()
+                    frame = act.frame
+                    for name, coerce in entries:
+                        value = frame.get(name)
+                        if type(value) is Slot:
+                            resolved = yield ("wait", value)
+                            if coerce is not None \
+                                    and not isinstance(resolved, list):
+                                resolved = coerce(resolved)
+                            frame[name] = resolved
+                    yield ("busy", local_ns)
+                    value = load(addr_fn(act), act)
+                    yield from store_gen(act, value)
+                    return None
+                return (_GEN, step_local_read)
+            return (_GEN, self._remote_read_step(stmt, addr_fn,
+                                                 value_type, lhs))
+
+        # Plain (register) computation on the right.
+        rhs_fn = self._rhs_fn(rhs)
+        store = self._store_pure(lhs)
+        if store is not None:
+            def exec_assign(act):
+                store(act, rhs_fn(act))
+            return self._pure_or_sync(stmt, local_ns, exec_assign)
+        store_gen = self._store_gen(lhs, stmt.split_phase)
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+
+        def step_assign(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            yield ("busy", local_ns)
+            value = rhs_fn(act)
+            yield from store_gen(act, value)
+            return None
+        return (_GEN, step_assign)
+
+    def _remote_read_step(self, stmt, addr_fn, value_type, lhs):
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+        local_ns = self.local_ns
+        stats = self.stats
+        memory = self.memory
+        strict = self.machine.strict_nil_reads
+        words = value_type.size_words() or 1
+        slot_label = f"read@{stmt.label}"
+        split_to_var = stmt.split_phase and isinstance(lhs, s.VarLV)
+        if split_to_var:
+            target_name = lhs.name
+
+            def step_split(act):
+                prologue()
+                frame = act.frame
+                for name, coerce in entries:
+                    value = frame.get(name)
+                    if type(value) is Slot:
+                        resolved = yield ("wait", value)
+                        if coerce is not None \
+                                and not isinstance(resolved, list):
+                            resolved = coerce(resolved)
+                        frame[name] = resolved
+                yield ("busy", local_ns)
+                address = addr_fn(act)
+                slot = Slot(slot_label)
+                target = node_of(address) if address != 0 else act.node
+
+                def do_read(addr=address):
+                    if addr == 0:
+                        stats.speculative_nil_reads += 1
+                        if strict:
+                            raise MemoryFault(
+                                "nil dereference (remote read)")
+                        return 0
+                    return _normalize_word(memory.read_word(addr))
+
+                yield ("issue", "read", target, words, do_read, slot)
+                frame[target_name] = slot
+                return None
+            return step_split
+
+        store_gen = self._store_gen(lhs, stmt.split_phase)
+
+        def step_read(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            yield ("busy", local_ns)
+            address = addr_fn(act)
+            slot = Slot(slot_label)
+            target = node_of(address) if address != 0 else act.node
+
+            def do_read(addr=address):
+                if addr == 0:
+                    stats.speculative_nil_reads += 1
+                    if strict:
+                        raise MemoryFault("nil dereference (remote read)")
+                    return 0
+                return _normalize_word(memory.read_word(addr))
+
+            yield ("issue", "read", target, words, do_read, slot)
+            value = yield ("wait", slot)
+            yield from store_gen(act, value)
+            return None
+        return step_read
+
+    # -- calls -------------------------------------------------------------
+
+    def _compile_call(self, stmt: s.CallStmt):
+        name = stmt.func
+        local_ns = self.local_ns
+        if name in _MATH_BUILTINS:
+            fn = _MATH_BUILTINS[name]
+            arg_fn = self._operand_fn(stmt.args[0])
+            store = self._store_var_fn(stmt.target) \
+                if stmt.target is not None else None
+
+            def exec_math(act):
+                value = fn(float(arg_fn(act)))
+                if store is not None:
+                    store(act, value)
+            return self._pure_or_sync(stmt, _MATH_COST_NS, exec_math)
+        if name == "num_nodes":
+            num = self.machine.num_nodes
+            store = self._store_var_fn(stmt.target) \
+                if stmt.target is not None else None
+
+            def exec_num_nodes(act):
+                if store is not None:
+                    store(act, num)
+            return self._pure_or_sync(stmt, local_ns, exec_num_nodes)
+        if name == "my_node":
+            store = self._store_var_fn(stmt.target) \
+                if stmt.target is not None else None
+
+            def exec_my_node(act):
+                if store is not None:
+                    store(act, act.node)
+            return self._pure_or_sync(stmt, local_ns, exec_my_node)
+        if name == "owner_of":
+            arg_fn = self._operand_fn(stmt.args[0])
+            store = self._store_var_fn(stmt.target) \
+                if stmt.target is not None else None
+
+            def exec_owner_of(act):
+                pointer = arg_fn(act)
+                if store is not None:
+                    store(act, node_of(int(pointer)))
+            return self._pure_or_sync(stmt, local_ns, exec_owner_of)
+
+        if name not in self.program.functions:
+            exc = InterpreterError(f"call to unknown function {name!r}")
+            return (_GEN, self._raise_basic(stmt, exc))
+        engine = self.engine
+        cell = engine.cell(name)
+        arg_fns = tuple(self._operand_fn(a) for a in stmt.args)
+        store = self._store_var_fn(stmt.target) \
+            if stmt.target is not None else None
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+        call_ns = self.params.call_overhead_ns
+
+        if stmt.placement is None:
+            def step_call(act):
+                prologue()
+                frame = act.frame
+                for uname, coerce in entries:
+                    value = frame.get(uname)
+                    if type(value) is Slot:
+                        resolved = yield ("wait", value)
+                        if coerce is not None \
+                                and not isinstance(resolved, list):
+                            resolved = coerce(resolved)
+                        frame[uname] = resolved
+                args = [fn(act) for fn in arg_fns]
+                yield ("busy", call_ns)
+                compiled = cell[0]
+                if compiled is None:
+                    compiled = engine.function(name)
+                value = yield from compiled.invoke(args, act.node)
+                if store is not None:
+                    store(act, value)
+                return None
+            return (_GEN, step_call)
+
+        # Placed invocation: always a fresh fiber (EARTH INVOKE token).
+        placement_fn = self._placement_fn(stmt.placement)
+        stats = self.stats
+        remote_ns = call_ns + self.params.read_one_way_ns
+        slot_label = f"call:{name}"
+
+        def step_invoke(act):
+            prologue()
+            frame = act.frame
+            for uname, coerce in entries:
+                value = frame.get(uname)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[uname] = resolved
+            args = [fn(act) for fn in arg_fns]
+            target_node = placement_fn(act)
+            if target_node != act.node:
+                stats.remote_calls += 1
+            result_slot = Slot(slot_label)
+            compiled = cell[0]
+            if compiled is None:
+                compiled = engine.function(name)
+            fiber = Fiber(compiled.invoke(args, target_node, result_slot),
+                          target_node, name=name)
+            if target_node != act.node:
+                yield ("busy", remote_ns)
+            else:
+                yield ("busy", call_ns)
+            yield ("spawn", fiber)
+            value = yield ("wait", result_slot)
+            if store is not None:
+                store(act, value)
+            return None
+        return (_GEN, step_invoke)
+
+    def _placement_fn(self, placement):
+        if placement[0] == "owner_of":
+            pointer_fn = self._pointer_fn(placement[1])
+
+            def by_owner(act):
+                pointer = pointer_fn(act)
+                if pointer == 0:
+                    return act.node
+                return node_of(pointer)
+            return by_owner
+        if placement[0] == "home":
+            return lambda act: act.node
+        if placement[0] == "node":
+            value_fn = self._operand_fn(placement[1])
+            num = self.machine.num_nodes
+            return lambda act: int(value_fn(act)) % num
+        raise _Uncompilable(placement)
+
+    # -- malloc / blkmov / shared ------------------------------------------
+
+    def _compile_alloc(self, stmt: s.AllocStmt):
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+        words_fn = self._operand_fn(stmt.words)
+        node_fn = self._operand_fn(stmt.node) \
+            if stmt.node is not None else None
+        num = self.machine.num_nodes
+        memory = self.memory
+        store = self._store_var_fn(stmt.target)
+
+        def step_alloc(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            words = int(words_fn(act))
+            if node_fn is not None:
+                target = int(node_fn(act)) % num
+            else:
+                target = act.node
+            slot = Slot("malloc")
+
+            def do_alloc():
+                return memory.allocate(target, words)
+
+            yield ("issue", "malloc", target, words, do_alloc, slot)
+            value = yield ("wait", slot)
+            store(act, value)
+            return None
+        return step_alloc
+
+    def _buffer_fn(self, name: str):
+        def buffer_of(act):
+            buffer = act.frame[name]
+            if not isinstance(buffer, list):
+                raise InterpreterError(
+                    f"{name!r} is not a struct buffer")
+            return buffer
+        return buffer_of
+
+    def _compile_blkmov(self, stmt: s.BlkmovStmt):
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+        memory = self.memory
+        stats = self.stats
+        strict = self.machine.strict_nil_reads
+        words = stmt.words
+        split = stmt.split_phase
+        src_kind, src_name, src_off = stmt.src
+        dst_kind, dst_name, dst_off = stmt.dst
+        src_is_ptr = src_kind == "ptr"
+        dst_is_ptr = dst_kind == "ptr"
+        src_fn = self._pointer_fn(src_name) if src_is_ptr \
+            else self._buffer_fn(src_name)
+        dst_fn = self._pointer_fn(dst_name) if dst_is_ptr \
+            else self._buffer_fn(dst_name)
+        lazy_local_fill = (not dst_is_ptr) and split and dst_off == 0
+        slot_label = f"blkmov@{stmt.label}"
+
+        def step_blkmov(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            node = act.node
+            if src_is_ptr:
+                base = src_fn(act)
+                src = base + src_off if base != 0 else 0
+                src_node = node_of(src) if src != 0 else node
+            else:
+                src = (src_fn(act), src_off)
+                src_node = node
+            if dst_is_ptr:
+                base = dst_fn(act)
+                dst = base + dst_off if base != 0 else 0
+                dst_node = node_of(dst) if dst != 0 else node
+            else:
+                dst = (dst_fn(act), dst_off)
+                dst_node = node
+            remote_node = node
+            if src_is_ptr and src_node != node:
+                remote_node = src_node
+            if dst_is_ptr and dst_node != node:
+                remote_node = dst_node
+
+            def do_move(src=src, dst=dst):
+                if src_is_ptr:
+                    if src == 0:
+                        stats.speculative_nil_reads += 1
+                        if strict:
+                            raise MemoryFault("nil blkmov source")
+                        data = [0] * words
+                    else:
+                        data = memory.read_block(src, words)
+                else:
+                    buffer, offset = src
+                    data = list(buffer[offset:offset + words])
+                if dst_is_ptr:
+                    if dst == 0:
+                        raise MemoryFault("nil blkmov destination")
+                    memory.write_block(dst, list(data))
+                    return None
+                return data
+
+            do_op = do_move
+            if lazy_local_fill and words < len(dst[0]):
+                tail = list(dst[0][words:])
+
+                def do_op(move=do_move, tail=tail):
+                    return move() + tail
+
+            slot = Slot(slot_label)
+            yield ("issue", "blkmov", remote_node, words, do_op, slot)
+
+            if not dst_is_ptr:
+                buffer, offset = dst
+                if lazy_local_fill:
+                    frame[dst_name] = slot
+                    return None
+                data = yield ("wait", slot)
+                buffer[offset:offset + words] = data
+                return None
+            if split:
+                act.outstanding.append(slot)
+                return None
+            yield ("wait", slot)
+            return None
+        return step_blkmov
+
+    def _compile_shared(self, stmt: s.SharedOpStmt):
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+        interp = self.interp
+        op = stmt.op
+        shared_name = stmt.shared_var
+        value_fn = self._operand_fn(stmt.value) \
+            if stmt.value is not None else None
+        gvar = self.program.globals.get(shared_name)
+        global_ok = gvar is not None and gvar.is_shared
+        unknown_exc = None if global_ok else InterpreterError(
+            f"unknown shared variable {shared_name!r}")
+        slot_label = f"shared:{op}"
+        valueof = op == "valueof"
+        store = self._store_var_fn(stmt.target) if valueof else None
+
+        def step_shared(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            cell = frame.get(shared_name)
+            if cell is None:
+                if unknown_exc is not None:
+                    raise unknown_exc
+                cell = interp._shared_global(shared_name, gvar)
+            if not isinstance(cell, SharedCell):
+                raise InterpreterError(
+                    f"{shared_name!r} is not a shared variable")
+            value = value_fn(act) if value_fn is not None else None
+
+            def do_op(cell=cell, value=value):
+                if op == "writeto":
+                    cell.value = value
+                elif op == "addto":
+                    cell.value = cell.value + value
+                else:  # valueof
+                    return cell.value
+                return None
+
+            slot = Slot(slot_label)
+            yield ("issue", "shared", cell.owner, 1, do_op, slot)
+            if valueof:
+                result = yield ("wait", slot)
+                store(act, result)
+            else:
+                act.outstanding.append(slot)
+            return None
+        return step_shared
+
+    def _compile_return(self, stmt: s.ReturnStmt):
+        entries = self._sync_entries_for_basic(stmt)
+        prologue = self._prologue(stmt)
+        local_ns = self.local_ns
+        value_fn = self._operand_fn(stmt.value) \
+            if stmt.value is not None else None
+
+        def step_return(act):
+            prologue()
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            yield ("busy", local_ns)
+            if value_fn is not None:
+                return ("ret", value_fn(act))
+            return ("ret", 0)
+        return step_return
+
+    def _print_exec(self, stmt: s.PrintStmt):
+        arg_fns = tuple(self._operand_fn(a) for a in stmt.args)
+        fmt = stmt.format
+        output = self.machine.output
+
+        def exec_print(act):
+            values = [fn(act) for fn in arg_fns]
+            try:
+                text = fmt % tuple(values)
+            except (TypeError, ValueError) as exc:
+                raise InterpreterError(
+                    f"printf format error: {exc}") from exc
+            output.append(text)
+        return exec_print
+
+    # -- compound statements -----------------------------------------------
+
+    def _compile_if(self, stmt: s.IfStmt):
+        entries = self._sync_entries(stmt.cond.variables())
+        cond = self._cond_fn(stmt.cond)
+        then_steps = self.compile_seq(stmt.then_seq)
+        else_steps = self.compile_seq(stmt.else_seq)
+        local_ns = self.local_ns
+
+        def step_if(act):
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            yield ("busy", local_ns)
+            steps = then_steps if cond(act) else else_steps
+            for step in steps:
+                signal = yield from step(act)
+                if signal is not None:
+                    return signal
+            return None
+        return step_if
+
+    def _compile_while(self, stmt: s.WhileStmt):
+        entries = self._sync_entries(stmt.cond.variables())
+        cond = self._cond_fn(stmt.cond)
+        body_steps = self.compile_seq(stmt.body)
+        local_ns = self.local_ns
+
+        def step_while(act):
+            frame = act.frame
+            while True:
+                for name, coerce in entries:
+                    value = frame.get(name)
+                    if type(value) is Slot:
+                        resolved = yield ("wait", value)
+                        if coerce is not None \
+                                and not isinstance(resolved, list):
+                            resolved = coerce(resolved)
+                        frame[name] = resolved
+                yield ("busy", local_ns)
+                if not cond(act):
+                    return None
+                for step in body_steps:
+                    signal = yield from step(act)
+                    if signal is not None:
+                        return signal
+        return step_while
+
+    def _compile_do(self, stmt: s.DoStmt):
+        entries = self._sync_entries(stmt.cond.variables())
+        cond = self._cond_fn(stmt.cond)
+        body_steps = self.compile_seq(stmt.body)
+        local_ns = self.local_ns
+
+        def step_do(act):
+            frame = act.frame
+            while True:
+                for step in body_steps:
+                    signal = yield from step(act)
+                    if signal is not None:
+                        return signal
+                for name, coerce in entries:
+                    value = frame.get(name)
+                    if type(value) is Slot:
+                        resolved = yield ("wait", value)
+                        if coerce is not None \
+                                and not isinstance(resolved, list):
+                            resolved = coerce(resolved)
+                        frame[name] = resolved
+                yield ("busy", local_ns)
+                if not cond(act):
+                    return None
+        return step_do
+
+    def _compile_switch(self, stmt: s.SwitchStmt):
+        entries = self._sync_entries(stmt.scrutinee.variables())
+        scrutinee = self._operand_fn(stmt.scrutinee)
+        cases = tuple((case_value, self.compile_seq(seq))
+                      for case_value, seq in stmt.cases)
+        default_steps = None if stmt.default is None \
+            else self.compile_seq(stmt.default)
+        local_ns = self.local_ns
+
+        def step_switch(act):
+            frame = act.frame
+            for name, coerce in entries:
+                value = frame.get(name)
+                if type(value) is Slot:
+                    resolved = yield ("wait", value)
+                    if coerce is not None \
+                            and not isinstance(resolved, list):
+                        resolved = coerce(resolved)
+                    frame[name] = resolved
+            yield ("busy", local_ns)
+            value = scrutinee(act)
+            chosen = default_steps
+            for case_value, case_steps in cases:
+                if value == case_value:
+                    chosen = case_steps
+                    break
+            if chosen is not None:
+                for step in chosen:
+                    signal = yield from step(act)
+                    if signal is not None:
+                        return signal
+            return None
+        return step_switch
+
+    def _compile_par(self, stmt: s.ParStmt):
+        branch_steps = tuple(self.compile_seq(b) for b in stmt.branches)
+        nbranches = len(branch_steps)
+        join_ns = self.params.join_ns
+        branch_name = f"{self.func.name}:par"
+        err = (f"{self.func.name}: return inside a parallel sequence "
+               f"branch is not supported")
+
+        def step_par(act):
+            join = JoinCounter(nbranches)
+            for branch in branch_steps:
+                def branch_body(branch=branch):
+                    for step in branch:
+                        signal = yield from step(act)
+                        if signal is not None:
+                            raise InterpreterError(err)
+                fiber = Fiber(branch_body(), act.node, name=branch_name)
+                fiber.on_done.append(join.child_done)
+                yield ("spawn", fiber)
+            yield ("wait", join.slot)
+            yield ("busy", join_ns)
+            return None
+        return step_par
+
+    def _compile_forall(self, stmt: s.ForallStmt):
+        entries = self._sync_entries(stmt.cond.variables())
+        cond = self._cond_fn(stmt.cond)
+        init_steps = self.compile_seq(stmt.init)
+        step_steps = self.compile_seq(stmt.step)
+        body_steps = self.compile_seq(stmt.body)
+        local_ns = self.local_ns
+        join_ns = self.params.join_ns
+        machine = self.machine
+        func = self.func
+        fiber_name = f"{func.name}:forall"
+        err = (f"{func.name}: return inside forall body is not "
+               f"supported")
+        copy_frame = Interpreter._copy_frame
+
+        def step_forall(act):
+            for step in init_steps:
+                signal = yield from step(act)
+                if signal is not None:
+                    return signal
+            children: List[Fiber] = []
+            frame = act.frame
+            while True:
+                for name, coerce in entries:
+                    value = frame.get(name)
+                    if type(value) is Slot:
+                        resolved = yield ("wait", value)
+                        if coerce is not None \
+                                and not isinstance(resolved, list):
+                            resolved = coerce(resolved)
+                        frame[name] = resolved
+                yield ("busy", local_ns)
+                if not cond(act):
+                    break
+                iter_act = Activation(func, act.node)
+                iter_act.frame = copy_frame(frame)
+                iter_act.outstanding = []
+
+                def iteration(iact=iter_act):
+                    signal = None
+                    for step in body_steps:
+                        signal = yield from step(iact)
+                        if signal is not None:
+                            break
+                    for slot in iact.outstanding:
+                        if not slot.ready:
+                            yield ("wait", slot)
+                    if signal is not None:
+                        raise InterpreterError(err)
+
+                fiber = Fiber(iteration(), act.node, name=fiber_name)
+                children.append(fiber)
+                yield ("spawn", fiber)
+                for step in step_steps:
+                    signal = yield from step(act)
+                    if signal is not None:
+                        return signal
+            join = JoinCounter(len(children))
+            for fiber in children:
+                if fiber.done:
+                    join.child_done(machine, 0.0)
+                else:
+                    fiber.on_done.append(join.child_done)
+            yield ("wait", join.slot)
+            yield ("busy", join_ns)
+            return None
+        return step_forall
+
+
+# ---------------------------------------------------------------------------
+# Step helpers
+# ---------------------------------------------------------------------------
+
+
+def _raise_step(exc):
+    def step(act):
+        raise exc
+        yield  # pragma: no cover -- makes this a generator
+    return step

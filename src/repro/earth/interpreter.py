@@ -117,18 +117,42 @@ class RunResult:
                 f"time={self.time_ns / 1e6:.3f}ms, {self.stats!r})")
 
 
+#: Engines: ``"closure"`` precompiles each function to bound closures
+#: (:mod:`repro.earth.compile`); ``"ast"`` walks the SIMPLE tree (the
+#: reference implementation below).  Both drive the same machine and
+#: must produce identical results -- the differential suite
+#: (tests/earth/test_engine_equivalence.py) pins this.
+ENGINES = ("closure", "ast")
+
+
 class Interpreter:
-    """Executes one program on one machine."""
+    """Executes one program on one machine.
+
+    ``engine`` selects how SIMPLE statements are executed:
+    ``"closure"`` (default) compiles each function once into pre-bound
+    Python closures and runs those; ``"ast"`` interprets the tree
+    directly.  Identical simulated behaviour, very different host
+    speed.
+    """
+
+    __slots__ = ("program", "machine", "max_stmts", "engine",
+                 "_stmts_left", "_globals_ready", "_finish_time",
+                 "_shared_globals", "_closure_engine")
 
     def __init__(self, program: s.SimpleProgram, machine: Machine,
-                 max_stmts: int = 200_000_000):
+                 max_stmts: int = 200_000_000, engine: str = "closure"):
+        if engine not in ENGINES:
+            raise InterpreterError(
+                f"unknown engine {engine!r} (known: {', '.join(ENGINES)})")
         self.program = program
         self.machine = machine
         self.max_stmts = max_stmts
+        self.engine = engine
         self._stmts_left = max_stmts
         self._globals_ready = False
         self._finish_time = 0.0
         self._shared_globals: Dict[str, SharedCell] = {}
+        self._closure_engine = None
 
     # ======================================================================
     # Entry point
@@ -142,9 +166,19 @@ class Interpreter:
         func = self.program.functions[entry]
         result_slot = Slot(f"result:{entry}")
 
-        def root():
-            value = yield from self._exec_function(func, list(args), 0)
-            yield ("fulfill", result_slot, value)
+        if self.engine == "closure":
+            from repro.earth.compile import ClosureEngine
+            if self._closure_engine is None:
+                self._closure_engine = ClosureEngine(self)
+            compiled = self._closure_engine.function(entry)
+
+            def root():
+                value = yield from compiled.invoke(list(args), 0)
+                yield ("fulfill", result_slot, value)
+        else:
+            def root():
+                value = yield from self._exec_function(func, list(args), 0)
+                yield ("fulfill", result_slot, value)
 
         fiber = Fiber(root(), 0, name=entry)
 

@@ -130,6 +130,11 @@ class Machine:
             [] for _ in range(num_nodes)]
         self._running = [False] * num_nodes
         self._run_scheduled = [False] * num_nodes
+        # One pre-bound runner thunk per node: _kick fires thousands of
+        # times per run and must not allocate a fresh closure each time.
+        self._run_thunks = [
+            (lambda node=node: self._run_node(node))
+            for node in range(num_nodes)]
         self._eu_free = [0.0] * num_nodes
         self._su_free = [0.0] * num_nodes
         self._last_fiber: List[Optional[int]] = [None] * num_nodes
@@ -157,7 +162,7 @@ class Machine:
         earliest = self._ready[node][0][0]
         start = max(earliest, self._eu_free[node], at_time)
         self._run_scheduled[node] = True
-        self._schedule(start, lambda: self._run_node(node))
+        self._schedule(start, self._run_thunks[node])
 
     def run(self) -> None:
         """Process events until the machine is quiescent."""
@@ -381,13 +386,67 @@ class Machine:
         tracer = self.tracer
         if tracer is not None and slot.trace is not None:
             tracer.emit("fulfill", time, slot.trace[1], id=slot.trace[0])
-        if slot.waiters:
-            self._parked_count -= len(slot.waiters)
-            for fiber in slot.waiters:
-                heapq.heappush(self._ready[fiber.node],
-                               (time, fiber.id, fiber))
-                self._kick(fiber.node, time)
+        waiters = slot.waiters
+        if not waiters:
+            return
+        if len(waiters) == 1:
+            # Fast path: the sole waiter resumes on an idle node with an
+            # empty ready queue -- skip the heap round-trip and schedule
+            # the resume directly.  Start time matches what _kick would
+            # compute (earliest == time, at_time == time).
+            fiber = waiters[0]
+            node = fiber.node
+            if not self._running[node] and not self._run_scheduled[node] \
+                    and not self._ready[node]:
+                self._parked_count -= 1
                 if tracer is not None:
-                    tracer.emit("fiber_resume", time, fiber.node,
+                    tracer.emit("fiber_resume", time, node,
                                 fiber=fiber.id, slot=slot.label)
-            slot.waiters.clear()
+                waiters.clear()
+                self._run_scheduled[node] = True
+                eu_free = self._eu_free[node]
+                start = time if time >= eu_free else eu_free
+                self._schedule(
+                    start,
+                    lambda: self._direct_resume(node, fiber, time))
+                return
+        self._parked_count -= len(waiters)
+        for fiber in waiters:
+            heapq.heappush(self._ready[fiber.node],
+                           (time, fiber.id, fiber))
+            self._kick(fiber.node, time)
+            if tracer is not None:
+                tracer.emit("fiber_resume", time, fiber.node,
+                            fiber=fiber.id, slot=slot.label)
+        slot.waiters.clear()
+
+    def _direct_resume(self, node: int, fiber: Fiber, ready_at: float
+                       ) -> None:
+        """Resume ``fiber`` without it having visited the ready heap.
+
+        Equivalent to a heappush of ``(ready_at, fiber.id, fiber)``
+        followed by ``_run_node``: if the node started running or an
+        earlier-ranked fiber arrived meanwhile, fall back to exactly
+        that."""
+        self._run_scheduled[node] = False
+        ready = self._ready[node]
+        if self._running[node] or \
+                (ready and ready[0][:2] < (ready_at, fiber.id)):
+            heapq.heappush(ready, (ready_at, fiber.id, fiber))
+            self._run_node(node)
+            return
+        # start = max(ready_at, eu_free, self.time) always equals
+        # self.time here: the event fired at max(ready_at, eu_free) and
+        # eu_free cannot have advanced while _run_scheduled was set.
+        self._running[node] = True
+        t = self.time
+        if self._last_fiber[node] is not None \
+                and self._last_fiber[node] != fiber.id:
+            t += self.params.ctx_switch_ns
+            self.stats.context_switches += 1
+        self._last_fiber[node] = fiber.id
+        resume_value = None
+        if fiber.resume_slot is not None:
+            resume_value = fiber.resume_slot.value
+            fiber.resume_slot = None
+        self._execute(fiber, t, resume_value)

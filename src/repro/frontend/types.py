@@ -166,13 +166,17 @@ class StructType(Type):
     equal even when obtained from different lookups.
     """
 
-    __slots__ = ("name", "_fields", "_by_name", "_size_words")
+    __slots__ = ("name", "_fields", "_by_name", "_size_words",
+                 "_layout_epoch")
 
     def __init__(self, name: str):
         self.name = name
         self._fields: Optional[List[Field]] = None
         self._by_name: Dict[str, Field] = {}
         self._size_words = 0
+        #: Bumped on every (re-)definition; :meth:`FieldPath.resolve`
+        #: memoizes per epoch so field reordering invalidates caches.
+        self._layout_epoch = 0
 
     @property
     def is_defined(self) -> bool:
@@ -197,6 +201,7 @@ class StructType(Type):
             offset += ftype.size_words()
         self._fields = fields
         self._size_words = offset
+        self._layout_epoch += 1
 
     @property
     def fields(self) -> List[Field]:
@@ -304,12 +309,20 @@ class FieldPath:
     offset and a width against the base struct type.
     """
 
-    __slots__ = ("names",)
+    __slots__ = ("names", "_resolve_cache")
 
     def __init__(self, names: Tuple[str, ...]):
         if not names:
             raise TypeError_("empty field path")
         self.names = tuple(names)
+        #: ``id(struct) -> (struct, layout_epoch, offset, type)``.
+        #: Resolving a path is a hot interpreter/analysis operation; the
+        #: layout of a struct only changes when it is re-defined (field
+        #: reordering), which bumps ``_layout_epoch`` and invalidates
+        #: the entry.  The entry keeps a strong reference to the struct
+        #: so the ``id`` key can never be recycled while cached.
+        self._resolve_cache: Dict[int, Tuple[StructType, int, int, Type]] \
+            = {}
 
     @classmethod
     def single(cls, name: str) -> "FieldPath":
@@ -323,7 +336,20 @@ class FieldPath:
         return FieldPath(self.names + (name,))
 
     def resolve(self, base: StructType) -> Tuple[int, Type]:
-        """Return ``(word_offset, field_type)`` of this path within ``base``."""
+        """Return ``(word_offset, field_type)`` of this path within
+        ``base``.  Results are memoized per base struct layout."""
+        if base.__class__ is not StructType:
+            return self._resolve_walk(base)
+        entry = self._resolve_cache.get(id(base))
+        if entry is not None and entry[0] is base \
+                and entry[1] == base._layout_epoch:
+            return entry[2], entry[3]
+        offset, current = self._resolve_walk(base)
+        self._resolve_cache[id(base)] = (base, base._layout_epoch,
+                                         offset, current)
+        return offset, current
+
+    def _resolve_walk(self, base: StructType) -> Tuple[int, Type]:
         offset = 0
         current: Type = base
         for name in self.names:

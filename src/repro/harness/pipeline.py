@@ -133,16 +133,19 @@ def execute(
     max_stmts: int = 200_000_000,
     strict_nil_reads: bool = False,
     tracer: Optional[Tracer] = None,
+    engine: str = "closure",
 ) -> RunResult:
     """Run a compiled program on a fresh machine.
 
     ``tracer`` attaches a :class:`repro.obs.Tracer` for structured event
-    recording (default off: no tracing overhead)."""
+    recording (default off: no tracing overhead).  ``engine`` selects
+    the execution engine: ``"closure"`` (default, fast) or ``"ast"``
+    (the reference tree walker)."""
     machine = Machine(num_nodes, params,
                       strict_nil_reads=strict_nil_reads,
                       tracer=tracer)
     interpreter = Interpreter(compiled.simple, machine,
-                              max_stmts=max_stmts)
+                              max_stmts=max_stmts, engine=engine)
     return interpreter.run(entry, args)
 
 
@@ -155,6 +158,7 @@ def run_three_ways(
     inline: Union[bool, Set[str]] = False,
     config: Optional[CommConfig] = None,
     max_stmts: int = 200_000_000,
+    engine: str = "closure",
 ) -> Dict[str, RunResult]:
     """The paper's three configurations of one program.
 
@@ -175,18 +179,19 @@ def run_three_ways(
                                 inline=inline)
     results["sequential"] = execute(
         sequential, 1, MachineParams.sequential_c(), entry, args,
-        max_stmts=max_stmts)
+        max_stmts=max_stmts, engine=engine)
 
     simple = compile_earthc(source, filename, optimize=True,
                             config=simple_baseline_config(),
                             inline=inline)
     results["simple"] = execute(simple, num_nodes, None, entry, args,
-                                max_stmts=max_stmts)
+                                max_stmts=max_stmts, engine=engine)
 
     optimized = compile_earthc(source, filename, optimize=True,
                                config=config, inline=inline)
     results["optimized"] = execute(optimized, num_nodes, None, entry,
-                                   args, max_stmts=max_stmts)
+                                   args, max_stmts=max_stmts,
+                                   engine=engine)
 
     values = {name: result.value for name, result in results.items()}
     if len({_norm(v) for v in values.values()}) != 1:

@@ -852,6 +852,9 @@ class SimpleVar:
 class SimpleFunction:
     """One function in SIMPLE form."""
 
+    __slots__ = ("name", "return_type", "params", "variables", "body",
+                 "_temp_counter", "_comm_counter", "_bcomm_counter")
+
     def __init__(self, name: str, return_type: Type,
                  params: List[SimpleVar]):
         self.name = name
@@ -922,6 +925,8 @@ class SimpleProgram:
     ``global_inits`` maps global variable names to their constant initial
     values (globals live in node 0's memory in the simulator).
     """
+
+    __slots__ = ("structs", "globals", "global_inits", "functions")
 
     def __init__(self, structs: Dict[str, StructType],
                  globals: Dict[str, SimpleVar]):

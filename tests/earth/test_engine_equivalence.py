@@ -1,0 +1,175 @@
+"""Differential tests: the closure engine against the AST walker.
+
+The closure engine (``repro.earth.compile``) must be *observationally
+bit-identical* to the reference tree walker for every program that
+completes: same result value, same printed output, same
+``MachineStats`` snapshot, and the same simulated ``time_ns`` down to
+the last bit.  These tests drive every bundled example program and
+every Olden benchmark through both engines under the paper's three
+machine configurations, plus Hypothesis-generated programs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.earth.interpreter import ENGINES, Interpreter, InterpreterError
+from repro.earth.machine import Machine
+from repro.earth.params import MachineParams
+from repro.harness.pipeline import (
+    compile_earthc,
+    execute,
+    simple_baseline_config,
+)
+from repro.olden.loader import catalog
+from tests.property.gen_programs import heap_programs, scalar_programs
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: The paper's three configurations, as (num_nodes, params, optimize,
+#: config) tuples -- mirrors ``run_three_ways`` without recompiling per
+#: engine.
+CONFIGS = {
+    "sequential": (1, MachineParams.sequential_c(), False, None),
+    "simple": (4, None, True, "baseline"),
+    "optimized": (4, None, True, None),
+}
+
+
+def _example_source(filename: str) -> str:
+    """The EARTH-C program embedded in an examples/ script."""
+    text = (EXAMPLES / filename).read_text()
+    match = re.search(r'SOURCE = """(.*?)"""', text, re.S)
+    assert match is not None, f"no SOURCE block in {filename}"
+    return match.group(1)
+
+
+def _compare(compiled, num_nodes, params=None, args=(),
+             max_stmts=200_000_000, entry="main"):
+    """Run both engines on one compiled program; assert bit-identity."""
+    results = {}
+    for engine in ENGINES:
+        results[engine] = execute(compiled, num_nodes, params,
+                                  entry=entry, args=args,
+                                  max_stmts=max_stmts, engine=engine)
+    ast, closure = results["ast"], results["closure"]
+    assert closure.value == ast.value
+    assert closure.output == ast.output
+    assert closure.time_ns == ast.time_ns  # bit-identical, no rounding
+    assert closure.stats.snapshot() == ast.stats.snapshot()
+    return closure
+
+
+def _compare_three_ways(source, filename, args=(), inline=False,
+                        max_stmts=200_000_000, entry="main"):
+    for name, (nodes, params, optimize, cfg) in CONFIGS.items():
+        config = simple_baseline_config() if cfg == "baseline" else None
+        compiled = compile_earthc(source, filename, optimize=optimize,
+                                  config=config, inline=inline)
+        _compare(compiled, nodes, params, args=args,
+                 max_stmts=max_stmts, entry=entry)
+
+
+# ---------------------------------------------------------------------------
+# Example programs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("filename, entry, args", [
+    ("quickstart.py", "main", ()),
+    ("earthc_language_tour.py", "main", (24,)),
+    # The walkthrough program has no main; its dist() helper is a pure
+    # entry point we can drive directly.
+    ("closest_point_walkthrough.py", "dist", (1, 2, 4, 6)),
+])
+def test_example_programs_identical(filename, entry, args):
+    _compare_three_ways(_example_source(filename), filename,
+                        entry=entry, args=args)
+
+
+# ---------------------------------------------------------------------------
+# Olden benchmarks
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_olden_identical(name):
+    spec = next(s for s in catalog() if s.name == name)
+    _compare_three_ways(spec.source(), spec.filename,
+                        args=spec.small_args, inline=spec.inline,
+                        max_stmts=spec.max_stmts)
+
+
+# ---------------------------------------------------------------------------
+# Engine selection plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_engine_rejected():
+    compiled = compile_earthc("int main() { return 0; }")
+    machine = Machine(1)
+    with pytest.raises(InterpreterError, match="unknown engine"):
+        Interpreter(compiled.simple, machine, engine="jit")
+
+
+def test_closure_is_default_engine():
+    compiled = compile_earthc("int main() { return 41 + 1; }")
+    machine = Machine(1)
+    interp = Interpreter(compiled.simple, machine)
+    assert interp.engine == "closure"
+    assert interp.run().value == 42
+
+
+def test_runtime_errors_match():
+    """Faulting programs raise the same error text on both engines."""
+    source = """
+    struct cell { int value; };
+    int main() {
+        struct cell *p;
+        p = NULL;
+        return p->value;
+    }
+    """
+    compiled = compile_earthc(source, optimize=False)
+    messages = {}
+    for engine in ENGINES:
+        with pytest.raises(Exception) as info:
+            execute(compiled, 1, strict_nil_reads=True, engine=engine)
+        messages[engine] = str(info.value)
+    assert messages["closure"] == messages["ast"]
+
+
+# ---------------------------------------------------------------------------
+# Property-based differential testing
+# ---------------------------------------------------------------------------
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+HEAVY = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@FAST
+@given(scalar_programs())
+def test_scalar_programs_engines_agree(pair):
+    source, _ = pair
+    compiled = compile_earthc(source, optimize=True)
+    _compare(compiled, 2, max_stmts=2_000_000)
+
+
+@HEAVY
+@given(heap_programs())
+def test_heap_programs_engines_agree(source):
+    compiled = compile_earthc(source, optimize=True)
+    _compare(compiled, 4, max_stmts=2_000_000)
