@@ -30,6 +30,7 @@ from repro.analysis.connection import ConnectionInfo
 from repro.analysis.points_to import analyze_points_to
 from repro.analysis.rw_sets import EffectsAnalysis
 from repro.comm.placement import analyze_placement
+from repro.earth.faults import PROFILES, plan_from_cli
 from repro.errors import ReproError
 from repro.harness.pipeline import compile_earthc, execute
 from repro.obs import TraceMetrics, Tracer, export_chrome_trace
@@ -81,6 +82,25 @@ def _parse_args(argv):
                         help="with --run: print one JSON object (run "
                              "result, MachineStats.snapshot(), per-node "
                              "EU/SU utilization) instead of text")
+    parser.add_argument("--faults", type=int, default=None,
+                        metavar="SEED",
+                        help="with --run: inject deterministic network "
+                             "faults from this seed (drops, jitter, SU "
+                             "slowdowns); the resilience layer retries "
+                             "until delivery")
+    parser.add_argument("--fault-drop", type=float, default=None,
+                        metavar="P",
+                        help="per-leg message drop probability in "
+                             "[0, 1] (requires --faults)")
+    parser.add_argument("--fault-jitter", type=float, default=None,
+                        metavar="NS",
+                        help="max extra one-way latency per leg in ns "
+                             "(requires --faults)")
+    parser.add_argument("--fault-profile", default=None,
+                        choices=sorted(PROFILES),
+                        help="named fault configuration (requires "
+                             "--faults; --fault-drop/--fault-jitter "
+                             "override its fields)")
     return parser.parse_args(argv)
 
 
@@ -140,6 +160,25 @@ def main(argv=None) -> int:
         print("error: --trace-capacity must be positive",
               file=sys.stderr)
         return 2
+    fault_opts = (args.fault_drop, args.fault_jitter,
+                  args.fault_profile)
+    if args.faults is None and any(opt is not None
+                                   for opt in fault_opts):
+        print("error: --fault-drop/--fault-jitter/--fault-profile "
+              "require --faults SEED", file=sys.stderr)
+        return 2
+    if args.faults is not None and not args.run:
+        print("error: --faults requires --run", file=sys.stderr)
+        return 2
+    if args.fault_drop is not None \
+            and not 0.0 <= args.fault_drop <= 1.0:
+        print(f"error: --fault-drop must be in [0, 1], got "
+              f"{args.fault_drop}", file=sys.stderr)
+        return 2
+    if args.fault_jitter is not None and args.fault_jitter < 0:
+        print(f"error: --fault-jitter must be >= 0, got "
+              f"{args.fault_jitter}", file=sys.stderr)
+        return 2
 
     try:
         compiled = compile_earthc(
@@ -173,9 +212,15 @@ def main(argv=None) -> int:
             tracer = None
             if args.trace is not None:
                 tracer = Tracer(capacity=args.trace_capacity)
+            faults = None
+            if args.faults is not None:
+                faults = plan_from_cli(args.faults, args.fault_profile,
+                                       args.fault_drop,
+                                       args.fault_jitter)
             result = execute(compiled, num_nodes=args.nodes,
                              entry=args.entry, args=run_args,
-                             tracer=tracer, engine=args.engine)
+                             tracer=tracer, engine=args.engine,
+                             faults=faults)
             if tracer is not None:
                 try:
                     written = export_chrome_trace(tracer, args.trace,
@@ -199,6 +244,12 @@ def main(argv=None) -> int:
             print(f"local   = {stats.local_reads} reads, "
                   f"{stats.local_writes} writes, "
                   f"{stats.local_blkmovs} blkmovs")
+            if faults is not None:
+                print(f"faults  = seed {faults.seed}: "
+                      f"{stats.net_drops} drops, "
+                      f"{stats.op_retries} retries, "
+                      f"{stats.dedup_replays} dedups, "
+                      f"{stats.dup_replies} dup replies")
             if tracer is not None:
                 print(TraceMetrics(tracer, args.nodes,
                                    result.time_ns).format_text())
@@ -236,6 +287,8 @@ def _print_json(args, compiled, result, tracer) -> None:
         "utilization": result.utilization(),
         "compile_profile": compiled.profile.to_dict(),
     }
+    if result.faults is not None:
+        payload["faults"] = result.faults.describe()
     if compiled.report is not None:
         payload["optimizer"] = compiled.report.to_dict()
     if tracer is not None:

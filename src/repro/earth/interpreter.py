@@ -100,6 +100,9 @@ class RunResult:
         #: The tracer the machine ran with (``None`` unless tracing was
         #: requested); feed it to :mod:`repro.obs` for detailed metrics.
         self.tracer = machine.tracer
+        #: The fault plan the machine ran under (``None`` for a clean
+        #: run).  Drop/retry/dedup counts live in :attr:`stats`.
+        self.faults = machine.faults
 
     @property
     def time_seconds(self) -> float:

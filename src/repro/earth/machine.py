@@ -28,6 +28,18 @@ until it blocks; its *local* memory effects apply immediately while
 cross-node effects are applied by SU events in timestamp order.  Under
 the EARTH-C non-interference contract (no concurrent conflicting access
 to ordinary memory) the observable behaviour is unaffected.
+
+Fault injection & resilience: attaching a
+:class:`~repro.earth.faults.FaultPlan` routes every cross-node
+split-phase operation through a resilient protocol -- each send arms a
+timeout (``MachineParams.retry_timeout_ns``, exponential backoff
+``retry_backoff``, at most ``retry_max_attempts`` sends); lost requests
+or replies trigger a re-send; and the target SU applies each
+operation's side effect exactly once (duplicate requests only re-emit
+the reply, duplicate replies are discarded at the origin).  Retried
+sends do not re-occupy the issuing EU -- the paper's runtime charges
+the EU the issue cost once.  With no plan attached the original
+fast path runs unchanged: byte-identical timing and statistics.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from repro.earth.stats import MachineStats
 from repro.errors import SimulatorError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.earth.faults import FaultPlan
     from repro.obs.trace import Tracer
 
 
@@ -81,6 +94,43 @@ class JoinCounter:
             machine.fulfill(self.slot, None, time)
 
 
+class _PendingOp:
+    """One split-phase operation in flight under fault injection.
+
+    The object itself is the target SU's dedup table entry: ``applied``
+    flips when the side effect runs (retries of an applied op only
+    re-send the reply), ``completed`` flips when the first reply
+    reaches the origin (later replies are discarded)."""
+
+    __slots__ = ("op", "origin", "target", "words", "do_op", "slot",
+                 "op_id", "attempts", "applied", "completed", "value",
+                 "chan_seq")
+
+    def __init__(self, op: str, origin: int, target: int, words: int,
+                 do_op: Callable[[], object], slot: Optional["Slot"],
+                 op_id: Optional[int], chan_seq: int):
+        self.op = op
+        self.origin = origin
+        self.target = target
+        self.words = words
+        self.do_op = do_op
+        self.slot = slot
+        self.op_id = op_id
+        #: Position in the (origin, target) channel: the SU applies
+        #: requests from one origin in this order.
+        self.chan_seq = chan_seq
+        self.attempts = 0
+        self.applied = False
+        self.completed = False
+        self.value = None
+
+    def __repr__(self) -> str:
+        state = ("done" if self.completed
+                 else "applied" if self.applied else "in-flight")
+        return (f"_PendingOp({self.op} {self.origin}->{self.target}, "
+                f"attempt {self.attempts}, {state})")
+
+
 class Fiber:
     """One EARTH fiber: a generator plus scheduling state."""
 
@@ -110,13 +160,17 @@ class Machine:
     def __init__(self, num_nodes: int,
                  params: Optional[MachineParams] = None,
                  strict_nil_reads: bool = False,
-                 tracer: Optional["Tracer"] = None):
+                 tracer: Optional["Tracer"] = None,
+                 faults: Optional["FaultPlan"] = None):
         self.params = params or MachineParams()
         self.memory = GlobalMemory(num_nodes)
         self.num_nodes = num_nodes
         self.stats = MachineStats()
         self.strict_nil_reads = strict_nil_reads
         self.tracer = tracer
+        self.faults = faults
+        if faults is not None:
+            faults.bind(num_nodes)
         self.time = 0.0
         self.output: List[str] = []
         # Always-on utilization aggregates (one float add per EU fiber
@@ -139,6 +193,14 @@ class Machine:
         self._su_free = [0.0] * num_nodes
         self._last_fiber: List[Optional[int]] = [None] * num_nodes
         self._parked_count = 0
+        # Reliable-channel state, only used while a FaultPlan is
+        # attached: per-(origin, target) send sequence numbers, the
+        # highest consecutively applied sequence, and requests that
+        # arrived ahead of a lost predecessor.
+        self._chan_next: Dict[Tuple[int, int], int] = {}
+        self._chan_applied: Dict[Tuple[int, int], int] = {}
+        self._chan_buffer: Dict[Tuple[int, int],
+                                Dict[int, "_PendingOp"]] = {}
 
     # -- event machinery ----------------------------------------------------------
 
@@ -243,7 +305,10 @@ class Machine:
                 elif kind == "spawn":
                     child: Fiber = action[1]
                     t += params.spawn_ns
-                    self.add_fiber(child, earliest=t)
+                    if self.faults is not None and child.node != node:
+                        self._spawn_resilient(node, t, child)
+                    else:
+                        self.add_fiber(child, earliest=t)
                 elif kind == "fulfill":
                     self.fulfill(action[1], action[2], t)
                 elif kind == "print":
@@ -314,6 +379,10 @@ class Machine:
     def _send_request(self, origin: int, t: float, op: str, target: int,
                       do_op: Callable[[], object],
                       slot: Optional[Slot], words: int) -> None:
+        if self.faults is not None:
+            self._send_resilient(origin, t, op, target, do_op, slot,
+                                 words)
+            return
         one_way = self.params.one_way_latency(op if op != "shared"
                                               else "write")
         arrival = t + one_way
@@ -354,6 +423,218 @@ class Machine:
                 tracer.emit("fulfill", su_done, origin, id=op_id)
 
         self._schedule(arrival, service)
+
+    # -- resilient split-phase protocol (fault injection active) -------------------
+
+    def _send_resilient(self, origin: int, t: float, op: str,
+                        target: int, do_op: Callable[[], object],
+                        slot: Optional[Slot], words: int) -> None:
+        """Faulty-network counterpart of :meth:`_send_request`.
+
+        Every operation becomes a :class:`_PendingOp` with a timeout,
+        bounded exponential-backoff retry, and exactly-once *in-order*
+        application at the target SU: requests carry per-(origin,
+        target) channel sequence numbers and a request that overtakes a
+        lost predecessor is parked until the predecessor's retry
+        applies.  (The clean network delivers same-channel conflicting
+        ops in issue order -- a dropped split-phase write retried
+        *after* a later read of the same location arrives would
+        otherwise leak a stale value.)  Only reached when a FaultPlan
+        is attached -- the zero-fault path above stays byte-identical."""
+        if op == "spawn":
+            # The caller's EU already accounted the request hop
+            # (``call_overhead_ns + read_one_way_ns`` busy time).
+            one_way = 0.0
+        else:
+            one_way = self.params.one_way_latency(op if op != "shared"
+                                                  else "write")
+        su_time = self.params.su_service_ns
+        if op == "blkmov":
+            su_time += self.params.su_blkmov_per_word_ns * words
+
+        tracer = self.tracer
+        op_id = None
+        if tracer is not None:
+            op_id = tracer.next_op_id()
+            tracer.emit("issue", t, origin, op=op, target=target,
+                        words=words, site=tracer.current_site, id=op_id)
+            if slot is not None:
+                slot.trace = (op_id, origin)
+
+        chan = (origin, target)
+        chan_seq = self._chan_next.get(chan, 1)
+        self._chan_next[chan] = chan_seq + 1
+        pending = _PendingOp(op, origin, target, words, do_op, slot,
+                             op_id, chan_seq)
+        self._launch_attempt(pending, t, one_way, su_time)
+
+    def _spawn_resilient(self, origin: int, t: float,
+                         child: Fiber) -> None:
+        """Remote invoke tokens ride the same reliable channel as data
+        operations, so a spawned callee can never start before earlier
+        same-channel split-phase writes have applied.  (The clean
+        network guarantees that ordering by timing alone; a dropped
+        write retried after the callee started would otherwise let it
+        read uninitialized memory.)"""
+        self._send_resilient(
+            origin, t, "spawn", child.node,
+            lambda at: self.add_fiber(child, earliest=at), None, 0)
+
+    def _launch_attempt(self, pending: "_PendingOp", t: float,
+                        one_way: float, su_time: float) -> None:
+        """Send one attempt of ``pending`` at time ``t`` and arm its
+        timeout."""
+        params = self.params
+        faults = self.faults
+        stats = self.stats
+        tracer = self.tracer
+        pending.attempts += 1
+        attempt = pending.attempts
+
+        deadline = t + params.retry_timeout_ns \
+            * (params.retry_backoff ** (attempt - 1))
+
+        def timeout() -> None:
+            if pending.completed:
+                return
+            stats.op_timeouts += 1
+            if tracer is not None:
+                tracer.emit("op_timeout", deadline, pending.origin,
+                            op=pending.op, target=pending.target,
+                            attempt=attempt, id=pending.op_id)
+            if pending.attempts >= params.retry_max_attempts:
+                raise SimulatorError(
+                    f"split-phase {pending.op} from node "
+                    f"{pending.origin} to node {pending.target} lost "
+                    f"after {pending.attempts} attempts "
+                    f"(t={deadline:.0f}ns)")
+            stats.op_retries += 1
+            if tracer is not None:
+                tracer.emit("op_retry", deadline, pending.origin,
+                            op=pending.op, target=pending.target,
+                            attempt=pending.attempts + 1,
+                            id=pending.op_id)
+            self._launch_attempt(pending, deadline, one_way, su_time)
+
+        self._schedule(deadline, timeout)
+
+        dropped, extra = faults.leg(pending.op)
+        if tracer is not None:
+            tracer.emit("net_send", t, pending.origin, op=pending.op,
+                        dst=pending.target, latency=one_way + extra,
+                        words=pending.words, id=pending.op_id)
+        if dropped:
+            stats.net_drops += 1
+            if tracer is not None:
+                tracer.emit("net_drop", t, pending.origin,
+                            op=pending.op, leg="request",
+                            dst=pending.target, id=pending.op_id)
+            return
+        arrival = faults.stall_until(pending.target,
+                                     t + one_way + extra)
+        self._schedule(
+            arrival,
+            lambda: self._service_resilient(pending, arrival, one_way,
+                                            su_time))
+
+    def _service_resilient(self, pending: "_PendingOp", arrival: float,
+                           one_way: float, su_time: float) -> None:
+        """Target-SU half of the resilient protocol: serve one arrived
+        request, applying its side effect exactly once."""
+        target = pending.target
+        faults = self.faults
+        stats = self.stats
+        tracer = self.tracer
+        su_start = max(arrival, self._su_free[target])
+        service_ns = su_time * faults.su_scale(target, su_start)
+        su_done = su_start + service_ns
+        self._su_free[target] = su_done
+        self.su_busy_ns[target] += service_ns
+        if tracer is not None:
+            tracer.emit("net_recv", arrival, target, op=pending.op,
+                        src=pending.origin, id=pending.op_id)
+            tracer.emit("su_span", su_start, target, dur=service_ns,
+                        op=pending.op, queue_wait=su_start - arrival,
+                        src=pending.origin, id=pending.op_id)
+        if pending.applied:
+            # Idempotent-op dedup: a retried request whose original was
+            # already serviced only re-emits the reply.
+            stats.dedup_replays += 1
+            if tracer is not None:
+                tracer.emit("op_dedup", su_done, target, op=pending.op,
+                            src=pending.origin, id=pending.op_id)
+            self._send_reply(pending, su_done, one_way)
+            return
+
+        chan = (pending.origin, target)
+        expected = self._chan_applied.get(chan, 0) + 1
+        if pending.chan_seq > expected:
+            # Overtook a lost predecessor: park until the channel
+            # catches up (applying now could let e.g. a read see
+            # memory from before a dropped, not-yet-retried write).
+            stats.ooo_holds += 1
+            if tracer is not None:
+                tracer.emit("op_hold", su_done, target, op=pending.op,
+                            src=pending.origin,
+                            chan_seq=pending.chan_seq,
+                            id=pending.op_id)
+            self._chan_buffer.setdefault(chan, {})[pending.chan_seq] \
+                = pending
+            return
+
+        self._apply_pending(pending, su_done)
+        self._send_reply(pending, su_done, one_way)
+        # Drain successors that were parked behind this request.
+        buffer = self._chan_buffer.get(chan)
+        if buffer:
+            next_seq = pending.chan_seq + 1
+            while next_seq in buffer:
+                successor = buffer.pop(next_seq)
+                self._apply_pending(successor, su_done)
+                self._send_reply(successor, su_done, one_way)
+                next_seq += 1
+
+    def _apply_pending(self, pending: "_PendingOp", at: float) -> None:
+        """Apply one request's side effect (exactly once) and advance
+        its channel's applied sequence number."""
+        if pending.op == "spawn":
+            pending.value = pending.do_op(at)
+        else:
+            pending.value = pending.do_op()
+        pending.applied = True
+        self._chan_applied[(pending.origin, pending.target)] \
+            = pending.chan_seq
+
+    def _send_reply(self, pending: "_PendingOp", at: float,
+                    one_way: float) -> None:
+        """Send (or lose) the reply/ack leg of one serviced request."""
+        faults = self.faults
+        stats = self.stats
+        tracer = self.tracer
+        dropped, extra = faults.leg(pending.op)
+        if dropped:
+            stats.net_drops += 1
+            if tracer is not None:
+                tracer.emit("net_drop", at, pending.target,
+                            op=pending.op, leg="reply",
+                            dst=pending.origin, id=pending.op_id)
+            return
+        reply_at = faults.stall_until(pending.origin,
+                                      at + one_way + extra)
+
+        def deliver() -> None:
+            if pending.completed:
+                stats.dup_replies += 1
+                return
+            pending.completed = True
+            stats.op_attempts_histogram[str(pending.attempts)] += 1
+            if pending.slot is not None:
+                self.fulfill(pending.slot, pending.value, reply_at)
+            elif tracer is not None:
+                tracer.emit("fulfill", reply_at, pending.origin,
+                            id=pending.op_id)
+
+        self._schedule(reply_at, deliver)
 
     def _count_op(self, op: str, local: bool, words: int) -> None:
         stats = self.stats

@@ -64,6 +64,11 @@ class MachineParams:
         # allocation
         malloc_ns: float = 300.0,
         remote_malloc_extra_ns: float = 4000.0,
+        # split-phase resilience (only consulted when a FaultPlan is
+        # attached; the zero-fault path never reads these)
+        retry_timeout_ns: float = 30_000.0,
+        retry_backoff: float = 2.0,
+        retry_max_attempts: int = 10,
     ):
         self.local_stmt_ns = local_stmt_ns
         self.call_overhead_ns = call_overhead_ns
@@ -85,6 +90,15 @@ class MachineParams:
         self.shared_op_ns = shared_op_ns
         self.malloc_ns = malloc_ns
         self.remote_malloc_extra_ns = remote_malloc_extra_ns
+        if retry_timeout_ns <= 0:
+            raise ValueError("retry_timeout_ns must be positive")
+        if retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        self.retry_timeout_ns = retry_timeout_ns
+        self.retry_backoff = retry_backoff
+        self.retry_max_attempts = retry_max_attempts
 
     # -- derived costs ----------------------------------------------------------
 

@@ -8,6 +8,7 @@ counted separately from EARTH operations that hit local memory.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Tuple
 
 
@@ -32,6 +33,18 @@ class MachineStats:
         self.basic_stmts_executed = 0
         # Speculative reads that hit nil (allowed unless strict).
         self.speculative_nil_reads = 0
+        # Fault injection & resilience (all zero unless a FaultPlan is
+        # attached to the machine).
+        self.net_drops = 0            # network legs lost
+        self.op_timeouts = 0          # timeouts fired on incomplete ops
+        self.op_retries = 0           # requests re-sent after a timeout
+        self.dedup_replays = 0        # duplicate requests absorbed at the SU
+        self.dup_replies = 0          # duplicate replies discarded at origin
+        self.ooo_holds = 0            # requests parked behind a lost predecessor
+        # Attempts-to-completion histogram: str(attempts) -> ops that
+        # completed after that many sends (the retry/timeout histogram;
+        # a Counter so merge() sums per-bucket).
+        self.op_attempts_histogram = Counter()
 
     # -- derived ---------------------------------------------------------------
 
@@ -67,8 +80,13 @@ class MachineStats:
         can never be forgotten here (tests/earth/test_stats_contract.py
         pins this invariant).
         """
-        return {name: getattr(self, name)
-                for name in self.counter_names()}
+        snapshot: Dict[str, int] = {}
+        for name in self.counter_names():
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                value = dict(value)  # detach histograms from the live stats
+            snapshot[name] = value
+        return snapshot
 
     def merge(self, other: "MachineStats") -> "MachineStats":
         """Accumulate another run's counters into this one (in place;

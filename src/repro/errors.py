@@ -97,6 +97,11 @@ class InterpreterError(SimulatorError):
     outside speculative mode, unknown function, bad operand types...)."""
 
 
+class FaultPlanError(SimulatorError):
+    """Invalid fault-injection configuration (bad probability, reused
+    plan, unknown profile...)."""
+
+
 class InterferenceError(SimulatorError):
     """Reserved for a future vector-clock race detector: two concurrent
     fibers touching the same ordinary memory location with at least one

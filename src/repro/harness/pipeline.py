@@ -19,6 +19,7 @@ from repro.comm.optimizer import (
     CommunicationOptimizer,
     OptimizationReport,
 )
+from repro.earth.faults import FaultPlan
 from repro.earth.interpreter import Interpreter, RunResult
 from repro.earth.machine import Machine
 from repro.earth.params import MachineParams
@@ -134,16 +135,20 @@ def execute(
     strict_nil_reads: bool = False,
     tracer: Optional[Tracer] = None,
     engine: str = "closure",
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run a compiled program on a fresh machine.
 
     ``tracer`` attaches a :class:`repro.obs.Tracer` for structured event
     recording (default off: no tracing overhead).  ``engine`` selects
     the execution engine: ``"closure"`` (default, fast) or ``"ast"``
-    (the reference tree walker)."""
+    (the reference tree walker).  ``faults`` attaches a seeded
+    :class:`repro.earth.faults.FaultPlan`: the machine drops, delays,
+    and reorders messages per the plan while the resilience layer
+    (timeout + retry + dedup) keeps results correct."""
     machine = Machine(num_nodes, params,
                       strict_nil_reads=strict_nil_reads,
-                      tracer=tracer)
+                      tracer=tracer, faults=faults)
     interpreter = Interpreter(compiled.simple, machine,
                               max_stmts=max_stmts, engine=engine)
     return interpreter.run(entry, args)
@@ -159,6 +164,7 @@ def run_three_ways(
     config: Optional[CommConfig] = None,
     max_stmts: int = 200_000_000,
     engine: str = "closure",
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[str, RunResult]:
     """The paper's three configurations of one program.
 
@@ -171,27 +177,34 @@ def run_three_ways(
     * ``optimized`` -- ``num_nodes`` nodes, after communication
       optimization.
 
-    All three must compute the same value (checked).
+    All three must compute the same value (checked).  ``faults`` is
+    cloned per configuration so each run replays the identical seeded
+    fault schedule (with faults enabled, the same-value check doubles
+    as a chaos-differential oracle).
     """
     results: Dict[str, RunResult] = {}
+
+    def plan() -> Optional[FaultPlan]:
+        return faults.clone() if faults is not None else None
 
     sequential = compile_earthc(source, filename, optimize=False,
                                 inline=inline)
     results["sequential"] = execute(
         sequential, 1, MachineParams.sequential_c(), entry, args,
-        max_stmts=max_stmts, engine=engine)
+        max_stmts=max_stmts, engine=engine, faults=plan())
 
     simple = compile_earthc(source, filename, optimize=True,
                             config=simple_baseline_config(),
                             inline=inline)
     results["simple"] = execute(simple, num_nodes, None, entry, args,
-                                max_stmts=max_stmts, engine=engine)
+                                max_stmts=max_stmts, engine=engine,
+                                faults=plan())
 
     optimized = compile_earthc(source, filename, optimize=True,
                                config=config, inline=inline)
     results["optimized"] = execute(optimized, num_nodes, None, entry,
                                    args, max_stmts=max_stmts,
-                                   engine=engine)
+                                   engine=engine, faults=plan())
 
     values = {name: result.value for name, result in results.items()}
     if len({_norm(v) for v in values.values()}) != 1:

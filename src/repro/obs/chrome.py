@@ -103,6 +103,35 @@ def chrome_trace_events(tracer: Tracer, num_nodes: int) -> List[dict]:
                         "name": f"recv:{event['op']}",
                         "args": {"src": event["src"],
                                  "id": event["id"]}})
+        elif kind == "net_drop":
+            # Request legs drop on the origin EU track, reply legs on
+            # the target SU track (where the lost message came from).
+            tid = EU_TID if event["leg"] == "request" else SU_TID
+            out.append({"ph": "i", "pid": node, "tid": tid,
+                        "ts": ts, "s": "t", "cat": "fault",
+                        "name": f"drop:{event['op']}:{event['leg']}",
+                        "args": {"dst": event["dst"],
+                                 "id": event["id"]}})
+        elif kind in ("op_timeout", "op_retry"):
+            out.append({"ph": "i", "pid": node, "tid": EU_TID,
+                        "ts": ts, "s": "t", "cat": "fault",
+                        "name": f"{kind}:{event['op']}",
+                        "args": {"target": event["target"],
+                                 "attempt": event["attempt"],
+                                 "id": event["id"]}})
+        elif kind == "op_dedup":
+            out.append({"ph": "i", "pid": node, "tid": SU_TID,
+                        "ts": ts, "s": "t", "cat": "fault",
+                        "name": f"dedup:{event['op']}",
+                        "args": {"src": event["src"],
+                                 "id": event["id"]}})
+        elif kind == "op_hold":
+            out.append({"ph": "i", "pid": node, "tid": SU_TID,
+                        "ts": ts, "s": "t", "cat": "fault",
+                        "name": f"hold:{event['op']}",
+                        "args": {"src": event["src"],
+                                 "chan_seq": event["chan_seq"],
+                                 "id": event["id"]}})
     return out
 
 

@@ -40,7 +40,17 @@ net_send       ``op``, ``dst``, ``latency``, ``words``, ``id``
 net_recv       ``op``, ``src``, ``id``
 issue          ``op``, ``target``, ``words``, ``site``, ``id``
 fulfill        ``id`` -- completes the matching ``issue``
+net_drop       ``op``, ``leg`` (request/reply), ``dst``, ``id``
+op_timeout     ``op``, ``target``, ``attempt``, ``id``
+op_retry       ``op``, ``target``, ``attempt``, ``id``
+op_dedup       ``op``, ``src``, ``id`` -- duplicate absorbed at the SU
+op_hold        ``op``, ``src``, ``chan_seq``, ``id`` -- parked behind
+               a lost predecessor on its channel (in-order delivery)
 =============  =====================================================
+
+The last five kinds only appear under fault injection
+(:mod:`repro.earth.faults`); a retried operation then emits one
+``net_send`` per attempt but still exactly one ``fulfill``.
 
 ``site`` is the issuing SIMPLE statement as ``(function, label)``
 (set by the interpreter; ``None`` for machine-level traffic such as

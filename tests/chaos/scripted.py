@@ -1,0 +1,53 @@
+"""Deterministic fault scripts for the chaos test suite.
+
+:class:`ScriptedPlan` subclasses :class:`FaultPlan` to drop exactly
+chosen network legs (by global leg index) with no jitter or windows --
+the surgical complement to the seeded random plans: a test can say
+"lose precisely the Nth message" and assert how the resilience layer
+recovers.
+"""
+
+from repro.earth.faults import FaultPlan
+
+#: Remote read-modify-write loop: node 0 repeatedly increments and
+#: reads a field that lives on node 1, so every iteration crosses the
+#: network and a lost or reordered message that leaks a stale value
+#: changes the result.
+RMW_LOOP = """
+struct cell { int f0; int f1; int f2; int f3; struct cell *next; };
+
+int main() {
+    struct cell *a;
+    int t; int i; int nn;
+    nn = num_nodes();
+    a = (struct cell *) malloc(sizeof(struct cell)) @ (1 % nn);
+    a->f0 = 1;
+    t = 0;
+    i = 0;
+    while (i < 5) {
+        a->f0 = a->f0 + 3;
+        t = t + a->f0;
+        i = i + 1;
+    }
+    return t * 1000 + a->f0;
+}
+"""
+
+
+class ScriptedPlan(FaultPlan):
+    """Drops exactly the legs whose global index is in ``drop_legs``."""
+
+    def __init__(self, *drop_legs):
+        super().__init__(0)
+        self._drop_legs = frozenset(drop_legs)
+        self.leg_count = 0
+        self.ops_seen = []
+
+    def leg(self, op):
+        index = self.leg_count
+        self.leg_count += 1
+        self.ops_seen.append(op)
+        return (index in self._drop_legs, 0.0)
+
+    def clone(self):
+        return ScriptedPlan(*self._drop_legs)

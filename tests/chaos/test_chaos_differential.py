@@ -1,0 +1,89 @@
+"""Chaos-differential property: faults may move *time*, never *values*.
+
+EARTH-C's non-interference contract makes program results independent
+of message timing, so a seeded fault schedule doubles as a correctness
+oracle: run a generated program clean, then under sampled fault plans
+on both execution engines, and require that the value, the printed
+output, and every communication counter are unchanged -- only timing,
+context switches, and the fault/retry statistics may differ.
+
+This is the suite that caught two real ordering bugs while it was
+being built: a dropped split-phase write retried after a later
+same-channel read (fixed by per-channel in-order application) and a
+remote invoke token overtaking the writes that initialize its
+arguments (fixed by routing invoke tokens through the same channel).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.earth.faults import PROFILES, FaultPlan
+from repro.harness.pipeline import compile_earthc, execute
+
+from tests.property.gen_programs import heap_programs
+
+#: Counters that must not move under fault injection.  Retries re-send
+#: messages but never re-issue (or re-apply) operations.
+INVARIANT_COUNTERS = (
+    "remote_reads", "remote_writes", "remote_blkmovs",
+    "remote_blkmov_words", "local_reads", "local_writes",
+    "local_blkmovs", "shared_ops", "remote_calls", "fibers_spawned",
+    "basic_stmts_executed", "speculative_nil_reads",
+)
+
+#: Per-example budgets stay small; the CI hypothesis profile supplies
+#: the example volume (tests/conftest.py).
+CHAOS = settings(deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+fault_configs = st.sampled_from(sorted(PROFILES)) \
+    .flatmap(lambda name: st.tuples(st.just(name),
+                                    st.integers(0, 10_000)))
+
+
+@CHAOS
+@given(heap_programs(), fault_configs)
+def test_faults_never_change_what_a_program_computes(source, config):
+    profile, seed = config
+    compiled = compile_earthc(source, optimize=True)
+    baseline = execute(compiled, num_nodes=3)
+    base_stats = baseline.stats
+    for engine in ("closure", "ast"):
+        plan = FaultPlan.from_profile(profile, seed)
+        result = execute(compiled, num_nodes=3, faults=plan,
+                         engine=engine)
+        assert result.value == baseline.value, (profile, seed, engine)
+        assert result.output == baseline.output, (profile, seed, engine)
+        for counter in INVARIANT_COUNTERS:
+            assert getattr(result.stats, counter) \
+                == getattr(base_stats, counter), (counter, profile,
+                                                  seed, engine)
+
+
+@CHAOS
+@given(heap_programs(), st.integers(0, 10_000))
+def test_replayed_plan_gives_bit_identical_faulty_runs(source, seed):
+    """clone() replays the exact fault schedule: two runs of the same
+    program under cloned plans agree on everything, including time and
+    the full statistics snapshot."""
+    compiled = compile_earthc(source, optimize=True)
+    plan = FaultPlan.from_profile("chaos", seed)
+    first = execute(compiled, num_nodes=3, faults=plan.clone())
+    second = execute(compiled, num_nodes=3, faults=plan.clone())
+    assert first.value == second.value
+    assert first.time_ns == second.time_ns
+    assert first.output == second.output
+    assert first.stats.snapshot() == second.stats.snapshot()
+
+
+@CHAOS
+@given(heap_programs(), st.integers(0, 10_000))
+def test_optimizer_is_safe_under_faults(source, seed):
+    """The three-way equivalence (sequential / simple / optimized)
+    must survive a faulty network, not just a clean one."""
+    plan = FaultPlan.from_profile("lossy", seed)
+    plain = execute(compile_earthc(source), num_nodes=3,
+                    faults=plan.clone())
+    optimized = execute(compile_earthc(source, optimize=True),
+                        num_nodes=3, faults=plan.clone())
+    assert optimized.value == plain.value

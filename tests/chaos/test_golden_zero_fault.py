@@ -1,0 +1,69 @@
+"""Zero-fault runs are pinned bit-for-bit against a golden capture.
+
+``golden_zero_fault.json`` was recorded from the tree *before* the
+fault-injection subsystem existed: all five Olden benchmarks, three
+configurations each, at 4 nodes / small sizes.  If attaching the
+resilience code path changed anything about a run without a FaultPlan
+-- value, output, simulated time, or any statistic -- these tests
+catch it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.pipeline import run_three_ways
+from repro.olden.loader import catalog
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "golden_zero_fault.json")
+CONFIGS = ["sequential", "simple", "optimized"]
+
+FAULT_COUNTERS = ("net_drops", "op_timeouts", "op_retries",
+                  "dedup_replays", "dup_replies", "ooo_holds")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {spec.name: run_three_ways(spec.source(), spec.name,
+                                      num_nodes=4, args=spec.small_args,
+                                      inline=spec.inline)
+            for spec in catalog()}
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+@pytest.mark.parametrize("config", CONFIGS)
+class TestGoldenMatch:
+    def test_value_output_time_identical(self, golden, results, name,
+                                         config):
+        want = golden[name][config]
+        got = results[name][config]
+        assert got.value == want["value"]
+        assert got.output == want["output"]
+        assert got.time_ns == want["time_ns"]
+
+    def test_every_golden_stat_identical(self, golden, results, name,
+                                         config):
+        want = golden[name][config]["stats"]
+        got = results[name][config].stats.snapshot()
+        for counter, value in want.items():
+            assert got[counter] == value, counter
+
+    def test_fault_counters_all_zero(self, results, name, config):
+        snapshot = results[name][config].stats.snapshot()
+        for counter in FAULT_COUNTERS:
+            assert snapshot[counter] == 0, counter
+        assert snapshot["op_attempts_histogram"] == {}
+
+
+def test_golden_covers_all_benchmarks(golden):
+    assert sorted(golden) == sorted(spec.name for spec in catalog())
+    for name in golden:
+        assert sorted(golden[name]) == sorted(CONFIGS)

@@ -1,0 +1,59 @@
+"""Guard: fault-injection support must not tax the zero-fault path.
+
+The resilient protocol is a separate branch taken only when a
+FaultPlan is attached; with ``faults=None`` the machine runs the
+original code (the golden tests pin its *simulated* results
+bit-for-bit).  This module guards the *host-time* side with a
+deliberately generous throughput floor -- the interpreter sustains
+roughly half a million SIMPLE statements per second on a development
+machine, so a 50k floor only trips on a real hot-path regression, not
+on CI noise.
+"""
+
+import time
+
+from repro.earth.faults import FaultPlan
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import get_benchmark
+
+MIN_STMTS_PER_SEC = 50_000
+
+
+def _best_run_seconds(compiled, spec, repeats=3, plan=None):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = execute(compiled, num_nodes=4,
+                         args=list(spec.small_args),
+                         faults=plan.clone() if plan is not None
+                         else None)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_zero_fault_throughput_floor():
+    spec = get_benchmark("power")
+    compiled = compile_earthc(spec.source(), spec.filename,
+                              optimize=True, inline=spec.inline)
+    _best_run_seconds(compiled, spec, repeats=1)  # warm caches
+    best, result = _best_run_seconds(compiled, spec)
+    throughput = result.stats.basic_stmts_executed / best
+    assert throughput > MIN_STMTS_PER_SEC, (
+        f"{throughput:,.0f} stmts/s on the faults-disabled path "
+        f"(floor {MIN_STMTS_PER_SEC:,})")
+
+
+def test_null_plan_overhead_is_bounded():
+    """Even *with* the resilient protocol active (null plan: no drops,
+    no jitter, no windows), a small run stays within an order of
+    magnitude of the clean path -- catches accidental per-message
+    blowups like unbounded buffering."""
+    spec = get_benchmark("power")
+    compiled = compile_earthc(spec.source(), spec.filename,
+                              optimize=True, inline=spec.inline)
+    _best_run_seconds(compiled, spec, repeats=1)  # warm caches
+    clean, _ = _best_run_seconds(compiled, spec)
+    faulty, result = _best_run_seconds(
+        compiled, spec, plan=FaultPlan(0))
+    assert result.stats.net_drops == 0
+    assert faulty < clean * 10 + 0.05

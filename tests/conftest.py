@@ -1,6 +1,22 @@
 """Shared helpers for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Hypothesis profiles: "fast" keeps local edit-test loops snappy;
+# "ci" spends real example volume and derandomizes so CI failures
+# reproduce exactly.  Select explicitly with HYPOTHESIS_PROFILE=...;
+# otherwise CI=... (set by GitHub Actions) picks "ci".
+settings.register_profile(
+    "fast", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "ci", max_examples=200, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get(
+    "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "fast"))
 
 from repro.comm.optimizer import CommConfig
 from repro.frontend.goto_elim import eliminate_gotos

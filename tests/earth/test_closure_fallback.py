@@ -1,0 +1,115 @@
+"""Regression tests for the closure engine's AST-delegation fallback.
+
+When the closure compiler cannot statically lower a statement it
+raises ``_Uncompilable`` and ``compile_stmt`` falls back to delegating
+that one statement to the AST walker.  Real programs rarely trip this,
+so these tests force it: every assign/call/alloc/blkmov/shared lowering
+is made to fail, and the hybrid execution must still be bit-identical
+-- value, output, simulated time, and statistics -- to the pure AST
+engine, with and without fault injection.
+"""
+
+import pytest
+
+from repro.earth import compile as compile_mod
+from repro.earth.faults import FaultPlan
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import get_benchmark
+
+from tests.chaos.scripted import RMW_LOOP
+
+FALLBACK_SETS = [
+    ("_compile_assign",),
+    ("_compile_call",),
+    ("_compile_alloc", "_compile_blkmov", "_compile_shared"),
+    ("_compile_assign", "_compile_call", "_compile_alloc",
+     "_compile_blkmov", "_compile_shared"),
+]
+
+
+def _force_fallback(monkeypatch, methods):
+    """Make the chosen lowerings always raise ``_Uncompilable`` and
+    count how often the delegation path actually runs."""
+    for name in methods:
+        def boom(self, stmt, _name=name):
+            raise compile_mod._Uncompilable(f"forced: {_name}")
+        monkeypatch.setattr(compile_mod._FunctionCompiler, name, boom)
+    delegations = []
+    original = compile_mod._FunctionCompiler._delegate
+
+    def counting(self, stmt):
+        delegations.append(type(stmt).__name__)
+        return original(self, stmt)
+
+    monkeypatch.setattr(compile_mod._FunctionCompiler, "_delegate",
+                        counting)
+    return delegations
+
+
+def _identical(a, b):
+    assert a.value == b.value
+    assert a.output == b.output
+    assert a.time_ns == b.time_ns
+    assert a.stats.snapshot() == b.stats.snapshot()
+
+
+@pytest.mark.parametrize("methods", FALLBACK_SETS,
+                         ids=lambda m: "+".join(n.replace("_compile_", "")
+                                                for n in m))
+class TestForcedFallback:
+    def test_rmw_loop_bit_identical_to_ast(self, monkeypatch, methods):
+        compiled = compile_earthc(RMW_LOOP, "rmw_loop.ec",
+                                  optimize=True)
+        reference = execute(compiled, num_nodes=2, args=[],
+                            engine="ast")
+        delegations = _force_fallback(monkeypatch, methods)
+        hybrid = execute(compiled, num_nodes=2, args=[],
+                         engine="closure")
+        _identical(hybrid, reference)
+        assert delegations  # the fallback actually ran
+
+    def test_power_bit_identical_to_ast(self, monkeypatch, methods):
+        spec = get_benchmark("power")
+        compiled = compile_earthc(spec.source(), spec.filename,
+                                  optimize=True, inline=spec.inline)
+        reference = execute(compiled, num_nodes=4,
+                            args=list(spec.small_args), engine="ast")
+        delegations = _force_fallback(monkeypatch, methods)
+        hybrid = execute(compiled, num_nodes=4,
+                         args=list(spec.small_args), engine="closure")
+        _identical(hybrid, reference)
+        assert delegations
+
+
+def test_fallback_agrees_under_faults(monkeypatch):
+    """Delegated statements must behave identically on the resilient
+    network path too."""
+    compiled = compile_earthc(RMW_LOOP, "rmw_loop.ec", optimize=True)
+    plan = FaultPlan.from_profile("chaos", 6)
+    reference = execute(compiled, num_nodes=2, args=[], engine="ast",
+                        faults=plan.clone())
+    delegations = _force_fallback(monkeypatch, FALLBACK_SETS[-1])
+    hybrid = execute(compiled, num_nodes=2, args=[], engine="closure",
+                     faults=plan.clone())
+    _identical(hybrid, reference)
+    assert delegations
+
+
+def test_unforced_closure_engine_does_not_delegate(monkeypatch):
+    """The five Olden-style statement forms all lower statically: on an
+    unpatched compiler the fallback should stay cold for power."""
+    delegations = []
+    original = compile_mod._FunctionCompiler._delegate
+
+    def counting(self, stmt):
+        delegations.append(type(stmt).__name__)
+        return original(self, stmt)
+
+    monkeypatch.setattr(compile_mod._FunctionCompiler, "_delegate",
+                        counting)
+    spec = get_benchmark("power")
+    compiled = compile_earthc(spec.source(), spec.filename,
+                              optimize=True, inline=spec.inline)
+    execute(compiled, num_nodes=4, args=list(spec.small_args),
+            engine="closure")
+    assert delegations == []

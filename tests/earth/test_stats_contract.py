@@ -58,3 +58,46 @@ class TestMerge:
         a.merge(b)
         assert a.total_remote_ops == 7
         assert a.total_comm_ops == 17
+
+
+class TestFaultCounters:
+    FAULT_COUNTERS = ("net_drops", "op_timeouts", "op_retries",
+                      "dedup_replays", "dup_replies", "ooo_holds")
+
+    def test_fault_counters_exist_and_start_at_zero(self):
+        stats = MachineStats()
+        snapshot = stats.snapshot()
+        for name in self.FAULT_COUNTERS:
+            assert snapshot[name] == 0
+        assert snapshot["op_attempts_histogram"] == {}
+
+    def test_histogram_merge_sums_per_bucket(self):
+        a, b = MachineStats(), MachineStats()
+        a.op_attempts_histogram["1"] += 10
+        a.op_attempts_histogram["2"] += 3
+        b.op_attempts_histogram["2"] += 4
+        b.op_attempts_histogram["5"] += 1
+        a.merge(b)
+        assert dict(a.op_attempts_histogram) == {"1": 10, "2": 7, "5": 1}
+        # merge() must not have replaced the Counter with a plain sum.
+        a.op_attempts_histogram["9"] += 1
+        assert a.op_attempts_histogram["9"] == 1
+
+    def test_snapshot_detaches_the_histogram(self):
+        stats = MachineStats()
+        stats.op_attempts_histogram["1"] += 2
+        snapshot = stats.snapshot()
+        snapshot["op_attempts_histogram"]["1"] = 999
+        assert stats.op_attempts_histogram["1"] == 2
+        # And later mutation does not leak into the old snapshot.
+        stats.op_attempts_histogram["3"] += 1
+        assert "3" not in snapshot["op_attempts_histogram"]
+
+    def test_snapshot_with_histogram_is_json_serializable(self):
+        import json
+        stats = MachineStats()
+        stats.net_drops = 2
+        stats.op_attempts_histogram["1"] += 5
+        restored = json.loads(json.dumps(stats.snapshot()))
+        assert restored["net_drops"] == 2
+        assert restored["op_attempts_histogram"] == {"1": 5}

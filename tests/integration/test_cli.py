@@ -187,3 +187,104 @@ class TestObservability:
         captured = capsys.readouterr()
         assert "using power catalog size 16,4,4,3" in captured.err
         assert "result  =" in captured.out
+
+
+class TestFaultFlags:
+    def test_faulty_run_reports_fault_summary(self, source_file, capsys):
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "2", "--faults", "3",
+                     "--fault-drop", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "faults  = seed 3:" in out
+        assert "result  = 10" in out  # same value as the clean run
+
+    def test_fault_profile_accepted(self, source_file, capsys):
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "2", "--faults", "1",
+                     "--fault-profile", "chaos"]) == 0
+        assert "faults  = seed 1:" in capsys.readouterr().out
+
+    def test_json_payload_describes_the_plan(self, source_file, capsys):
+        import json
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "2", "--faults", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"]["seed"] == 7
+        assert "net_drops" in payload["stats"]
+
+    def test_zero_fault_run_has_no_fault_line(self, source_file, capsys):
+        assert main([source_file, "-O", "--run", "--nodes", "2",
+                     "--args", "2"]) == 0
+        assert "faults  =" not in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Bad flags must exit non-zero with a one-line message -- never a
+    traceback."""
+
+    def _check(self, capsys, argv, expect):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert expect in captured.err
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+        return captured
+
+    def test_fault_knobs_require_faults_seed(self, source_file, capsys):
+        self._check(capsys,
+                    [source_file, "--run", "--fault-drop", "0.1"],
+                    "require --faults")
+
+    def test_fault_profile_requires_faults_seed(self, source_file,
+                                                capsys):
+        self._check(capsys,
+                    [source_file, "--run", "--fault-profile", "mild"],
+                    "require --faults")
+
+    def test_faults_require_run(self, source_file, capsys):
+        self._check(capsys, [source_file, "--faults", "1"],
+                    "--faults requires --run")
+
+    def test_fault_drop_out_of_range(self, source_file, capsys):
+        self._check(capsys,
+                    [source_file, "--run", "--faults", "1",
+                     "--fault-drop", "1.5"],
+                    "--fault-drop must be in [0, 1]")
+
+    def test_negative_jitter_rejected(self, source_file, capsys):
+        self._check(capsys,
+                    [source_file, "--run", "--faults", "1",
+                     "--fault-jitter", "-4"],
+                    "--fault-jitter must be >= 0")
+
+    def test_bad_engine_is_argparse_error(self, source_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([source_file, "--run", "--engine", "turbo"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_bad_fault_profile_is_argparse_error(self, source_file,
+                                                 capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([source_file, "--run", "--faults", "1",
+                  "--fault-profile", "tsunami"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_non_integer_faults_seed_is_argparse_error(self, source_file,
+                                                       capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([source_file, "--run", "--faults", "banana"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_non_integer_trace_capacity_is_argparse_error(
+            self, source_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([source_file, "--run", "--trace", "t.json",
+                  "--trace-capacity", "many"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
