@@ -1,0 +1,151 @@
+"""Service throughput: batch scaling over worker counts + cache hits.
+
+Measures two things about :mod:`repro.service` and writes them to
+``BENCH_service.json``:
+
+* **batch scaling** -- one sweep of distinct three-way jobs (every
+  Olden benchmark at several node counts, small sizes, no disk cache)
+  through :class:`WorkerPool` at workers = 0 (inline), 1, 2, 4;
+  reports wall time, jobs/s, and speedup over workers=1.  Worker
+  processes only help when the host has cores to put them on, so the
+  host's usable core count is recorded alongside -- on a single-core
+  container the expected speedup at 4 workers is ~1x (the paper-style
+  ">= 2x at 4 workers" claim needs >= 2 usable cores; see
+  EXPERIMENTS.md).
+* **content-addressed cache** -- cold vs warm wall time for one
+  representative job (``power`` three-way) against a disk cache, with
+  the payloads asserted bit-identical.
+
+Regenerate the committed ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.harness.pipeline import PIPELINE_VERSION
+from repro.service.jobs import JobSpec
+from repro.service.pool import WorkerPool
+
+WORKER_COUNTS = (0, 1, 2, 4)
+NODE_COUNTS = (1, 2, 4)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _sweep_jobs():
+    from repro.olden.loader import catalog
+    # Distinct (benchmark, nodes) cells so no job can shadow another
+    # in a memory cache tier: this measures computation, not reuse.
+    return [JobSpec("three-way", benchmark=spec.name, nodes=nodes,
+                    small=True)
+            for spec in catalog() for nodes in NODE_COUNTS]
+
+
+def bench_scaling():
+    jobs = _sweep_jobs()
+    rows = []
+    reference = None
+    for workers in WORKER_COUNTS:
+        with WorkerPool(workers, cache_dir=None) as pool:
+            start = time.perf_counter()
+            results = pool.run_batch(jobs, timeout=600)
+            wall_s = time.perf_counter() - start
+        payloads = [r.raise_if_failed().payload for r in results]
+        if reference is None:
+            reference = payloads
+        else:
+            assert payloads == reference, \
+                "worker count changed a payload"
+        rows.append({
+            "workers": workers,
+            "jobs": len(jobs),
+            "wall_s": round(wall_s, 4),
+            "jobs_per_s": round(len(jobs) / wall_s, 3),
+        })
+        print(f"  workers={workers}: {wall_s:.2f}s "
+              f"({len(jobs) / wall_s:.1f} jobs/s)")
+    base = next(r["wall_s"] for r in rows if r["workers"] == 1)
+    for row in rows:
+        row["speedup_vs_1_worker"] = round(base / row["wall_s"], 3)
+    return {"jobs": len(jobs), "node_counts": list(NODE_COUNTS),
+            "rows": rows}
+
+
+def bench_cache():
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        job = JobSpec("three-way", benchmark="power", nodes=4,
+                      small=True)
+        with WorkerPool(workers=1, cache_dir=cache_dir) as pool:
+            start = time.perf_counter()
+            cold = pool.run_job(job, timeout=600)
+            cold_s = time.perf_counter() - start
+            warm_walls = []
+            for _ in range(5):
+                start = time.perf_counter()
+                warm = pool.run_job(job, timeout=600)
+                warm_walls.append(time.perf_counter() - start)
+                assert warm.cache == "hit"
+                assert warm.payload == cold.payload, \
+                    "cache hit payload diverged"
+        assert cold.cache == "miss"
+        warm_s = min(warm_walls)
+        print(f"  cold={cold_s * 1e3:.1f}ms "
+              f"warm={warm_s * 1e3:.2f}ms "
+              f"({cold_s / warm_s:.0f}x)")
+        return {
+            "job": "power three-way, 4 nodes, small",
+            "cold_wall_s": round(cold_s, 4),
+            "warm_wall_s": round(warm_s, 6),
+            "warm_samples": len(warm_walls),
+            "hit_speedup": round(cold_s / warm_s, 1),
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark repro.service batch throughput and "
+                    "cache-hit latency")
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    print("== batch scaling (no cache)")
+    scaling = bench_scaling()
+    print("== content-addressed cache (cold vs warm)")
+    cache = bench_cache()
+
+    document = {
+        "pipeline_version": PIPELINE_VERSION,
+        "host": {
+            "usable_cores": _usable_cores(),
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "scaling": scaling,
+        "cache": cache,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"(written to {args.output})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,16 @@
-"""Command-line compiler driver.
+"""Command-line compiler driver and service front end.
 
-    python -m repro FILE.ec [options]
+    python -m repro FILE.ec [options]          compile/run one file
+    python -m repro serve [options]            start the compile service
+    python -m repro submit [options]           send one job to a server
+    python -m repro batch [options]            run a job sweep (pool/server)
 
 Compiles an EARTH-C file and, on request, prints its SIMPLE form, its
 Threaded-C fiber form, the communication tuples, and/or runs it on the
-simulated EARTH-MANNA machine.
+simulated EARTH-MANNA machine.  The ``serve``/``submit``/``batch``
+verbs front the :mod:`repro.service` subsystem: a content-addressed
+compile cache behind a multi-process worker pool, optionally served
+over TCP.
 
 Examples::
 
@@ -17,6 +23,15 @@ Examples::
                        # Chrome trace-event JSON: open in
                        # chrome://tracing or https://ui.perfetto.dev
     python -m repro prog.ec -O --run --json         # machine-readable
+
+    python -m repro serve --workers 4 --port 7781
+    python -m repro submit --benchmark power --small --nodes 4 --json
+    python -m repro batch --benchmarks power,tsp --nodes 1,2,4 --workers 4
+
+Exit codes: 0 success, 1 generic error, 2 usage, 3 compile error,
+4 simulator runtime error, 5 I/O error, 6 service error.  With
+``--json``, failures print a one-line JSON error object
+``{"ok": false, "error": {"type", "message", "code"}}`` on stdout.
 """
 
 from __future__ import annotations
@@ -31,11 +46,56 @@ from repro.analysis.points_to import analyze_points_to
 from repro.analysis.rw_sets import EffectsAnalysis
 from repro.comm.placement import analyze_placement
 from repro.earth.faults import PROFILES, plan_from_cli
-from repro.errors import ReproError
+from repro.errors import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_USAGE,
+    ReproError,
+    ServiceError,
+    exit_code_for,
+)
 from repro.harness.pipeline import compile_earthc, execute
 from repro.obs import TraceMetrics, Tracer, export_chrome_trace
 from repro.simple import nodes as s
 from repro.simple.printer import print_function
+
+SERVICE_VERBS = ("serve", "submit", "batch")
+
+
+def _emit_error(exc: BaseException, json_mode: bool,
+                code: int = None) -> int:
+    """Report a failure and return its exit code.  Under ``--json`` the
+    report is a one-line JSON object on stdout (scripts parse exactly
+    one line either way); otherwise a human line on stderr."""
+    if code is None:
+        try:
+            code = exit_code_for(exc)
+        except TypeError:
+            code = EXIT_ERROR
+    if json_mode:
+        print(json.dumps({"ok": False,
+                          "error": {"type": type(exc).__name__,
+                                    "message": str(exc),
+                                    "code": code}}))
+    else:
+        print(f"error: {exc}", file=sys.stderr)
+    return code
+
+
+def _usage_error(message: str, json_mode: bool = False) -> int:
+    if json_mode:
+        print(json.dumps({"ok": False,
+                          "error": {"type": "UsageError",
+                                    "message": message,
+                                    "code": EXIT_USAGE}}))
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+# ---------------------------------------------------------------------------
+# Legacy single-file driver
+# ---------------------------------------------------------------------------
 
 
 def _parse_args(argv):
@@ -65,6 +125,10 @@ def _parse_args(argv):
                              "(for the bundled Olden benchmarks, "
                              "defaults to the catalog problem size)")
     parser.add_argument("--entry", default="main")
+    parser.add_argument("--max-stmts", type=int, default=None,
+                        metavar="N",
+                        help="abort the run after N interpreted "
+                             "statements (infinite-loop guard)")
     parser.add_argument("--engine", default="closure",
                         choices=("closure", "ast"),
                         help="execution engine: 'closure' precompiles "
@@ -81,7 +145,8 @@ def _parse_args(argv):
     parser.add_argument("--json", action="store_true",
                         help="with --run: print one JSON object (run "
                              "result, MachineStats.snapshot(), per-node "
-                             "EU/SU utilization) instead of text")
+                             "EU/SU utilization) instead of text; "
+                             "errors become one-line JSON objects")
     parser.add_argument("--faults", type=int, default=None,
                         metavar="SEED",
                         help="with --run: inject deterministic network "
@@ -138,47 +203,49 @@ def _show_tuples(compiled, only):
 
 
 def main(argv=None) -> int:
-    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    argv = list(argv if argv is not None else sys.argv[1:])
+    if argv and argv[0] in SERVICE_VERBS:
+        return _service_main(argv[0], argv[1:])
+    return _compile_main(argv)
+
+
+def _compile_main(argv) -> int:
+    args = _parse_args(argv)
     try:
         with open(args.file) as handle:
             source = handle.read()
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _emit_error(exc, args.json)
 
     shows = [part.strip() for part in args.show.split(",") if part.strip()]
     unknown = set(shows) - {"simple", "threaded", "tuples", "stats",
                             "profile"}
     if unknown:
-        print(f"error: unknown --show item(s): {sorted(unknown)}",
-              file=sys.stderr)
-        return 2
+        return _usage_error(f"unknown --show item(s): {sorted(unknown)}",
+                            args.json)
     if (args.trace or args.json) and not args.run:
-        print("error: --trace/--json require --run", file=sys.stderr)
-        return 2
+        return _usage_error("--trace/--json require --run", args.json)
     if args.trace_capacity is not None and args.trace_capacity <= 0:
-        print("error: --trace-capacity must be positive",
-              file=sys.stderr)
-        return 2
+        return _usage_error("--trace-capacity must be positive",
+                            args.json)
+    if args.max_stmts is not None and args.max_stmts <= 0:
+        return _usage_error("--max-stmts must be positive", args.json)
     fault_opts = (args.fault_drop, args.fault_jitter,
                   args.fault_profile)
     if args.faults is None and any(opt is not None
                                    for opt in fault_opts):
-        print("error: --fault-drop/--fault-jitter/--fault-profile "
-              "require --faults SEED", file=sys.stderr)
-        return 2
+        return _usage_error("--fault-drop/--fault-jitter/"
+                            "--fault-profile require --faults SEED",
+                            args.json)
     if args.faults is not None and not args.run:
-        print("error: --faults requires --run", file=sys.stderr)
-        return 2
+        return _usage_error("--faults requires --run", args.json)
     if args.fault_drop is not None \
             and not 0.0 <= args.fault_drop <= 1.0:
-        print(f"error: --fault-drop must be in [0, 1], got "
-              f"{args.fault_drop}", file=sys.stderr)
-        return 2
+        return _usage_error(f"--fault-drop must be in [0, 1], got "
+                            f"{args.fault_drop}", args.json)
     if args.fault_jitter is not None and args.fault_jitter < 0:
-        print(f"error: --fault-jitter must be >= 0, got "
-              f"{args.fault_jitter}", file=sys.stderr)
-        return 2
+        return _usage_error(f"--fault-jitter must be >= 0, got "
+                            f"{args.fault_jitter}", args.json)
 
     try:
         compiled = compile_earthc(
@@ -220,18 +287,18 @@ def main(argv=None) -> int:
             result = execute(compiled, num_nodes=args.nodes,
                              entry=args.entry, args=run_args,
                              tracer=tracer, engine=args.engine,
-                             faults=faults)
+                             faults=faults,
+                             **({"max_stmts": args.max_stmts}
+                                if args.max_stmts is not None else {}))
             if tracer is not None:
                 try:
                     written = export_chrome_trace(tracer, args.trace,
                                                   args.nodes)
                 except OSError as exc:
-                    print(f"error: cannot write trace: {exc}",
-                          file=sys.stderr)
-                    return 1
+                    return _emit_error(exc, args.json)
             if args.json:
                 _print_json(args, compiled, result, tracer)
-                return 0
+                return EXIT_OK
             for line in result.output:
                 print(line)
             stats = result.stats
@@ -256,9 +323,8 @@ def main(argv=None) -> int:
                 print(f"trace   = {args.trace} ({written} trace events, "
                       f"{tracer.dropped} dropped)")
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    return 0
+        return _emit_error(exc, args.json)
+    return EXIT_OK
 
 
 def _catalog_default_args(path):
@@ -296,6 +362,308 @@ def _print_json(args, compiled, result, tracer) -> None:
                                         result.time_ns).to_dict()
         payload["trace_file"] = args.trace
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# Service verbs: serve / submit / batch
+# ---------------------------------------------------------------------------
+
+
+def _service_main(verb: str, argv) -> int:
+    # Imported lazily: the plain compile path should not pay for
+    # asyncio/multiprocessing imports.
+    if verb == "serve":
+        return _serve_main(argv)
+    if verb == "submit":
+        return _submit_main(argv)
+    return _batch_main(argv)
+
+
+def _add_fault_arguments(parser) -> None:
+    parser.add_argument("--faults", type=int, default=None,
+                        metavar="SEED",
+                        help="inject deterministic faults from this "
+                             "seed")
+    parser.add_argument("--fault-profile", default=None,
+                        choices=sorted(PROFILES),
+                        help="named fault configuration (requires "
+                             "--faults)")
+
+
+def _fault_spec(opts):
+    """CLI fault flags -> a JobSpec ``faults`` dict (or None)."""
+    if opts.faults is None:
+        if opts.fault_profile is not None:
+            raise ServiceError("--fault-profile requires --faults SEED")
+        return None
+    return plan_from_cli(opts.faults, opts.fault_profile,
+                         None, None).spec()
+
+
+def _serve_main(argv) -> int:
+    from repro.harness.pipeline import PIPELINE_VERSION
+    from repro.service import DEFAULT_CACHE_DIR, WorkerPool, serve_forever
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve compile/run jobs over JSON-over-TCP on top "
+                    "of a cached multi-process worker pool")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7781,
+                        help="TCP port (0 picks an ephemeral port; "
+                             "default 7781)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 runs jobs inline; "
+                             "default 2)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"artifact cache root (default "
+                             f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="keep the cache in memory only")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-attempt job timeout in seconds "
+                             "(default: none)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts per job before giving up "
+                             "(crashes/timeouts requeue; default 3)")
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        help="reject submissions beyond this many "
+                             "in-flight jobs (default 64)")
+    opts = parser.parse_args(argv)
+
+    pool = WorkerPool(opts.workers,
+                      cache_dir=None if opts.no_cache else opts.cache_dir,
+                      timeout_s=opts.timeout,
+                      max_attempts=opts.max_attempts)
+
+    def ready(server):
+        cache = "memory" if opts.no_cache else opts.cache_dir
+        print(f"serving on {server.host}:{server.port} "
+              f"(workers={opts.workers}, cache={cache}, "
+              f"pipeline {PIPELINE_VERSION})", flush=True)
+
+    try:
+        serve_forever(pool, opts.host, opts.port,
+                      max_queue_depth=opts.max_queue_depth,
+                      ready_callback=ready)
+    except KeyboardInterrupt:
+        return EXIT_OK
+    except (ServiceError, OSError) as exc:
+        return _emit_error(exc, False)
+    return EXIT_OK
+
+
+def _submit_main(argv) -> int:
+    from repro.service import JobSpec, ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit one job to a running compile service")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="EARTH-C source file (or use --benchmark)")
+    parser.add_argument("--benchmark", default=None,
+                        help="bundled Olden benchmark name")
+    parser.add_argument("--kind", default="run",
+                        choices=("compile", "run", "three-way"))
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7781)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--no-optimize", action="store_true")
+    parser.add_argument("--inline", action="store_true")
+    parser.add_argument("--engine", default="closure",
+                        choices=("closure", "ast"))
+    parser.add_argument("--config", default="default")
+    parser.add_argument("--params", default="default")
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--args", default="", dest="run_args",
+                        help="comma-separated integer arguments")
+    parser.add_argument("--small", action="store_true",
+                        help="use the benchmark's reduced problem size")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="client socket timeout in seconds")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JobResult as JSON")
+    _add_fault_arguments(parser)
+    opts = parser.parse_args(argv)
+
+    if (opts.file is None) == (opts.benchmark is None):
+        return _usage_error("submit needs exactly one of FILE or "
+                            "--benchmark", opts.json)
+    source = filename = None
+    if opts.file is not None:
+        try:
+            with open(opts.file) as handle:
+                source = handle.read()
+        except OSError as exc:
+            return _emit_error(exc, opts.json)
+        filename = opts.file
+
+    try:
+        run_args = [int(part) for part in opts.run_args.split(",")
+                    if part.strip()] or None
+        spec = JobSpec(opts.kind, source=source,
+                       benchmark=opts.benchmark, filename=filename,
+                       optimize=not opts.no_optimize,
+                       config=opts.config, inline=opts.inline,
+                       nodes=opts.nodes, entry=opts.entry,
+                       args=run_args, engine=opts.engine,
+                       params=opts.params, faults=_fault_spec(opts),
+                       small=opts.small)
+        with ServiceClient(opts.host, opts.port,
+                           timeout=opts.timeout) as client:
+            result = client.submit(spec)
+    except (ServiceError, ValueError) as exc:
+        return _emit_error(exc, opts.json)
+
+    if opts.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_job(result))
+    if result.ok:
+        return EXIT_OK
+    error = result.error or {}
+    if not opts.json:
+        print(f"error: [{error.get('type', 'unknown')}] "
+              f"{error.get('message', 'no message')}", file=sys.stderr)
+    return int(error.get("code", EXIT_ERROR))
+
+
+def _render_job(result, label: str = None) -> str:
+    """Human one-or-few-line summary of a JobResult payload."""
+    what = f"{label}: " if label else ""
+    head = (f"{what}{result.kind}  cache={result.cache or '-'}  "
+            f"wall={result.wall_s * 1e3:.1f}ms  "
+            f"attempts={result.attempts}")
+    if not result.ok:
+        error = result.error or {}
+        return (f"{head}\n  FAILED [{error.get('type', 'unknown')}] "
+                f"{error.get('message', 'no message')}")
+    lines = [head]
+    payload = result.payload or {}
+    if result.kind == "compile":
+        lines.append(f"  optimized={payload.get('optimized')}  "
+                     f"functions={', '.join(payload.get('functions', []))}")
+    elif result.kind == "run":
+        run = payload.get("run", {})
+        lines.append(f"  result={run.get('value')}  "
+                     f"time={run.get('time_ns', 0) / 1e6:.3f}ms "
+                     f"simulated on {run.get('num_nodes')} node(s)")
+    else:
+        for name in ("sequential", "simple", "optimized"):
+            entry = payload.get(name)
+            if entry:
+                lines.append(f"  {name:<11}"
+                             f"{entry['time_ns'] / 1e6:>10.3f}ms  "
+                             f"value={entry['value']}")
+    return "\n".join(lines)
+
+
+def _batch_main(argv) -> int:
+    from repro.service import (
+        DEFAULT_CACHE_DIR,
+        JobSpec,
+        ServiceClient,
+        WorkerPool,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description="Run a batch of jobs on a local worker pool or a "
+                    "remote compile service")
+    parser.add_argument("--jobs", default=None, metavar="FILE",
+                        help="JSON file holding an array of job specs "
+                             "(overrides the sweep flags)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark sweep "
+                             "(default: the full Olden catalog)")
+    parser.add_argument("--nodes", default="1,2,4",
+                        help="comma-separated processor counts for the "
+                             "sweep (default 1,2,4)")
+    parser.add_argument("--kind", default="three-way",
+                        choices=("compile", "run", "three-way"))
+    parser.add_argument("--engine", default="closure",
+                        choices=("closure", "ast"))
+    parser.add_argument("--small", action="store_true",
+                        help="use reduced problem sizes")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="local worker processes (0 = inline; "
+                             "default 2)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="keep the cache in memory only")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="submit to a running server instead of a "
+                             "local pool")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the JSON result array to FILE")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON result array on stdout")
+    _add_fault_arguments(parser)
+    opts = parser.parse_args(argv)
+
+    try:
+        if opts.jobs is not None:
+            try:
+                with open(opts.jobs) as handle:
+                    raw = json.load(handle)
+            except OSError as exc:
+                return _emit_error(exc, opts.json)
+            except ValueError as exc:
+                return _usage_error(f"--jobs file is not JSON: {exc}",
+                                    opts.json)
+            if not isinstance(raw, list):
+                return _usage_error("--jobs file must hold a JSON "
+                                    "array of job specs", opts.json)
+            specs = [JobSpec.from_dict(entry) for entry in raw]
+        else:
+            from repro.harness.experiments import sweep_jobs
+            benchmarks = opts.benchmarks.split(",") \
+                if opts.benchmarks else None
+            counts = [int(part) for part in opts.nodes.split(",")]
+            specs = sweep_jobs(counts, benchmarks, small=opts.small,
+                               kind=opts.kind, engine=opts.engine,
+                               faults=_fault_spec(opts))
+        if not specs:
+            return _usage_error("batch has no jobs to run", opts.json)
+
+        if opts.connect is not None:
+            host, _, port_text = opts.connect.rpartition(":")
+            if not host or not port_text.isdigit():
+                return _usage_error("--connect needs HOST:PORT",
+                                    opts.json)
+            with ServiceClient(host, int(port_text)) as client:
+                results = client.batch(specs)
+        else:
+            cache_dir = None if opts.no_cache else opts.cache_dir
+            with WorkerPool(opts.workers, cache_dir=cache_dir) as pool:
+                results = pool.run_batch(specs)
+    except (ServiceError, ValueError) as exc:
+        return _emit_error(exc, opts.json)
+
+    dump = [result.to_dict() for result in results]
+    if opts.output is not None:
+        try:
+            with open(opts.output, "w") as handle:
+                json.dump(dump, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            return _emit_error(exc, opts.json)
+    if opts.json:
+        print(json.dumps(dump, indent=2, sort_keys=True))
+    else:
+        for spec, result in zip(specs, results):
+            label = spec.benchmark or spec.filename or "<inline>"
+            print(_render_job(result, label=f"{label} p={spec.nodes}"))
+        failed = sum(1 for result in results if not result.ok)
+        hits = sum(1 for result in results if result.cache == "hit")
+        print(f"batch: {len(results) - failed}/{len(results)} ok, "
+              f"{hits} cache hit(s)"
+              + (f", written to {opts.output}" if opts.output else ""))
+
+    for result in results:
+        if not result.ok:
+            return int((result.error or {}).get("code", EXIT_ERROR))
+    return EXIT_OK
 
 
 if __name__ == "__main__":

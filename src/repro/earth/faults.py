@@ -223,6 +223,39 @@ class FaultPlan:
                 break
         return time
 
+    # -- serialization -----------------------------------------------------
+
+    def spec(self) -> Dict[str, object]:
+        """The complete constructor configuration as a JSON-friendly
+        dict.  Unlike :meth:`describe` (a summary for reports), this is
+        lossless: ``FaultPlan.from_spec(plan.spec())`` replays the
+        identical fault schedule -- the JSON leg of shipping a plan to
+        a worker process."""
+        return {
+            "seed": self.seed,
+            "drop_prob": self.drop_prob,
+            "jitter_ns": self.jitter_ns,
+            "su_slowdown_factor": self.su_slowdown_factor,
+            "su_slowdown_windows": self.su_slowdown_windows,
+            "su_slowdown_window_ns": self.su_slowdown_window_ns,
+            "stall_windows": self.stall_windows,
+            "stall_ns": self.stall_ns,
+            "horizon_ns": self.horizon_ns,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "FaultPlan":
+        """Rebuild an unbound plan from :meth:`spec` output."""
+        config = dict(spec)
+        try:
+            seed = config.pop("seed")
+        except KeyError:
+            raise FaultPlanError("fault spec is missing 'seed'") from None
+        try:
+            return cls(int(seed), **config)
+        except TypeError as exc:
+            raise FaultPlanError(f"bad fault spec: {exc}") from None
+
     # -- reporting ---------------------------------------------------------
 
     def describe(self) -> Dict[str, object]:

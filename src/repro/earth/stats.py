@@ -88,6 +88,25 @@ class MachineStats:
             snapshot[name] = value
         return snapshot
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, int]) -> "MachineStats":
+        """Rebuild stats from a :meth:`snapshot` dict (the JSON leg of
+        cross-process transport: a served run returns its counters as a
+        snapshot, this turns them back into a live object).  Unknown
+        keys are rejected so schema drift fails loudly."""
+        stats = cls()
+        known = set(stats.counter_names())
+        unknown = set(snapshot) - known
+        if unknown:
+            raise ValueError(
+                f"unknown MachineStats counters: {sorted(unknown)}")
+        for name, value in snapshot.items():
+            if isinstance(getattr(stats, name), Counter):
+                setattr(stats, name, Counter(value))
+            else:
+                setattr(stats, name, value)
+        return stats
+
     def merge(self, other: "MachineStats") -> "MachineStats":
         """Accumulate another run's counters into this one (in place;
         returns self).  Used by multi-run harnesses to aggregate stats

@@ -110,3 +110,37 @@ class InterferenceError(SimulatorError):
 
 class HarnessError(ReproError):
     """Experiment-harness misconfiguration."""
+
+
+class ServiceError(ReproError):
+    """Compile-service failure: malformed job, unreachable server,
+    worker crash budget exhausted, cache corruption..."""
+
+
+# -- CLI exit codes -----------------------------------------------------------
+#
+# ``python -m repro`` exits with a *distinct* code per failure class so
+# scripts and the batch layer can react without parsing stderr.
+
+EXIT_OK = 0
+EXIT_ERROR = 1        # other ReproError (bad --function, harness errors...)
+EXIT_USAGE = 2        # bad flags / flag combinations (argparse uses 2 too)
+EXIT_COMPILE = 3      # frontend errors: lex, parse, type check, simplify
+EXIT_RUNTIME = 4      # simulator errors: memory faults, fault-plan misuse
+EXIT_IO = 5           # unreadable input or unwritable output files
+EXIT_SERVICE = 6      # service errors: server unreachable, job failed
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an exception (most specific class wins)."""
+    if isinstance(exc, (FrontendError, SimplifyError)):
+        return EXIT_COMPILE
+    if isinstance(exc, ServiceError):
+        return EXIT_SERVICE
+    if isinstance(exc, SimulatorError):
+        return EXIT_RUNTIME
+    if isinstance(exc, OSError):
+        return EXIT_IO
+    if isinstance(exc, ReproError):
+        return EXIT_ERROR
+    raise TypeError(f"no exit code mapping for {type(exc).__name__}")

@@ -342,6 +342,95 @@ def measure_fig10(num_nodes: int = 16,
 
 
 # ---------------------------------------------------------------------------
+# Batch-backed sweeps (the service's pooled Table III / Figure 10 path)
+# ---------------------------------------------------------------------------
+
+
+def sweep_jobs(processor_counts: Sequence[int],
+               benchmarks: Optional[Sequence[str]] = None,
+               small: bool = False, kind: str = "three-way",
+               engine: str = "closure",
+               faults: Optional[Dict[str, object]] = None) -> List[object]:
+    """The benchmark-by-processors cross product as service
+    :class:`~repro.service.jobs.JobSpec` objects -- what
+    ``python -m repro batch`` and the pooled measurement helpers feed a
+    :class:`~repro.service.pool.WorkerPool`."""
+    from repro.service.jobs import JobSpec
+    names = benchmarks if benchmarks is not None \
+        else [spec.name for spec in catalog()]
+    return [JobSpec(kind, benchmark=name, nodes=processors,
+                    small=small, engine=engine, faults=faults)
+            for name in names for processors in processor_counts]
+
+
+def rows_from_payloads(jobs: Sequence[object],
+                       results: Sequence[object]) -> List[BenchmarkRow]:
+    """Reconstruct Table III rows from three-way job payloads.
+
+    Matches :func:`measure_table3`'s convention: every row of one
+    benchmark shares the sequential baseline of that benchmark's first
+    (lowest) processor count."""
+    rows: List[BenchmarkRow] = []
+    seq_ns: Dict[str, float] = {}
+    for job, result in zip(jobs, results):
+        payload = result.raise_if_failed().payload
+        name = job.benchmark
+        if name not in seq_ns:
+            seq_ns[name] = payload["sequential"]["time_ns"]
+        rows.append(BenchmarkRow(
+            name, job.nodes, seq_ns[name],
+            payload["simple"]["time_ns"],
+            payload["optimized"]["time_ns"]))
+    return rows
+
+
+def fig10_bars_from_payloads(jobs: Sequence[object],
+                             results: Sequence[object]) -> List[Fig10Bar]:
+    """Reconstruct Figure 10 bars from three-way job payloads."""
+    from repro.earth.stats import MachineStats
+    bars: List[Fig10Bar] = []
+    for job, result in zip(jobs, results):
+        payload = result.raise_if_failed().payload
+        bars.append(Fig10Bar(
+            job.benchmark,
+            MachineStats.from_snapshot(
+                payload["simple"]["stats"]).comm_breakdown(),
+            MachineStats.from_snapshot(
+                payload["optimized"]["stats"]).comm_breakdown()))
+    return bars
+
+
+def measure_table3_pooled(
+    processor_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    benchmarks: Optional[Sequence[str]] = None,
+    small: bool = False,
+    workers: int = 2,
+    cache_dir: Optional[str] = None,
+) -> List[BenchmarkRow]:
+    """:func:`measure_table3` through the service worker pool: same
+    rows (payloads are deterministic), computed by ``workers``
+    processes with content-addressed caching when ``cache_dir`` is
+    set."""
+    from repro.service.pool import WorkerPool
+    jobs = sweep_jobs(processor_counts, benchmarks, small=small)
+    with WorkerPool(workers, cache_dir=cache_dir) as pool:
+        results = pool.run_batch(jobs)
+    return rows_from_payloads(jobs, results)
+
+
+def measure_fig10_pooled(num_nodes: int = 16,
+                         benchmarks: Optional[Sequence[str]] = None,
+                         small: bool = False, workers: int = 2,
+                         cache_dir: Optional[str] = None) -> List[Fig10Bar]:
+    """:func:`measure_fig10` through the service worker pool."""
+    from repro.service.pool import WorkerPool
+    jobs = sweep_jobs([num_nodes], benchmarks, small=small)
+    with WorkerPool(workers, cache_dir=cache_dir) as pool:
+        results = pool.run_batch(jobs)
+    return fig10_bars_from_payloads(jobs, results)
+
+
+# ---------------------------------------------------------------------------
 # Utilization metrics (observability layer; not a paper figure)
 # ---------------------------------------------------------------------------
 

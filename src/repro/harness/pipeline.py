@@ -34,6 +34,13 @@ from repro.simple import nodes as s
 from repro.simple.printer import print_program
 from repro.simple.validate import validate_program
 
+#: Version stamp of the compile pipeline, mixed into every
+#: content-addressed cache key (:mod:`repro.service.cache`).  Bump it
+#: whenever a change makes ``compile_earthc`` or the simulator produce
+#: different output for the same (source, options) -- stale cached
+#: artifacts then miss instead of serving wrong payloads.
+PIPELINE_VERSION = "2026.08-pr4"
+
 
 class CompiledProgram:
     """A SIMPLE program plus everything the pipeline learned about it."""
@@ -211,6 +218,37 @@ def run_three_ways(
         raise AssertionError(
             f"configurations disagree on the program result: {values}")
     return results
+
+
+#: Named optimizer configurations a serialized job may request.  Jobs
+#: travel between processes as JSON, so they name a preset instead of
+#: carrying a live :class:`CommConfig`.
+CONFIG_PRESETS = ("default", "simple-baseline")
+
+#: Named machine-parameter presets for serialized jobs.
+PARAMS_PRESETS = ("default", "sequential-c")
+
+
+def resolve_config(name: Optional[str]) -> Optional[CommConfig]:
+    """Look up a :data:`CONFIG_PRESETS` name (pure, picklable entry
+    point for cross-process job execution)."""
+    if name is None or name == "default":
+        return None
+    if name == "simple-baseline":
+        return simple_baseline_config()
+    raise ValueError(f"unknown config preset {name!r} "
+                     f"(known: {', '.join(CONFIG_PRESETS)})")
+
+
+def resolve_params(name: Optional[str]) -> Optional[MachineParams]:
+    """Look up a :data:`PARAMS_PRESETS` name (pure, picklable entry
+    point for cross-process job execution)."""
+    if name is None or name == "default":
+        return None
+    if name == "sequential-c":
+        return MachineParams.sequential_c()
+    raise ValueError(f"unknown params preset {name!r} "
+                     f"(known: {', '.join(PARAMS_PRESETS)})")
 
 
 def simple_baseline_config() -> CommConfig:

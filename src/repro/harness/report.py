@@ -26,8 +26,10 @@ from repro.harness.experiments import (
     format_table3,
     format_utilization,
     measure_fig10,
+    measure_fig10_pooled,
     measure_table1,
     measure_table3,
+    measure_table3_pooled,
     measure_utilization,
 )
 from repro.olden.loader import catalog
@@ -47,6 +49,14 @@ def main(argv=None) -> int:
                         help="also write machine-readable metrics "
                              "(per-benchmark EU/SU utilization for the "
                              "simple and optimized configurations)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="run Table III / Figure 10 through the "
+                             "service worker pool with this many "
+                             "processes (0 = in-process; default)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="with --workers: content-addressed "
+                             "artifact cache root (default: no disk "
+                             "cache)")
     args = parser.parse_args(argv)
 
     processor_counts = [int(n) for n in args.nodes.split(",")]
@@ -60,12 +70,25 @@ def main(argv=None) -> int:
     print(format_table2())
     print()
     print("=" * 72)
-    rows = measure_table3(processor_counts, benchmarks, small=args.small)
+    if args.workers > 0:
+        rows = measure_table3_pooled(processor_counts, benchmarks,
+                                     small=args.small,
+                                     workers=args.workers,
+                                     cache_dir=args.cache_dir)
+    else:
+        rows = measure_table3(processor_counts, benchmarks,
+                              small=args.small)
     print(format_table3(rows))
     print()
     print("=" * 72)
-    bars = measure_fig10(max(processor_counts), benchmarks,
-                         small=args.small)
+    if args.workers > 0:
+        bars = measure_fig10_pooled(max(processor_counts), benchmarks,
+                                    small=args.small,
+                                    workers=args.workers,
+                                    cache_dir=args.cache_dir)
+    else:
+        bars = measure_fig10(max(processor_counts), benchmarks,
+                             small=args.small)
     print(format_fig10(bars))
     print()
     if args.metrics_json:

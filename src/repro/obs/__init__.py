@@ -19,7 +19,12 @@ Three layers (all opt-in; the simulator's hot path is untouched unless a
 """
 
 from repro.obs.chrome import chrome_trace_events, export_chrome_trace
-from repro.obs.metrics import TraceMetrics, utilization_summary
+from repro.obs.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    TraceMetrics,
+    utilization_summary,
+)
 from repro.obs.profile import PassProfile, PipelineProfile, timed_pass
 from repro.obs.trace import Tracer
 
@@ -27,6 +32,8 @@ __all__ = [
     "Tracer",
     "chrome_trace_events",
     "export_chrome_trace",
+    "LatencyHistogram",
+    "ServiceMetrics",
     "TraceMetrics",
     "utilization_summary",
     "PassProfile",

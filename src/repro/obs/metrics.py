@@ -15,6 +15,7 @@ Two tiers:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.trace import Tracer
@@ -49,6 +50,149 @@ def _wait_bucket(wait_ns: float) -> str:
         if wait_ns <= bound:
             return f"<={bound}ns"
     return f">{bounds[-1]}ns"
+
+
+class LatencyHistogram:
+    """Log-bucketed wall-clock latency histogram (seconds).
+
+    Service-layer jobs span five orders of magnitude (sub-millisecond
+    cache hits to multi-second cold compiles), so fixed-width buckets
+    would waste resolution; the bucket bounds go up by roughly 3x per
+    step instead."""
+
+    BOUNDS_S = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+                30.0)
+
+    def __init__(self):
+        self.counts: Dict[str, int] = {}
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    @staticmethod
+    def bucket(seconds: float) -> str:
+        for bound in LatencyHistogram.BOUNDS_S:
+            if seconds <= bound:
+                return f"<={bound:g}s"
+        return f">{LatencyHistogram.BOUNDS_S[-1]:g}s"
+
+    def observe(self, seconds: float) -> None:
+        label = self.bucket(seconds)
+        self.counts[label] = self.counts.get(label, 0) + 1
+        self.count += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        labels = [f"<={b:g}s" for b in self.BOUNDS_S]
+        labels.append(f">{self.BOUNDS_S[-1]:g}s")
+        return {"count": self.count, "mean_s": round(self.mean_s, 6),
+                "max_s": round(self.max_s, 6),
+                "buckets": {label: self.counts[label]
+                            for label in labels if label in self.counts}}
+
+
+class ServiceMetrics:
+    """Counters and latency distributions of the compile service
+    (:mod:`repro.service`): cache hit rate, queue depth, worker
+    utilization inputs, and per-job latency histograms.
+
+    Thread-safe: the server's asyncio loop, the pool's collector
+    thread, and worker bookkeeping all increment concurrently."""
+
+    COUNTERS = ("jobs_submitted", "jobs_completed", "jobs_failed",
+                "cache_hits", "cache_misses", "singleflight_hits",
+                "jobs_requeued", "worker_crashes", "job_timeouts",
+                "rejected_busy")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
+        self.queue_depth = 0
+        self.peak_queue_depth = 0
+        self.busy_s = 0.0          # summed wall time spent inside jobs
+        self.latency = LatencyHistogram()
+        self.hit_latency = LatencyHistogram()
+        self.miss_latency = LatencyHistogram()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        if name not in self.COUNTERS:
+            raise ValueError(f"unknown service counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def adjust_queue_depth(self, delta: int) -> None:
+        with self._lock:
+            self.queue_depth += delta
+            self.peak_queue_depth = max(self.peak_queue_depth,
+                                        self.queue_depth)
+
+    def observe_job(self, seconds: float, cache_hit: Optional[bool],
+                    ok: bool = True) -> None:
+        with self._lock:
+            self.jobs_completed += 1
+            if not ok:
+                self.jobs_failed += 1
+            self.busy_s += seconds
+            self.latency.observe(seconds)
+            if cache_hit is True:
+                self.cache_hits += 1
+                self.hit_latency.observe(seconds)
+            elif cache_hit is False:
+                self.cache_misses += 1
+                self.miss_latency.observe(seconds)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+    def worker_utilization(self, workers: int, elapsed_s: float) -> float:
+        """Fraction of worker wall-clock capacity spent inside jobs."""
+        capacity = max(workers, 1) * max(elapsed_s, 1e-9)
+        return min(1.0, self.busy_s / capacity)
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            payload: Dict[str, object] = {
+                name: getattr(self, name) for name in self.COUNTERS}
+            payload["queue_depth"] = self.queue_depth
+            payload["peak_queue_depth"] = self.peak_queue_depth
+            payload["cache_hit_rate"] = round(self.cache_hit_rate, 6)
+            payload["busy_s"] = round(self.busy_s, 6)
+            payload["latency"] = self.latency.to_dict()
+            payload["hit_latency"] = self.hit_latency.to_dict()
+            payload["miss_latency"] = self.miss_latency.to_dict()
+            return payload
+
+    def format_text(self) -> str:
+        data = self.to_dict()
+        lines = ["== service metrics",
+                 f"  jobs: {data['jobs_submitted']} submitted, "
+                 f"{data['jobs_completed']} completed, "
+                 f"{data['jobs_failed']} failed",
+                 f"  cache: {data['cache_hits']} hits, "
+                 f"{data['cache_misses']} misses "
+                 f"(hit rate {100 * data['cache_hit_rate']:.1f}%), "
+                 f"{data['singleflight_hits']} single-flight joins",
+                 f"  queue: depth {data['queue_depth']} "
+                 f"(peak {data['peak_queue_depth']}), "
+                 f"{data['rejected_busy']} rejected busy",
+                 f"  resilience: {data['jobs_requeued']} requeued, "
+                 f"{data['worker_crashes']} crashes, "
+                 f"{data['job_timeouts']} timeouts"]
+        lat = data["latency"]
+        if lat["count"]:
+            buckets = " ".join(f"{k}:{v}" for k, v
+                               in lat["buckets"].items())
+            lines.append(f"  latency: mean {lat['mean_s'] * 1e3:.1f}ms "
+                         f"max {lat['max_s'] * 1e3:.1f}ms  {buckets}")
+        return "\n".join(lines)
 
 
 class TraceMetrics:

@@ -1,0 +1,61 @@
+"""Compile service: content-addressed caching, batch parallelism, and
+a TCP serving layer above the Zhu--Hendren pipeline.
+
+The pipeline's phases are deterministic pure functions of (source,
+options), so every product -- SIMPLE listing, Threaded-C form,
+simulated run payload -- is memoizable under a content address and
+safe to farm out to worker processes.  Layers, bottom up:
+
+* :mod:`repro.service.cache` -- two-tier (memory LRU / on-disk)
+  content-addressed artifact store keyed by SHA-256 of (canonicalized
+  source, options, pipeline version);
+* :mod:`repro.service.jobs` -- JSON-serializable :class:`JobSpec` /
+  :class:`JobResult` and the pure ``execute_job`` every worker runs;
+* :mod:`repro.service.pool` -- crash-tolerant multiprocessing
+  :class:`WorkerPool` with warm pipelines, per-attempt timeouts, and
+  bounded exponential-backoff requeue;
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- asyncio
+  JSON-over-TCP :class:`JobServer` with single-flight deduplication
+  and queue-depth backpressure, plus the blocking
+  :class:`ServiceClient`.
+
+CLI verbs: ``python -m repro serve`` / ``submit`` / ``batch``.
+"""
+
+from repro.service.cache import (
+    DEFAULT_CACHE_DIR,
+    ArtifactCache,
+    cache_key,
+    canonical_json,
+    canonicalize_source,
+)
+from repro.service.client import ServiceClient, wait_for_server
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobResult,
+    JobSpec,
+    compile_payload,
+    execute_job,
+    run_payload,
+)
+from repro.service.pool import WorkerPool
+from repro.service.server import JobServer, serve_forever
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ArtifactCache",
+    "cache_key",
+    "canonical_json",
+    "canonicalize_source",
+    "ServiceClient",
+    "wait_for_server",
+    "JOB_KINDS",
+    "JobResult",
+    "JobSpec",
+    "compile_payload",
+    "execute_job",
+    "run_payload",
+    "WorkerPool",
+    "JobServer",
+    "serve_forever",
+]

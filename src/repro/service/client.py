@@ -1,0 +1,127 @@
+"""Blocking TCP client for the compile service.
+
+Speaks the newline-delimited JSON protocol of
+:mod:`repro.service.server` over one persistent connection.  Used by
+``python -m repro submit`` and by the CI smoke test; simple enough to
+reimplement in any language."""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ServiceError
+from repro.service.jobs import JobResult, JobSpec
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.JobServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7781,
+                 timeout: Optional[float] = 300.0):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to service at {host}:{port}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rwb")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- protocol ----------------------------------------------------------
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One request/response round trip."""
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(f"service connection failed: {exc}") \
+                from None
+        if not line:
+            raise ServiceError("service closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(
+                f"malformed service response: {exc}") from None
+        return response
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self._checked(self.request({"op": "ping"}))
+
+    def stats(self) -> Dict[str, object]:
+        return self._checked(self.request({"op": "stats"}))
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._checked(self.request({"op": "shutdown"}))
+
+    def submit(self, job: Union[JobSpec, Dict[str, object]]) -> JobResult:
+        """Run one job on the server; returns its :class:`JobResult`
+        (which may itself carry ``ok=False`` for job-level failures)."""
+        payload = job.to_dict() if isinstance(job, JobSpec) else job
+        response = self._checked(
+            self.request({"op": "submit", "job": payload}))
+        return JobResult.from_dict(response["result"])
+
+    def batch(self, jobs: Sequence[Union[JobSpec, Dict[str, object]]]
+              ) -> List[JobResult]:
+        """Run many jobs concurrently server-side; results in order."""
+        payloads = [job.to_dict() if isinstance(job, JobSpec) else job
+                    for job in jobs]
+        response = self.request({"op": "batch", "jobs": payloads})
+        results = response.get("results")
+        if not isinstance(results, list):
+            raise ServiceError(
+                f"service error: {response.get('error')}")
+        return [JobResult.from_dict(self._checked(entry)["result"])
+                for entry in results]
+
+    @staticmethod
+    def _checked(response: Dict[str, object]) -> Dict[str, object]:
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                f"service error [{error.get('type', 'unknown')}]: "
+                f"{error.get('message', 'no message')}")
+        return response
+
+
+def wait_for_server(host: str, port: int, timeout: float = 10.0,
+                    interval: float = 0.05) -> ServiceClient:
+    """Poll until a server accepts connections and answers a ping
+    (startup helper for the CLI, tests, and the CI smoke job)."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            client = ServiceClient(host, port, timeout=timeout)
+            client.ping()
+            return client
+        except ServiceError as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise ServiceError(
+        f"no service at {host}:{port} after {timeout:.1f}s: {last_error}")

@@ -1,0 +1,503 @@
+"""JSON-serializable job descriptions and their pure executor.
+
+A :class:`JobSpec` names everything a worker needs to reproduce one
+pipeline product, with no live objects attached -- jobs cross process
+boundaries as JSON.  Three public kinds:
+
+* ``compile`` -- run the compile pipeline, return the deterministic
+  compile payload (SIMPLE + Threaded-C listings, optimizer counters);
+* ``run`` -- compile then execute on the simulator (engine, node
+  count, machine-parameter preset, optional fault plan);
+* ``three-way`` -- the paper's sequential/simple/optimized triple via
+  :func:`~repro.harness.pipeline.run_three_ways` (the unit of the
+  Table III / Figure 10 batch sweeps).
+
+A fourth internal kind, ``selftest``, exists for the service's own
+tests and smoke checks (echo a value, sleep, fail, or hard-crash the
+worker); it is never cached.
+
+Payloads contain only *deterministic* fields -- simulated time, values,
+output, stats -- never wall-clock timings, so a served result can be
+compared bit-for-bit against an in-process run.  Wall-clock metadata
+(latency, worker id, attempts, cache disposition) lives on the
+:class:`JobResult` envelope instead.
+
+Jobs may reference a bundled Olden benchmark by name instead of
+carrying source text; the worker resolves the name through
+:mod:`repro.olden.loader`.  Cache keys are computed over the *resolved*
+inputs (canonicalized source text, full option set, pipeline version),
+so a benchmark job and an equivalent source job share an address.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.earth.faults import FaultPlan
+from repro.earth.interpreter import ENGINES, RunResult
+from repro.errors import ReproError, ServiceError, exit_code_for
+from repro.harness.pipeline import (
+    CONFIG_PRESETS,
+    PARAMS_PRESETS,
+    PIPELINE_VERSION,
+    CompiledProgram,
+    compile_earthc,
+    execute,
+    resolve_config,
+    resolve_params,
+    run_three_ways,
+)
+from repro.service.cache import (
+    ArtifactCache,
+    cache_key,
+    canonicalize_source,
+)
+
+JOB_KINDS = ("compile", "run", "three-way", "selftest")
+
+_SELFTEST_BEHAVIORS = ("echo", "sleep", "fail", "crash")
+
+
+class JobSpec:
+    """One serializable unit of service work."""
+
+    def __init__(
+        self,
+        kind: str,
+        source: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        filename: Optional[str] = None,
+        optimize: bool = True,
+        config: str = "default",
+        inline: Union[bool, Sequence[str]] = False,
+        reorder_fields: bool = False,
+        nodes: int = 4,
+        entry: str = "main",
+        args: Optional[Sequence[Union[int, float]]] = None,
+        engine: str = "closure",
+        params: str = "default",
+        max_stmts: Optional[int] = None,
+        strict_nil_reads: bool = False,
+        faults: Optional[Dict[str, object]] = None,
+        small: bool = False,
+        selftest: Optional[Dict[str, object]] = None,
+    ):
+        if kind not in JOB_KINDS:
+            raise ServiceError(f"unknown job kind {kind!r} "
+                               f"(known: {', '.join(JOB_KINDS)})")
+        if kind == "selftest":
+            if not isinstance(selftest, dict) \
+                    or selftest.get("behavior") not in _SELFTEST_BEHAVIORS:
+                raise ServiceError(
+                    "selftest jobs need selftest={'behavior': one of "
+                    f"{', '.join(_SELFTEST_BEHAVIORS)}, ...}}")
+        else:
+            if (source is None) == (benchmark is None):
+                raise ServiceError(
+                    f"{kind} jobs need exactly one of source= or "
+                    f"benchmark=")
+        if config not in CONFIG_PRESETS:
+            raise ServiceError(f"unknown config preset {config!r} "
+                               f"(known: {', '.join(CONFIG_PRESETS)})")
+        if params not in PARAMS_PRESETS:
+            raise ServiceError(f"unknown params preset {params!r} "
+                               f"(known: {', '.join(PARAMS_PRESETS)})")
+        if engine not in ENGINES:
+            raise ServiceError(f"unknown engine {engine!r} "
+                               f"(known: {', '.join(ENGINES)})")
+        if nodes < 1:
+            raise ServiceError(f"nodes must be >= 1, got {nodes}")
+        if faults is not None:
+            # Validate eagerly so a bad spec fails at submission, not
+            # in a worker; the plan itself is rebuilt per execution.
+            FaultPlan.from_spec(faults)
+        self.kind = kind
+        self.source = source
+        self.benchmark = benchmark
+        self.filename = filename
+        self.optimize = bool(optimize)
+        self.config = config
+        self.inline: Union[bool, List[str]] = (
+            sorted(inline) if not isinstance(inline, bool) else inline)
+        self.reorder_fields = bool(reorder_fields)
+        self.nodes = int(nodes)
+        self.entry = entry
+        self.args = None if args is None else list(args)
+        self.engine = engine
+        self.params = params
+        self.max_stmts = max_stmts
+        self.strict_nil_reads = bool(strict_nil_reads)
+        self.faults = None if faults is None else dict(faults)
+        self.small = bool(small)
+        self.selftest = None if selftest is None else dict(selftest)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full, stable-schema JSON form (the wire format)."""
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "benchmark": self.benchmark,
+            "filename": self.filename,
+            "optimize": self.optimize,
+            "config": self.config,
+            "inline": self.inline,
+            "reorder_fields": self.reorder_fields,
+            "nodes": self.nodes,
+            "entry": self.entry,
+            "args": self.args,
+            "engine": self.engine,
+            "params": self.params,
+            "max_stmts": self.max_stmts,
+            "strict_nil_reads": self.strict_nil_reads,
+            "faults": self.faults,
+            "small": self.small,
+            "selftest": self.selftest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"job spec must be an object, got {type(data).__name__}")
+        if "kind" not in data:
+            raise ServiceError("job spec is missing 'kind'")
+        known = {"kind", "source", "benchmark", "filename", "optimize",
+                 "config", "inline", "reorder_fields", "nodes", "entry",
+                 "args", "engine", "params", "max_stmts",
+                 "strict_nil_reads", "faults", "small", "selftest"}
+        unknown = set(data) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown job spec fields: {sorted(unknown)}")
+        try:
+            # None means "default" for every optional field.
+            return cls(**{key: value for key, value in data.items()
+                          if value is not None})
+        except TypeError as exc:
+            raise ServiceError(f"bad job spec: {exc}") from None
+
+    # -- resolution --------------------------------------------------------
+
+    def _spec_from_catalog(self):
+        from repro.olden.loader import get_benchmark
+        try:
+            return get_benchmark(self.benchmark)
+        except KeyError as exc:
+            raise ServiceError(str(exc.args[0])) from None
+
+    def resolved(self) -> Dict[str, object]:
+        """The fully-resolved execution inputs: benchmark references
+        expanded to source text, argument defaults applied.  This --
+        not the raw spec -- is what gets hashed, so equivalent jobs
+        share a cache address."""
+        if self.kind == "selftest":
+            return {"kind": "selftest", "selftest": self.selftest}
+        inline = self.inline
+        max_stmts = self.max_stmts
+        args = self.args
+        if self.benchmark is not None:
+            spec = self._spec_from_catalog()
+            source = spec.source()
+            filename = spec.filename
+            if inline is False:
+                inline = sorted(spec.inline) \
+                    if not isinstance(spec.inline, bool) else spec.inline
+            if max_stmts is None:
+                max_stmts = spec.max_stmts
+            if args is None:
+                args = list(spec.small_args if self.small
+                            else spec.default_args)
+        else:
+            source = self.source
+            filename = self.filename or "<job>"
+        if max_stmts is None:
+            max_stmts = 200_000_000
+        if args is None:
+            args = []
+        resolved = {
+            "kind": self.kind,
+            "source": canonicalize_source(source),
+            "filename": filename,
+            "inline": inline,
+            "version": PIPELINE_VERSION,
+        }
+        if self.kind == "compile":
+            resolved["options"] = {
+                "optimize": self.optimize,
+                "config": self.config,
+                "reorder_fields": self.reorder_fields,
+            }
+        elif self.kind == "run":
+            resolved["options"] = {
+                "optimize": self.optimize,
+                "config": self.config,
+                "reorder_fields": self.reorder_fields,
+            }
+            resolved["run"] = {
+                "nodes": self.nodes,
+                "entry": self.entry,
+                "args": args,
+                "engine": self.engine,
+                "params": self.params,
+                "max_stmts": max_stmts,
+                "strict_nil_reads": self.strict_nil_reads,
+                "faults": self.faults,
+            }
+        else:  # three-way
+            resolved["run"] = {
+                "nodes": self.nodes,
+                "args": args,
+                "engine": self.engine,
+                "max_stmts": max_stmts,
+                "faults": self.faults,
+            }
+        return resolved
+
+    def cacheable(self) -> bool:
+        return self.kind != "selftest"
+
+    def canonical_key(self) -> str:
+        """Content address over the resolved inputs (including the
+        pipeline version stamp).  Defined for every kind -- the server
+        single-flights selftest jobs by this key too -- but only
+        :meth:`cacheable` kinds are stored."""
+        return cache_key(self.resolved())
+
+    def __repr__(self) -> str:
+        what = self.benchmark or self.filename or "<inline>"
+        return f"JobSpec({self.kind}, {what}, nodes={self.nodes})"
+
+
+class JobResult:
+    """The envelope a job execution returns: the deterministic payload
+    plus non-deterministic metadata (latency, worker, attempts, cache
+    disposition)."""
+
+    def __init__(self, ok: bool, kind: str, key: Optional[str],
+                 payload: Optional[Dict[str, object]] = None,
+                 error: Optional[Dict[str, object]] = None,
+                 wall_s: float = 0.0,
+                 cache: Optional[str] = None,
+                 worker: Optional[int] = None,
+                 attempts: int = 1):
+        self.ok = ok
+        self.kind = kind
+        self.key = key
+        self.payload = payload
+        self.error = error
+        self.wall_s = wall_s
+        self.cache = cache          # "hit" | "miss" | None (uncacheable)
+        self.worker = worker
+        self.attempts = attempts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "kind": self.kind,
+            "key": self.key,
+            "payload": self.payload,
+            "error": self.error,
+            "wall_s": self.wall_s,
+            "cache": self.cache,
+            "worker": self.worker,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobResult":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ServiceError(f"bad job result: {exc}") from None
+
+    def raise_if_failed(self) -> "JobResult":
+        if not self.ok:
+            error = self.error or {}
+            raise ServiceError(
+                f"job failed [{error.get('type', 'unknown')}]: "
+                f"{error.get('message', 'no message')}")
+        return self
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "error"
+        return (f"JobResult({self.kind}, {status}, cache={self.cache}, "
+                f"{self.wall_s * 1e3:.1f}ms)")
+
+
+# ---------------------------------------------------------------------------
+# Deterministic payload builders
+# ---------------------------------------------------------------------------
+
+
+def run_payload(result: RunResult) -> Dict[str, object]:
+    """The deterministic slice of a :class:`RunResult`: everything the
+    simulator computes, nothing the host's clock touched."""
+    return {
+        "value": result.value,
+        "time_ns": result.time_ns,
+        "output": list(result.output),
+        "num_nodes": result.num_nodes,
+        "stats": result.stats.snapshot(),
+        "utilization": result.utilization(),
+    }
+
+
+def compile_payload(compiled: CompiledProgram) -> Dict[str, object]:
+    """The deterministic slice of a :class:`CompiledProgram`; the
+    wall-clock compile profile is deliberately excluded so cached and
+    fresh payloads compare equal."""
+    payload: Dict[str, object] = {
+        "optimized": compiled.optimized,
+        "inlined_calls": compiled.inlined_calls,
+        "functions": sorted(compiled.simple.functions),
+        "listing": compiled.listing(),
+        "threaded": compiled.threaded_listing(),
+    }
+    if compiled.report is not None:
+        payload["optimizer"] = {
+            "total_forwarded": compiled.report.total_forwarded(),
+            "pass_counters": compiled.report.pass_counters(),
+        }
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Execution (the pure function every worker runs)
+# ---------------------------------------------------------------------------
+
+#: Warm-pipeline memo: compiled programs keyed by their compile-level
+#: content address, bounded per process.  This is what makes a warm
+#: worker fast on repeat sources even when the run parameters differ.
+_COMPILE_MEMO: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+_COMPILE_MEMO_LIMIT = 32
+
+
+def _compile_for(resolved: Dict[str, object]) -> CompiledProgram:
+    options = resolved.get("options") or {}
+    memo_key = cache_key({
+        "source": resolved["source"],
+        "inline": resolved["inline"],
+        "options": options,
+        "version": PIPELINE_VERSION,
+    })
+    compiled = _COMPILE_MEMO.get(memo_key)
+    if compiled is not None:
+        _COMPILE_MEMO.move_to_end(memo_key)
+        return compiled
+    inline = resolved["inline"]
+    compiled = compile_earthc(
+        resolved["source"], resolved["filename"],
+        optimize=options.get("optimize", True),
+        config=resolve_config(options.get("config", "default")),
+        inline=set(inline) if isinstance(inline, list) else inline,
+        reorder_fields=options.get("reorder_fields", False))
+    _COMPILE_MEMO[memo_key] = compiled
+    while len(_COMPILE_MEMO) > _COMPILE_MEMO_LIMIT:
+        _COMPILE_MEMO.popitem(last=False)
+    return compiled
+
+
+def _fault_plan(spec: JobSpec) -> Optional[FaultPlan]:
+    return None if spec.faults is None else FaultPlan.from_spec(spec.faults)
+
+
+def _execute_selftest(spec: JobSpec) -> Dict[str, object]:
+    behavior = spec.selftest["behavior"]
+    if behavior == "echo":
+        return {"echo": spec.selftest.get("value")}
+    if behavior == "sleep":
+        seconds = float(spec.selftest.get("seconds", 0.1))
+        time.sleep(seconds)
+        return {"slept_s": seconds, "echo": spec.selftest.get("value")}
+    if behavior == "fail":
+        raise ServiceError(spec.selftest.get("message", "selftest failure"))
+    # "crash": kill the process without cleanup -- exercises the pool's
+    # crash detection and bounded requeue.  Only ever submitted by the
+    # service's own tests.
+    os._exit(int(spec.selftest.get("exit_code", 17)))
+
+
+def _compute_payload(spec: JobSpec,
+                     resolved: Dict[str, object]) -> Dict[str, object]:
+    if spec.kind == "selftest":
+        return _execute_selftest(spec)
+    if spec.kind == "compile":
+        return compile_payload(_compile_for(resolved))
+    if spec.kind == "run":
+        run = resolved["run"]
+        compiled = _compile_for(resolved)
+        result = execute(
+            compiled, num_nodes=run["nodes"],
+            params=resolve_params(run["params"]),
+            entry=run["entry"], args=run["args"],
+            max_stmts=run["max_stmts"],
+            strict_nil_reads=run["strict_nil_reads"],
+            engine=run["engine"], faults=_fault_plan(spec))
+        return {"run": run_payload(result),
+                "compile": compile_payload(compiled)}
+    # three-way
+    run = resolved["run"]
+    inline = resolved["inline"]
+    results = run_three_ways(
+        resolved["source"], resolved["filename"],
+        num_nodes=run["nodes"], args=run["args"],
+        inline=set(inline) if isinstance(inline, list) else inline,
+        max_stmts=run["max_stmts"], engine=run["engine"],
+        faults=_fault_plan(spec))
+    return {name: run_payload(result)
+            for name, result in results.items()}
+
+
+def execute_job(spec: JobSpec,
+                cache: Optional[ArtifactCache] = None,
+                worker: Optional[int] = None) -> JobResult:
+    """Run one job, consulting and feeding ``cache`` when given.
+
+    Never raises for job-level failures: compile/simulator/service
+    errors come back as an ``ok=False`` result whose ``error`` object
+    carries the same class name and exit code the CLI would use.
+    (Worker *crashes* are a different story -- the pool handles those.)
+    """
+    start = time.perf_counter()
+    try:
+        key = spec.canonical_key() if spec.kind != "selftest" else None
+    except ReproError as exc:
+        # Resolution failures (e.g. an unknown benchmark name) are
+        # job-level errors too, not pool-crashing exceptions.
+        return JobResult(
+            False, spec.kind, None,
+            error={"type": type(exc).__name__, "message": str(exc),
+                   "code": exit_code_for(exc)},
+            wall_s=time.perf_counter() - start, worker=worker)
+    cacheable = cache is not None and spec.cacheable()
+    if cacheable:
+        payload = cache.get(key)
+        if payload is not None:
+            return JobResult(True, spec.kind, key, payload=payload,
+                             wall_s=time.perf_counter() - start,
+                             cache="hit", worker=worker)
+    try:
+        resolved = spec.resolved()
+        payload = _compute_payload(spec, resolved)
+    except (ReproError, OSError, ValueError, KeyError,
+            AssertionError) as exc:
+        try:
+            code = exit_code_for(exc)
+        except TypeError:
+            code = 1
+        return JobResult(
+            False, spec.kind, key,
+            error={"type": type(exc).__name__, "message": str(exc),
+                   "code": code},
+            wall_s=time.perf_counter() - start,
+            cache="miss" if cacheable else None, worker=worker)
+    if cacheable:
+        cache.put(key, payload)
+    return JobResult(True, spec.kind, key, payload=payload,
+                     wall_s=time.perf_counter() - start,
+                     cache="miss" if cacheable else None, worker=worker)

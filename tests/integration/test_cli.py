@@ -84,12 +84,12 @@ class TestRun:
         assert "result  = 5" in out
 
     def test_missing_file(self, capsys):
-        assert main(["/nonexistent/prog.ec"]) == 2
+        assert main(["/nonexistent/prog.ec"]) == 5  # EXIT_IO
 
     def test_compile_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.ec"
         bad.write_text("int main() { return undeclared_var; }")
-        assert main([str(bad), "--run"]) == 1
+        assert main([str(bad), "--run"]) == 3  # EXIT_COMPILE
         assert "error:" in capsys.readouterr().err
 
 
@@ -176,8 +176,8 @@ class TestObservability:
                                                    tmp_path, capsys):
         assert main([source_file, "--run", "--args", "1",
                      "--trace", str(tmp_path / "no/such/dir/t.json")
-                     ]) == 1
-        assert "cannot write trace" in capsys.readouterr().err
+                     ]) == 5  # EXIT_IO
+        assert "error:" in capsys.readouterr().err
 
     def test_olden_benchmark_defaults_args(self, capsys):
         import os
@@ -216,6 +216,63 @@ class TestFaultFlags:
         assert main([source_file, "-O", "--run", "--nodes", "2",
                      "--args", "2"]) == 0
         assert "faults  =" not in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The documented exit-code taxonomy, and the one-line JSON error
+    object every failure prints under ``--json``."""
+
+    def _json_error(self, capsys, argv, code):
+        import json
+        assert main(argv) == code
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line]
+        assert len(lines) == 1, "JSON errors are exactly one line"
+        payload = json.loads(lines[0])
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == code
+        assert payload["error"]["type"]
+        assert payload["error"]["message"]
+        return payload
+
+    def test_missing_file_is_io_error(self, capsys):
+        payload = self._json_error(
+            capsys, ["/nonexistent/prog.ec", "--run", "--json"], 5)
+        assert payload["error"]["type"] == "FileNotFoundError"
+
+    def test_compile_error_code_and_type(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ec"
+        bad.write_text("int main() { return undeclared_var; }")
+        payload = self._json_error(
+            capsys, [str(bad), "--run", "--json"], 3)
+        assert "undeclared" in payload["error"]["message"]
+
+    def test_usage_error_as_json(self, source_file, capsys):
+        payload = self._json_error(
+            capsys, [source_file, "--run", "--json",
+                     "--fault-drop", "0.5"], 2)
+        assert payload["error"]["type"] == "UsageError"
+
+    def test_runtime_error_code(self, tmp_path, capsys):
+        import json
+        bad = tmp_path / "loop.ec"
+        bad.write_text("int main() { int i; i = 0;\n"
+                       "while (i < 1000000) { i = i + 1; } return i; }")
+        # Statement budget exhaustion is a simulator runtime error.
+        code = main([str(bad), "--run", "--json", "--max-stmts", "100"])
+        assert code == 4  # EXIT_RUNTIME
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["code"] == 4
+        assert "budget" in payload["error"]["message"]
+
+    def test_max_stmts_must_be_positive(self, source_file, capsys):
+        assert main([source_file, "--run", "--max-stmts", "0"]) == 2
+
+    def test_text_mode_errors_stay_off_stdout(self, capsys):
+        assert main(["/nonexistent/prog.ec"]) == 5
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
 
 
 class TestErrorPaths:

@@ -1,0 +1,193 @@
+"""JobSpec/JobResult semantics and the pure execute_job function."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.harness.pipeline import run_three_ways
+from repro.olden.loader import get_benchmark
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import (
+    JobResult,
+    JobSpec,
+    execute_job,
+    run_payload,
+)
+
+SOURCE = """
+int add(int a, int b) { return a + b; }
+int main(int n) { return add(n, 10); }
+"""
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            JobSpec("transmogrify", source=SOURCE)
+
+    def test_source_xor_benchmark(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec("compile", source=SOURCE, benchmark="power")
+        with pytest.raises(ServiceError, match="exactly one"):
+            JobSpec("compile")
+
+    def test_bad_presets_rejected(self):
+        with pytest.raises(ServiceError, match="config preset"):
+            JobSpec("compile", source=SOURCE, config="warp")
+        with pytest.raises(ServiceError, match="params preset"):
+            JobSpec("run", source=SOURCE, params="warp")
+        with pytest.raises(ServiceError, match="engine"):
+            JobSpec("run", source=SOURCE, engine="warp")
+
+    def test_bad_nodes_rejected(self):
+        with pytest.raises(ServiceError, match="nodes"):
+            JobSpec("run", source=SOURCE, nodes=0)
+
+    def test_bad_fault_spec_rejected_eagerly(self):
+        with pytest.raises(Exception):
+            JobSpec("run", source=SOURCE, faults={"drop_prob": 0.5})
+
+    def test_selftest_needs_behavior(self):
+        with pytest.raises(ServiceError, match="behavior"):
+            JobSpec("selftest")
+        with pytest.raises(ServiceError, match="behavior"):
+            JobSpec("selftest", selftest={"behavior": "explode"})
+
+
+class TestSerialization:
+    def test_round_trip_preserves_canonical_key(self):
+        spec = JobSpec("run", source=SOURCE, nodes=2, args=[5],
+                       engine="ast", inline=["add"])
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.canonical_key() == spec.canonical_key()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job spec"):
+            JobSpec.from_dict({"kind": "compile", "source": SOURCE,
+                               "frobnicate": True})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ServiceError, match="missing 'kind'"):
+            JobSpec.from_dict({"source": SOURCE})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ServiceError, match="must be an object"):
+            JobSpec.from_dict([1, 2])
+
+    def test_none_means_default(self):
+        spec = JobSpec.from_dict({"kind": "compile", "source": SOURCE,
+                                  "args": None, "nodes": None})
+        assert spec.nodes == 4  # the default
+
+    def test_job_result_round_trip(self):
+        result = JobResult(True, "run", "f" * 64,
+                           payload={"run": {"value": 1}},
+                           wall_s=0.25, cache="hit", worker=3,
+                           attempts=2)
+        clone = JobResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+
+    def test_raise_if_failed(self):
+        bad = JobResult(False, "run", None,
+                        error={"type": "X", "message": "boom", "code": 6})
+        with pytest.raises(ServiceError, match="boom"):
+            bad.raise_if_failed()
+
+
+class TestContentAddressing:
+    def test_benchmark_and_source_jobs_share_an_address(self):
+        spec = get_benchmark("power")
+        by_name = JobSpec("three-way", benchmark="power", nodes=2,
+                          small=True)
+        inline = spec.inline if isinstance(spec.inline, bool) \
+            else sorted(spec.inline)
+        by_source = JobSpec("three-way", source=spec.source(),
+                            filename=by_name.resolved()["filename"],
+                            nodes=2, inline=inline,
+                            max_stmts=spec.max_stmts,
+                            args=list(spec.small_args))
+        assert by_name.canonical_key() == by_source.canonical_key()
+
+    def test_source_formatting_does_not_change_the_address(self):
+        a = JobSpec("compile", source="int main() { return 1; }\n")
+        b = JobSpec("compile",
+                    source="int main() { return 1; }   \r\n\r\n")
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_options_change_the_address(self):
+        base = JobSpec("compile", source=SOURCE)
+        assert base.canonical_key() \
+            != JobSpec("compile", source=SOURCE,
+                       optimize=False).canonical_key()
+        assert base.canonical_key() \
+            != JobSpec("run", source=SOURCE).canonical_key()
+
+    def test_selftests_are_never_cached(self):
+        spec = JobSpec("selftest", selftest={"behavior": "echo"})
+        assert not spec.cacheable()
+        assert spec.canonical_key()  # still addressable (single-flight)
+
+
+class TestExecuteJob:
+    def test_compile_job_payload(self):
+        result = execute_job(JobSpec("compile", source=SOURCE))
+        assert result.ok and result.cache is None
+        assert result.payload["functions"] == ["add", "main"]
+        assert "THREADED" in result.payload["threaded"]
+        assert "optimizer" in result.payload
+
+    def test_run_job_payload(self):
+        result = execute_job(JobSpec("run", source=SOURCE, nodes=2,
+                                     args=[32]))
+        assert result.ok
+        assert result.payload["run"]["value"] == 42
+        assert result.payload["run"]["num_nodes"] == 2
+        assert result.payload["run"]["time_ns"] > 0
+
+    def test_three_way_matches_in_process_pipeline(self):
+        result = execute_job(JobSpec("three-way", benchmark="power",
+                                     nodes=2, small=True))
+        spec = get_benchmark("power")
+        reference = run_three_ways(
+            spec.source(), spec.name, num_nodes=2,
+            args=spec.small_args, inline=spec.inline,
+            max_stmts=spec.max_stmts)
+        assert result.payload == {name: run_payload(r)
+                                  for name, r in reference.items()}
+
+    def test_error_carries_exit_code(self):
+        result = execute_job(JobSpec("compile",
+                                     source="int main( { }"))
+        assert not result.ok
+        assert result.error["code"] == 3  # EXIT_COMPILE
+        assert result.error["type"]
+
+    def test_unknown_benchmark_is_a_job_error(self):
+        result = execute_job(JobSpec("run", benchmark="fibonacci"))
+        assert not result.ok
+        assert result.error["code"] == 6  # ServiceError
+
+    def test_cache_hit_is_bit_identical(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        spec = JobSpec("run", source=SOURCE, nodes=2, args=[1])
+        cold = execute_job(spec, cache)
+        warm = execute_job(spec, cache)
+        assert cold.cache == "miss" and warm.cache == "hit"
+        assert warm.payload == cold.payload
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        spec = JobSpec("compile", source="int main( { }")
+        assert not execute_job(spec, cache).ok
+        again = execute_job(spec, cache)
+        assert not again.ok and again.cache == "miss"
+
+    def test_selftest_echo_and_fail(self):
+        ok = execute_job(JobSpec("selftest",
+                                 selftest={"behavior": "echo",
+                                           "value": 9}))
+        assert ok.ok and ok.payload == {"echo": 9}
+        bad = execute_job(JobSpec("selftest",
+                                  selftest={"behavior": "fail",
+                                            "message": "on purpose"}))
+        assert not bad.ok and "on purpose" in bad.error["message"]

@@ -1,0 +1,170 @@
+"""WorkerPool: scheduling, crash/timeout resilience, determinism."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import JobSpec
+from repro.service.pool import WorkerPool
+
+SOURCE = "int main(int n) { return n * 2; }"
+
+
+def _echo(value):
+    return JobSpec("selftest", selftest={"behavior": "echo",
+                                         "value": value})
+
+
+class TestInlineMode:
+    """workers=0 runs jobs in-process -- the serial baseline."""
+
+    def test_run_job(self):
+        with WorkerPool(workers=0, cache_dir=None) as pool:
+            result = pool.run_job(JobSpec("run", source=SOURCE,
+                                          nodes=1, args=[21]))
+            assert result.ok and result.payload["run"]["value"] == 42
+
+    def test_inline_cache_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with WorkerPool(workers=0, cache_dir=cache_dir) as pool:
+            spec = JobSpec("run", source=SOURCE, nodes=1, args=[3])
+            assert pool.run_job(spec).cache == "miss"
+            assert pool.run_job(spec).cache == "hit"
+            snap = pool.metrics_snapshot()
+            assert snap["cache_hits"] == 1
+            assert snap["cache"]["hits"] == 1
+
+    def test_batch_order(self):
+        with WorkerPool(workers=0, cache_dir=None) as pool:
+            results = pool.run_batch([_echo(i) for i in range(5)])
+            assert [r.payload["echo"] for r in results] == list(range(5))
+
+
+class TestValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(workers=-1)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(workers=1, max_attempts=0)
+
+    def test_submit_after_close_rejected(self):
+        pool = WorkerPool(workers=0, cache_dir=None)
+        pool.start()
+        pool.close()
+        with pytest.raises(ServiceError, match="closed"):
+            pool.submit(_echo(1))
+
+    def test_wait_for_unknown_job_rejected(self):
+        with WorkerPool(workers=1, cache_dir=None) as pool:
+            with pytest.raises(ServiceError, match="unknown job"):
+                pool.wait(999, timeout=5)
+
+
+class TestProcessPool:
+    def test_batch_is_in_submission_order(self):
+        with WorkerPool(workers=2, cache_dir=None) as pool:
+            results = pool.run_batch([_echo(i) for i in range(8)],
+                                     timeout=60)
+            assert [r.payload["echo"] for r in results] == list(range(8))
+
+    def test_worker_ids_are_recorded(self):
+        with WorkerPool(workers=2, cache_dir=None) as pool:
+            results = pool.run_batch([_echo(i) for i in range(6)],
+                                     timeout=60)
+            assert {r.worker for r in results} <= {0, 1}
+
+    def test_pooled_run_matches_inline(self, tmp_path):
+        spec = JobSpec("run", source=SOURCE, nodes=2, args=[5])
+        with WorkerPool(workers=0, cache_dir=None) as inline_pool:
+            inline = inline_pool.run_job(spec)
+        with WorkerPool(workers=2, cache_dir=None) as pool:
+            pooled = pool.run_job(spec, timeout=60)
+        assert pooled.payload == inline.payload
+
+    def test_shared_disk_cache_across_workers(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        spec = JobSpec("run", source=SOURCE, nodes=1, args=[7])
+        with WorkerPool(workers=1, cache_dir=cache_dir) as pool:
+            assert pool.run_job(spec, timeout=60).cache == "miss"
+        # A different pool (fresh workers, fresh memory tiers) hits.
+        with WorkerPool(workers=2, cache_dir=cache_dir) as pool:
+            assert pool.run_job(spec, timeout=60).cache == "hit"
+
+    def test_job_error_does_not_kill_the_pool(self):
+        with WorkerPool(workers=1, cache_dir=None) as pool:
+            bad = pool.run_job(JobSpec("compile", source="int main( {"),
+                               timeout=60)
+            assert not bad.ok and bad.error["code"] == 3
+            good = pool.run_job(_echo("still alive"), timeout=60)
+            assert good.ok and good.payload["echo"] == "still alive"
+
+
+class TestResilience:
+    def test_crash_exhausts_attempts_then_fails(self):
+        with WorkerPool(workers=1, cache_dir=None, max_attempts=2,
+                        backoff_s=0.01) as pool:
+            crash = JobSpec("selftest",
+                            selftest={"behavior": "crash"})
+            result = pool.run_job(crash, timeout=60)
+            assert not result.ok
+            assert "gave up after 2 attempt(s)" in \
+                result.error["message"]
+            snap = pool.metrics_snapshot()
+            assert snap["worker_crashes"] >= 2
+            assert snap["jobs_requeued"] == 1
+
+    def test_pool_survives_a_crash(self):
+        with WorkerPool(workers=1, cache_dir=None, max_attempts=1,
+                        backoff_s=0.01) as pool:
+            crash = JobSpec("selftest",
+                            selftest={"behavior": "crash"})
+            assert not pool.run_job(crash, timeout=60).ok
+            after = pool.run_job(_echo(42), timeout=60)
+            assert after.ok and after.payload["echo"] == 42
+
+    def test_timeout_terminates_and_fails(self):
+        with WorkerPool(workers=1, cache_dir=None, timeout_s=0.3,
+                        max_attempts=2, backoff_s=0.01) as pool:
+            slow = JobSpec("selftest",
+                           selftest={"behavior": "sleep",
+                                     "seconds": 30})
+            result = pool.run_job(slow, timeout=60)
+            assert not result.ok
+            assert result.error["code"] == 6
+            assert pool.metrics_snapshot()["job_timeouts"] >= 1
+            # The replacement worker serves the next job.
+            assert pool.run_job(_echo(1), timeout=60).ok
+
+    def test_crash_survivors_complete_in_batch(self):
+        with WorkerPool(workers=2, cache_dir=None, max_attempts=1,
+                        backoff_s=0.01) as pool:
+            jobs = [_echo(0),
+                    JobSpec("selftest", selftest={"behavior": "crash"}),
+                    _echo(2), _echo(3)]
+            results = pool.run_batch(jobs, timeout=60)
+            assert results[0].ok and results[2].ok and results[3].ok
+            assert not results[1].ok
+
+    def test_close_fails_pending_jobs(self):
+        pool = WorkerPool(workers=1, cache_dir=None).start()
+        job_id = pool.submit(JobSpec("selftest",
+                                     selftest={"behavior": "sleep",
+                                               "seconds": 30}))
+        pool.close()
+        result = pool.wait(job_id, timeout=5)
+        assert not result.ok
+        assert "closed" in result.error["message"]
+
+
+class TestMetrics:
+    def test_snapshot_shape(self):
+        with WorkerPool(workers=1, cache_dir=None) as pool:
+            pool.run_batch([_echo(i) for i in range(3)], timeout=60)
+            snap = pool.metrics_snapshot()
+            assert snap["jobs_submitted"] == 3
+            assert snap["jobs_completed"] == 3
+            assert snap["jobs_failed"] == 0
+            assert snap["workers"] == 1
+            assert snap["queue_depth"] == 0
+            assert snap["latency"]["count"] == 3
