@@ -18,6 +18,7 @@ from benchmarks.conftest import pedantic
 from repro.comm.optimizer import CommConfig
 from repro.harness.pipeline import compile_earthc, execute
 from repro.olden.loader import catalog, get_benchmark
+from repro.config import RunConfig
 
 ABLATIONS = {
     "no-blocking": CommConfig(enable_blocking=False),
@@ -33,7 +34,8 @@ def run_config(name, config, nodes=8):
     spec = get_benchmark(name)
     compiled = compile_earthc(spec.source(), name, optimize=True,
                               config=config, inline=spec.inline)
-    return execute(compiled, num_nodes=nodes, args=spec.small_args)
+    return execute(compiled,
+                   config=RunConfig(nodes=nodes, args=tuple(spec.small_args)))
 
 
 @pytest.mark.parametrize("name", NAMES)
@@ -74,8 +76,9 @@ def test_field_reordering_extension(benchmark, name):
                               inline=spec.inline)
         packed = compile_earthc(spec.source(), name, optimize=True,
                                 inline=spec.inline, reorder_fields=True)
-        return (execute(base, num_nodes=8, args=spec.small_args),
-                execute(packed, num_nodes=8, args=spec.small_args))
+        config = RunConfig(nodes=8, args=tuple(spec.small_args))
+        return (execute(base, config=config),
+                execute(packed, config=config))
 
     base, packed = pedantic(benchmark, sweep)
     assert packed.value == base.value

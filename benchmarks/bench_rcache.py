@@ -1,0 +1,70 @@
+"""Remote-data cache: simulated win vs host-side overhead.
+
+One bench per (Olden benchmark, rcache capacity) pair, capacity 0
+(cache off) against the default 64-line geometry.  Each pair shows
+both sides of the trade the cache makes: the *simulated* time and
+remote-read reduction it buys (recorded in ``extra_info``), and the
+*host* wall-clock the extra bookkeeping costs.  Every cached run also
+asserts it computes exactly what the uncached run computes.
+
+Regenerate the committed ``BENCH_rcache.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rcache.py \
+        --benchmark-only --benchmark-disable-gc \
+        --benchmark-json=BENCH_rcache.json
+"""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.earth.rcache import DEFAULT_CAPACITY
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import catalog
+
+CAPACITIES = (0, DEFAULT_CAPACITY)
+
+#: Compiled programs and capacity-0 reference results, shared across
+#: the capacity parametrization so each program compiles once.
+_COMPILED = {}
+_REFERENCE = {}
+
+
+def _compiled(spec):
+    if spec.name not in _COMPILED:
+        _COMPILED[spec.name] = compile_earthc(
+            spec.source(), spec.filename, optimize=True,
+            inline=spec.inline)
+    return _COMPILED[spec.name]
+
+
+def _run(spec, capacity):
+    config = RunConfig(nodes=4, args=tuple(spec.default_args),
+                       max_stmts=spec.max_stmts,
+                       rcache_capacity=capacity)
+    return execute(_compiled(spec), config=config)
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)  # 0 before 64
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_rcache_speed(benchmark, name, capacity):
+    spec = next(s for s in catalog() if s.name == name)
+    warm = _run(spec, capacity)
+    result = benchmark.pedantic(lambda: _run(spec, capacity),
+                                rounds=3, iterations=1,
+                                warmup_rounds=0)
+    assert result.value == warm.value
+    stats = result.stats
+    benchmark.extra_info["sim_time_ns"] = result.time_ns
+    benchmark.extra_info["remote_reads"] = stats.remote_reads
+    benchmark.extra_info["rcache_hits"] = stats.rcache_hits
+    benchmark.extra_info["rcache_invalidations"] = \
+        stats.rcache_invalidations
+    if capacity == 0:
+        _REFERENCE[name] = warm
+    elif name in _REFERENCE:
+        ref = _REFERENCE[name]
+        assert result.value == ref.value
+        assert result.output == ref.output
+        assert stats.remote_reads <= ref.stats.remote_reads
+        benchmark.extra_info["sim_speedup"] = \
+            ref.time_ns / result.time_ns

@@ -19,6 +19,7 @@ import pytest
 from repro.earth.interpreter import ENGINES
 from repro.harness.pipeline import compile_earthc, execute
 from repro.olden.loader import catalog
+from repro.config import RunConfig
 
 #: Per-benchmark compiled programs and AST reference results, shared
 #: across the engine parametrization so each program compiles once.
@@ -35,8 +36,9 @@ def _compiled(spec):
 
 
 def _run(spec, engine):
-    return execute(_compiled(spec), num_nodes=4, args=spec.default_args,
-                   max_stmts=spec.max_stmts, engine=engine)
+    return execute(_compiled(spec),
+                   config=RunConfig(nodes=4, args=tuple(spec.default_args),
+                                    max_stmts=spec.max_stmts, engine=engine))
 
 
 @pytest.mark.parametrize("engine", sorted(ENGINES))  # ast before closure

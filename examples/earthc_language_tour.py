@@ -10,7 +10,7 @@ list; they must agree with each other and with a plain sequential count.
 Run:  python examples/earthc_language_tour.py
 """
 
-from repro import compile_earthc, execute
+from repro import RunConfig, compile_source, execute
 
 SOURCE = """
 struct node { int value; struct node *next; };
@@ -96,8 +96,8 @@ int main(int length)
 
 def main():
     for optimize in (False, True):
-        compiled = compile_earthc(SOURCE, "fig1.ec", optimize=optimize)
-        result = execute(compiled, num_nodes=4, args=(24,))
+        compiled = compile_source(SOURCE, "fig1.ec", optimize=optimize)
+        result = execute(compiled, config=RunConfig(nodes=4, args=(24,)))
         tag = "optimized" if optimize else "simple   "
         print(f"{tag}: {result.output[0]}  "
               f"time={result.time_ns / 1e3:8.1f}us  "

@@ -10,7 +10,7 @@ writes sink.
 Run:  python examples/quickstart.py
 """
 
-from repro import compile_earthc, execute
+from repro import RunConfig, compile_source, execute
 
 SOURCE = """
 struct Point { double x; double y; };
@@ -57,13 +57,13 @@ def show(title, text):
 def main():
     # 1. Compile without the paper's optimization: every remote access
     #    is a synchronous operation (Table I's "sequential" cost).
-    simple = compile_earthc(SOURCE, "quickstart.ec", optimize=False)
+    simple = compile_source(SOURCE, "quickstart.ec", optimize=False)
     show("SIMPLE form (unoptimized)",
          "\n\n".join(simple.listing().split("\n\n")[:2]))
 
     # 2. Compile with communication optimization (possible-placement
     #    analysis + communication selection).
-    optimized = compile_earthc(SOURCE, "quickstart.ec", optimize=True)
+    optimized = compile_source(SOURCE, "quickstart.ec", optimize=True)
     show("SIMPLE form (communication-optimized)",
          "\n\n".join(optimized.listing().split("\n\n")[:2]))
 
@@ -73,8 +73,9 @@ def main():
          + "END_THREADED")
 
     # 4. Execute both on a 2-node machine and compare.
-    r_simple = execute(simple, num_nodes=2)
-    r_opt = execute(optimized, num_nodes=2)
+    config = RunConfig(nodes=2)
+    r_simple = execute(simple, config=config)
+    r_opt = execute(optimized, config=config)
     assert r_simple.value == r_opt.value == 10  # |(6,8)| = 10
 
     print(f"program output:        {r_opt.output}")

@@ -12,19 +12,38 @@ The package contains a complete toolchain:
   analysis and communication selection (pipelining / blocking), plus
   redundant remote access elimination and the Table I cost model;
 * :mod:`repro.backend` -- the Threaded-C fiber partitioner;
-* :mod:`repro.earth` -- a discrete-event EARTH-MANNA simulator;
+* :mod:`repro.earth` -- a discrete-event EARTH-MANNA simulator, with an
+  optional per-node remote-data cache (:mod:`repro.earth.rcache`);
 * :mod:`repro.olden` -- the five Olden benchmarks in EARTH-C;
 * :mod:`repro.harness` -- experiment drivers regenerating the paper's
-  tables and figures.
+  tables and figures;
+* :mod:`repro.service` -- batch/serving layer with a content-addressed
+  artifact cache.
 
-Quickstart::
+Stable public surface
+---------------------
 
-    from repro import compile_earthc, execute
+The names in ``__all__`` are the supported API.  The core workflow is
+three names::
 
-    compiled = compile_earthc(SOURCE, optimize=True)
-    print(compiled.listing())
-    result = execute(compiled, num_nodes=4)
+    from repro import RunConfig, compile_source, run
+
+    # one-stop: compile + run
+    result = run(SOURCE, config=RunConfig(nodes=4, args=(8,)))
     print(result.value, result.time_ns, result.stats)
+
+    # or staged, reusing the compiled program across configs
+    compiled = compile_source(SOURCE, optimize=True)
+    result = execute(compiled, config=RunConfig(nodes=4,
+                                                rcache_capacity=64))
+
+:class:`RunConfig` is *the* options object for every layer that runs a
+program -- the CLI, :func:`execute`, :func:`run_three_ways` /
+:func:`run_four_ways`, and service jobs.  The pre-1.1 loose keyword
+arguments (``execute(compiled, num_nodes=4, engine=...)``) still work
+but emit :class:`DeprecationWarning` and will be removed one release
+after 2026.08.  Live instances of :class:`MachineParams`,
+:class:`Tracer`, and fault plans remain first-class keyword overrides.
 """
 
 from repro.comm.costmodel import CommCostModel
@@ -34,6 +53,7 @@ from repro.comm.optimizer import (
     OptimizationReport,
     optimize_program,
 )
+from repro.config import RunConfig, config_digest
 from repro.earth.interpreter import Interpreter, RunResult
 from repro.earth.machine import Machine
 from repro.earth.params import MachineParams
@@ -41,13 +61,19 @@ from repro.errors import ReproError
 from repro.harness.pipeline import (
     CompiledProgram,
     compile_earthc,
+    compile_source,
     execute,
+    run,
+    run_four_ways,
     run_three_ways,
 )
+from repro.obs.trace import Tracer
+from repro.service.cache import ArtifactCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArtifactCache",
     "CommCostModel",
     "CommConfig",
     "CommunicationOptimizer",
@@ -57,10 +83,16 @@ __all__ = [
     "MachineParams",
     "OptimizationReport",
     "ReproError",
+    "RunConfig",
     "RunResult",
+    "Tracer",
     "__version__",
     "compile_earthc",
+    "compile_source",
+    "config_digest",
     "execute",
     "optimize_program",
+    "run",
+    "run_four_ways",
     "run_three_ways",
 ]

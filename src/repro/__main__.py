@@ -17,6 +17,7 @@ Examples::
     python -m repro prog.ec --show simple
     python -m repro prog.ec -O --show simple,threaded
     python -m repro prog.ec -O --run --nodes 4 --args 100
+    python -m repro prog.ec -O --run --nodes 4 --rcache-capacity 64
     python -m repro prog.ec -O --show tuples --function walk
     python -m repro prog.ec -O --show profile       # compile timings
     python -m repro prog.ec -O --run --nodes 4 --trace out.json
@@ -45,6 +46,7 @@ from repro.analysis.connection import ConnectionInfo
 from repro.analysis.points_to import analyze_points_to
 from repro.analysis.rw_sets import EffectsAnalysis
 from repro.comm.placement import analyze_placement
+from repro.config import RunConfig
 from repro.earth.faults import PROFILES, plan_from_cli
 from repro.errors import (
     EXIT_ERROR,
@@ -55,7 +57,7 @@ from repro.errors import (
     exit_code_for,
 )
 from repro.harness.pipeline import compile_earthc, execute
-from repro.obs import TraceMetrics, Tracer, export_chrome_trace
+from repro.obs import TraceMetrics, export_chrome_trace
 from repro.simple import nodes as s
 from repro.simple.printer import print_function
 
@@ -134,6 +136,16 @@ def _parse_args(argv):
                         help="execution engine: 'closure' precompiles "
                              "SIMPLE to bound closures (default), "
                              "'ast' walks the tree (reference)")
+    parser.add_argument("--rcache-capacity", type=int, default=0,
+                        metavar="LINES",
+                        help="with --run: per-node remote-data cache "
+                             "capacity in lines (0 = disabled, the "
+                             "default; the machine is then byte-"
+                             "identical to the uncached simulator)")
+    parser.add_argument("--rcache-line", type=int, default=16,
+                        metavar="WORDS",
+                        help="remote-data cache line size in words "
+                             "(default 16)")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="with --run: record a structured trace and "
                              "write it as Chrome trace-event JSON "
@@ -230,6 +242,10 @@ def _compile_main(argv) -> int:
                             args.json)
     if args.max_stmts is not None and args.max_stmts <= 0:
         return _usage_error("--max-stmts must be positive", args.json)
+    if args.rcache_capacity < 0:
+        return _usage_error("--rcache-capacity must be >= 0", args.json)
+    if args.rcache_line < 1:
+        return _usage_error("--rcache-line must be >= 1", args.json)
     fault_opts = (args.fault_drop, args.fault_jitter,
                   args.fault_profile)
     if args.faults is None and any(opt is not None
@@ -276,20 +292,9 @@ def _compile_main(argv) -> int:
                         if part.strip()]
             if not run_args and args.entry == "main":
                 run_args = _catalog_default_args(args.file)
-            tracer = None
-            if args.trace is not None:
-                tracer = Tracer(capacity=args.trace_capacity)
-            faults = None
-            if args.faults is not None:
-                faults = plan_from_cli(args.faults, args.fault_profile,
-                                       args.fault_drop,
-                                       args.fault_jitter)
-            result = execute(compiled, num_nodes=args.nodes,
-                             entry=args.entry, args=run_args,
-                             tracer=tracer, engine=args.engine,
-                             faults=faults,
-                             **({"max_stmts": args.max_stmts}
-                                if args.max_stmts is not None else {}))
+            config = RunConfig.from_cli_args(args, run_args)
+            result = execute(compiled, config=config)
+            tracer, faults = result.tracer, result.faults
             if tracer is not None:
                 try:
                     written = export_chrome_trace(tracer, args.trace,
@@ -311,6 +316,11 @@ def _compile_main(argv) -> int:
             print(f"local   = {stats.local_reads} reads, "
                   f"{stats.local_writes} writes, "
                   f"{stats.local_blkmovs} blkmovs")
+            if config.rcache_capacity:
+                print(f"rcache  = {stats.rcache_hits} hits, "
+                      f"{stats.rcache_misses} misses, "
+                      f"{stats.rcache_evictions} evictions, "
+                      f"{stats.rcache_invalidations} invalidations")
             if faults is not None:
                 print(f"faults  = seed {faults.seed}: "
                       f"{stats.net_drops} drops, "
@@ -465,10 +475,18 @@ def _submit_main(argv) -> int:
     parser.add_argument("--benchmark", default=None,
                         help="bundled Olden benchmark name")
     parser.add_argument("--kind", default="run",
-                        choices=("compile", "run", "three-way"))
+                        choices=("compile", "run", "three-way",
+                                 "four-way"))
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7781)
     parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--rcache-capacity", type=int, default=0,
+                        metavar="LINES",
+                        help="per-node remote-data cache capacity in "
+                             "lines (0 = disabled)")
+    parser.add_argument("--rcache-line", type=int, default=16,
+                        metavar="WORDS",
+                        help="remote-data cache line size in words")
     parser.add_argument("--no-optimize", action="store_true")
     parser.add_argument("--inline", action="store_true")
     parser.add_argument("--engine", default="closure",
@@ -509,6 +527,8 @@ def _submit_main(argv) -> int:
                        nodes=opts.nodes, entry=opts.entry,
                        args=run_args, engine=opts.engine,
                        params=opts.params, faults=_fault_spec(opts),
+                       rcache_capacity=opts.rcache_capacity,
+                       rcache_line_words=opts.rcache_line,
                        small=opts.small)
         with ServiceClient(opts.host, opts.port,
                            timeout=opts.timeout) as client:
@@ -550,7 +570,7 @@ def _render_job(result, label: str = None) -> str:
                      f"time={run.get('time_ns', 0) / 1e6:.3f}ms "
                      f"simulated on {run.get('num_nodes')} node(s)")
     else:
-        for name in ("sequential", "simple", "optimized"):
+        for name in ("sequential", "simple", "optimized", "rcached"):
             entry = payload.get(name)
             if entry:
                 lines.append(f"  {name:<11}"
@@ -581,11 +601,19 @@ def _batch_main(argv) -> int:
                         help="comma-separated processor counts for the "
                              "sweep (default 1,2,4)")
     parser.add_argument("--kind", default="three-way",
-                        choices=("compile", "run", "three-way"))
+                        choices=("compile", "run", "three-way",
+                                 "four-way"))
     parser.add_argument("--engine", default="closure",
                         choices=("closure", "ast"))
     parser.add_argument("--small", action="store_true",
                         help="use reduced problem sizes")
+    parser.add_argument("--rcache-capacity", type=int, default=0,
+                        metavar="LINES",
+                        help="per-node remote-data cache capacity for "
+                             "run/four-way sweeps (0 = disabled)")
+    parser.add_argument("--rcache-line", type=int, default=16,
+                        metavar="WORDS",
+                        help="remote-data cache line size in words")
     parser.add_argument("--workers", type=int, default=2,
                         help="local worker processes (0 = inline; "
                              "default 2)")
@@ -623,7 +651,9 @@ def _batch_main(argv) -> int:
             counts = [int(part) for part in opts.nodes.split(",")]
             specs = sweep_jobs(counts, benchmarks, small=opts.small,
                                kind=opts.kind, engine=opts.engine,
-                               faults=_fault_spec(opts))
+                               faults=_fault_spec(opts),
+                               rcache_capacity=opts.rcache_capacity,
+                               rcache_line_words=opts.rcache_line)
         if not specs:
             return _usage_error("batch has no jobs to run", opts.json)
 

@@ -893,7 +893,7 @@ class _FunctionCompiler:
 
             slot = Slot("write")
             yield ("issue", "write", node_of(address), words, do_write,
-                   slot)
+                   slot, address)
             if split:
                 act.outstanding.append(slot)
             else:
@@ -1009,7 +1009,8 @@ class _FunctionCompiler:
                         return 0
                     return _normalize_word(memory.read_word(addr))
 
-                yield ("issue", "read", target, words, do_read, slot)
+                yield ("issue", "read", target, words, do_read, slot,
+                       address)
                 frame[target_name] = slot
                 return None
             return step_split
@@ -1040,7 +1041,8 @@ class _FunctionCompiler:
                     return 0
                 return _normalize_word(memory.read_word(addr))
 
-            yield ("issue", "read", target, words, do_read, slot)
+            yield ("issue", "read", target, words, do_read, slot,
+                   address)
             value = yield ("wait", slot)
             yield from store_gen(act, value)
             return None
@@ -1307,7 +1309,8 @@ class _FunctionCompiler:
                     return move() + tail
 
             slot = Slot(slot_label)
-            yield ("issue", "blkmov", remote_node, words, do_op, slot)
+            yield ("issue", "blkmov", remote_node, words, do_op, slot,
+                   dst if dst_is_ptr else None)
 
             if not dst_is_ptr:
                 buffer, offset = dst

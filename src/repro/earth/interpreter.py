@@ -489,7 +489,7 @@ class Interpreter:
                 return _normalize_word(word)
 
             yield ("issue", "read", target,
-                   value_type.size_words() or 1, do_read, slot)
+                   value_type.size_words() or 1, do_read, slot, address)
             if stmt.split_phase and isinstance(lhs, s.VarLV):
                 act.frame[lhs.name] = slot
                 return None
@@ -548,7 +548,7 @@ class Interpreter:
             return
         slot = Slot("write")
         yield ("issue", "write", node_of(address),
-               field_type.size_words() or 1, do_write, slot)
+               field_type.size_words() or 1, do_write, slot, address)
         if split_phase:
             act.outstanding.append(slot)
         else:
@@ -877,7 +877,8 @@ class Interpreter:
                 return move() + tail
 
         slot = Slot(f"blkmov@{stmt.label}")
-        yield ("issue", "blkmov", remote_node, words, do_op, slot)
+        yield ("issue", "blkmov", remote_node, words, do_op, slot,
+               dst if dst_kind == "ptr" else None)
 
         if dst_kind == "local":
             buffer, offset = dst

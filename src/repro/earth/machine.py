@@ -29,6 +29,21 @@ cross-node effects are applied by SU events in timestamp order.  Under
 the EARTH-C non-interference contract (no concurrent conflicting access
 to ordinary memory) the observable behaviour is unaffected.
 
+Remote-data cache: with ``MachineParams.rcache_capacity > 0`` each node
+keeps a software cache of remote lines (:mod:`repro.earth.rcache`).  A
+remote scalar read whose address hits the cache completes at the EU in
+``rcache_hit_ns`` without touching the network (and without counting as
+a remote read); a miss rides the normal split-phase path and installs
+the line when the read's side effect applies at the target.  Writes
+invalidate write-through: the issuing node drops its own copies of the
+written line at issue time (preserving the machine's read-after-write
+ordering on a channel), and every other holder drops its copy at the
+instant the store's side effect lands in global memory -- under fault
+injection that instant is the exactly-once, channel-ordered
+application in :meth:`Machine._apply_pending`, so retried writes
+invalidate exactly once.  Capacity 0 (the default) leaves this path
+byte-identical to the uncached machine.
+
 Fault injection & resilience: attaching a
 :class:`~repro.earth.faults.FaultPlan` routes every cross-node
 split-phase operation through a resilient protocol -- each send arms a
@@ -50,6 +65,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.earth.memory import GlobalMemory
 from repro.earth.params import MachineParams
+from repro.earth.rcache import RemoteCache
 from repro.earth.stats import MachineStats
 from repro.errors import SimulatorError
 
@@ -171,6 +187,14 @@ class Machine:
         self.faults = faults
         if faults is not None:
             faults.bind(num_nodes)
+        self.rcache: Optional[RemoteCache] = None
+        if self.params.rcache_capacity > 0 and num_nodes > 1:
+            self.rcache = RemoteCache(
+                num_nodes, self.memory, self.stats,
+                self.params.rcache_capacity,
+                self.params.rcache_line_words,
+                self.params.rcache_policy, tracer)
+            self.memory.rcache = self.rcache
         self.time = 0.0
         self.output: List[str] = []
         # Always-on utilization aggregates (one float add per EU fiber
@@ -282,9 +306,11 @@ class Machine:
                 if kind == "busy":
                     t += action[1]
                 elif kind == "issue":
-                    _tag, op, target, words, do_op, slot = action
+                    _tag, op, target, words, do_op, slot = action[:6]
                     t = self._issue(fiber, t, op, target, words, do_op,
-                                    slot)
+                                    slot,
+                                    action[6] if len(action) > 6
+                                    else None)
                 elif kind == "wait":
                     slot: Slot = action[1]
                     if slot.ready:
@@ -336,8 +362,15 @@ class Machine:
 
     def _issue(self, fiber: Fiber, t: float, op: str, target: int,
                words: int, do_op: Callable[[], object],
-               slot: Optional[Slot]) -> float:
-        """Issue one operation; returns the new fiber-local time."""
+               slot: Optional[Slot],
+               addr: Optional[int] = None) -> float:
+        """Issue one operation; returns the new fiber-local time.
+
+        ``addr`` is the global memory address the operation touches
+        (read address, write address, or blkmov *destination*), when the
+        issuing engine knows it -- it only feeds the remote-data cache
+        and is optional: issue actions without it simply bypass the
+        cache."""
         params = self.params
         node = fiber.node
         if op == "shared":
@@ -371,6 +404,30 @@ class Machine:
             if slot is not None:
                 self.fulfill(slot, value, t)
             return t
+        rcache = self.rcache
+        if rcache is not None and addr:
+            rcache.now = t
+            if op == "read":
+                hit, value = rcache.lookup(node, addr)
+                if hit:
+                    # Served entirely at the EU: no issue cost, no
+                    # network legs, no remote_reads count -- the cache
+                    # removed the message.
+                    t += params.rcache_hit_ns
+                    self.stats.rcache_hits += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "cache_hit", t, node, target=target,
+                            addr=addr, site=self.tracer.current_site)
+                    if slot is not None:
+                        self.fulfill(slot, value, t)
+                    return t
+                self.stats.rcache_misses += 1
+                do_op = rcache.filling(node, addr, do_op)
+            else:
+                # write / blkmov destination: drop the issuing node's
+                # own stale copies before the fiber can read them back.
+                rcache.invalidate_node(node, addr, words, at=t)
         t += params.issue_cost(op, words)
         self._count_op(op, local=False, words=words)
         self._send_request(node, t, op, target, do_op, slot, words)

@@ -114,6 +114,11 @@ class GlobalMemory:
         self.num_nodes = num_nodes
         self.nodes = [NodeMemory(i) for i in range(num_nodes)]
         self._global_addrs: Dict[str, int] = {}
+        #: Optional per-node remote-data cache (earth/rcache.py).  The
+        #: machine attaches it so every mutation of global memory --
+        #: regardless of which code path performs it -- invalidates
+        #: stale cached copies before the new value lands.
+        self.rcache = None
 
     # -- global variables ---------------------------------------------------------
 
@@ -141,6 +146,8 @@ class GlobalMemory:
     def write_word(self, address: int, value: Word) -> None:
         if address == 0:
             raise MemoryFault("nil dereference (write)")
+        if self.rcache is not None:
+            self.rcache.invalidate(address)
         self.nodes[node_of(address)].write(offset_of(address), value)
 
     def read_block(self, address: int, words: int) -> List[Word]:
@@ -152,6 +159,8 @@ class GlobalMemory:
     def write_block(self, address: int, values: List[Word]) -> None:
         if address == 0:
             raise MemoryFault("nil dereference (block write)")
+        if self.rcache is not None:
+            self.rcache.invalidate(address, len(values))
         self.nodes[node_of(address)].write_block(
             offset_of(address), values)
 

@@ -69,6 +69,13 @@ class MachineParams:
         retry_timeout_ns: float = 30_000.0,
         retry_backoff: float = 2.0,
         retry_max_attempts: int = 10,
+        # per-node remote-data cache (paper §7 further work; capacity 0
+        # disables it and keeps the machine byte-identical to the
+        # uncached simulator)
+        rcache_capacity: int = 0,
+        rcache_line_words: int = 16,
+        rcache_policy: str = "lru",
+        rcache_hit_ns: float = 150.0,
     ):
         self.local_stmt_ns = local_stmt_ns
         self.call_overhead_ns = call_overhead_ns
@@ -99,6 +106,20 @@ class MachineParams:
         self.retry_timeout_ns = retry_timeout_ns
         self.retry_backoff = retry_backoff
         self.retry_max_attempts = retry_max_attempts
+        if rcache_capacity < 0:
+            raise ValueError("rcache_capacity must be >= 0 (0 disables)")
+        if rcache_line_words < 1:
+            raise ValueError("rcache_line_words must be >= 1")
+        if rcache_policy not in ("lru", "fifo"):
+            raise ValueError(
+                f"rcache_policy must be 'lru' or 'fifo', got "
+                f"{rcache_policy!r}")
+        if rcache_hit_ns < 0:
+            raise ValueError("rcache_hit_ns must be >= 0")
+        self.rcache_capacity = rcache_capacity
+        self.rcache_line_words = rcache_line_words
+        self.rcache_policy = rcache_policy
+        self.rcache_hit_ns = rcache_hit_ns
 
     # -- derived costs ----------------------------------------------------------
 

@@ -1,0 +1,268 @@
+"""Per-node software cache for remote scalar reads (the paper's §7).
+
+Zhu & Hendren name "caching remote data at the EU" as the follow-on
+optimization their EARTH-MANNA runtime did not implement.  This module
+supplies it for the simulator: each node keeps a bounded cache of
+*lines* of remote memory, and a remote scalar read that hits the cache
+completes at the EU in :attr:`MachineParams.rcache_hit_ns` instead of
+paying issue cost + two network legs + SU service -- and is *not*
+counted as a remote read (the cache genuinely removes the message).
+
+Structure
+---------
+
+A line covers ``rcache_line_words`` consecutive words of one home
+node's memory, aligned to the line size; a line never spans two nodes
+because global addresses are ``node * NODE_SPAN + offset`` and lines
+are keyed by ``(home_node, offset // line_words)``.  Every node owns an
+independent line map with capacity ``rcache_capacity`` lines and an
+``"lru"`` (default) or ``"fifo"`` replacement policy.  A reverse map
+from line key to the set of holder nodes makes write invalidation one
+dictionary probe per written line.
+
+Coherence (write-through invalidation)
+--------------------------------------
+
+The invariant is *a cached word always equals the current word in
+global memory*.  Fills copy memory at the instant the read's side
+effect is applied at the target SU, and **every** mutation of global
+memory -- local stores, remotely-serviced writes, blkmov block writes
+-- passes through :meth:`GlobalMemory.write_word` /
+:meth:`~GlobalMemory.write_block`, which drop every cached copy of the
+written line before the new value lands.  A hit therefore returns
+exactly what a fresh read of memory would return at that moment.
+
+Under fault injection the same property holds structurally: a retried
+write's side effect is applied exactly once, in channel order, by
+``Machine._apply_pending`` -- so its invalidation also runs exactly
+once, in channel order.  Duplicate requests are absorbed at the SU
+before ``do_op`` runs and never re-invalidate.
+
+One ordering hazard needs an extra rule: a fiber that issues a
+split-phase *write* and then *reads* the same location sees the new
+value on the real machine (the write request leaves first and write
+latency is below read latency; the fault layer enforces the same thing
+via channel sequence numbers).  A cached copy at the issuing node would
+break that, so the machine drops the issuing node's own copies of a
+written line at *issue* time, before the write has been applied
+anywhere (:meth:`RemoteCache.invalidate_node`).  Cross-node readers
+keep their copies until the write applies -- until then the write has
+not happened on the simulated machine either, and any unsynchronized
+cross-node read racing it is excluded by EARTH-C's non-interference
+contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.earth.memory import FILLER, GlobalMemory, NODE_SPAN, node_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.earth.stats import MachineStats
+    from repro.obs.trace import Tracer
+
+#: Default geometry of the Table III "rcached" configuration: 64 lines
+#: of 16 words per node (4 KiB of cached remote data per node at the
+#: MANNA's 4-byte words).  The comm optimizer already eliminates most
+#: *temporal* reuse of remote scalars, so the wide line is what pays:
+#: it captures the spatial locality of tree-node fields allocated
+#: together (measured on the Olden set: 4-word lines get zero hits on
+#: voronoi, 16-word lines cut its remote reads by ~28%).
+DEFAULT_CAPACITY = 64
+DEFAULT_LINE_WORDS = 16
+
+#: Replacement policies: ``lru`` promotes a line on every hit, ``fifo``
+#: evicts in fill order regardless of use.
+POLICIES = ("lru", "fifo")
+
+_LineKey = Tuple[int, int]
+
+
+class RemoteCache:
+    """All nodes' remote-read caches plus the shared reverse index.
+
+    One instance serves the whole machine: per-node state is a list of
+    ordered line maps, so the write-path invalidation can find every
+    holder of a line without scanning ``num_nodes`` caches.
+    """
+
+    __slots__ = ("num_nodes", "memory", "stats", "tracer", "capacity",
+                 "line_words", "lru", "now", "_lines", "_holders")
+
+    def __init__(self, num_nodes: int, memory: GlobalMemory,
+                 stats: "MachineStats", capacity: int, line_words: int,
+                 policy: str = "lru",
+                 tracer: Optional["Tracer"] = None):
+        if capacity < 1:
+            raise ValueError(f"rcache capacity must be >= 1, got "
+                             f"{capacity} (0 disables the cache at the "
+                             f"machine level)")
+        if line_words < 1:
+            raise ValueError(f"rcache line_words must be >= 1, got "
+                             f"{line_words}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown rcache policy {policy!r} "
+                             f"(known: {', '.join(POLICIES)})")
+        self.num_nodes = num_nodes
+        self.memory = memory
+        self.stats = stats
+        self.tracer = tracer
+        self.capacity = capacity
+        self.line_words = line_words
+        self.lru = policy == "lru"
+        #: Timestamp stamped onto invalidation trace events; the machine
+        #: keeps it current as simulation time advances.
+        self.now = 0.0
+        #: Per-node line map: line key -> {word offset: cached value}.
+        self._lines: Tuple["OrderedDict[_LineKey, Dict[int, object]]", ...] \
+            = tuple(OrderedDict() for _ in range(num_nodes))
+        #: Reverse index: line key -> nodes currently holding it.
+        self._holders: Dict[_LineKey, Set[int]] = {}
+
+    # -- lookup / fill (the read path) -------------------------------------
+
+    def _key(self, address: int) -> _LineKey:
+        return (address // NODE_SPAN,
+                (address % NODE_SPAN) // self.line_words)
+
+    def lookup(self, node: int, address: int) -> Tuple[bool, object]:
+        """``(hit, value)`` for one word at ``node``'s cache.
+
+        A present line with the requested word missing (the word was
+        unmapped when the line was filled) is a miss; the refill after
+        the fresh read replaces the line.
+        """
+        lines = self._lines[node]
+        key = self._key(address)
+        line = lines.get(key)
+        if line is None:
+            return False, None
+        value = line.get(address % NODE_SPAN, line)
+        if value is line:  # sentinel: word absent from the line
+            return False, None
+        if self.lru:
+            lines.move_to_end(key)
+        return True, value
+
+    def fill(self, node: int, address: int) -> None:
+        """Install the line containing ``address`` into ``node``'s
+        cache, copying current memory (called at the instant the
+        missing read's side effect is applied, so the copy is coherent
+        by construction).  Unmapped words in the line are left out and
+        read as misses."""
+        home = address // NODE_SPAN
+        if home == node:  # never cache your own memory
+            return
+        key = self._key(address)
+        start = key[1] * self.line_words
+        node_memory = self.memory.nodes[home]
+        end = min(start + self.line_words, node_memory.size_words)
+        line: Dict[int, object] = {}
+        for offset in range(start, end):
+            word = node_memory.read(offset)
+            if word is None or word is FILLER:
+                word = 0
+            line[offset] = word
+        lines = self._lines[node]
+        if key not in lines and len(lines) >= self.capacity:
+            evicted_key, _ = lines.popitem(last=False)
+            self.stats.rcache_evictions += 1
+            holders = self._holders[evicted_key]
+            holders.discard(node)
+            if not holders:
+                del self._holders[evicted_key]
+        lines[key] = line
+        if self.lru:
+            lines.move_to_end(key)
+        self._holders.setdefault(key, set()).add(node)
+
+    def filling(self, node: int, address: int, do_op):
+        """Wrap a read's ``do_op`` so the line is installed right after
+        the fresh value is fetched.  Under fault injection the wrapper
+        rides the exactly-once application path, so retries never
+        double-fill."""
+        def read_and_fill():
+            value = do_op()
+            self.fill(node, address)
+            return value
+        return read_and_fill
+
+    # -- invalidation (the write path) -------------------------------------
+
+    def invalidate(self, address: int, words: int = 1,
+                   at: Optional[float] = None) -> None:
+        """Drop every node's copy of the line(s) covering
+        ``[address, address + words)``.  Called from the global-memory
+        write hooks, i.e. at the instant a store's side effect applies
+        -- exactly once even for retried split-phase writes."""
+        if at is None:
+            at = self.now
+        line_words = self.line_words
+        offset = address % NODE_SPAN
+        first = offset // line_words
+        last = (offset + words - 1) // line_words
+        home = address // NODE_SPAN
+        for index in range(first, last + 1):
+            self._drop((home, index), at)
+
+    def invalidate_node(self, node: int, address: int, words: int = 1,
+                        at: Optional[float] = None) -> None:
+        """Drop only ``node``'s copies of the covered line(s) -- the
+        issue-time half of write-through: the *writer* must not serve
+        its own later reads from a copy that predates its write."""
+        if at is None:
+            at = self.now
+        line_words = self.line_words
+        offset = address % NODE_SPAN
+        first = offset // line_words
+        last = (offset + words - 1) // line_words
+        home = address // NODE_SPAN
+        lines = self._lines[node]
+        for index in range(first, last + 1):
+            key = (home, index)
+            if lines.pop(key, None) is None:
+                continue
+            holders = self._holders[key]
+            holders.discard(node)
+            if not holders:
+                del self._holders[key]
+            self._note_inval(node, key, at)
+
+    def _drop(self, key: _LineKey, at: float) -> None:
+        holders = self._holders.pop(key, None)
+        if not holders:
+            return
+        for node in sorted(holders):  # deterministic event order
+            del self._lines[node][key]
+            self._note_inval(node, key, at)
+
+    def _note_inval(self, node: int, key: _LineKey, at: float) -> None:
+        self.stats.rcache_invalidations += 1
+        if self.tracer is not None:
+            self.tracer.emit("cache_inval", at, node,
+                             home=key[0],
+                             addr=key[0] * NODE_SPAN
+                             + key[1] * self.line_words,
+                             words=self.line_words)
+
+    # -- introspection -----------------------------------------------------
+
+    def lines_held(self, node: int) -> int:
+        """Resident line count of one node's cache."""
+        return len(self._lines[node])
+
+    def holders_of(self, address: int) -> Tuple[int, ...]:
+        """Nodes currently caching the line containing ``address``."""
+        return tuple(sorted(self._holders.get(self._key(address), ())))
+
+    def __repr__(self) -> str:
+        held = sum(len(lines) for lines in self._lines)
+        return (f"RemoteCache({self.num_nodes} nodes, "
+                f"{self.capacity}x{self.line_words}w, "
+                f"{'lru' if self.lru else 'fifo'}, {held} lines held)")
+
+
+__all__ = ["RemoteCache", "DEFAULT_CAPACITY", "DEFAULT_LINE_WORDS",
+           "POLICIES", "node_of"]

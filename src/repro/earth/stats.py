@@ -41,6 +41,11 @@ class MachineStats:
         self.dedup_replays = 0        # duplicate requests absorbed at the SU
         self.dup_replies = 0          # duplicate replies discarded at origin
         self.ooo_holds = 0            # requests parked behind a lost predecessor
+        # Remote-data cache (all zero unless rcache_capacity > 0).
+        self.rcache_hits = 0          # remote reads served from the cache
+        self.rcache_misses = 0        # remote reads that went to the network
+        self.rcache_evictions = 0     # lines displaced by capacity pressure
+        self.rcache_invalidations = 0  # cached lines dropped by writes
         # Attempts-to-completion histogram: str(attempts) -> ops that
         # completed after that many sends (the retry/timeout histogram;
         # a Counter so merge() sums per-bucket).

@@ -5,7 +5,10 @@
   end-to-end through the simulator (not read off the constants).
 * :func:`table2_rows` -- the benchmark inventory (Table II analogue).
 * :func:`run_benchmark` / :func:`measure_table3` -- per-benchmark
-  sequential/simple/optimized times over processor counts (Table III).
+  sequential/simple/optimized times over processor counts (Table III),
+  optionally extended with a fourth *rcached* configuration: the
+  optimized program re-run with the per-node remote-data cache
+  (:mod:`repro.earth.rcache`) enabled at its default geometry.
 * :func:`measure_fig10` -- normalized dynamic communication operation
   counts split into read-data / write-data / blkmov (Figure 10).
 
@@ -18,11 +21,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config import RunConfig
 from repro.earth.interpreter import RunResult
 from repro.earth.params import MachineParams
 from repro.harness.pipeline import (
     compile_earthc,
     execute,
+    run_four_ways,
     run_three_ways,
     simple_baseline_config,
 )
@@ -117,7 +122,7 @@ def _probe_time(kind: str, ops_per_iter: int, iters: int,
                                   config=simple_baseline_config())
     else:
         compiled = compile_earthc(source, "probe.ec", optimize=False)
-    result = execute(compiled, num_nodes=2, args=(iters,))
+    result = execute(compiled, config=RunConfig(nodes=2, args=(iters,)))
     return result.time_ns
 
 
@@ -208,16 +213,20 @@ PAPER_TABLE3_IMPROVEMENT = {
 
 
 class BenchmarkRow:
-    """One (benchmark, processor-count) measurement."""
+    """One (benchmark, processor-count) measurement.  ``rcached_ns``
+    is present only when the sweep ran the fourth (remote-cache)
+    configuration."""
 
     def __init__(self, benchmark: str, processors: int,
                  sequential_ns: float, simple_ns: float,
-                 optimized_ns: float):
+                 optimized_ns: float,
+                 rcached_ns: Optional[float] = None):
         self.benchmark = benchmark
         self.processors = processors
         self.sequential_ns = sequential_ns
         self.simple_ns = simple_ns
         self.optimized_ns = optimized_ns
+        self.rcached_ns = rcached_ns
 
     @property
     def simple_speedup(self) -> float:
@@ -231,26 +240,42 @@ class BenchmarkRow:
     def improvement_pct(self) -> float:
         return (self.simple_ns - self.optimized_ns) / self.simple_ns * 100.0
 
+    @property
+    def rcached_improvement_pct(self) -> Optional[float]:
+        """% improvement of the cached configuration over *simple*
+        (same baseline as :attr:`improvement_pct`, so the two columns
+        compare directly)."""
+        if self.rcached_ns is None:
+            return None
+        return (self.simple_ns - self.rcached_ns) / self.simple_ns * 100.0
+
     def __repr__(self) -> str:
         return (f"BenchmarkRow({self.benchmark}, p={self.processors}, "
                 f"impr={self.improvement_pct:.2f}%)")
 
 
 def run_benchmark(name: str, num_nodes: int = 4,
-                  small: bool = False) -> Dict[str, object]:
-    """Compile and run one benchmark three ways; returns the RunResults
-    keyed ``sequential``/``simple``/``optimized``."""
+                  small: bool = False,
+                  rcache: bool = False) -> Dict[str, object]:
+    """Compile and run one benchmark three ways (four with
+    ``rcache=True``); returns the RunResults keyed
+    ``sequential``/``simple``/``optimized`` (/``rcached``)."""
     spec = get_benchmark(name)
     args = spec.small_args if small else spec.default_args
-    return run_three_ways(spec.source(), spec.name, num_nodes=num_nodes,
-                          args=args, inline=spec.inline,
-                          max_stmts=spec.max_stmts)
+    config = RunConfig(nodes=num_nodes, args=tuple(args),
+                       max_stmts=spec.max_stmts)
+    if rcache:
+        return run_four_ways(spec.source(), spec.name, config=config,
+                             inline=spec.inline)
+    return run_three_ways(spec.source(), spec.name, config=config,
+                          inline=spec.inline)
 
 
 def measure_table3(
     processor_counts: Sequence[int] = (1, 2, 4, 8, 16),
     benchmarks: Optional[Sequence[str]] = None,
     small: bool = False,
+    rcache: bool = False,
 ) -> List[BenchmarkRow]:
     rows: List[BenchmarkRow] = []
     names = benchmarks if benchmarks is not None \
@@ -258,33 +283,51 @@ def measure_table3(
     for name in names:
         seq_ns: Optional[float] = None
         for processors in processor_counts:
-            results = run_benchmark(name, processors, small=small)
+            results = run_benchmark(name, processors, small=small,
+                                    rcache=rcache)
             if seq_ns is None:
                 seq_ns = results["sequential"].time_ns
             rows.append(BenchmarkRow(
                 name, processors, seq_ns,
                 results["simple"].time_ns,
-                results["optimized"].time_ns))
+                results["optimized"].time_ns,
+                results["rcached"].time_ns if rcache else None))
     return rows
 
 
 def format_table3(rows: List[BenchmarkRow]) -> str:
+    rcached = any(row.rcached_ns is not None for row in rows)
+    header = (f"{'benchmark':<11}{'procs':>6}{'seq(ms)':>10}{'simple':>10}"
+              f"{'optim':>10}")
+    if rcached:
+        header += f"{'rcache':>10}"
+    header += f"{'spdS':>7}{'spdO':>7}{'impr%':>8}"
+    if rcached:
+        header += f"{'cach%':>8}"
+    header += f"{'paper%':>8}"
     lines = [
         "Table III: performance improvement results (simulated time)",
-        f"{'benchmark':<11}{'procs':>6}{'seq(ms)':>10}{'simple':>10}"
-        f"{'optim':>10}{'spdS':>7}{'spdO':>7}{'impr%':>8}{'paper%':>8}",
+        header,
     ]
     for row in rows:
         paper = PAPER_TABLE3_IMPROVEMENT.get(
             (row.benchmark, row.processors))
         paper_text = f"{paper:>8.2f}" if paper is not None else f"{'-':>8}"
-        lines.append(
+        line = (
             f"{row.benchmark:<11}{row.processors:>6}"
             f"{row.sequential_ns / 1e6:>10.3f}"
             f"{row.simple_ns / 1e6:>10.3f}"
-            f"{row.optimized_ns / 1e6:>10.3f}"
-            f"{row.simple_speedup:>7.2f}{row.optimized_speedup:>7.2f}"
-            f"{row.improvement_pct:>8.2f}{paper_text}")
+            f"{row.optimized_ns / 1e6:>10.3f}")
+        if rcached:
+            line += (f"{row.rcached_ns / 1e6:>10.3f}"
+                     if row.rcached_ns is not None else f"{'-':>10}")
+        line += (f"{row.simple_speedup:>7.2f}{row.optimized_speedup:>7.2f}"
+                 f"{row.improvement_pct:>8.2f}")
+        if rcached:
+            pct = row.rcached_improvement_pct
+            line += f"{pct:>8.2f}" if pct is not None else f"{'-':>8}"
+        line += paper_text
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -350,7 +393,9 @@ def sweep_jobs(processor_counts: Sequence[int],
                benchmarks: Optional[Sequence[str]] = None,
                small: bool = False, kind: str = "three-way",
                engine: str = "closure",
-               faults: Optional[Dict[str, object]] = None) -> List[object]:
+               faults: Optional[Dict[str, object]] = None,
+               rcache_capacity: int = 0,
+               rcache_line_words: int = 16) -> List[object]:
     """The benchmark-by-processors cross product as service
     :class:`~repro.service.jobs.JobSpec` objects -- what
     ``python -m repro batch`` and the pooled measurement helpers feed a
@@ -359,13 +404,16 @@ def sweep_jobs(processor_counts: Sequence[int],
     names = benchmarks if benchmarks is not None \
         else [spec.name for spec in catalog()]
     return [JobSpec(kind, benchmark=name, nodes=processors,
-                    small=small, engine=engine, faults=faults)
+                    small=small, engine=engine, faults=faults,
+                    rcache_capacity=rcache_capacity,
+                    rcache_line_words=rcache_line_words)
             for name in names for processors in processor_counts]
 
 
 def rows_from_payloads(jobs: Sequence[object],
                        results: Sequence[object]) -> List[BenchmarkRow]:
-    """Reconstruct Table III rows from three-way job payloads.
+    """Reconstruct Table III rows from three-way (or four-way) job
+    payloads.
 
     Matches :func:`measure_table3`'s convention: every row of one
     benchmark shares the sequential baseline of that benchmark's first
@@ -377,10 +425,12 @@ def rows_from_payloads(jobs: Sequence[object],
         name = job.benchmark
         if name not in seq_ns:
             seq_ns[name] = payload["sequential"]["time_ns"]
+        rcached = payload.get("rcached")
         rows.append(BenchmarkRow(
             name, job.nodes, seq_ns[name],
             payload["simple"]["time_ns"],
-            payload["optimized"]["time_ns"]))
+            payload["optimized"]["time_ns"],
+            rcached["time_ns"] if rcached else None))
     return rows
 
 
@@ -406,13 +456,17 @@ def measure_table3_pooled(
     small: bool = False,
     workers: int = 2,
     cache_dir: Optional[str] = None,
+    rcache: bool = False,
 ) -> List[BenchmarkRow]:
     """:func:`measure_table3` through the service worker pool: same
     rows (payloads are deterministic), computed by ``workers``
     processes with content-addressed caching when ``cache_dir`` is
-    set."""
+    set.  ``rcache=True`` runs four-way jobs, adding the remote-cache
+    column at the default geometry."""
     from repro.service.pool import WorkerPool
-    jobs = sweep_jobs(processor_counts, benchmarks, small=small)
+    kind = "four-way" if rcache else "three-way"
+    jobs = sweep_jobs(processor_counts, benchmarks, small=small,
+                      kind=kind)
     with WorkerPool(workers, cache_dir=cache_dir) as pool:
         results = pool.run_batch(jobs)
     return rows_from_payloads(jobs, results)
@@ -454,17 +508,19 @@ def utilization_metrics(results: Dict[str, RunResult]
 
 
 def measure_utilization(name: str, num_nodes: int = 4,
-                        small: bool = False) -> Dict[str, Dict[str, object]]:
-    """Run one benchmark three ways and return its utilization metrics
-    (see :func:`utilization_metrics`)."""
-    return utilization_metrics(run_benchmark(name, num_nodes, small=small))
+                        small: bool = False,
+                        rcache: bool = False) -> Dict[str, Dict[str, object]]:
+    """Run one benchmark three (or, with ``rcache``, four) ways and
+    return its utilization metrics (see :func:`utilization_metrics`)."""
+    return utilization_metrics(run_benchmark(name, num_nodes, small=small,
+                                             rcache=rcache))
 
 
 def format_utilization(name: str,
                        metrics: Dict[str, Dict[str, object]]) -> str:
     lines = [f"Utilization: {name} "
              f"(EU/SU busy fraction per node)"]
-    for config in ("sequential", "simple", "optimized"):
+    for config in ("sequential", "simple", "optimized", "rcached"):
         if config not in metrics:
             continue
         entry = metrics[config]

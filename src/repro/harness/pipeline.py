@@ -4,12 +4,22 @@
 inlining -> type check -> simplify -> (optional) communication
 optimization.  ``execute`` runs a compiled program on a fresh simulated
 machine.  ``run_three_ways`` produces the paper's three configurations
-(sequential C / simple / optimized) for one source program -- the
-building block of the Table III and Figure 10 harnesses.
+(sequential C / simple / optimized) for one source program, and
+``run_four_ways`` adds the remote-cache configuration on top -- the
+building blocks of the Table III and Figure 10 harnesses.
+
+Run options travel as one :class:`repro.config.RunConfig` (``config=``);
+the loose per-option keyword arguments (``num_nodes``, ``entry``,
+``args``, ``max_stmts``, ``strict_nil_reads``, ``engine``) still work
+but emit :class:`DeprecationWarning` and will be removed one release
+after 2026.08.  Live object overrides -- an instantiated
+``MachineParams``, ``Tracer``, or ``FaultPlan`` -- remain first-class
+keyword arguments.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 from repro.backend.threaded import render_threaded_program
@@ -19,6 +29,7 @@ from repro.comm.optimizer import (
     CommunicationOptimizer,
     OptimizationReport,
 )
+from repro.config import RunConfig
 from repro.earth.faults import FaultPlan
 from repro.earth.interpreter import Interpreter, RunResult
 from repro.earth.machine import Machine
@@ -39,7 +50,7 @@ from repro.simple.validate import validate_program
 #: whenever a change makes ``compile_earthc`` or the simulator produce
 #: different output for the same (source, options) -- stale cached
 #: artifacts then miss instead of serving wrong payloads.
-PIPELINE_VERSION = "2026.08-pr4"
+PIPELINE_VERSION = "2026.08-pr5"
 
 
 class CompiledProgram:
@@ -132,92 +143,232 @@ def _basic_stmt_count(simple: s.SimpleProgram) -> int:
                for function in simple.functions.values())
 
 
+#: Sentinel distinguishing "caller passed this legacy kwarg" from "the
+#: default applied" -- explicit passes of the loose kwargs deprecate.
+_UNSET = object()
+
+_LOOSE_TO_FIELD = (("num_nodes", "nodes"), ("entry", "entry"),
+                   ("args", "args"), ("max_stmts", "max_stmts"),
+                   ("strict_nil_reads", "strict_nil_reads"),
+                   ("engine", "engine"))
+
+
+def _config_from_loose(config, function, **loose) -> RunConfig:
+    """Fold legacy loose kwargs and ``config`` into one RunConfig.
+
+    ``config=`` plus any explicitly-passed loose kwarg is a
+    contradiction and raises; loose kwargs alone still work but warn."""
+    passed = {name: value for name, value in loose.items()
+              if value is not _UNSET}
+    if config is not None:
+        if passed:
+            raise TypeError(
+                f"{function}: pass options through config=RunConfig(...)"
+                f" OR the legacy loose kwargs, not both "
+                f"(got config= and {sorted(passed)})")
+        return config
+    if passed:
+        warnings.warn(
+            f"{function}({', '.join(sorted(passed))}=...) is "
+            f"deprecated; pass config=repro.RunConfig(...) instead",
+            DeprecationWarning, stacklevel=3)
+    fields = {field: passed[name] for name, field in _LOOSE_TO_FIELD
+              if name in passed}
+    return RunConfig(**fields)
+
+
 def execute(
     compiled: CompiledProgram,
-    num_nodes: int = 1,
+    num_nodes: int = _UNSET,
     params: Optional[MachineParams] = None,
-    entry: str = "main",
-    args: Sequence[Union[int, float]] = (),
-    max_stmts: int = 200_000_000,
-    strict_nil_reads: bool = False,
+    entry: str = _UNSET,
+    args: Sequence[Union[int, float]] = _UNSET,
+    max_stmts: int = _UNSET,
+    strict_nil_reads: bool = _UNSET,
     tracer: Optional[Tracer] = None,
-    engine: str = "closure",
+    engine: str = _UNSET,
     faults: Optional[FaultPlan] = None,
+    config: Optional[RunConfig] = None,
 ) -> RunResult:
     """Run a compiled program on a fresh machine.
 
-    ``tracer`` attaches a :class:`repro.obs.Tracer` for structured event
-    recording (default off: no tracing overhead).  ``engine`` selects
-    the execution engine: ``"closure"`` (default, fast) or ``"ast"``
-    (the reference tree walker).  ``faults`` attaches a seeded
-    :class:`repro.earth.faults.FaultPlan`: the machine drops, delays,
-    and reorders messages per the plan while the resilience layer
-    (timeout + retry + dedup) keeps results correct."""
-    machine = Machine(num_nodes, params,
-                      strict_nil_reads=strict_nil_reads,
+    ``config`` (a :class:`repro.config.RunConfig`) is the one options
+    object: node count, entry/args, engine, machine-parameter preset,
+    remote-cache geometry, statement budget, fault spec, and trace
+    flags.  The loose kwargs (``num_nodes``, ``entry``, ``args``,
+    ``max_stmts``, ``strict_nil_reads``, ``engine``) are the deprecated
+    pre-RunConfig surface: still honored, but they warn.
+
+    Live-object overrides (never deprecated): ``params`` substitutes an
+    exact :class:`MachineParams` instance for the config's preset;
+    ``tracer`` attaches a caller-owned :class:`repro.obs.Tracer`;
+    ``faults`` attaches an already-built (single-use)
+    :class:`repro.earth.faults.FaultPlan` in place of the config's
+    fault spec."""
+    config = _config_from_loose(
+        config, "execute", num_nodes=num_nodes, entry=entry, args=args,
+        max_stmts=max_stmts, strict_nil_reads=strict_nil_reads,
+        engine=engine)
+    if params is None:
+        params = config.machine_params()
+    if tracer is None:
+        tracer = config.make_tracer()
+    if faults is None:
+        faults = config.fault_plan()
+    machine = Machine(config.nodes, params,
+                      strict_nil_reads=config.strict_nil_reads,
                       tracer=tracer, faults=faults)
     interpreter = Interpreter(compiled.simple, machine,
-                              max_stmts=max_stmts, engine=engine)
-    return interpreter.run(entry, args)
+                              max_stmts=config.max_stmts,
+                              engine=config.engine)
+    return interpreter.run(config.entry, config.args)
 
 
 def run_three_ways(
     source: str,
     filename: str = "<benchmark>",
-    num_nodes: int = 4,
-    entry: str = "main",
-    args: Sequence[Union[int, float]] = (),
+    num_nodes: int = _UNSET,
+    entry: str = _UNSET,
+    args: Sequence[Union[int, float]] = _UNSET,
     inline: Union[bool, Set[str]] = False,
-    config: Optional[CommConfig] = None,
-    max_stmts: int = 200_000_000,
-    engine: str = "closure",
+    config: Optional[Union[RunConfig, CommConfig]] = None,
+    max_stmts: int = _UNSET,
+    engine: str = _UNSET,
     faults: Optional[FaultPlan] = None,
+    comm_config: Optional[CommConfig] = None,
 ) -> Dict[str, RunResult]:
     """The paper's three configurations of one program.
 
     * ``sequential`` -- 1 node, no EARTH overheads (Table III column 1);
-    * ``simple`` -- ``num_nodes`` nodes, without communication
+    * ``simple`` -- ``config.nodes`` nodes, without communication
       optimization.  Like the paper's simple versions, this still goes
       through locality analysis and Phase III thread generation, so
       remote operations are split-phase with sync-on-use -- they just
       are not *moved*, merged, or blocked;
-    * ``optimized`` -- ``num_nodes`` nodes, after communication
+    * ``optimized`` -- ``config.nodes`` nodes, after communication
       optimization.
 
-    All three must compute the same value (checked).  ``faults`` is
-    cloned per configuration so each run replays the identical seeded
-    fault schedule (with faults enabled, the same-value check doubles
-    as a chaos-differential oracle).
-    """
-    results: Dict[str, RunResult] = {}
+    ``config`` is the run-side :class:`~repro.config.RunConfig` (its
+    rcache fields are ignored here -- the cached configuration is
+    :func:`run_four_ways`' fourth leg).  ``comm_config`` tunes the
+    *optimizer* for the optimized leg (``config`` used to mean that;
+    a :class:`CommConfig` passed there still works but warns).
 
-    def plan() -> Optional[FaultPlan]:
-        return faults.clone() if faults is not None else None
+    All three must compute the same value (checked).  ``faults`` (or
+    the config's fault spec) replays the identical seeded fault
+    schedule in every configuration -- with faults enabled, the
+    same-value check doubles as a chaos-differential oracle.
+    """
+    if isinstance(config, CommConfig):
+        warnings.warn(
+            "run_three_ways(config=CommConfig(...)) is deprecated; the "
+            "optimizer configuration is now comm_config= (config= takes "
+            "a repro.RunConfig)", DeprecationWarning, stacklevel=2)
+        config, comm_config = None, config
+    config_given = config is not None
+    config = _config_from_loose(
+        config, "run_three_ways", num_nodes=num_nodes, entry=entry,
+        args=args, max_stmts=max_stmts, engine=engine)
+    if not config_given and num_nodes is _UNSET:
+        # Preserve the historical default of this harness: three-way
+        # comparisons run the parallel legs on 4 nodes.
+        config = config.replace(nodes=4)
+    if faults is not None:
+        # A live plan is an override: its spec replaces the config's.
+        config = config.replace(faults=faults.spec())
+    results, _ = _run_configurations(source, filename, config, inline,
+                                     comm_config, rcached=False)
+    return results
+
+
+def run_four_ways(
+    source: str,
+    filename: str = "<benchmark>",
+    config: Optional[RunConfig] = None,
+    inline: Union[bool, Set[str]] = False,
+    comm_config: Optional[CommConfig] = None,
+) -> Dict[str, RunResult]:
+    """Table III's fourth configuration on top of the paper's three:
+    ``rcached`` re-runs the *optimized* program with the per-node
+    remote-data cache enabled (:mod:`repro.earth.rcache`).
+
+    The cache geometry comes from ``config``'s rcache fields; a config
+    without one (capacity 0) gets the default geometry
+    (:data:`~repro.earth.rcache.DEFAULT_CAPACITY` lines of
+    :data:`~repro.earth.rcache.DEFAULT_LINE_WORDS` words).  All four
+    configurations must compute the same value (checked) -- with the
+    cache enabled this doubles as a coherence oracle."""
+    from repro.earth.rcache import DEFAULT_CAPACITY, DEFAULT_LINE_WORDS
+    if config is None:
+        config = RunConfig(nodes=4)
+    if config.rcache_capacity == 0:
+        config = config.replace(rcache_capacity=DEFAULT_CAPACITY,
+                                rcache_line_words=DEFAULT_LINE_WORDS)
+    results, _ = _run_configurations(source, filename, config, inline,
+                                     comm_config, rcached=True)
+    return results
+
+
+def _run_configurations(source, filename, config: RunConfig, inline,
+                        comm_config: Optional[CommConfig],
+                        rcached: bool):
+    """Shared engine of ``run_three_ways`` / ``run_four_ways``."""
+    results: Dict[str, RunResult] = {}
+    base = config.replace(rcache_capacity=0)
 
     sequential = compile_earthc(source, filename, optimize=False,
                                 inline=inline)
     results["sequential"] = execute(
-        sequential, 1, MachineParams.sequential_c(), entry, args,
-        max_stmts=max_stmts, engine=engine, faults=plan())
+        sequential, params=MachineParams.sequential_c(),
+        config=base.replace(nodes=1))
 
     simple = compile_earthc(source, filename, optimize=True,
                             config=simple_baseline_config(),
                             inline=inline)
-    results["simple"] = execute(simple, num_nodes, None, entry, args,
-                                max_stmts=max_stmts, engine=engine,
-                                faults=plan())
+    results["simple"] = execute(simple, config=base)
 
     optimized = compile_earthc(source, filename, optimize=True,
-                               config=config, inline=inline)
-    results["optimized"] = execute(optimized, num_nodes, None, entry,
-                                   args, max_stmts=max_stmts,
-                                   engine=engine, faults=plan())
+                               config=comm_config, inline=inline)
+    results["optimized"] = execute(optimized, config=base)
+
+    if rcached:
+        results["rcached"] = execute(optimized, config=config)
 
     values = {name: result.value for name, result in results.items()}
     if len({_norm(v) for v in values.values()}) != 1:
         raise AssertionError(
             f"configurations disagree on the program result: {values}")
-    return results
+    compiled = {"sequential": sequential, "simple": simple,
+                "optimized": optimized}
+    return results, compiled
+
+
+def run(
+    source: str,
+    filename: str = "<input>",
+    optimize: bool = True,
+    inline: Union[bool, Set[str]] = False,
+    reorder_fields: bool = False,
+    comm_config: Optional[CommConfig] = None,
+    config: Optional[RunConfig] = None,
+    params: Optional[MachineParams] = None,
+    tracer: Optional[Tracer] = None,
+    faults: Optional[FaultPlan] = None,
+) -> RunResult:
+    """Compile EARTH-C source and run it in one call -- the public
+    one-stop entry point (``repro.run``).  Compile-side options are the
+    loose kwargs (they configure :func:`compile_earthc`); run-side
+    options travel in ``config``."""
+    compiled = compile_earthc(source, filename, optimize=optimize,
+                              config=comm_config, inline=inline,
+                              reorder_fields=reorder_fields)
+    return execute(compiled, params=params, tracer=tracer,
+                   faults=faults, config=config or RunConfig())
+
+
+#: Public alias: ``repro.compile_source`` is the stable name for the
+#: compile entry point (the historical ``compile_earthc`` stays).
+compile_source = compile_earthc
 
 
 #: Named optimizer configurations a serialized job may request.  Jobs

@@ -7,9 +7,12 @@ Run as::
 
 Prints Table I (communication cost calibration), Table II (workloads),
 Table III (performance improvement) and Figure 10 (dynamic communication
-counts).  ``--small`` uses the reduced problem sizes (fast; used by the
-test suite), the default uses the DESIGN.md sizes and takes a minute or
-two.  EXPERIMENTS.md records a default run's output.
+counts).  ``--rcache`` extends Table III with the fourth configuration:
+the optimized program re-run with the per-node remote-data cache
+(:mod:`repro.earth.rcache`) at its default geometry.  ``--small`` uses
+the reduced problem sizes (fast; used by the test suite), the default
+uses the DESIGN.md sizes and takes a minute or two.  EXPERIMENTS.md
+records a default run's output.
 """
 
 from __future__ import annotations
@@ -45,6 +48,9 @@ def main(argv=None) -> int:
                              "Table III")
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset")
+    parser.add_argument("--rcache", action="store_true",
+                        help="add the fourth Table III configuration: "
+                             "optimized + per-node remote-data cache")
     parser.add_argument("--metrics-json", default=None, metavar="FILE",
                         help="also write machine-readable metrics "
                              "(per-benchmark EU/SU utilization for the "
@@ -74,10 +80,11 @@ def main(argv=None) -> int:
         rows = measure_table3_pooled(processor_counts, benchmarks,
                                      small=args.small,
                                      workers=args.workers,
-                                     cache_dir=args.cache_dir)
+                                     cache_dir=args.cache_dir,
+                                     rcache=args.rcache)
     else:
         rows = measure_table3(processor_counts, benchmarks,
-                              small=args.small)
+                              small=args.small, rcache=args.rcache)
     print(format_table3(rows))
     print()
     print("=" * 72)
@@ -99,7 +106,8 @@ def main(argv=None) -> int:
         print("=" * 72)
         for name in names:
             metrics[name] = measure_utilization(name, nodes,
-                                                small=args.small)
+                                                small=args.small,
+                                                rcache=args.rcache)
             print(format_utilization(name, metrics[name]))
         with open(args.metrics_json, "w") as handle:
             json.dump({"nodes": nodes, "benchmarks": metrics}, handle,

@@ -132,6 +132,20 @@ def chrome_trace_events(tracer: Tracer, num_nodes: int) -> List[dict]:
                         "args": {"src": event["src"],
                                  "chan_seq": event["chan_seq"],
                                  "id": event["id"]}})
+        elif kind == "cache_hit":
+            out.append({"ph": "i", "pid": node, "tid": EU_TID,
+                        "ts": ts, "s": "t", "cat": "cache",
+                        "name": "cache_hit",
+                        "args": {"target": event["target"],
+                                 "addr": event["addr"],
+                                 "site": _site_text(event["site"])}})
+        elif kind == "cache_inval":
+            out.append({"ph": "i", "pid": node, "tid": EU_TID,
+                        "ts": ts, "s": "t", "cat": "cache",
+                        "name": "cache_inval",
+                        "args": {"home": event["home"],
+                                 "addr": event["addr"],
+                                 "words": event["words"]}})
     return out
 
 

@@ -46,11 +46,18 @@ op_retry       ``op``, ``target``, ``attempt``, ``id``
 op_dedup       ``op``, ``src``, ``id`` -- duplicate absorbed at the SU
 op_hold        ``op``, ``src``, ``chan_seq``, ``id`` -- parked behind
                a lost predecessor on its channel (in-order delivery)
+cache_hit      ``target``, ``addr``, ``site`` -- a remote read served
+               from the node's remote-data cache (no network traffic,
+               no ``issue``/``fulfill`` pair)
+cache_inval    ``home``, ``addr``, ``words`` -- one cached line dropped
+               from this node by a write (write-through invalidation)
 =============  =====================================================
 
-The last five kinds only appear under fault injection
+``net_drop`` through ``op_hold`` only appear under fault injection
 (:mod:`repro.earth.faults`); a retried operation then emits one
-``net_send`` per attempt but still exactly one ``fulfill``.
+``net_send`` per attempt but still exactly one ``fulfill``.  The
+``cache_*`` kinds only appear with a remote-data cache configured
+(:mod:`repro.earth.rcache`, ``MachineParams.rcache_capacity > 0``).
 
 ``site`` is the issuing SIMPLE statement as ``(function, label)``
 (set by the interpreter; ``None`` for machine-level traffic such as

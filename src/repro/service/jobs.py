@@ -10,9 +10,12 @@ boundaries as JSON.  Three public kinds:
   count, machine-parameter preset, optional fault plan);
 * ``three-way`` -- the paper's sequential/simple/optimized triple via
   :func:`~repro.harness.pipeline.run_three_ways` (the unit of the
-  Table III / Figure 10 batch sweeps).
+  Table III / Figure 10 batch sweeps);
+* ``four-way`` -- the triple plus the remote-cache configuration
+  (:func:`~repro.harness.pipeline.run_four_ways`, Table III's fourth
+  column).
 
-A fourth internal kind, ``selftest``, exists for the service's own
+A fifth internal kind, ``selftest``, exists for the service's own
 tests and smoke checks (echo a value, sleep, fail, or hard-crash the
 worker); it is never cached.
 
@@ -27,6 +30,12 @@ carrying source text; the worker resolves the name through
 :mod:`repro.olden.loader`.  Cache keys are computed over the *resolved*
 inputs (canonicalized source text, full option set, pipeline version),
 so a benchmark job and an equivalent source job share an address.
+
+Run-side options resolve to one :class:`repro.config.RunConfig`;
+its :meth:`~repro.config.RunConfig.to_json` is embedded verbatim in the
+hashed inputs, so every current and future run option participates in
+the cache key automatically -- a new machine knob can never silently
+alias stale cached payloads.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.config import RunConfig
 from repro.earth.faults import FaultPlan
 from repro.earth.interpreter import ENGINES, RunResult
 from repro.errors import ReproError, ServiceError, exit_code_for
@@ -47,7 +57,7 @@ from repro.harness.pipeline import (
     compile_earthc,
     execute,
     resolve_config,
-    resolve_params,
+    run_four_ways,
     run_three_ways,
 )
 from repro.service.cache import (
@@ -56,7 +66,7 @@ from repro.service.cache import (
     canonicalize_source,
 )
 
-JOB_KINDS = ("compile", "run", "three-way", "selftest")
+JOB_KINDS = ("compile", "run", "three-way", "four-way", "selftest")
 
 _SELFTEST_BEHAVIORS = ("echo", "sleep", "fail", "crash")
 
@@ -82,6 +92,9 @@ class JobSpec:
         max_stmts: Optional[int] = None,
         strict_nil_reads: bool = False,
         faults: Optional[Dict[str, object]] = None,
+        rcache_capacity: int = 0,
+        rcache_line_words: int = 16,
+        rcache_policy: str = "lru",
         small: bool = False,
         selftest: Optional[Dict[str, object]] = None,
     ):
@@ -114,6 +127,14 @@ class JobSpec:
             # Validate eagerly so a bad spec fails at submission, not
             # in a worker; the plan itself is rebuilt per execution.
             FaultPlan.from_spec(faults)
+        try:
+            # Eager run-option validation through the one options
+            # object (rcache geometry, policy names, ...).
+            RunConfig(rcache_capacity=rcache_capacity,
+                      rcache_line_words=rcache_line_words,
+                      rcache_policy=rcache_policy)
+        except ReproError as exc:
+            raise ServiceError(str(exc)) from None
         self.kind = kind
         self.source = source
         self.benchmark = benchmark
@@ -131,6 +152,9 @@ class JobSpec:
         self.max_stmts = max_stmts
         self.strict_nil_reads = bool(strict_nil_reads)
         self.faults = None if faults is None else dict(faults)
+        self.rcache_capacity = int(rcache_capacity)
+        self.rcache_line_words = int(rcache_line_words)
+        self.rcache_policy = rcache_policy
         self.small = bool(small)
         self.selftest = None if selftest is None else dict(selftest)
 
@@ -155,6 +179,9 @@ class JobSpec:
             "max_stmts": self.max_stmts,
             "strict_nil_reads": self.strict_nil_reads,
             "faults": self.faults,
+            "rcache_capacity": self.rcache_capacity,
+            "rcache_line_words": self.rcache_line_words,
+            "rcache_policy": self.rcache_policy,
             "small": self.small,
             "selftest": self.selftest,
         }
@@ -169,7 +196,9 @@ class JobSpec:
         known = {"kind", "source", "benchmark", "filename", "optimize",
                  "config", "inline", "reorder_fields", "nodes", "entry",
                  "args", "engine", "params", "max_stmts",
-                 "strict_nil_reads", "faults", "small", "selftest"}
+                 "strict_nil_reads", "faults", "rcache_capacity",
+                 "rcache_line_words", "rcache_policy", "small",
+                 "selftest"}
         unknown = set(data) - known
         if unknown:
             raise ServiceError(
@@ -226,36 +255,33 @@ class JobSpec:
             "inline": inline,
             "version": PIPELINE_VERSION,
         }
-        if self.kind == "compile":
+        if self.kind in ("compile", "run"):
             resolved["options"] = {
                 "optimize": self.optimize,
                 "config": self.config,
                 "reorder_fields": self.reorder_fields,
             }
-        elif self.kind == "run":
-            resolved["options"] = {
-                "optimize": self.optimize,
-                "config": self.config,
-                "reorder_fields": self.reorder_fields,
-            }
-            resolved["run"] = {
-                "nodes": self.nodes,
-                "entry": self.entry,
-                "args": args,
-                "engine": self.engine,
-                "params": self.params,
-                "max_stmts": max_stmts,
-                "strict_nil_reads": self.strict_nil_reads,
-                "faults": self.faults,
-            }
-        else:  # three-way
-            resolved["run"] = {
-                "nodes": self.nodes,
-                "args": args,
-                "engine": self.engine,
-                "max_stmts": max_stmts,
-                "faults": self.faults,
-            }
+        if self.kind != "compile":
+            config = RunConfig(
+                nodes=self.nodes, entry=self.entry, args=tuple(args),
+                engine=self.engine, params=self.params,
+                rcache_capacity=self.rcache_capacity,
+                rcache_line_words=self.rcache_line_words,
+                rcache_policy=self.rcache_policy,
+                max_stmts=max_stmts,
+                strict_nil_reads=self.strict_nil_reads,
+                faults=self.faults)
+            if self.kind == "three-way":
+                # run_three_ways ignores the cache fields; normalize
+                # them out of the key so equivalent jobs share an
+                # address.
+                config = config.replace(rcache_capacity=0,
+                                        rcache_line_words=16,
+                                        rcache_policy="lru")
+            # The config's canonical JSON form is embedded verbatim:
+            # every run option -- current and future -- lands in the
+            # cache key without per-field bookkeeping here.
+            resolved["run"] = config.to_json()
         return resolved
 
     def cacheable(self) -> bool:
@@ -402,10 +428,6 @@ def _compile_for(resolved: Dict[str, object]) -> CompiledProgram:
     return compiled
 
 
-def _fault_plan(spec: JobSpec) -> Optional[FaultPlan]:
-    return None if spec.faults is None else FaultPlan.from_spec(spec.faults)
-
-
 def _execute_selftest(spec: JobSpec) -> Dict[str, object]:
     behavior = spec.selftest["behavior"]
     if behavior == "echo":
@@ -428,27 +450,21 @@ def _compute_payload(spec: JobSpec,
         return _execute_selftest(spec)
     if spec.kind == "compile":
         return compile_payload(_compile_for(resolved))
+    config = RunConfig.from_json(resolved["run"])
     if spec.kind == "run":
-        run = resolved["run"]
         compiled = _compile_for(resolved)
-        result = execute(
-            compiled, num_nodes=run["nodes"],
-            params=resolve_params(run["params"]),
-            entry=run["entry"], args=run["args"],
-            max_stmts=run["max_stmts"],
-            strict_nil_reads=run["strict_nil_reads"],
-            engine=run["engine"], faults=_fault_plan(spec))
+        result = execute(compiled, config=config)
         return {"run": run_payload(result),
                 "compile": compile_payload(compiled)}
-    # three-way
-    run = resolved["run"]
+    # three-way / four-way
     inline = resolved["inline"]
-    results = run_three_ways(
-        resolved["source"], resolved["filename"],
-        num_nodes=run["nodes"], args=run["args"],
-        inline=set(inline) if isinstance(inline, list) else inline,
-        max_stmts=run["max_stmts"], engine=run["engine"],
-        faults=_fault_plan(spec))
+    inline = set(inline) if isinstance(inline, list) else inline
+    if spec.kind == "four-way":
+        results = run_four_ways(resolved["source"], resolved["filename"],
+                                config=config, inline=inline)
+    else:
+        results = run_three_ways(resolved["source"], resolved["filename"],
+                                 config=config, inline=inline)
     return {name: run_payload(result)
             for name, result in results.items()}
 

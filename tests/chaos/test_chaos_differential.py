@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro.earth.faults import PROFILES, FaultPlan
 from repro.harness.pipeline import compile_earthc, execute
+from repro.config import RunConfig
 
 from tests.property.gen_programs import heap_programs
 
@@ -46,12 +47,12 @@ fault_configs = st.sampled_from(sorted(PROFILES)) \
 def test_faults_never_change_what_a_program_computes(source, config):
     profile, seed = config
     compiled = compile_earthc(source, optimize=True)
-    baseline = execute(compiled, num_nodes=3)
+    baseline = execute(compiled, config=RunConfig(nodes=3))
     base_stats = baseline.stats
     for engine in ("closure", "ast"):
         plan = FaultPlan.from_profile(profile, seed)
-        result = execute(compiled, num_nodes=3, faults=plan,
-                         engine=engine)
+        result = execute(compiled, faults=plan,
+                         config=RunConfig(nodes=3, engine=engine))
         assert result.value == baseline.value, (profile, seed, engine)
         assert result.output == baseline.output, (profile, seed, engine)
         for counter in INVARIANT_COUNTERS:
@@ -68,8 +69,8 @@ def test_replayed_plan_gives_bit_identical_faulty_runs(source, seed):
     the full statistics snapshot."""
     compiled = compile_earthc(source, optimize=True)
     plan = FaultPlan.from_profile("chaos", seed)
-    first = execute(compiled, num_nodes=3, faults=plan.clone())
-    second = execute(compiled, num_nodes=3, faults=plan.clone())
+    first = execute(compiled, faults=plan.clone(), config=RunConfig(nodes=3))
+    second = execute(compiled, faults=plan.clone(), config=RunConfig(nodes=3))
     assert first.value == second.value
     assert first.time_ns == second.time_ns
     assert first.output == second.output
@@ -82,8 +83,8 @@ def test_optimizer_is_safe_under_faults(source, seed):
     """The three-way equivalence (sequential / simple / optimized)
     must survive a faulty network, not just a clean one."""
     plan = FaultPlan.from_profile("lossy", seed)
-    plain = execute(compile_earthc(source), num_nodes=3,
-                    faults=plan.clone())
+    plain = execute(compile_earthc(source), faults=plan.clone(),
+                    config=RunConfig(nodes=3))
     optimized = execute(compile_earthc(source, optimize=True),
-                        num_nodes=3, faults=plan.clone())
+                        faults=plan.clone(), config=RunConfig(nodes=3))
     assert optimized.value == plain.value

@@ -15,6 +15,7 @@ import pytest
 
 from repro.harness.pipeline import run_three_ways
 from repro.olden.loader import catalog
+from repro.config import RunConfig
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
                            "golden_zero_fault.json")
@@ -32,9 +33,9 @@ def golden():
 
 @pytest.fixture(scope="module")
 def results():
-    return {spec.name: run_three_ways(spec.source(), spec.name,
-                                      num_nodes=4, args=spec.small_args,
-                                      inline=spec.inline)
+    return {spec.name: run_three_ways(
+                spec.source(), spec.name, inline=spec.inline,
+                config=RunConfig(nodes=4, args=tuple(spec.small_args)))
             for spec in catalog()}
 
 

@@ -12,6 +12,7 @@ import pytest
 from repro.earth.faults import FaultPlan
 from repro.harness.pipeline import compile_earthc, execute
 from repro.olden.loader import catalog
+from repro.config import RunConfig
 
 SEEDS = (1, 2, 3)
 NODES = 4
@@ -27,8 +28,9 @@ def compiled_benchmarks():
 
 @pytest.fixture(scope="module")
 def baselines(compiled_benchmarks):
-    return {name: execute(compiled, num_nodes=NODES,
-                          args=list(spec.small_args))
+    return {name: execute(compiled,
+                          config=RunConfig(nodes=NODES,
+                                           args=tuple(list(spec.small_args))))
             for name, (spec, compiled) in compiled_benchmarks.items()}
 
 
@@ -41,9 +43,10 @@ def test_benchmark_invariant_under_chaos(compiled_benchmarks, baselines,
     runs = {}
     for engine in ("closure", "ast"):
         plan = FaultPlan.from_profile("chaos", seed)
-        result = execute(compiled, num_nodes=NODES,
-                         args=list(spec.small_args), faults=plan,
-                         engine=engine)
+        result = execute(compiled, faults=plan,
+                         config=RunConfig(nodes=NODES,
+                                          args=tuple(list(spec.small_args)),
+                                          engine=engine))
         assert result.value == baseline.value, engine
         assert result.output == baseline.output, engine
         # The plan actually did something to this run.
@@ -64,8 +67,9 @@ def test_benchmark_survives_slowdown_and_stalls(compiled_benchmarks,
     baseline = baselines[name]
     for profile in ("jittery", "slow-su", "stally"):
         plan = FaultPlan.from_profile(profile, 4)
-        result = execute(compiled, num_nodes=NODES,
-                         args=list(spec.small_args), faults=plan)
+        result = execute(compiled, faults=plan,
+                         config=RunConfig(nodes=NODES,
+                                          args=tuple(list(spec.small_args))))
         assert result.value == baseline.value, profile
         assert result.output == baseline.output, profile
         assert result.stats.net_drops == 0, profile

@@ -15,6 +15,7 @@ import time
 from repro.earth.faults import FaultPlan
 from repro.harness.pipeline import compile_earthc, execute
 from repro.olden.loader import get_benchmark
+from repro.config import RunConfig
 
 MIN_STMTS_PER_SEC = 50_000
 
@@ -23,10 +24,10 @@ def _best_run_seconds(compiled, spec, repeats=3, plan=None):
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        result = execute(compiled, num_nodes=4,
-                         args=list(spec.small_args),
-                         faults=plan.clone() if plan is not None
-                         else None)
+        result = execute(compiled,
+                         faults=plan.clone() if plan is not None else None,
+                         config=RunConfig(nodes=4,
+                                          args=tuple(spec.small_args)))
         best = min(best, time.perf_counter() - start)
     return best, result
 

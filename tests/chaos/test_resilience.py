@@ -12,6 +12,7 @@ import pytest
 from repro.earth.faults import FaultPlan
 from repro.errors import SimulatorError
 from repro.harness.pipeline import compile_earthc, execute
+from repro.config import RunConfig
 
 from tests.chaos.scripted import RMW_LOOP, ScriptedPlan
 
@@ -25,13 +26,14 @@ def compiled():
 
 @pytest.fixture(scope="module")
 def baseline(compiled):
-    return execute(compiled, num_nodes=2, args=[])
+    return execute(compiled, config=RunConfig(nodes=2, args=tuple([])))
 
 
 @pytest.fixture(scope="module")
 def leg_count(compiled, baseline):
     probe = ScriptedPlan(NEVER)
-    result = execute(compiled, num_nodes=2, args=[], faults=probe)
+    result = execute(compiled, faults=probe,
+                     config=RunConfig(nodes=2, args=tuple([])))
     assert result.value == baseline.value
     assert probe.leg_count > 0
     return probe.leg_count
@@ -43,8 +45,8 @@ class TestSingleLegLoss:
         """Exhaustive: losing any one message -- request or reply, any
         op -- must not change what the program computes."""
         for index in range(leg_count):
-            result = execute(compiled, num_nodes=2, args=[],
-                             faults=ScriptedPlan(index))
+            result = execute(compiled, faults=ScriptedPlan(index),
+                             config=RunConfig(nodes=2, args=tuple([])))
             assert result.value == baseline.value, f"dropped leg {index}"
             assert result.output == baseline.output, f"dropped leg {index}"
             stats = result.stats
@@ -58,8 +60,8 @@ class TestSingleLegLoss:
                                                    baseline):
         # Leg 0 is the very first request: it must be re-sent, arrive
         # on the second attempt, and apply exactly once.
-        result = execute(compiled, num_nodes=2, args=[],
-                         faults=ScriptedPlan(0))
+        result = execute(compiled, faults=ScriptedPlan(0),
+                         config=RunConfig(nodes=2, args=tuple([])))
         assert result.value == baseline.value
         stats = result.stats
         assert stats.op_retries >= 1
@@ -77,8 +79,8 @@ class TestSingleLegLoss:
         """Find a reply-leg drop: the operation applied, only the ack
         was lost, so the retry must be absorbed as a duplicate."""
         for index in range(leg_count):
-            result = execute(compiled, num_nodes=2, args=[],
-                             faults=ScriptedPlan(index))
+            result = execute(compiled, faults=ScriptedPlan(index),
+                             config=RunConfig(nodes=2, args=tuple([])))
             if result.stats.dedup_replays:
                 assert result.value == baseline.value
                 assert result.stats.dedup_replays == 1
@@ -91,8 +93,8 @@ class TestSingleLegLoss:
         behind it -- and the hold must keep the value right."""
         held = 0
         for index in range(leg_count):
-            result = execute(compiled, num_nodes=2, args=[],
-                             faults=ScriptedPlan(index))
+            result = execute(compiled, faults=ScriptedPlan(index),
+                             config=RunConfig(nodes=2, args=tuple([])))
             held += result.stats.ooo_holds
             assert result.value == baseline.value, f"dropped leg {index}"
         assert held > 0
@@ -102,15 +104,16 @@ class TestLossBeyondRetryBudget:
     def test_total_loss_raises_after_bounded_attempts(self, compiled):
         plan = FaultPlan(1, drop_prob=1.0)
         with pytest.raises(SimulatorError, match="lost after"):
-            execute(compiled, num_nodes=2, args=[], faults=plan)
+            execute(compiled, faults=plan,
+                    config=RunConfig(nodes=2, args=tuple([])))
 
     def test_heavy_loss_within_budget_still_succeeds(self, compiled,
                                                      baseline):
         # At 30% per-leg loss an attempt succeeds with p = 0.49 (both
         # legs must survive), comfortably inside the 10-attempt budget.
         for seed in range(3):
-            result = execute(compiled, num_nodes=2, args=[],
-                             faults=FaultPlan(seed, drop_prob=0.3))
+            result = execute(compiled, faults=FaultPlan(seed, drop_prob=0.3),
+                             config=RunConfig(nodes=2, args=tuple([])))
             assert result.value == baseline.value
             assert result.stats.op_retries > 0
 
@@ -123,8 +126,8 @@ class TestNullPlan:
         communication counters must match the faults=None run (timing
         may legitimately differ -- e.g. invoke tokens now occupy the
         target SU)."""
-        result = execute(compiled, num_nodes=2, args=[],
-                         faults=FaultPlan(0))
+        result = execute(compiled, faults=FaultPlan(0),
+                         config=RunConfig(nodes=2, args=tuple([])))
         assert result.value == baseline.value
         assert result.output == baseline.output
         base = baseline.stats
@@ -144,8 +147,9 @@ class TestNullPlan:
 class TestEngineAgreement:
     def test_engines_agree_under_scripted_loss(self, compiled, leg_count):
         for index in (0, leg_count // 2, leg_count - 1):
-            runs = [execute(compiled, num_nodes=2, args=[],
-                            faults=ScriptedPlan(index), engine=engine)
+            runs = [execute(compiled, faults=ScriptedPlan(index),
+                            config=RunConfig(nodes=2, args=tuple([]),
+                                             engine=engine))
                     for engine in ("closure", "ast")]
             assert runs[0].value == runs[1].value
             assert runs[0].time_ns == runs[1].time_ns

@@ -9,6 +9,7 @@ from repro.frontend.parser import parse_program
 from repro.frontend.typecheck import check_program
 from repro.harness.pipeline import compile_earthc, execute
 from repro.simple import nodes as s
+from repro.config import RunConfig
 
 BIG = """
 struct big { double cold1; double cold2; double cold3; double cold4;
@@ -126,14 +127,15 @@ class TestPrefixBlocking:
         for reorder in (False, True):
             compiled = compile_earthc(READER, optimize=True,
                                       reorder_fields=reorder)
-            assert execute(compiled, num_nodes=2).value == 60
+            assert execute(compiled, config=RunConfig(nodes=2)).value == 60
 
     def test_fewer_remote_ops_with_reordering(self):
+        config = RunConfig(nodes=2)
         plain = execute(compile_earthc(READER, optimize=True),
-                        num_nodes=2)
+                        config=config)
         packed = execute(compile_earthc(READER, optimize=True,
                                         reorder_fields=True),
-                         num_nodes=2)
+                         config=config)
         assert packed.value == plain.value
         assert packed.stats.total_remote_ops < plain.stats.total_remote_ops
 
@@ -141,13 +143,13 @@ class TestPrefixBlocking:
         from repro.olden.loader import get_benchmark
         for name in ("power", "health"):
             spec = get_benchmark(name)
+            config = RunConfig(nodes=4, args=tuple(spec.small_args))
             baseline = execute(
                 compile_earthc(spec.source(), name, optimize=True,
-                               inline=spec.inline),
-                num_nodes=4, args=spec.small_args)
+                               inline=spec.inline), config=config)
             packed = execute(
                 compile_earthc(spec.source(), name, optimize=True,
                                inline=spec.inline, reorder_fields=True),
-                num_nodes=4, args=spec.small_args)
+                config=config)
             assert packed.value == baseline.value
             assert packed.time_ns <= baseline.time_ns * 1.05

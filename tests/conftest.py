@@ -19,6 +19,7 @@ settings.load_profile(os.environ.get(
     "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "fast"))
 
 from repro.comm.optimizer import CommConfig
+from repro.config import RunConfig
 from repro.frontend.goto_elim import eliminate_gotos
 from repro.frontend.parser import parse_program
 from repro.frontend.simplify import simplify_program
@@ -44,8 +45,8 @@ def run_value(source, optimize=False, num_nodes=1, args=(),
               entry="main", **kwargs):
     """Compile and run; returns the program result value."""
     compiled = compile_earthc(source, optimize=optimize, **kwargs)
-    return execute(compiled, num_nodes=num_nodes, entry=entry,
-                   args=args).value
+    config = RunConfig(nodes=num_nodes, entry=entry, args=tuple(args))
+    return execute(compiled, config=config).value
 
 
 def run_both(source, num_nodes=2, args=(), entry="main", inline=False):
@@ -53,8 +54,9 @@ def run_both(source, num_nodes=2, args=(), entry="main", inline=False):
     (unoptimized RunResult, optimized RunResult)."""
     plain = compile_earthc(source, optimize=False, inline=inline)
     opt = compile_earthc(source, optimize=True, inline=inline)
-    r1 = execute(plain, num_nodes=num_nodes, entry=entry, args=args)
-    r2 = execute(opt, num_nodes=num_nodes, entry=entry, args=args)
+    config = RunConfig(nodes=num_nodes, entry=entry, args=tuple(args))
+    r1 = execute(plain, config=config)
+    r2 = execute(opt, config=config)
     v1, v2 = r1.value, r2.value
     if isinstance(v1, float) or isinstance(v2, float):
         assert v1 == pytest.approx(v2, rel=1e-9, abs=1e-9)

@@ -15,6 +15,7 @@ from repro.earth import compile as compile_mod
 from repro.earth.faults import FaultPlan
 from repro.harness.pipeline import compile_earthc, execute
 from repro.olden.loader import get_benchmark
+from repro.config import RunConfig
 
 from tests.chaos.scripted import RMW_LOOP
 
@@ -60,11 +61,13 @@ class TestForcedFallback:
     def test_rmw_loop_bit_identical_to_ast(self, monkeypatch, methods):
         compiled = compile_earthc(RMW_LOOP, "rmw_loop.ec",
                                   optimize=True)
-        reference = execute(compiled, num_nodes=2, args=[],
-                            engine="ast")
+        reference = execute(compiled,
+                            config=RunConfig(nodes=2, args=tuple([]),
+                                             engine="ast"))
         delegations = _force_fallback(monkeypatch, methods)
-        hybrid = execute(compiled, num_nodes=2, args=[],
-                         engine="closure")
+        hybrid = execute(compiled,
+                         config=RunConfig(nodes=2, args=tuple([]),
+                                          engine="closure"))
         _identical(hybrid, reference)
         assert delegations  # the fallback actually ran
 
@@ -72,11 +75,15 @@ class TestForcedFallback:
         spec = get_benchmark("power")
         compiled = compile_earthc(spec.source(), spec.filename,
                                   optimize=True, inline=spec.inline)
-        reference = execute(compiled, num_nodes=4,
-                            args=list(spec.small_args), engine="ast")
+        reference = execute(compiled,
+                            config=RunConfig(nodes=4,
+                                             args=tuple(list(spec.small_args)),
+                                             engine="ast"))
         delegations = _force_fallback(monkeypatch, methods)
-        hybrid = execute(compiled, num_nodes=4,
-                         args=list(spec.small_args), engine="closure")
+        hybrid = execute(compiled,
+                         config=RunConfig(nodes=4,
+                                          args=tuple(list(spec.small_args)),
+                                          engine="closure"))
         _identical(hybrid, reference)
         assert delegations
 
@@ -86,11 +93,13 @@ def test_fallback_agrees_under_faults(monkeypatch):
     network path too."""
     compiled = compile_earthc(RMW_LOOP, "rmw_loop.ec", optimize=True)
     plan = FaultPlan.from_profile("chaos", 6)
-    reference = execute(compiled, num_nodes=2, args=[], engine="ast",
-                        faults=plan.clone())
+    reference = execute(compiled, faults=plan.clone(),
+                        config=RunConfig(nodes=2, args=tuple([]),
+                                         engine="ast"))
     delegations = _force_fallback(monkeypatch, FALLBACK_SETS[-1])
-    hybrid = execute(compiled, num_nodes=2, args=[], engine="closure",
-                     faults=plan.clone())
+    hybrid = execute(compiled, faults=plan.clone(),
+                     config=RunConfig(nodes=2, args=tuple([]),
+                                      engine="closure"))
     _identical(hybrid, reference)
     assert delegations
 
@@ -110,6 +119,7 @@ def test_unforced_closure_engine_does_not_delegate(monkeypatch):
     spec = get_benchmark("power")
     compiled = compile_earthc(spec.source(), spec.filename,
                               optimize=True, inline=spec.inline)
-    execute(compiled, num_nodes=4, args=list(spec.small_args),
-            engine="closure")
+    execute(compiled,
+            config=RunConfig(nodes=4, args=tuple(list(spec.small_args)),
+                             engine="closure"))
     assert delegations == []

@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from repro.config import RunConfig
 from repro.earth.interpreter import ENGINES, Interpreter, InterpreterError
 from repro.earth.machine import Machine
 from repro.earth.params import MachineParams
@@ -53,9 +54,11 @@ def _compare(compiled, num_nodes, params=None, args=(),
     """Run both engines on one compiled program; assert bit-identity."""
     results = {}
     for engine in ENGINES:
-        results[engine] = execute(compiled, num_nodes, params,
-                                  entry=entry, args=args,
-                                  max_stmts=max_stmts, engine=engine)
+        results[engine] = execute(
+            compiled, params=params,
+            config=RunConfig(nodes=num_nodes, entry=entry,
+                             args=tuple(args), max_stmts=max_stmts,
+                             engine=engine))
     ast, closure = results["ast"], results["closure"]
     assert closure.value == ast.value
     assert closure.output == ast.output
@@ -138,7 +141,8 @@ def test_runtime_errors_match():
     messages = {}
     for engine in ENGINES:
         with pytest.raises(Exception) as info:
-            execute(compiled, 1, strict_nil_reads=True, engine=engine)
+            execute(compiled, config=RunConfig(strict_nil_reads=True,
+                                               engine=engine))
         messages[engine] = str(info.value)
     assert messages["closure"] == messages["ast"]
 

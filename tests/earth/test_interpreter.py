@@ -7,6 +7,7 @@ from repro.earth.machine import Machine
 from repro.earth.params import MachineParams
 from repro.errors import InterpreterError, MemoryFault
 from repro.harness.pipeline import compile_earthc, execute
+from repro.config import RunConfig
 from tests.conftest import run_value
 
 NODE = "struct node { int v; struct node *next; };"
@@ -165,7 +166,7 @@ class TestHeap:
             int main() { return probe(NULL); }
         """
         compiled = compile_earthc(source)
-        result = execute(compiled, num_nodes=2)
+        result = execute(compiled, config=RunConfig(nodes=2))
         assert result.value == 7
         assert result.stats.speculative_nil_reads == 1
 
@@ -176,7 +177,7 @@ class TestHeap:
         """
         compiled = compile_earthc(source)
         with pytest.raises(MemoryFault):
-            execute(compiled, num_nodes=2, strict_nil_reads=True)
+            execute(compiled, config=RunConfig(nodes=2, strict_nil_reads=True))
 
     def test_malloc_placement(self):
         source = NODE + """
@@ -217,7 +218,7 @@ class TestParallelism:
             }
         """
         compiled = compile_earthc(source)
-        result = execute(compiled, num_nodes=2)
+        result = execute(compiled, config=RunConfig(nodes=2))
         assert result.value == 42
         assert result.stats.remote_calls >= 1
 
@@ -306,9 +307,9 @@ class TestParallelism:
             }
         """
         compiled2 = compile_earthc(source)
-        two = execute(compiled2, num_nodes=2)
+        two = execute(compiled2, config=RunConfig(nodes=2))
         compiled1 = compile_earthc(source)
-        one = execute(compiled1, num_nodes=1)
+        one = execute(compiled1, config=RunConfig(nodes=1))
         assert two.value == one.value
         assert two.time_ns < one.time_ns
 
@@ -348,7 +349,7 @@ class TestRuntimeChecks:
         """
         compiled = compile_earthc(source)
         with pytest.raises(InterpreterError, match="local"):
-            execute(compiled, num_nodes=2)
+            execute(compiled, config=RunConfig(nodes=2))
 
     def test_builtin_topology_queries(self):
         source = "int main() { return num_nodes() * 100 + my_node(); }"

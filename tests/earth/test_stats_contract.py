@@ -101,3 +101,35 @@ class TestFaultCounters:
         restored = json.loads(json.dumps(stats.snapshot()))
         assert restored["net_drops"] == 2
         assert restored["op_attempts_histogram"] == {"1": 5}
+
+
+class TestCacheCounters:
+    CACHE_COUNTERS = ("rcache_hits", "rcache_misses",
+                      "rcache_evictions", "rcache_invalidations")
+
+    def test_cache_counters_exist_and_start_at_zero(self):
+        snapshot = MachineStats().snapshot()
+        for name in self.CACHE_COUNTERS:
+            assert snapshot[name] == 0
+
+    def test_snapshot_round_trips_cache_counters(self):
+        stats = MachineStats()
+        for i, name in enumerate(self.CACHE_COUNTERS):
+            setattr(stats, name, 3 * i + 1)
+        restored = MachineStats.from_snapshot(stats.snapshot())
+        for name in self.CACHE_COUNTERS:
+            assert getattr(restored, name) == getattr(stats, name)
+        assert restored.snapshot() == stats.snapshot()
+
+    def test_merge_of_split_runs_equals_whole_run(self):
+        # The symmetry the pooled harness relies on: summing two
+        # halves' snapshots (either merge order) equals the whole.
+        whole = MachineStats()
+        first, second = MachineStats(), MachineStats()
+        for i, name in enumerate(self.CACHE_COUNTERS):
+            setattr(whole, name, 10 + i)
+            setattr(first, name, 4)
+            setattr(second, name, 6 + i)
+        ab = MachineStats.from_snapshot(first.snapshot()).merge(second)
+        ba = MachineStats.from_snapshot(second.snapshot()).merge(first)
+        assert ab.snapshot() == whole.snapshot() == ba.snapshot()

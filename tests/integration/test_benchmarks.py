@@ -14,6 +14,7 @@ import pytest
 
 from repro.harness.pipeline import run_three_ways
 from repro.olden.loader import catalog, get_benchmark
+from repro.config import RunConfig
 
 BENCHMARKS = [spec.name for spec in catalog()]
 
@@ -24,8 +25,8 @@ def results():
     data = {}
     for spec in catalog():
         data[spec.name] = run_three_ways(
-            spec.source(), spec.name, num_nodes=4,
-            args=spec.small_args, inline=spec.inline)
+            spec.source(), spec.name, inline=spec.inline,
+            config=RunConfig(nodes=4, args=tuple(spec.small_args)))
     return data
 
 
@@ -45,8 +46,9 @@ class TestEquivalence:
     @pytest.mark.parametrize("nodes", [1, 2, 8])
     def test_agreement_across_node_counts(self, name, nodes):
         spec = get_benchmark(name)
-        run_three_ways(spec.source(), name, num_nodes=nodes,
-                       args=spec.small_args, inline=spec.inline)
+        run_three_ways(spec.source(), name, inline=spec.inline,
+                       config=RunConfig(nodes=nodes,
+                                        args=tuple(spec.small_args)))
 
 
 class TestCommunicationClaims:
@@ -78,8 +80,9 @@ class TestDeterminism:
         spec = get_benchmark(name)
 
         def one():
-            res = run_three_ways(spec.source(), name, num_nodes=4,
-                                 args=spec.small_args, inline=spec.inline)
+            res = run_three_ways(spec.source(), name, inline=spec.inline,
+                                 config=RunConfig(nodes=4,
+                                                  args=tuple(spec.small_args)))
             return {key: (r.value, r.time_ns, r.stats.snapshot())
                     for key, r in res.items()}
 
@@ -90,8 +93,9 @@ class TestDefaultSizes:
     @pytest.mark.parametrize("name", BENCHMARKS)
     def test_default_size_runs(self, name):
         spec = get_benchmark(name)
-        res = run_three_ways(spec.source(), name, num_nodes=16,
-                             args=spec.default_args, inline=spec.inline)
+        res = run_three_ways(spec.source(), name, inline=spec.inline,
+                             config=RunConfig(nodes=16,
+                                              args=tuple(spec.default_args)))
         simple = res["simple"]
         optimized = res["optimized"]
         improvement = (simple.time_ns - optimized.time_ns) \

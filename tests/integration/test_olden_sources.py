@@ -5,6 +5,7 @@ import pytest
 from repro.harness.pipeline import compile_earthc, execute
 from repro.olden.loader import catalog, get_benchmark
 from repro.simple.validate import validate_program
+from repro.config import RunConfig
 
 
 class TestCatalog:
@@ -54,9 +55,9 @@ class TestScalability:
     def test_power_scales_with_laterals(self):
         spec = get_benchmark("power")
         small = execute(compile_earthc(spec.source(), "power"),
-                        num_nodes=1, args=(2, 2, 2, 1))
+                        config=RunConfig(nodes=1, args=(2, 2, 2, 1)))
         large = execute(compile_earthc(spec.source(), "power"),
-                        num_nodes=1, args=(4, 2, 2, 1))
+                        config=RunConfig(nodes=1, args=(4, 2, 2, 1)))
         assert large.stats.basic_stmts_executed \
             > small.stats.basic_stmts_executed
 
@@ -67,7 +68,7 @@ class TestScalability:
             result = execute(
                 compile_earthc(spec.source(), "perimeter",
                                inline=spec.inline),
-                num_nodes=1, args=(depth,))
+                config=RunConfig(nodes=1, args=(depth,)))
             values.append(result.value)
         # Deeper quadtrees refine the disk: perimeter grows.
         assert values[0] < values[1] < values[2]
@@ -76,7 +77,7 @@ class TestScalability:
         spec = get_benchmark("tsp")
         result = execute(compile_earthc(spec.source(), "tsp",
                                         inline=spec.inline),
-                         num_nodes=1, args=(32,))
+                         config=RunConfig(nodes=1, args=(32,)))
         # 32 unit-square cities: any closed tour is > 0 and a heuristic
         # tour of random points stays well under 32 * sqrt(2).
         assert 0 < result.value < 46_000  # scaled x1000
@@ -85,16 +86,16 @@ class TestScalability:
         # Checksum encodes treated patients; more steps, more treated.
         spec = get_benchmark("health")
         few = execute(compile_earthc(spec.source(), "health"),
-                      num_nodes=1, args=(2, 8))
+                      config=RunConfig(nodes=1, args=(2, 8)))
         many = execute(compile_earthc(spec.source(), "health"),
-                       num_nodes=1, args=(2, 14))
+                       config=RunConfig(nodes=1, args=(2, 14)))
         assert many.value > few.value
 
     def test_voronoi_frontier_complete(self):
         spec = get_benchmark("voronoi")
         npoints = 64
         result = execute(compile_earthc(spec.source(), "voronoi"),
-                         num_nodes=1, args=(npoints,))
+                         config=RunConfig(nodes=1, args=(npoints,)))
         # The checksum's high digits encode the merged frontier length,
         # which must contain every point exactly once.
         assert result.value // 100000 == npoints

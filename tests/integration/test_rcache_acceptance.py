@@ -1,0 +1,80 @@
+"""Acceptance: the remote-data cache earns its keep on Olden.
+
+At the default geometry (64 lines x 16 words, LRU) the cache must
+strictly reduce *dynamic remote-read counts* on at least three of the
+five Olden benchmarks, never increase communication on any of them,
+and never change what a benchmark computes.  This is the fourth
+Table III configuration (``report.py --rcache``) pinned as a test.
+"""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.harness.pipeline import compile_earthc, execute, run_four_ways
+from repro.olden.loader import catalog
+
+NODES = 4
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for spec in catalog():
+        compiled = compile_earthc(spec.source(), spec.name,
+                                  optimize=True, inline=spec.inline)
+        base = RunConfig(nodes=NODES, args=tuple(spec.small_args))
+        out[spec.name] = (
+            execute(compiled, config=base),
+            execute(compiled, config=base.replace(rcache_capacity=64)),
+        )
+    return out
+
+
+def test_remote_reads_strictly_reduced_on_three_of_five(runs):
+    reduced = [name for name, (plain, cached) in runs.items()
+               if cached.stats.remote_reads < plain.stats.remote_reads]
+    assert len(reduced) >= 3, sorted(
+        (name, plain.stats.remote_reads, cached.stats.remote_reads)
+        for name, (plain, cached) in runs.items())
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_cache_never_hurts_communication(runs, name):
+    plain, cached = runs[name]
+    stats, base = cached.stats, plain.stats
+    assert stats.remote_reads <= base.remote_reads
+    assert stats.remote_writes == base.remote_writes
+    assert stats.remote_blkmovs == base.remote_blkmovs
+    # Every avoided remote read is accounted for by a hit.
+    assert base.remote_reads - stats.remote_reads == stats.rcache_hits
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_cache_never_changes_results(runs, name):
+    plain, cached = runs[name]
+    assert cached.value == plain.value
+    assert cached.output == plain.output
+
+
+def test_cached_leg_beats_optimized_where_it_engages(runs):
+    # Where the cache absorbs a real share of the reads it must also
+    # win simulated time (hits cost rcache_hit_ns, not a network round
+    # trip).
+    for name, (plain, cached) in runs.items():
+        if cached.stats.rcache_hits > plain.stats.remote_reads // 4:
+            assert cached.time_ns < plain.time_ns, name
+
+
+def test_run_four_ways_surfaces_the_same_numbers():
+    spec = next(s for s in catalog() if s.name == "perimeter")
+    results = run_four_ways(spec.source(), spec.name,
+                            config=RunConfig(nodes=NODES,
+                                             args=tuple(spec.small_args),
+                                             rcache_capacity=64),
+                            inline=spec.inline)
+    assert set(results) == {"sequential", "simple", "optimized",
+                            "rcached"}
+    assert results["rcached"].value == results["optimized"].value
+    assert results["rcached"].stats.rcache_hits > 0
+    assert results["rcached"].stats.remote_reads \
+        < results["optimized"].stats.remote_reads

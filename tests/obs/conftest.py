@@ -4,6 +4,7 @@ import pytest
 
 from repro.harness.pipeline import compile_earthc, execute
 from repro.obs import Tracer
+from repro.config import RunConfig
 
 #: Builds a linked list on node 1 while main runs on node 0, then walks
 #: it -- every malloc/field access crosses the network, so the trace
@@ -36,7 +37,7 @@ def traced_run():
     """(compiled, tracer, result) of one optimized 2-node traced run."""
     compiled = compile_earthc(TRACED_SOURCE, optimize=True)
     tracer = Tracer()
-    result = execute(compiled, num_nodes=NUM_NODES, args=(6,),
-                     tracer=tracer)
+    result = execute(compiled, tracer=tracer,
+                     config=RunConfig(nodes=NUM_NODES, args=(6,)))
     assert result.value == 21
     return compiled, tracer, result

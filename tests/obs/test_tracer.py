@@ -10,6 +10,7 @@ from repro.harness.pipeline import (
 from repro.obs import Tracer
 from repro.obs.trace import span_intervals
 from repro.olden.loader import get_benchmark
+from repro.config import RunConfig
 from tests.obs.conftest import NUM_NODES, TRACED_SOURCE
 
 
@@ -136,9 +137,9 @@ class TestMachineIntegration:
 class TestZeroOverhead:
     def test_tracing_does_not_change_the_simulation(self):
         compiled = compile_earthc(TRACED_SOURCE, optimize=True)
-        plain = execute(compiled, num_nodes=NUM_NODES, args=(6,))
-        traced = execute(compiled, num_nodes=NUM_NODES, args=(6,),
-                         tracer=Tracer())
+        plain = execute(compiled, config=RunConfig(nodes=NUM_NODES, args=(6,)))
+        traced = execute(compiled, tracer=Tracer(),
+                         config=RunConfig(nodes=NUM_NODES, args=(6,)))
         assert traced.value == plain.value
         assert traced.time_ns == plain.time_ns
         assert traced.stats.snapshot() == plain.stats.snapshot()
@@ -147,7 +148,7 @@ class TestZeroOverhead:
 
     def test_untraced_run_records_no_tracer(self):
         compiled = compile_earthc(TRACED_SOURCE)
-        result = execute(compiled, num_nodes=1, args=(2,))
+        result = execute(compiled, config=RunConfig(nodes=1, args=(2,)))
         assert result.tracer is None
         assert result.utilization()["eu_utilization"][0] > 0.0
 
@@ -157,8 +158,9 @@ def _traced_olden(name, config):
     compiled = compile_earthc(spec.source(), optimize=True,
                               config=config, inline=spec.inline)
     tracer = Tracer()
-    result = execute(compiled, num_nodes=4, args=spec.small_args,
-                     max_stmts=spec.max_stmts, tracer=tracer)
+    result = execute(compiled, tracer=tracer,
+                     config=RunConfig(nodes=4, args=tuple(spec.small_args),
+                                      max_stmts=spec.max_stmts))
     reads = [e for e in tracer.events_of("issue") if e["op"] == "read"]
     # The trace and the counters are two views of the same run.
     assert len(reads) == result.stats.remote_reads

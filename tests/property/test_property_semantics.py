@@ -15,13 +15,16 @@ from hypothesis import HealthCheck, given, settings
 from repro.comm.optimizer import CommConfig
 from repro.harness.pipeline import compile_earthc
 from repro.harness.pipeline import execute as _execute
+from repro.config import RunConfig
 
 
-def execute(compiled, **kwargs):
+def execute(compiled, config=None, **kwargs):
     """Budget-capped execution: a generator bug that produces a runaway
     program should fail the example fast, not stall the suite."""
-    kwargs.setdefault("max_stmts", 2_000_000)
-    return _execute(compiled, **kwargs)
+    config = config or RunConfig()
+    if config.max_stmts == RunConfig().max_stmts:
+        config = config.replace(max_stmts=2_000_000)
+    return _execute(compiled, config=config, **kwargs)
 from tests.property.gen_programs import (
     heap_programs,
     run_python_oracle,
@@ -65,9 +68,9 @@ def test_scalar_programs_unchanged_by_optimizer(pair):
 @HEAVY
 @given(heap_programs())
 def test_optimizer_preserves_heap_program_results(source):
-    plain = execute(compile_earthc(source), num_nodes=3)
+    plain = execute(compile_earthc(source), config=RunConfig(nodes=3))
     optimized = execute(compile_earthc(source, optimize=True),
-                        num_nodes=3)
+                        config=RunConfig(nodes=3))
     assert optimized.value == plain.value
 
 
@@ -77,14 +80,15 @@ def test_results_independent_of_node_count(source):
     values = set()
     for nodes in (1, 3):
         compiled = compile_earthc(source, optimize=True)
-        values.add(execute(compiled, num_nodes=nodes).value)
+        values.add(execute(compiled, config=RunConfig(nodes=nodes)).value)
     assert len(values) == 1
 
 
 @HEAVY
 @given(heap_programs())
 def test_each_pass_is_individually_safe(source):
-    reference = execute(compile_earthc(source), num_nodes=3).value
+    reference = execute(compile_earthc(source),
+                        config=RunConfig(nodes=3)).value
     for config in (
         CommConfig(enable_forwarding=False),
         CommConfig(enable_placement=False),
@@ -93,13 +97,13 @@ def test_each_pass_is_individually_safe(source):
         CommConfig(split_phase_residuals=False),
     ):
         compiled = compile_earthc(source, optimize=True, config=config)
-        assert execute(compiled, num_nodes=3).value == reference
+        assert execute(compiled, config=RunConfig(nodes=3)).value == reference
 
 
 @HEAVY
 @given(heap_programs())
 def test_optimizer_never_increases_comm_ops(source):
-    plain = execute(compile_earthc(source), num_nodes=3)
+    plain = execute(compile_earthc(source), config=RunConfig(nodes=3))
     optimized = execute(compile_earthc(source, optimize=True),
-                        num_nodes=3)
+                        config=RunConfig(nodes=3))
     assert optimized.stats.total_comm_ops <= plain.stats.total_comm_ops

@@ -14,6 +14,7 @@ from repro.harness.pipeline import compile_earthc
 from repro.harness.pipeline import execute as _execute
 from repro.obs import Tracer
 from repro.obs.trace import span_intervals
+from repro.config import RunConfig
 from tests.property.gen_programs import heap_programs
 
 NODES = 3
@@ -28,8 +29,8 @@ HEAVY = settings(
 def _traced(source):
     compiled = compile_earthc(source, optimize=True)
     tracer = Tracer()
-    result = _execute(compiled, num_nodes=NODES, tracer=tracer,
-                      max_stmts=2_000_000)
+    result = _execute(compiled, tracer=tracer,
+                      config=RunConfig(nodes=NODES, max_stmts=2_000_000))
     return tracer, result
 
 
@@ -71,9 +72,10 @@ def test_issue_fulfill_pairing(source):
 @given(heap_programs())
 def test_tracing_does_not_perturb_results(source):
     compiled = compile_earthc(source, optimize=True)
-    plain = _execute(compiled, num_nodes=NODES, max_stmts=2_000_000)
-    traced = _execute(compiled, num_nodes=NODES, tracer=Tracer(),
-                      max_stmts=2_000_000)
+    plain = _execute(compiled,
+                     config=RunConfig(nodes=NODES, max_stmts=2_000_000))
+    traced = _execute(compiled, tracer=Tracer(),
+                      config=RunConfig(nodes=NODES, max_stmts=2_000_000))
     assert traced.value == plain.value
     assert traced.time_ns == plain.time_ns
     assert traced.stats.snapshot() == plain.stats.snapshot()

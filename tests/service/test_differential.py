@@ -17,6 +17,7 @@ from repro.harness.pipeline import run_three_ways
 from repro.olden.loader import catalog
 from repro.service.jobs import JobSpec, run_payload
 from repro.service.pool import WorkerPool
+from repro.config import RunConfig
 
 #: Matrix axes: execution engine x fault injection (seeded profile).
 ENGINES = ("closure", "ast")
@@ -53,9 +54,9 @@ def references():
         if profile is not None:
             faults = FaultPlan.from_spec(_fault_dict(profile))
         results = run_three_ways(
-            spec.source(), spec.name, num_nodes=2,
-            args=spec.small_args, inline=spec.inline,
-            max_stmts=spec.max_stmts, engine=engine, faults=faults)
+            spec.source(), spec.name, inline=spec.inline, faults=faults,
+            config=RunConfig(nodes=2, args=tuple(spec.small_args),
+                             max_stmts=spec.max_stmts, engine=engine))
         expected[(spec.name, engine, profile)] = {
             name: run_payload(result)
             for name, result in results.items()}

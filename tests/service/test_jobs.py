@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import RunConfig
 from repro.errors import ServiceError
 from repro.harness.pipeline import run_three_ways
 from repro.olden.loader import get_benchmark
@@ -149,9 +150,9 @@ class TestExecuteJob:
                                      nodes=2, small=True))
         spec = get_benchmark("power")
         reference = run_three_ways(
-            spec.source(), spec.name, num_nodes=2,
-            args=spec.small_args, inline=spec.inline,
-            max_stmts=spec.max_stmts)
+            spec.source(), spec.name, inline=spec.inline,
+            config=RunConfig(nodes=2, args=tuple(spec.small_args),
+                             max_stmts=spec.max_stmts))
         assert result.payload == {name: run_payload(r)
                                   for name, r in reference.items()}
 

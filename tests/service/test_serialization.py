@@ -11,6 +11,7 @@ from repro.earth.faults import FaultPlan, plan_from_cli
 from repro.earth.stats import MachineStats
 from repro.errors import FaultPlanError
 from repro.harness.pipeline import compile_earthc, execute
+from repro.config import RunConfig
 
 SOURCE = """
 struct cell { int value; };
@@ -27,8 +28,8 @@ class TestMachineStatsRoundTrip:
     def _stats_with_history(self):
         compiled = compile_earthc(SOURCE, "cell.ec", optimize=True)
         plan = plan_from_cli(11, None, 0.3, None)
-        return execute(compiled, num_nodes=2, args=(21,),
-                       faults=plan).stats
+        return execute(compiled, faults=plan,
+                       config=RunConfig(nodes=2, args=(21,))).stats
 
     def test_snapshot_json_round_trip(self):
         stats = self._stats_with_history()
@@ -70,9 +71,10 @@ class TestFaultPlanRoundTrip:
         compiled = compile_earthc(SOURCE, "cell.ec", optimize=True)
         plan = plan_from_cli(5, "lossy", None, None)
         spec = plan.spec()
-        first = execute(compiled, num_nodes=2, args=(3,), faults=plan)
-        second = execute(compiled, num_nodes=2, args=(3,),
-                         faults=FaultPlan.from_spec(spec))
+        first = execute(compiled, faults=plan,
+                        config=RunConfig(nodes=2, args=(3,)))
+        second = execute(compiled, faults=FaultPlan.from_spec(spec),
+                         config=RunConfig(nodes=2, args=(3,)))
         assert second.value == first.value
         assert second.time_ns == first.time_ns
         assert second.stats.snapshot() == first.stats.snapshot()
@@ -97,14 +99,14 @@ class TestCompiledProgramRoundTrip:
         clone = pickle.loads(pickle.dumps(compiled))
         assert clone.listing() == compiled.listing()
         assert clone.threaded_listing() == compiled.threaded_listing()
-        original = execute(compiled, num_nodes=2, args=(4,))
-        restored = execute(clone, num_nodes=2, args=(4,))
+        original = execute(compiled, config=RunConfig(nodes=2, args=(4,)))
+        restored = execute(clone, config=RunConfig(nodes=2, args=(4,)))
         assert restored.value == original.value == 8
         assert restored.time_ns == original.time_ns
 
     def test_run_result_pickle_round_trip(self):
         compiled = compile_earthc(SOURCE, "cell.ec", optimize=True)
-        result = execute(compiled, num_nodes=2, args=(6,))
+        result = execute(compiled, config=RunConfig(nodes=2, args=(6,)))
         clone = pickle.loads(pickle.dumps(result))
         assert clone.value == result.value
         assert clone.time_ns == result.time_ns
