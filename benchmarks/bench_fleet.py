@@ -1,0 +1,231 @@
+"""Fleet serving: multi-gateway latency, saturation, and store reuse.
+
+Launches a real fleet -- one shared artifact store plus N HTTP
+gateways, each a separate OS process with its own local cache -- and
+measures three things into ``BENCH_fleet.json``:
+
+* **latency under load** -- a seeded open-loop job stream (the Olden
+  mix at small sizes) against the fleet at a moderate offered rate;
+  reports p50/p95/p99 latency, achieved throughput, and backpressure
+  counts.
+* **saturation** -- the same stream at an offered rate far above what
+  the fleet can absorb; open-loop latency anchors at the *scheduled*
+  arrival, so queueing delay shows up in p99 instead of being hidden,
+  and the max-queue-depth guard shows up as 503s.
+* **cold vs warm fleet** -- phase 1 warms gateway A (every job a local
+  compile, pushed to the store); phase 2 replays the identical stream
+  against gateway B, which has a *fresh* local cache and must fill
+  from the store.  The speedup is the shared tier's value; B's
+  ``store_hits`` counter proves where the artifacts came from.
+
+As with ``bench_service_throughput.py``, gateway processes only add
+throughput when the host has cores to put them on -- the host's usable
+core count is recorded alongside, and on a single-core container the
+2-gateway fleet is expected to match (or trail) the 1-gateway one.
+
+Regenerate the committed ``BENCH_fleet.json``::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.fleet import LoadGenerator, launch_gateway, launch_store
+from repro.harness.pipeline import PIPELINE_VERSION
+from repro.service.jobs import JobSpec
+
+BENCHMARKS = ("power", "tsp", "health", "perimeter", "voronoi")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _job_mix(nodes=2):
+    return [JobSpec("run", benchmark=name, nodes=nodes,
+                    small=True).to_dict()
+            for name in BENCHMARKS]
+
+
+def _targets(gateways):
+    return [(g.host, g.port) for g in gateways]
+
+
+def _store_counters(gateway):
+    metrics = gateway.metrics()["metrics"]
+    return {key: metrics.get(key, 0)
+            for key in ("store_hits", "store_misses", "store_puts",
+                        "store_fallbacks", "cache_hits",
+                        "cache_misses")}
+
+
+def bench_load(gateways, rate, total, seed):
+    generator = LoadGenerator(_targets(gateways), _job_mix(),
+                              rate=rate, total=total, seed=seed)
+    return generator.run()
+
+
+def bench_cold_vs_warm(root, seed, total=30, rate=20.0):
+    """Warm gateway A, then replay against cold-cache gateway B.
+
+    Runs against its *own* fresh store so gateway A really does
+    compile everything cold (the other phases have warmed the main
+    store by the time this one runs)."""
+    jobs = _job_mix()
+    store = launch_store(os.path.join(root, "cw-store"))
+    gw_a = launch_gateway(os.path.join(root, "warm-a"),
+                          store_url=store.url, workers=2)
+    try:
+        try:
+            start = time.perf_counter()
+            cold = LoadGenerator([(gw_a.host, gw_a.port)], jobs,
+                                 rate=rate, total=total,
+                                 seed=seed).run()
+            cold_s = time.perf_counter() - start
+            counters_a = _store_counters(gw_a)
+        finally:
+            gw_a.shutdown()
+
+        # Gateway B: fresh local cache, same store -- every artifact
+        # must come over the wire, not from a local compile.
+        gw_b = launch_gateway(os.path.join(root, "cold-b"),
+                              store_url=store.url, workers=2)
+        try:
+            start = time.perf_counter()
+            warm = LoadGenerator([(gw_b.host, gw_b.port)], jobs,
+                                 rate=rate, total=total,
+                                 seed=seed).run()
+            warm_s = time.perf_counter() - start
+            counters_b = _store_counters(gw_b)
+        finally:
+            gw_b.shutdown()
+    finally:
+        store.shutdown()
+
+    assert counters_a["cache_misses"] > 0, \
+        "gateway A was supposed to compile cold"
+    assert counters_b["store_hits"] > 0, \
+        "cold-cache gateway B never hit the shared store"
+    assert counters_b["cache_misses"] == 0, \
+        "gateway B compiled locally despite the shared store"
+    speedup = (cold["latency_ms"]["p50"]
+               / max(warm["latency_ms"]["p50"], 1e-6))
+    print(f"  A (compiles): p50={cold['latency_ms']['p50']:.1f}ms  "
+          f"B (store-fed): p50={warm['latency_ms']['p50']:.1f}ms  "
+          f"({speedup:.1f}x), B store_hits="
+          f"{counters_b['store_hits']}")
+    return {
+        "jobs": total,
+        "warm_gateway": {"wall_s": round(cold_s, 4),
+                         "latency_ms": cold["latency_ms"],
+                         "counters": counters_a},
+        "cold_cache_gateway": {"wall_s": round(warm_s, 4),
+                               "latency_ms": warm["latency_ms"],
+                               "counters": counters_b},
+        "p50_speedup_from_store": round(speedup, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the repro.fleet HTTP gateway + shared "
+                    "store under open-loop load")
+    parser.add_argument("--output", default="BENCH_fleet.json")
+    parser.add_argument("--gateways", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes per gateway")
+    parser.add_argument("--total", type=int, default=60,
+                        help="arrivals per phase (default 60)")
+    parser.add_argument("--rate", type=float, default=15.0,
+                        help="moderate-load offered rate (req/s)")
+    parser.add_argument("--saturation-rate", type=float, default=400.0,
+                        help="overload offered rate (req/s)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    root = tempfile.mkdtemp(prefix="repro-bench-fleet-")
+    store = launch_store(os.path.join(root, "store"))
+    gateways = []
+    try:
+        for index in range(args.gateways):
+            gateways.append(launch_gateway(
+                os.path.join(root, f"gw{index}"), store_url=store.url,
+                workers=args.workers, max_queue_depth=16))
+
+        print(f"== open-loop load ({args.gateways} gateways, "
+              f"{args.rate:.0f} req/s offered)")
+        moderate = bench_load(gateways, args.rate, args.total,
+                              args.seed)
+        print(f"  ok={moderate['ok']}/{moderate['requests']}  "
+              f"p50={moderate['latency_ms']['p50']:.1f}ms  "
+              f"p99={moderate['latency_ms']['p99']:.1f}ms")
+
+        # The moderate run warmed the store; the scaling phase below
+        # launches *fresh* gateways against it, so 1 vs N compares
+        # serving capacity, not compile luck.
+        scaling = []
+        for count in sorted({1, args.gateways}):
+            fresh = [launch_gateway(
+                os.path.join(root, f"sat{count}-{index}"),
+                store_url=store.url, workers=args.workers,
+                max_queue_depth=16) for index in range(count)]
+            try:
+                print(f"== saturation, {count} gateway(s) "
+                      f"({args.saturation_rate:.0f} req/s offered)")
+                report = bench_load(fresh, args.saturation_rate,
+                                    args.total, args.seed + 1)
+            finally:
+                for gateway in fresh:
+                    gateway.shutdown()
+            print(f"  ok={report['ok']}/{report['requests']}  "
+                  f"busy={report['rejected_busy']}  "
+                  f"achieved={report['achieved_rps']:.1f} req/s  "
+                  f"p99={report['latency_ms']['p99']:.1f}ms")
+            scaling.append({"gateways": count, **report})
+
+        print("== cold vs warm fleet (shared store value)")
+        cold_warm = bench_cold_vs_warm(root, args.seed + 2)
+
+        store_metrics = store.metrics()["blobs"]
+    finally:
+        for gateway in gateways:
+            gateway.shutdown()
+        store.shutdown()
+        shutil.rmtree(root, ignore_errors=True)
+
+    document = {
+        "pipeline_version": PIPELINE_VERSION,
+        "host": {
+            "usable_cores": _usable_cores(),
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "fleet": {"gateways": args.gateways,
+                  "workers_per_gateway": args.workers,
+                  "benchmarks": list(BENCHMARKS)},
+        "moderate_load": moderate,
+        "saturation_scaling": scaling,
+        "cold_vs_warm": cold_warm,
+        "store": {key: store_metrics.get(key) for key in
+                  ("hits", "misses", "puts", "hit_rate")},
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"(written to {args.output})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

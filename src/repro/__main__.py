@@ -4,6 +4,9 @@
     python -m repro serve [options]            start the compile service
     python -m repro submit [options]           send one job to a server
     python -m repro batch [options]            run a job sweep (pool/server)
+    python -m repro fleet-serve [options]      HTTP/JSON gateway
+    python -m repro fleet-store [options]      shared artifact blob store
+    python -m repro loadtest [options]         open-loop fleet load test
 
 Compiles an EARTH-C file and, on request, prints its SIMPLE form, its
 Threaded-C fiber form, the communication tuples, and/or runs it on the
@@ -28,6 +31,10 @@ Examples::
     python -m repro serve --workers 4 --port 7781
     python -m repro submit --benchmark power --small --nodes 4 --json
     python -m repro batch --benchmarks power,tsp --nodes 1,2,4 --workers 4
+
+    python -m repro fleet-store --port 7792 --cache-dir /tmp/store
+    python -m repro fleet-serve --port 7791 --store 127.0.0.1:7792
+    python -m repro loadtest --targets 127.0.0.1:7791 --rate 20 --total 200
 
 Exit codes: 0 success, 1 generic error, 2 usage, 3 compile error,
 4 simulator runtime error, 5 I/O error, 6 service error.  With
@@ -61,7 +68,8 @@ from repro.obs import TraceMetrics, export_chrome_trace
 from repro.simple import nodes as s
 from repro.simple.printer import print_function
 
-SERVICE_VERBS = ("serve", "submit", "batch")
+SERVICE_VERBS = ("serve", "submit", "batch",
+                 "fleet-serve", "fleet-store", "loadtest")
 
 
 def _emit_error(exc: BaseException, json_mode: bool,
@@ -386,6 +394,12 @@ def _service_main(verb: str, argv) -> int:
         return _serve_main(argv)
     if verb == "submit":
         return _submit_main(argv)
+    if verb == "fleet-serve":
+        return _fleet_serve_main(argv)
+    if verb == "fleet-store":
+        return _fleet_store_main(argv)
+    if verb == "loadtest":
+        return _loadtest_main(argv)
     return _batch_main(argv)
 
 
@@ -694,6 +708,192 @@ def _batch_main(argv) -> int:
         if not result.ok:
             return int((result.error or {}).get("code", EXIT_ERROR))
     return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# Fleet verbs: fleet-serve / fleet-store / loadtest
+# ---------------------------------------------------------------------------
+
+
+def _fleet_serve_main(argv) -> int:
+    from repro.fleet import serve_gateway_forever
+    from repro.harness.pipeline import PIPELINE_VERSION
+    from repro.service import DEFAULT_CACHE_DIR, WorkerPool
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet-serve",
+        description="Serve compile/run jobs over HTTP/1.1 + JSON on "
+                    "top of a cached multi-process worker pool, "
+                    "optionally backed by a shared artifact store")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7791,
+                        help="HTTP port (0 picks an ephemeral port; "
+                             "default 7791)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 runs jobs inline; "
+                             "default 2)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"local artifact cache root (default "
+                             f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="keep the cache in memory only")
+    parser.add_argument("--store", default=None, metavar="HOST:PORT",
+                        help="shared artifact store to layer under the "
+                             "local cache (degrades to local-only "
+                             "when unreachable)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-attempt job timeout in seconds "
+                             "(default: none)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts per job before giving up "
+                             "(default 3)")
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        help="answer 503 beyond this many in-flight "
+                             "jobs (default 64)")
+    opts = parser.parse_args(argv)
+
+    store_url = None
+    if opts.store is not None:
+        from repro.fleet.store import parse_store_url
+        try:
+            host, port = parse_store_url(opts.store)
+        except ValueError as exc:
+            return _usage_error(str(exc))
+        store_url = f"http://{host}:{port}"
+
+    pool = WorkerPool(opts.workers,
+                      cache_dir=None if opts.no_cache else opts.cache_dir,
+                      timeout_s=opts.timeout,
+                      max_attempts=opts.max_attempts,
+                      store_url=store_url)
+
+    def ready(gateway):
+        cache = "memory" if opts.no_cache else opts.cache_dir
+        store = store_url or "none"
+        print(f"fleet gateway on http://{gateway.host}:{gateway.port} "
+              f"(workers={opts.workers}, cache={cache}, store={store}, "
+              f"pipeline {PIPELINE_VERSION})", flush=True)
+
+    try:
+        serve_gateway_forever(pool, opts.host, opts.port,
+                              max_queue_depth=opts.max_queue_depth,
+                              store_url=store_url,
+                              ready_callback=ready)
+    except KeyboardInterrupt:
+        return EXIT_OK
+    except (ServiceError, OSError) as exc:
+        return _emit_error(exc, False)
+    return EXIT_OK
+
+
+def _fleet_store_main(argv) -> int:
+    from repro.fleet import serve_store_forever
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet-store",
+        description="Serve a shared content-addressed artifact store "
+                    "over HTTP (GET/PUT-if-absent blobs)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7792,
+                        help="HTTP port (0 picks an ephemeral port; "
+                             "default 7792)")
+    parser.add_argument("--cache-dir", required=True,
+                        help="directory holding the shared blobs")
+
+    opts = parser.parse_args(argv)
+
+    def ready(store):
+        print(f"fleet store on http://{store.host}:{store.port} "
+              f"(root={opts.cache_dir})", flush=True)
+
+    try:
+        serve_store_forever(opts.cache_dir, opts.host, opts.port,
+                            ready_callback=ready)
+    except KeyboardInterrupt:
+        return EXIT_OK
+    except (ServiceError, OSError) as exc:
+        return _emit_error(exc, False)
+    return EXIT_OK
+
+
+def _loadtest_main(argv) -> int:
+    from repro.fleet import LoadGenerator
+    from repro.fleet.store import parse_store_url
+    from repro.service import JobSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadtest",
+        description="Seeded open-loop load test against one or more "
+                    "fleet gateways")
+    parser.add_argument("--targets", required=True,
+                        metavar="HOST:PORT[,HOST:PORT...]",
+                        help="comma-separated gateway addresses")
+    parser.add_argument("--benchmarks", default="power,tsp,health",
+                        help="comma-separated Olden benchmark mix "
+                             "(default power,tsp,health)")
+    parser.add_argument("--kind", default="run",
+                        choices=("compile", "run"))
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--small", action="store_true", default=True,
+                        help="use reduced problem sizes (default on)")
+    parser.add_argument("--full-size", dest="small",
+                        action="store_false",
+                        help="use catalog problem sizes")
+    parser.add_argument("--rate", type=float, default=10.0,
+                        help="offered arrival rate in req/s "
+                             "(default 10)")
+    parser.add_argument("--total", type=int, default=100,
+                        help="number of arrivals (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule seed (default 0)")
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="client thread cap (default 32)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-request timeout in seconds")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the JSON report to FILE")
+    opts = parser.parse_args(argv)
+
+    targets = []
+    for part in opts.targets.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            targets.append(parse_store_url(part))
+        except ValueError as exc:
+            return _usage_error(str(exc))
+    if not targets:
+        return _usage_error("--targets needs at least one HOST:PORT")
+
+    benchmarks = [part.strip() for part in opts.benchmarks.split(",")
+                  if part.strip()]
+    if not benchmarks:
+        return _usage_error("--benchmarks needs at least one name")
+    jobs = [JobSpec(opts.kind, benchmark=name, nodes=opts.nodes,
+                    small=opts.small).to_dict()
+            for name in benchmarks]
+
+    try:
+        generator = LoadGenerator(targets, jobs, rate=opts.rate,
+                                  total=opts.total, seed=opts.seed,
+                                  concurrency=opts.concurrency,
+                                  timeout_s=opts.timeout)
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    report = generator.run()
+
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if opts.output is not None:
+        try:
+            with open(opts.output, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            return _emit_error(exc, False)
+    print(text)
+    failures = report["transport_errors"] + report["other_failures"]
+    return EXIT_OK if failures == 0 else EXIT_ERROR
 
 
 if __name__ == "__main__":

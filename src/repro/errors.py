@@ -12,6 +12,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warning raised by the repro package itself.
+
+    A distinct subclass so test configuration can escalate *our*
+    deprecations to errors (``error::repro.errors.ReproDeprecationWarning``
+    in the pytest filters) without also erroring on deprecations the
+    interpreter or third-party libraries emit."""
+
+
 class SourceLocation:
     """A position in an EARTH-C source file (1-based line and column)."""
 
@@ -129,6 +138,26 @@ EXIT_COMPILE = 3      # frontend errors: lex, parse, type check, simplify
 EXIT_RUNTIME = 4      # simulator errors: memory faults, fault-plan misuse
 EXIT_IO = 5           # unreadable input or unwritable output files
 EXIT_SERVICE = 6      # service errors: server unreachable, job failed
+
+
+#: HTTP status the fleet gateway answers with for each CLI exit code:
+#: the one failure-class vocabulary (``exit_code_for``) serves both
+#: front ends, so a compile error is code 3 on the CLI and 422 over
+#: HTTP without a second mapping to maintain.
+HTTP_STATUS_FOR_EXIT = {
+    EXIT_OK: 200,
+    EXIT_ERROR: 500,
+    EXIT_USAGE: 400,      # malformed request / job spec
+    EXIT_COMPILE: 422,    # well-formed job, uncompilable program
+    EXIT_RUNTIME: 422,    # well-formed job, failing run
+    EXIT_IO: 500,
+    EXIT_SERVICE: 503,    # busy, worker budget exhausted, store down
+}
+
+
+def http_status_for(code: int) -> int:
+    """The HTTP status for a CLI exit code (500 for anything unknown)."""
+    return HTTP_STATUS_FOR_EXIT.get(code, 500)
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -1,0 +1,68 @@
+"""Fleet serving: HTTP gateway, shared object store, load harness.
+
+:mod:`repro.service` (PR 4) made the pipeline a cacheable network
+service -- but a *single* one: one TCP server, one machine-local disk
+cache.  This package turns it into a fleet:
+
+* :mod:`repro.fleet.http` -- a stdlib-only asyncio HTTP/1.1 JSON
+  gateway over the same :class:`~repro.service.pool.WorkerPool` /
+  :class:`~repro.service.server.JobAdmission` core the TCP server
+  uses, so browsers, ``curl``, and standard load balancers can submit
+  jobs (``POST /v1/jobs``) and scrape health and metrics
+  (``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.fleet.store` -- a networked object-store tier behind the
+  existing SHA-256 content addresses: a small HTTP blob server plus a
+  :class:`RemoteStore` client that slots under
+  :class:`~repro.service.cache.ArtifactCache` as a third tier
+  (memory -> local disk -> remote), with single-flight fill,
+  PUT-if-absent writes, and graceful degradation to local-only when
+  the store is unreachable;
+* :mod:`repro.fleet.loadgen` -- a seeded open-loop load harness that
+  spawns an N-server fleet sharing one store and records p50/p99
+  latency, saturation throughput, and store hit rates
+  (``benchmarks/bench_fleet.py`` writes ``BENCH_fleet.json``).
+
+Content addressing is what makes the shared tier safe:
+``PIPELINE_VERSION`` is part of every key, so two hosts running
+different pipeline versions can share a store without ever serving each
+other stale payloads -- a stale key simply never matches.
+
+CLI verbs: ``python -m repro fleet-serve`` / ``fleet-store`` /
+``loadtest``.
+"""
+
+from repro.fleet.http import (
+    HttpGateway,
+    http_json,
+    serve_gateway_forever,
+)
+from repro.fleet.store import (
+    BlobStoreServer,
+    FleetCache,
+    RemoteStore,
+    make_worker_cache,
+    serve_store_forever,
+)
+from repro.fleet.loadgen import (
+    FleetProcess,
+    LoadGenerator,
+    launch_gateway,
+    launch_store,
+    percentile,
+)
+
+__all__ = [
+    "HttpGateway",
+    "http_json",
+    "serve_gateway_forever",
+    "BlobStoreServer",
+    "FleetCache",
+    "RemoteStore",
+    "make_worker_cache",
+    "serve_store_forever",
+    "FleetProcess",
+    "LoadGenerator",
+    "launch_gateway",
+    "launch_store",
+    "percentile",
+]

@@ -1,0 +1,425 @@
+"""Stdlib-only HTTP/1.1 JSON front end for the compile service.
+
+Two halves:
+
+* a minimal asyncio HTTP server base (:class:`HttpServerBase`) with
+  request parsing, keep-alive, and JSON responses -- shared by the
+  gateway here and the blob store server in :mod:`repro.fleet.store`;
+* the :class:`HttpGateway` itself, which adapts HTTP to the exact
+  admission core the TCP server uses
+  (:class:`repro.service.server.JobAdmission`), so the two wire formats
+  cannot diverge in behaviour or payload.
+
+Routes::
+
+    POST /v1/jobs        submit one JobSpec (JSON body), wait, respond
+    GET  /v1/jobs/<id>   replay a recently completed submission
+    GET  /healthz        liveness + pipeline version
+    GET  /metrics        ServiceMetrics snapshot as JSON
+    POST /v1/shutdown    stop the server after responding
+
+Failure mapping is structural, not ad hoc: job-level errors carry the
+same ``{"type", "message", "code"}`` objects the TCP path and the CLI
+produce, and the HTTP status is derived from that exit code via
+:func:`repro.errors.http_status_for` (422 for compile/runtime failures,
+400 for malformed requests, 503 + ``Retry-After`` for backpressure).
+
+The server deliberately avoids :mod:`http.server` (synchronous, one
+thread per connection); requests ride the same asyncio loop and
+executor-thread bridge the TCP front end uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import http_status_for
+from repro.harness.pipeline import PIPELINE_VERSION
+from repro.service.pool import WorkerPool
+from repro.service.server import JobAdmission
+
+#: Upper bounds on request framing (a job source can be large, a header
+#: block cannot).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {200: "OK", 201: "Created", 204: "No Content",
+            400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 411: "Length Required",
+            413: "Payload Too Large", 422: "Unprocessable Entity",
+            500: "Internal Server Error", 501: "Not Implemented",
+            503: "Service Unavailable"}
+
+
+class HttpError(Exception):
+    """A request that cannot be dispatched; rendered as a structured
+    JSON error with the carried status."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+class HttpRequest:
+    """One parsed request: method, path, headers, raw JSON body."""
+
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(self, method: str, path: str,
+                 headers: Dict[str, str], body: bytes,
+                 keep_alive: bool):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+    def json(self) -> object:
+        if not self.body:
+            raise HttpError(400, "BadRequest", "request body is empty")
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, "BadRequest",
+                            f"request body is not JSON: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request; None on a clean EOF between
+    requests (the client closed a keep-alive connection)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "BadRequest", "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "PayloadTooLarge", "request head too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "PayloadTooLarge", "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "BadRequest",
+                        f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "BadRequest",
+                            f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(501, "NotImplemented",
+                        "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "BadRequest",
+                            "content-length is not an integer")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "PayloadTooLarge",
+                            f"request body over {MAX_BODY_BYTES} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "BadRequest",
+                                "request body shorter than "
+                                "content-length")
+    elif method in ("POST", "PUT"):
+        raise HttpError(411, "LengthRequired",
+                        f"{method} requests need content-length")
+    connection = headers.get("connection", "").lower()
+    keep_alive = version == "HTTP/1.1" and connection != "close" \
+        or connection == "keep-alive"
+    path = target.split("?", 1)[0]
+    return HttpRequest(method, path, headers, body, keep_alive)
+
+
+def json_response(status: int, payload: object,
+                  keep_alive: bool = True,
+                  extra_headers: Iterable[Tuple[str, str]] = ()
+                  ) -> bytes:
+    """Serialize one JSON response with correct framing headers."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_body(error_type: str, message: str, code: int,
+               retry: bool = False) -> Dict[str, object]:
+    """The one JSON error shape, identical to the TCP protocol's."""
+    payload: Dict[str, object] = {
+        "ok": False,
+        "error": {"type": error_type, "message": message, "code": code},
+    }
+    if retry:
+        payload["retry"] = True
+    return payload
+
+
+class HttpServerBase:
+    """Lifecycle plumbing shared by the gateway and the blob store:
+    bind, keep-alive connection loop, uniform error rendering."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+
+    async def start(self) -> "HttpServerBase":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_BODY_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._stop.wait()
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(json_response(
+                        exc.status,
+                        error_body(exc.error_type, str(exc),
+                                   2 if exc.status < 500 else 6),
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response, stop = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if stop:
+                    self.request_stop()
+                    break
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest
+                        ) -> Tuple[bytes, bool]:
+        raise NotImplementedError
+
+
+class HttpGateway(HttpServerBase):
+    """HTTP/JSON adapter over a :class:`WorkerPool`, sharing the TCP
+    server's admission core (single-flight dedup + backpressure)."""
+
+    #: Completed submissions kept for ``GET /v1/jobs/<id>`` replay.
+    HISTORY_ENTRIES = 256
+
+    def __init__(self, pool: WorkerPool, host: str = "127.0.0.1",
+                 port: int = 0, max_queue_depth: int = 64,
+                 store_url: Optional[str] = None):
+        super().__init__(host, port)
+        self.pool = pool
+        self.max_queue_depth = max_queue_depth
+        self.store_url = store_url
+        self.metrics = pool.metrics
+        self.admission = JobAdmission(pool,
+                                      max_queue_depth=max_queue_depth)
+        self._next_id = 0
+        self._history: "OrderedDict[int, Tuple[int, Dict[str, object]]]" \
+            = OrderedDict()
+
+    async def start(self) -> "HttpGateway":
+        self.pool.start()
+        await super().start()
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        await super().serve_until_shutdown()
+        self.admission.shutdown()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: HttpRequest
+                        ) -> Tuple[bytes, bool]:
+        self.metrics.incr("http_requests")
+        try:
+            status, payload, headers, stop = await self._route(request)
+        except HttpError as exc:
+            status, payload, headers, stop = (
+                exc.status,
+                error_body(exc.error_type, str(exc),
+                           2 if exc.status < 500 else 6),
+                (), False)
+        if status >= 400:
+            self.metrics.incr("http_errors")
+        return (json_response(status, payload,
+                              keep_alive=request.keep_alive,
+                              extra_headers=headers), stop)
+
+    async def _route(self, request: HttpRequest):
+        method, path = request.method, request.path
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            return 200, {"ok": True, "role": "gateway",
+                         "version": PIPELINE_VERSION,
+                         "workers": self.pool.workers,
+                         "store": self.store_url}, (), False
+        if path == "/metrics":
+            self._require(method, "GET", path)
+            return 200, {"ok": True,
+                         "metrics": self.pool.metrics_snapshot(),
+                         "inflight": self.admission.inflight,
+                         "store": self.store_url}, (), False
+        if path == "/v1/jobs":
+            self._require(method, "POST", path)
+            return await self._submit(request)
+        if path.startswith("/v1/jobs/"):
+            self._require(method, "GET", path)
+            return self._replay(path[len("/v1/jobs/"):])
+        if path == "/v1/shutdown":
+            self._require(method, "POST", path)
+            return 200, {"ok": True, "shutdown": True}, (), True
+        raise HttpError(404, "NotFound", f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise HttpError(405, "MethodNotAllowed",
+                            f"{path} only accepts {expected}")
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _submit(self, request: HttpRequest):
+        body = request.json()
+        # Accept both the bare spec and the TCP protocol's envelope
+        # shape ({"job": {...}}), so existing tooling ports over.
+        job = body.get("job", body) if isinstance(body, dict) else body
+        response = await self.admission.submit(job)
+        if not response.get("ok"):
+            if response.get("retry"):
+                # Backpressure: same structured Busy error as the TCP
+                # path, plus the HTTP-native retry signal.
+                return 503, response, (("Retry-After", "1"),), False
+            return 400, response, (), False
+        result = response["result"]
+        job_id = self._next_id
+        self._next_id += 1
+        envelope = {"ok": True, "id": job_id,
+                    "singleflight": response["singleflight"],
+                    "result": result}
+        if result.get("ok"):
+            status = 200
+        else:
+            error = result.get("error") or {}
+            status = http_status_for(int(error.get("code", 6)))
+            envelope["ok"] = False
+        self._history[job_id] = (status, envelope)
+        while len(self._history) > self.HISTORY_ENTRIES:
+            self._history.popitem(last=False)
+        return status, envelope, (), False
+
+    def _replay(self, suffix: str):
+        if not suffix.isdigit():
+            raise HttpError(400, "BadRequest",
+                            f"job ids are integers, got {suffix!r}")
+        entry = self._history.get(int(suffix))
+        if entry is None:
+            raise HttpError(404, "NotFound",
+                            f"no completed job {suffix} in the last "
+                            f"{self.HISTORY_ENTRIES} submissions")
+        status, envelope = entry
+        return status, envelope, (), False
+
+
+# ---------------------------------------------------------------------------
+# Blocking client helper (loadgen, RemoteStore, tests, CI)
+# ---------------------------------------------------------------------------
+
+
+def http_json(method: str, host: str, port: int, path: str,
+              body: Optional[object] = None,
+              timeout: float = 30.0) -> Tuple[int, object]:
+    """One blocking HTTP/JSON round trip: ``(status, parsed body)``.
+
+    Raises :class:`OSError` for transport failures (connect, timeout,
+    mid-read EOF); callers own the retry policy."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=data, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+    finally:
+        connection.close()
+    if not raw:
+        return response.status, None
+    try:
+        return response.status, json.loads(raw)
+    except ValueError:
+        return response.status, raw.decode("utf-8", "replace")
+
+
+# ---------------------------------------------------------------------------
+# Blocking entry point (CLI)
+# ---------------------------------------------------------------------------
+
+
+async def _serve(pool: WorkerPool, host: str, port: int,
+                 max_queue_depth: int, store_url: Optional[str],
+                 ready_callback) -> None:
+    gateway = HttpGateway(pool, host, port,
+                          max_queue_depth=max_queue_depth,
+                          store_url=store_url)
+    await gateway.start()
+    if ready_callback is not None:
+        ready_callback(gateway)
+    await gateway.serve_until_shutdown()
+
+
+def serve_gateway_forever(pool: WorkerPool, host: str = "127.0.0.1",
+                          port: int = 7791, max_queue_depth: int = 64,
+                          store_url: Optional[str] = None,
+                          ready_callback=None) -> None:
+    """Blocking entry point: start a gateway and run until a shutdown
+    request arrives (``python -m repro fleet-serve``)."""
+    try:
+        asyncio.run(_serve(pool, host, port, max_queue_depth, store_url,
+                           ready_callback))
+    finally:
+        pool.close()

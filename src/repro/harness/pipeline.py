@@ -11,7 +11,8 @@ building blocks of the Table III and Figure 10 harnesses.
 Run options travel as one :class:`repro.config.RunConfig` (``config=``);
 the loose per-option keyword arguments (``num_nodes``, ``entry``,
 ``args``, ``max_stmts``, ``strict_nil_reads``, ``engine``) still work
-but emit :class:`DeprecationWarning` and will be removed one release
+but emit :class:`~repro.errors.ReproDeprecationWarning` and will be
+removed one release
 after 2026.08.  Live object overrides -- an instantiated
 ``MachineParams``, ``Tracer``, or ``FaultPlan`` -- remain first-class
 keyword arguments.
@@ -31,6 +32,7 @@ from repro.comm.optimizer import (
 )
 from repro.config import RunConfig
 from repro.earth.faults import FaultPlan
+from repro.errors import ReproDeprecationWarning
 from repro.earth.interpreter import Interpreter, RunResult
 from repro.earth.machine import Machine
 from repro.earth.params import MachineParams
@@ -171,7 +173,7 @@ def _config_from_loose(config, function, **loose) -> RunConfig:
         warnings.warn(
             f"{function}({', '.join(sorted(passed))}=...) is "
             f"deprecated; pass config=repro.RunConfig(...) instead",
-            DeprecationWarning, stacklevel=3)
+            ReproDeprecationWarning, stacklevel=3)
     fields = {field: passed[name] for name, field in _LOOSE_TO_FIELD
               if name in passed}
     return RunConfig(**fields)
@@ -263,7 +265,7 @@ def run_three_ways(
         warnings.warn(
             "run_three_ways(config=CommConfig(...)) is deprecated; the "
             "optimizer configuration is now comm_config= (config= takes "
-            "a repro.RunConfig)", DeprecationWarning, stacklevel=2)
+            "a repro.RunConfig)", ReproDeprecationWarning, stacklevel=2)
         config, comm_config = None, config
     config_given = config is not None
     config = _config_from_loose(

@@ -3,7 +3,15 @@
 Speaks the newline-delimited JSON protocol of
 :mod:`repro.service.server` over one persistent connection.  Used by
 ``python -m repro submit`` and by the CI smoke test; simple enough to
-reimplement in any language."""
+reimplement in any language.
+
+Idempotent operations (``ping``, ``stats``, ``submit``, ``batch``)
+transparently reconnect and retry with bounded backoff when the
+connection resets or the server closes it mid-read: jobs are
+content-addressed and single-flighted server-side, so re-sending the
+same spec cannot double-execute it.  ``shutdown`` is never retried --
+a dropped connection after a shutdown request usually *is* the
+acknowledgement."""
 
 from __future__ import annotations
 
@@ -17,29 +25,46 @@ from repro.service.jobs import JobResult, JobSpec
 
 
 class ServiceClient:
-    """One connection to a :class:`~repro.service.server.JobServer`."""
+    """One connection to a :class:`~repro.service.server.JobServer`.
+
+    ``retries`` bounds how many *re*-connect attempts an idempotent
+    request makes after a transport failure (0 disables retrying);
+    ``retry_backoff_s`` is the initial sleep, doubled per attempt.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7781,
-                 timeout: Optional[float] = 300.0):
+                 timeout: Optional[float] = 300.0, retries: int = 2,
+                 retry_backoff_s: float = 0.05):
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_backoff_s = retry_backoff_s
+        self._sock = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
         try:
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=timeout)
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
         except OSError as exc:
             raise ServiceError(
-                f"cannot connect to service at {host}:{port}: {exc}"
-            ) from None
+                f"cannot connect to service at {self.host}:{self.port}"
+                f": {exc}") from None
         self._file = self._sock.makefile("rwb")
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         try:
-            self._file.close()
-            self._sock.close()
+            if self._file is not None:
+                self._file.close()
+            if self._sock is not None:
+                self._sock.close()
         except OSError:
             pass
+        self._file = self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -49,17 +74,51 @@ class ServiceClient:
 
     # -- protocol ----------------------------------------------------------
 
-    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """One request/response round trip."""
+    def request(self, payload: Dict[str, object],
+                idempotent: bool = True) -> Dict[str, object]:
+        """One request/response round trip.
+
+        On a connection reset or a mid-read EOF, idempotent requests
+        reconnect and re-send up to ``retries`` times with doubling
+        backoff; non-idempotent ones surface the failure at once."""
+        attempts = 1 + (self.retries if idempotent else 0)
+        backoff = self.retry_backoff_s
+        last: Optional[str] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(backoff)
+                backoff *= 2
+                try:
+                    self.close()
+                    self._connect()
+                except ServiceError as exc:
+                    last = str(exc)
+                    continue
+            try:
+                return self._round_trip(payload)
+            except ConnectionError as exc:
+                last = str(exc)
+        raise ServiceError(
+            f"service connection failed after {attempts} attempt(s): "
+            f"{last}")
+
+    def _round_trip(self, payload: Dict[str, object]
+                    ) -> Dict[str, object]:
+        """Send one line, read one line.  Raises ``ConnectionError``
+        for transport failures (retryable) and :class:`ServiceError`
+        for protocol ones (not)."""
+        if self._file is None:
+            raise ConnectionError("connection is closed")
         try:
             self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
             self._file.flush()
             line = self._file.readline()
         except OSError as exc:
-            raise ServiceError(f"service connection failed: {exc}") \
-                from None
+            raise ConnectionError(str(exc)) from None
         if not line:
-            raise ServiceError("service closed the connection")
+            # EOF before the response line: the server (or something
+            # between) dropped the connection mid-request.
+            raise ConnectionError("service closed the connection")
         try:
             response = json.loads(line)
         except ValueError as exc:
@@ -76,7 +135,8 @@ class ServiceClient:
         return self._checked(self.request({"op": "stats"}))
 
     def shutdown(self) -> Dict[str, object]:
-        return self._checked(self.request({"op": "shutdown"}))
+        return self._checked(self.request({"op": "shutdown"},
+                                          idempotent=False))
 
     def submit(self, job: Union[JobSpec, Dict[str, object]]) -> JobResult:
         """Run one job on the server; returns its :class:`JobResult`

@@ -47,12 +47,31 @@ from repro.service.cache import DEFAULT_CACHE_DIR, ArtifactCache
 from repro.service.jobs import JobResult, JobSpec, execute_job
 
 
+def _make_cache(cache_dir: Optional[str],
+                store_url: Optional[str]) -> ArtifactCache:
+    """The two local tiers, plus the fleet's remote store tier when a
+    store URL is configured (imported lazily: plain pools must not pay
+    for the fleet package)."""
+    if store_url is None:
+        return ArtifactCache(cache_dir)
+    from repro.fleet.store import make_worker_cache
+    return make_worker_cache(cache_dir, store_url)
+
+
+def _store_delta(cache: ArtifactCache) -> Optional[Dict[str, int]]:
+    """Remote-store counter deltas accumulated since the last report
+    (None for plain caches and quiet periods)."""
+    pop = getattr(cache, "pop_store_delta", None)
+    return pop() if pop is not None else None
+
+
 def _worker_main(worker_id: int, task_q, result_q,
-                 cache_dir: Optional[str]) -> None:
+                 cache_dir: Optional[str],
+                 store_url: Optional[str] = None) -> None:
     """Worker process loop: pull (job_id, spec, attempts) tuples from
     this worker's own queue, execute, report on the shared result
     queue.  Runs until it receives the ``None`` sentinel."""
-    cache = ArtifactCache(cache_dir)
+    cache = _make_cache(cache_dir, store_url)
     while True:
         item = task_q.get()
         if item is None:
@@ -70,7 +89,10 @@ def _worker_main(worker_id: int, task_q, result_q,
                 error={"type": type(exc).__name__, "message": str(exc),
                        "code": 6},
                 worker=worker_id, attempts=attempts)
-        result_q.put((job_id, worker_id, result.to_dict()))
+        # Ship remote-store counter movement alongside the result so
+        # the parent's ServiceMetrics sees the whole fleet picture.
+        result_q.put((job_id, worker_id, result.to_dict(),
+                      _store_delta(cache)))
 
 
 class WorkerPool:
@@ -87,7 +109,8 @@ class WorkerPool:
                  max_attempts: int = 3,
                  backoff_s: float = 0.05,
                  start_method: Optional[str] = None,
-                 metrics: Optional[ServiceMetrics] = None):
+                 metrics: Optional[ServiceMetrics] = None,
+                 store_url: Optional[str] = None):
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
         if max_attempts < 1:
@@ -95,6 +118,7 @@ class WorkerPool:
                 f"max_attempts must be >= 1, got {max_attempts}")
         self.workers = workers
         self.cache_dir = cache_dir
+        self.store_url = store_url
         self.timeout_s = timeout_s
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
@@ -118,8 +142,8 @@ class WorkerPool:
         self._result_q = None
         self._collector: Optional[threading.Thread] = None
         #: Inline-mode cache (workers == 0 executes in-process).
-        self._inline_cache = ArtifactCache(cache_dir) if workers == 0 \
-            else None
+        self._inline_cache = _make_cache(cache_dir, store_url) \
+            if workers == 0 else None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -144,7 +168,8 @@ class WorkerPool:
         task_q = self._ctx.Queue()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(worker_id, task_q, self._result_q, self.cache_dir),
+            args=(worker_id, task_q, self._result_q, self.cache_dir,
+                  self.store_url),
             name=f"repro-worker-{worker_id}", daemon=True)
         proc.start()
         with self._cond:
@@ -204,6 +229,7 @@ class WorkerPool:
         self.metrics.adjust_queue_depth(+1)
         if self.workers == 0:
             result = execute_job(spec, self._inline_cache)
+            self._fold_store_delta(_store_delta(self._inline_cache))
             self._finish(job_id, result)
             return job_id
         with self._cond:
@@ -270,6 +296,13 @@ class WorkerPool:
 
     # -- completion & resilience ------------------------------------------
 
+    def _fold_store_delta(self,
+                          delta: Optional[Dict[str, int]]) -> None:
+        if not delta:
+            return
+        for name, amount in delta.items():
+            self.metrics.incr(name, amount)
+
     def _finish(self, job_id: int, result: JobResult) -> None:
         self.metrics.adjust_queue_depth(-1)
         self.metrics.observe_job(result.wall_s,
@@ -293,7 +326,8 @@ class WorkerPool:
             except queue.Empty:
                 message = None
             if message is not None:
-                job_id, worker_id, body = message
+                job_id, worker_id, body, store_delta = message
+                self._fold_store_delta(store_delta)
                 with self._cond:
                     if self._busy.get(worker_id) == job_id:
                         self._busy[worker_id] = None
@@ -384,6 +418,8 @@ class WorkerPool:
     def metrics_snapshot(self) -> Dict[str, object]:
         data = self.metrics.to_dict()
         data["workers"] = self.workers
+        if self.store_url is not None:
+            data["store_url"] = self.store_url
         if self._inline_cache is not None:
             data["cache"] = self._inline_cache.snapshot()
         return data

@@ -40,6 +40,84 @@ from repro.service.pool import WorkerPool
 STREAM_LIMIT = 32 * 1024 * 1024
 
 
+class JobAdmission:
+    """The serving-layer admission core: single-flight deduplication and
+    queue-depth backpressure over a :class:`WorkerPool`.
+
+    Both front ends -- the TCP :class:`JobServer` here and the HTTP
+    gateway in :mod:`repro.fleet.http` -- delegate job admission to this
+    class, so the two paths cannot drift: the same jobs coalesce, the
+    same overload produces the same structured ``Busy`` error, and a
+    job's response dict is identical whichever wire format carried it.
+    """
+
+    def __init__(self, pool: WorkerPool, max_queue_depth: int = 64):
+        self.pool = pool
+        self.max_queue_depth = max_queue_depth
+        self.metrics = pool.metrics
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._admitted = 0
+        # Executor threads bridge the async loop to the blocking pool;
+        # enough of them to keep every worker fed plus headroom for
+        # cache hits, which never reach a worker.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * max(pool.workers, 1)),
+            thread_name_prefix="serve-job")
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False)
+
+    async def submit(self, job: object) -> Dict[str, object]:
+        """Admit and run one job; returns the wire response dict
+        (``{"ok": ..., "singleflight": ..., "result": ...}`` or a
+        structured error)."""
+        try:
+            spec = JobSpec.from_dict(job)
+            key = spec.canonical_key()
+        except Exception as exc:
+            return _error(type(exc).__name__, str(exc))
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Single-flight join: ride the in-flight computation.
+            self.metrics.incr("singleflight_hits")
+            result = await asyncio.shield(existing)
+            return {"ok": True, "singleflight": True,
+                    "result": result.to_dict()}
+
+        if self._admitted >= self.max_queue_depth:
+            self.metrics.incr("rejected_busy")
+            return _error(
+                "Busy",
+                f"queue depth limit reached "
+                f"({self.max_queue_depth} jobs in flight); retry",
+                retry=True)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._admitted += 1
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self.pool.run_job, spec)
+            future.set_result(result)
+        except Exception as exc:
+            result = JobResult(
+                False, spec.kind, key,
+                error={"type": type(exc).__name__,
+                       "message": str(exc), "code": 6})
+            future.set_result(result)
+        finally:
+            self._admitted -= 1
+            self._inflight.pop(key, None)
+        return {"ok": True, "singleflight": False,
+                "result": result.to_dict()}
+
+
 class JobServer:
     """Serve :class:`JobSpec` requests over TCP on top of a
     :class:`WorkerPool`."""
@@ -51,16 +129,10 @@ class JobServer:
         self.port = port
         self.max_queue_depth = max_queue_depth
         self.metrics = pool.metrics
-        self._inflight: Dict[str, asyncio.Future] = {}
-        self._admitted = 0
+        self.admission = JobAdmission(pool,
+                                      max_queue_depth=max_queue_depth)
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop = asyncio.Event()
-        # Executor threads bridge the async loop to the blocking pool;
-        # enough of them to keep every worker fed plus headroom for
-        # cache hits, which never reach a worker.
-        self._executor = ThreadPoolExecutor(
-            max_workers=max(4, 2 * max(pool.workers, 1)),
-            thread_name_prefix="serve-job")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -77,7 +149,7 @@ class JobServer:
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._stop.wait()
-        self._executor.shutdown(wait=False)
+        self.admission.shutdown()
 
     def request_stop(self) -> None:
         self._stop.set()
@@ -120,7 +192,7 @@ class JobServer:
                     "version": PIPELINE_VERSION}
         if op == "stats":
             return {"ok": True, "metrics": self.pool.metrics_snapshot(),
-                    "inflight": len(self._inflight)}
+                    "inflight": self.admission.inflight}
         if op == "shutdown":
             return {"ok": True, "shutdown": True}
         if op == "submit":
@@ -139,47 +211,7 @@ class JobServer:
     # -- job admission -----------------------------------------------------
 
     async def _submit(self, job: object) -> Dict[str, object]:
-        try:
-            spec = JobSpec.from_dict(job)
-            key = spec.canonical_key()
-        except Exception as exc:
-            return _error(type(exc).__name__, str(exc))
-
-        existing = self._inflight.get(key)
-        if existing is not None:
-            # Single-flight join: ride the in-flight computation.
-            self.metrics.incr("singleflight_hits")
-            result = await asyncio.shield(existing)
-            return {"ok": True, "singleflight": True,
-                    "result": result.to_dict()}
-
-        if self._admitted >= self.max_queue_depth:
-            self.metrics.incr("rejected_busy")
-            return _error(
-                "Busy",
-                f"queue depth limit reached "
-                f"({self.max_queue_depth} jobs in flight); retry",
-                retry=True)
-
-        loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
-        self._inflight[key] = future
-        self._admitted += 1
-        try:
-            result = await loop.run_in_executor(
-                self._executor, self.pool.run_job, spec)
-            future.set_result(result)
-        except Exception as exc:
-            result = JobResult(
-                False, spec.kind, key,
-                error={"type": type(exc).__name__,
-                       "message": str(exc), "code": 6})
-            future.set_result(result)
-        finally:
-            self._admitted -= 1
-            self._inflight.pop(key, None)
-        return {"ok": True, "singleflight": False,
-                "result": result.to_dict()}
+        return await self.admission.submit(job)
 
 
 def _error(error_type: str, message: str,

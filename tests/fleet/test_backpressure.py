@@ -1,0 +1,201 @@
+"""Backpressure + single-flight dedup under real concurrency, on both
+wire formats (they share one JobAdmission, and these tests pin that)."""
+
+import threading
+
+from repro.fleet.http import http_json
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec
+from repro.service.pool import WorkerPool
+from repro.service.server import serve_forever
+
+
+def _sleep_spec(seconds=0.5, tag="dedup"):
+    return JobSpec("selftest", selftest={"behavior": "sleep",
+                                         "seconds": seconds,
+                                         "value": tag})
+
+
+def _start_tcp_server(max_queue_depth):
+    pool = WorkerPool(workers=2, cache_dir=None)
+    ready = threading.Event()
+    holder = {}
+
+    def on_ready(server):
+        holder["server"] = server
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve_forever, args=(pool,),
+        kwargs={"port": 0, "max_queue_depth": max_queue_depth,
+                "ready_callback": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=20)
+    return holder["server"], thread
+
+
+class TestHttpBackpressure:
+    def test_zero_depth_rejects_with_structured_busy(self, tmp_path):
+        from tests.fleet.conftest import start_gateway
+        gateway = start_gateway(workers=0, max_queue_depth=0)
+        try:
+            status, body = gateway.request(
+                "POST", "/v1/jobs", body=_sleep_spec(0).to_dict())
+            assert status == 503
+            assert body["ok"] is False
+            assert body["error"]["type"] == "Busy"
+            assert body["retry"] is True
+            _, metrics = gateway.request("GET", "/metrics")
+            assert metrics["metrics"]["rejected_busy"] == 1
+        finally:
+            gateway.close()
+
+    def test_retry_after_header_is_present(self, tmp_path):
+        import http.client
+        from tests.fleet.conftest import start_gateway
+        gateway = start_gateway(workers=0, max_queue_depth=0)
+        try:
+            connection = http.client.HTTPConnection(
+                gateway.host, gateway.port, timeout=30)
+            import json as json_mod
+            data = json_mod.dumps(_sleep_spec(0).to_dict())
+            connection.request("POST", "/v1/jobs", body=data,
+                               headers={"Content-Type":
+                                        "application/json"})
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 503
+            assert response.getheader("Retry-After") == "1"
+            connection.close()
+        finally:
+            gateway.close()
+
+    def test_depth_one_rejects_the_overflow_only(self, tmp_path):
+        from tests.fleet.conftest import start_gateway
+        gateway = start_gateway(workers=2, max_queue_depth=1)
+        try:
+            statuses = [None, None]
+
+            def submit(index, tag):
+                statuses[index] = gateway.request(
+                    "POST", "/v1/jobs",
+                    body=_sleep_spec(1.0, tag).to_dict(),
+                    timeout=60)[0]
+
+            # Two *distinct* slow jobs: the first occupies the single
+            # admission slot, the second must get the 503.
+            first = threading.Thread(target=submit, args=(0, "slot"))
+            first.start()
+            deadline = threading.Event()
+            for _ in range(100):
+                _, metrics = gateway.request("GET", "/metrics")
+                if metrics["inflight"] >= 1:
+                    break
+                deadline.wait(0.02)
+            submit(1, "overflow")
+            first.join(timeout=30)
+            assert sorted(statuses) == [200, 503]
+        finally:
+            gateway.close()
+
+
+class TestTcpBackpressure:
+    def test_depth_one_rejects_the_overflow_only(self):
+        server, thread = _start_tcp_server(max_queue_depth=1)
+        try:
+            responses = [None, None]
+
+            def submit(index, tag):
+                with ServiceClient(server.host, server.port,
+                                   timeout=60, retries=0) as client:
+                    responses[index] = client.request(
+                        {"op": "submit",
+                         "job": _sleep_spec(1.0, tag).to_dict()})
+
+            first = threading.Thread(target=submit, args=(0, "slot"))
+            first.start()
+            with ServiceClient(server.host, server.port) as client:
+                for _ in range(100):
+                    if client.stats()["inflight"] >= 1:
+                        break
+                    threading.Event().wait(0.02)
+            submit(1, "overflow")
+            first.join(timeout=30)
+            by_ok = sorted(responses, key=lambda r: r["ok"])
+            assert by_ok[0]["ok"] is False
+            assert by_ok[0]["error"]["type"] == "Busy"
+            assert by_ok[0]["retry"] is True
+            assert by_ok[1]["ok"] is True
+        finally:
+            with ServiceClient(server.host, server.port) as client:
+                client.shutdown()
+            thread.join(timeout=10)
+
+
+class TestExactlyOnceDedup:
+    N = 6
+
+    def test_http_identical_concurrent_submissions_run_once(self):
+        from tests.fleet.conftest import start_gateway
+        gateway = start_gateway(workers=2)
+        try:
+            spec = _sleep_spec(0.5, "http-once").to_dict()
+            bodies = [None] * self.N
+            barrier = threading.Barrier(self.N)
+
+            def submit(index):
+                barrier.wait()
+                bodies[index] = http_json(
+                    "POST", gateway.host, gateway.port, "/v1/jobs",
+                    body=spec, timeout=60)[1]
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(self.N)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert all(body["ok"] for body in bodies)
+            payloads = [body["result"]["payload"] for body in bodies]
+            assert all(p == payloads[0] for p in payloads)
+            joined = sum(1 for body in bodies if body["singleflight"])
+            assert joined == self.N - 1
+            _, metrics = gateway.request("GET", "/metrics")
+            # The job executed exactly once.
+            assert metrics["metrics"]["jobs_completed"] == 1
+            assert metrics["metrics"]["singleflight_hits"] == \
+                self.N - 1
+        finally:
+            gateway.close()
+
+    def test_tcp_identical_concurrent_submissions_run_once(self):
+        server, thread = _start_tcp_server(max_queue_depth=64)
+        try:
+            spec = _sleep_spec(0.5, "tcp-once").to_dict()
+            responses = [None] * self.N
+            barrier = threading.Barrier(self.N)
+
+            def submit(index):
+                with ServiceClient(server.host, server.port,
+                                   timeout=60) as client:
+                    barrier.wait()
+                    responses[index] = client.request(
+                        {"op": "submit", "job": spec})
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(self.N)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert all(r["ok"] for r in responses)
+            results = [r["result"]["payload"] for r in responses]
+            assert all(p == results[0] for p in results)
+            with ServiceClient(server.host, server.port) as client:
+                metrics = client.stats()["metrics"]
+            assert metrics["jobs_completed"] == 1
+            assert metrics["singleflight_hits"] == self.N - 1
+        finally:
+            with ServiceClient(server.host, server.port) as client:
+                client.shutdown()
+            thread.join(timeout=10)

@@ -1,0 +1,146 @@
+"""Differential acceptance: the HTTP path serves payloads byte-identical
+to the TCP path and the in-process pipeline.
+
+For every Olden benchmark, with and without a seeded fault profile,
+the three-way payload must be plain-``==`` identical across:
+
+* in-process :func:`run_three_ways` (ground truth),
+* the TCP server (``ServiceClient.submit``),
+* the HTTP gateway (``POST /v1/jobs``),
+
+checked **cold** (each front end computes into its own empty disk
+cache) and **warm** (the second submission replays the cached payload
+bit-for-bit).  A fleet is only sound if the wire format cannot change
+the answer."""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.earth.faults import FaultPlan, plan_from_cli
+from repro.harness.pipeline import run_three_ways
+from repro.olden.loader import catalog
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec, run_payload
+from repro.service.pool import WorkerPool
+
+FAULT_SEED = 29
+FAULT_CASES = (None, "mild")
+
+
+def _fault_dict(profile):
+    if profile is None:
+        return None
+    return plan_from_cli(FAULT_SEED, profile, None, None).spec()
+
+
+def _matrix():
+    return [(spec, profile) for spec in catalog()
+            for profile in FAULT_CASES]
+
+
+def _job(spec, profile):
+    return JobSpec("three-way", benchmark=spec.name, nodes=2,
+                   small=True, faults=_fault_dict(profile))
+
+
+@pytest.fixture(scope="module")
+def references():
+    """In-process ground truth, keyed (benchmark, fault-profile)."""
+    expected = {}
+    for spec, profile in _matrix():
+        faults = None
+        if profile is not None:
+            faults = FaultPlan.from_spec(_fault_dict(profile))
+        results = run_three_ways(
+            spec.source(), spec.name, inline=spec.inline,
+            faults=faults,
+            config=RunConfig(nodes=2, args=tuple(spec.small_args),
+                             max_stmts=spec.max_stmts))
+        expected[(spec.name, profile)] = {
+            name: run_payload(result)
+            for name, result in results.items()}
+    return expected
+
+
+@pytest.fixture(scope="module")
+def http_gateway(tmp_path_factory):
+    from tests.fleet.conftest import start_gateway
+    live = start_gateway(
+        workers=2,
+        cache_dir=str(tmp_path_factory.mktemp("http-diff-cache")))
+    yield live
+    live.close()
+
+
+@pytest.fixture(scope="module")
+def tcp_server(tmp_path_factory):
+    import threading
+
+    from repro.service.server import serve_forever
+    pool = WorkerPool(
+        workers=2,
+        cache_dir=str(tmp_path_factory.mktemp("tcp-diff-cache")))
+    ready = threading.Event()
+    holder = {}
+
+    def on_ready(server):
+        holder["server"] = server
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve_forever, args=(pool,),
+        kwargs={"port": 0, "ready_callback": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=20)
+    yield holder["server"]
+    with ServiceClient(holder["server"].host,
+                       holder["server"].port) as client:
+        client.shutdown()
+    thread.join(timeout=10)
+
+
+def _http_submit(gateway, job):
+    status, body = gateway.request("POST", "/v1/jobs",
+                                   body=job.to_dict(), timeout=600)
+    assert status == 200, body
+    return body["result"]
+
+
+def test_http_path_matches_in_process_cold_and_warm(references,
+                                                    http_gateway):
+    for spec, profile in _matrix():
+        job = _job(spec, profile)
+        cold = _http_submit(http_gateway, job)
+        assert cold["cache"] == "miss"
+        assert cold["payload"] == references[(spec.name, profile)], \
+            f"{spec.name}/faults={profile} diverged over HTTP (cold)"
+        warm = _http_submit(http_gateway, job)
+        assert warm["cache"] == "hit"
+        assert warm["payload"] == cold["payload"], \
+            f"{spec.name}/faults={profile} warm HTTP replay diverged"
+
+
+def test_tcp_path_matches_in_process_cold_and_warm(references,
+                                                   tcp_server):
+    with ServiceClient(tcp_server.host, tcp_server.port,
+                       timeout=600) as client:
+        for spec, profile in _matrix():
+            job = _job(spec, profile)
+            cold = client.submit(job)
+            assert cold.ok and cold.cache == "miss"
+            assert cold.payload == references[(spec.name, profile)], \
+                f"{spec.name}/faults={profile} diverged over TCP (cold)"
+            warm = client.submit(job)
+            assert warm.ok and warm.cache == "hit"
+            assert warm.payload == cold.payload, \
+                f"{spec.name}/faults={profile} warm TCP replay diverged"
+
+
+def test_faulted_runs_actually_took_faults(references):
+    """Guard against the fault leg silently degenerating into the
+    clean one: the two payloads must differ in simulated time."""
+    for spec in catalog():
+        clean = references[(spec.name, None)]
+        faulted = references[(spec.name, "mild")]
+        assert clean != faulted, \
+            f"{spec.name}: fault profile had no observable effect"

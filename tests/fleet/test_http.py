@@ -1,0 +1,195 @@
+"""HttpGateway: routes, status mapping, framing, keep-alive, replay."""
+
+import json
+import socket
+
+import pytest
+
+from repro.harness.pipeline import PIPELINE_VERSION
+from repro.service.jobs import JobSpec
+
+SOURCE = "int main(int n) { return n + 1; }"
+
+
+def _run_spec(value=41):
+    return JobSpec("run", source=SOURCE, nodes=1,
+                   args=[value]).to_dict()
+
+
+class TestRoutes:
+    def test_healthz(self, gateway):
+        status, body = gateway.request("GET", "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["role"] == "gateway"
+        assert body["version"] == PIPELINE_VERSION
+
+    def test_metrics_is_a_service_metrics_snapshot(self, gateway):
+        status, body = gateway.request("GET", "/metrics")
+        assert status == 200
+        metrics = body["metrics"]
+        assert "jobs_completed" in metrics
+        assert "http_requests" in metrics
+        assert body["inflight"] == 0
+
+    def test_submit_round_trip(self, gateway):
+        status, body = gateway.request("POST", "/v1/jobs",
+                                       body=_run_spec(41))
+        assert status == 200
+        assert body["ok"] is True
+        assert body["result"]["payload"]["run"]["value"] == 42
+        assert body["result"]["cache"] == "miss"
+
+    def test_second_submit_hits_the_cache(self, gateway):
+        spec = _run_spec(7)
+        _, first = gateway.request("POST", "/v1/jobs", body=spec)
+        _, second = gateway.request("POST", "/v1/jobs", body=spec)
+        assert first["result"]["cache"] == "miss"
+        assert second["result"]["cache"] == "hit"
+        assert second["result"]["payload"] == first["result"]["payload"]
+
+    def test_tcp_envelope_shape_is_accepted(self, gateway):
+        # {"job": {...}} -- the TCP protocol's submit shape.
+        status, body = gateway.request("POST", "/v1/jobs",
+                                       body={"job": _run_spec(1)})
+        assert status == 200 and body["ok"] is True
+
+    def test_replay_returns_the_stored_envelope(self, gateway):
+        _, submitted = gateway.request("POST", "/v1/jobs",
+                                       body=_run_spec(2))
+        job_id = submitted["id"]
+        status, replayed = gateway.request("GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert replayed == submitted
+
+    def test_replay_unknown_id_is_404(self, gateway):
+        status, body = gateway.request("GET", "/v1/jobs/99999")
+        assert status == 404
+        assert body["error"]["type"] == "NotFound"
+
+    def test_replay_non_integer_id_is_400(self, gateway):
+        status, body = gateway.request("GET", "/v1/jobs/nope")
+        assert status == 400
+        assert body["error"]["type"] == "BadRequest"
+
+    def test_ids_are_sequential(self, gateway):
+        ids = [gateway.request("POST", "/v1/jobs",
+                               body=_run_spec(n))[1]["id"]
+               for n in (10, 11, 12)]
+        assert ids == [ids[0], ids[0] + 1, ids[0] + 2]
+
+
+class TestErrorMapping:
+    def test_unknown_route_is_404(self, gateway):
+        status, body = gateway.request("GET", "/v2/everything")
+        assert status == 404
+        assert body["ok"] is False
+
+    def test_wrong_method_is_405(self, gateway):
+        status, body = gateway.request("GET", "/v1/jobs")
+        assert status == 405
+        assert body["error"]["type"] == "MethodNotAllowed"
+
+    def test_malformed_body_is_400(self, gateway):
+        status, body = gateway.request("POST", "/v1/jobs",
+                                       body="not a job")
+        assert status == 400
+        assert body["ok"] is False
+
+    def test_unknown_job_kind_is_400(self, gateway):
+        status, body = gateway.request("POST", "/v1/jobs",
+                                       body={"kind": "transmogrify"})
+        assert status == 400
+        assert "unknown job kind" in body["error"]["message"]
+
+    def test_compile_failure_is_422_with_job_error(self, gateway):
+        status, body = gateway.request(
+            "POST", "/v1/jobs",
+            body=JobSpec("compile", source="int main( {").to_dict())
+        assert status == 422
+        assert body["ok"] is False
+        # The job-level error is the same structured object the TCP
+        # path and the CLI produce (code 3 = compile error).
+        assert body["result"]["error"]["code"] == 3
+
+    def test_http_error_counter_increments(self, gateway):
+        gateway.request("GET", "/missing")
+        _, metrics = gateway.request("GET", "/metrics")
+        assert metrics["metrics"]["http_errors"] >= 1
+        assert metrics["metrics"]["http_requests"] >= 2
+
+
+class TestWireFraming:
+    """Drive raw HTTP bytes at the asyncio parser."""
+
+    def _raw(self, gateway, payload: bytes) -> bytes:
+        with socket.create_connection((gateway.host, gateway.port),
+                                      timeout=10) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        return data
+
+    def test_post_without_content_length_is_411(self, gateway):
+        response = self._raw(
+            gateway, b"POST /v1/jobs HTTP/1.1\r\n"
+                     b"Host: x\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 411 ")
+
+    def test_chunked_bodies_are_501(self, gateway):
+        response = self._raw(
+            gateway, b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                     b"Transfer-Encoding: chunked\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 501 ")
+
+    def test_garbage_request_line_is_400(self, gateway):
+        response = self._raw(gateway, b"NONSENSE\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_body_shorter_than_content_length_is_400(self, gateway):
+        response = self._raw(
+            gateway, b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                     b"Content-Length: 50\r\n\r\n{}")
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_keep_alive_serves_multiple_requests(self, gateway):
+        request = (b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        with socket.create_connection((gateway.host, gateway.port),
+                                      timeout=10) as sock:
+            for _ in range(3):
+                sock.sendall(request)
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    head += sock.recv(65536)
+                headers, _, rest = head.partition(b"\r\n\r\n")
+                assert b"200 OK" in headers.split(b"\r\n")[0]
+                length = int([line.split(b":")[1] for line
+                              in headers.split(b"\r\n")
+                              if line.lower().startswith(
+                                  b"content-length")][0])
+                while len(rest) < length:
+                    rest += sock.recv(65536)
+                assert json.loads(rest[:length])["ok"] is True
+
+    def test_connection_close_is_honored(self, gateway):
+        response = self._raw(
+            gateway, b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                     b"Connection: close\r\n\r\n")
+        assert b"Connection: close" in response
+
+
+class TestShutdown:
+    def test_shutdown_route_stops_the_server(self, tmp_path):
+        from tests.fleet.conftest import start_gateway
+        live = start_gateway(workers=0)
+        status, body = live.request("POST", "/v1/shutdown", body={})
+        assert status == 200 and body["shutdown"] is True
+        live.thread.join(timeout=10)
+        assert not live.thread.is_alive()
+        with pytest.raises(OSError):
+            live.request("GET", "/healthz", timeout=2.0)

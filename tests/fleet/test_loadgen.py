@@ -1,0 +1,107 @@
+"""LoadGenerator: seeded schedules, percentile math, report shape."""
+
+import pytest
+
+from repro.fleet.loadgen import LoadGenerator, percentile
+from repro.service.jobs import JobSpec
+
+TARGETS = [("127.0.0.1", 1), ("127.0.0.1", 2)]
+JOBS = [JobSpec("selftest", selftest={"behavior": "echo",
+                                      "value": i}).to_dict()
+        for i in range(3)]
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_p99_of_uniform_ramp(self):
+        values = list(range(101))  # 0..100
+        assert percentile(values, 99) == pytest.approx(99.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([3.0, 1.0, 2.0], 95) == \
+            percentile([1.0, 2.0, 3.0], 95)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        first = LoadGenerator(TARGETS, JOBS, rate=10, total=50, seed=3)
+        second = LoadGenerator(TARGETS, JOBS, rate=10, total=50, seed=3)
+        assert first.schedule == second.schedule
+
+    def test_different_seed_different_schedule(self):
+        first = LoadGenerator(TARGETS, JOBS, rate=10, total=50, seed=3)
+        second = LoadGenerator(TARGETS, JOBS, rate=10, total=50, seed=4)
+        assert first.schedule != second.schedule
+
+    def test_arrivals_are_monotonic_at_the_offered_rate(self):
+        generator = LoadGenerator(TARGETS, JOBS, rate=100, total=500,
+                                  seed=0)
+        offsets = [entry[0] for entry in generator.schedule]
+        assert offsets == sorted(offsets)
+        # Mean inter-arrival of an exponential process at rate 100 is
+        # 10ms; the 500-sample mean lands near it.
+        mean_gap = offsets[-1] / len(offsets)
+        assert 0.005 < mean_gap < 0.02
+
+    def test_schedule_spans_all_targets_and_jobs(self):
+        generator = LoadGenerator(TARGETS, JOBS, rate=10, total=200,
+                                  seed=1)
+        assert {entry[1] for entry in generator.schedule} == {0, 1}
+        assert {entry[2] for entry in generator.schedule} == {0, 1, 2}
+
+    @pytest.mark.parametrize("kwargs", [
+        {"targets": [], "jobs": JOBS, "rate": 1, "total": 1},
+        {"targets": TARGETS, "jobs": [], "rate": 1, "total": 1},
+        {"targets": TARGETS, "jobs": JOBS, "rate": 0, "total": 1},
+        {"targets": TARGETS, "jobs": JOBS, "rate": 1, "total": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadGenerator(**kwargs)
+
+
+class TestEndToEnd:
+    def test_run_against_a_live_gateway(self):
+        from tests.fleet.conftest import start_gateway
+        gateway = start_gateway(workers=0)
+        try:
+            generator = LoadGenerator(
+                [(gateway.host, gateway.port)], JOBS,
+                rate=200, total=30, seed=5, concurrency=8,
+                timeout_s=30)
+            report = generator.run()
+        finally:
+            gateway.close()
+        assert report["requests"] == 30
+        assert report["ok"] == 30
+        assert report["transport_errors"] == 0
+        assert report["other_failures"] == 0
+        assert report["latency_ms"]["p50"] <= \
+            report["latency_ms"]["p99"] <= report["latency_ms"]["max"]
+        assert report["achieved_rps"] > 0
+        assert report["seed"] == 5
+
+    def test_transport_errors_are_counted_not_raised(self):
+        generator = LoadGenerator([("127.0.0.1", 1)], JOBS,
+                                  rate=500, total=5, seed=0,
+                                  timeout_s=0.5)
+        report = generator.run()
+        assert report["transport_errors"] == 5
+        assert report["ok"] == 0

@@ -1,0 +1,210 @@
+"""Blob store, RemoteStore client (breaker/degradation), FleetCache."""
+
+import threading
+
+import pytest
+
+from repro.fleet.store import FleetCache, RemoteStore, parse_store_url
+from repro.service.cache import cache_key
+
+PAYLOAD = {"ok": True, "kind": "run", "payload": {"run": {"value": 42}}}
+
+
+def _key(suffix="a"):
+    return cache_key({"test-blob": suffix})
+
+
+class TestParseStoreUrl:
+    def test_accepts_bare_and_http_forms(self):
+        assert parse_store_url("127.0.0.1:7792") == ("127.0.0.1", 7792)
+        assert parse_store_url("http://10.0.0.5:80/") == \
+            ("10.0.0.5", 80)
+
+    @pytest.mark.parametrize("bad", ["", "host", "host:", ":123",
+                                     "https://h:1x"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_store_url(bad)
+
+
+class TestBlobServer:
+    def test_put_then_get_round_trips(self, store):
+        key = _key("roundtrip")
+        status, body = store.request("PUT", f"/blobs/{key}",
+                                     body=PAYLOAD)
+        assert status == 201 and body["created"] is True
+        status, body = store.request("GET", f"/blobs/{key}")
+        assert status == 200
+        assert body == PAYLOAD
+
+    def test_put_is_put_if_absent(self, store):
+        key = _key("absent")
+        assert store.request("PUT", f"/blobs/{key}",
+                             body=PAYLOAD)[0] == 201
+        status, body = store.request("PUT", f"/blobs/{key}",
+                                     body={"other": 1})
+        assert status == 200 and body["created"] is False
+        # The original blob survives: addresses are immutable.
+        assert store.request("GET", f"/blobs/{key}")[1] == PAYLOAD
+
+    def test_missing_blob_is_404(self, store):
+        assert store.request("GET", f"/blobs/{_key('missing')}")[0] \
+            == 404
+
+    def test_malformed_key_is_400(self, store):
+        status, body = store.request("GET", "/blobs/not-hex")
+        assert status == 400
+        assert "64 lowercase hex" in body["error"]["message"]
+
+    def test_non_object_payload_is_400(self, store):
+        assert store.request("PUT", f"/blobs/{_key('arr')}",
+                             body=[1, 2])[0] == 400
+
+    def test_healthz_and_metrics(self, store):
+        assert store.request("GET", "/healthz")[1]["role"] == "store"
+        status, body = store.request("GET", "/metrics")
+        assert status == 200 and "hits" in body["blobs"]
+
+
+class TestRemoteStore:
+    def test_counters_track_hits_misses_puts(self, store):
+        remote = RemoteStore(store.url)
+        key = _key("counters")
+        assert remote.get(key) is None
+        assert remote.put(key, PAYLOAD) is True
+        assert remote.get(key) == PAYLOAD
+        snap = remote.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1 \
+            and snap["puts"] == 1
+        assert snap["breaker_open"] is False
+
+    def test_outage_degrades_without_raising(self):
+        remote = RemoteStore("127.0.0.1:1", timeout_s=0.2, retries=0,
+                             fail_threshold=3, cooldown_s=60.0)
+        for _ in range(5):
+            assert remote.get(_key("dead")) is None
+            assert remote.put(_key("dead"), PAYLOAD) is False
+        snap = remote.snapshot()
+        assert snap["fallbacks"] == 10
+        assert snap["breaker_open"] is True
+        # Breaker open: probes are skipped instantly (no error growth).
+        assert snap["errors"] == 3
+
+    def test_breaker_closes_on_success(self, store):
+        remote = RemoteStore(store.url, timeout_s=2.0, retries=0,
+                             fail_threshold=2, cooldown_s=0.0)
+        # Trip it against a wrong port, then redirect to the live
+        # store: cooldown 0 readmits immediately, success resets.
+        remote.port = 1
+        remote.get(_key("flip"))
+        remote.get(_key("flip"))
+        assert remote._consecutive_failures == 2
+        remote.port = store.port
+        remote.put(_key("flip"), PAYLOAD)
+        assert remote._consecutive_failures == 0
+        assert remote.get(_key("flip")) == PAYLOAD
+
+    def test_pop_delta_reports_increments_once(self, store):
+        remote = RemoteStore(store.url)
+        key = _key("delta")
+        remote.put(key, PAYLOAD)
+        remote.get(key)
+        assert remote.pop_delta() == {"store_hits": 1, "store_puts": 1}
+        assert remote.pop_delta() is None
+        remote.get(_key("delta-miss"))
+        assert remote.pop_delta() == {"store_misses": 1}
+
+
+class TestFleetCache:
+    def test_local_miss_fills_from_remote_then_hits_locally(
+            self, store, tmp_path):
+        key = _key("fill")
+        RemoteStore(store.url).put(key, PAYLOAD)
+        cache = FleetCache(str(tmp_path / "local"),
+                           RemoteStore(store.url))
+        assert cache.get(key) == PAYLOAD       # remote fill
+        assert cache.remote.hits == 1
+        assert cache.get(key) == PAYLOAD       # local tier now
+        assert cache.remote.hits == 1          # no second fetch
+
+    def test_put_propagates_to_the_store(self, store, tmp_path):
+        key = _key("propagate")
+        cache = FleetCache(str(tmp_path / "a"), RemoteStore(store.url))
+        cache.put(key, PAYLOAD)
+        # A second host with a cold local cache sees it.
+        other = FleetCache(str(tmp_path / "b"), RemoteStore(store.url))
+        assert other.get(key) == PAYLOAD
+
+    def test_concurrent_misses_fetch_remotely_once(self, store,
+                                                   tmp_path):
+        key = _key("singleflight")
+        RemoteStore(store.url).put(key, PAYLOAD)
+        cache = FleetCache(str(tmp_path / "local"),
+                           RemoteStore(store.url))
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def probe(index):
+            barrier.wait()
+            results[index] = cache.get(key)
+
+        threads = [threading.Thread(target=probe, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result == PAYLOAD for result in results)
+        # One leader fetched; followers waited and re-probed locally.
+        assert cache.remote.hits == 1
+
+    def test_store_outage_degrades_to_local_only(self, tmp_path):
+        cache = FleetCache(str(tmp_path / "local"),
+                           RemoteStore("127.0.0.1:1", timeout_s=0.2,
+                                       retries=0))
+        key = _key("outage")
+        cache.put(key, PAYLOAD)          # remote upload fails silently
+        assert cache.get(key) == PAYLOAD  # local tiers still serve
+        assert cache.get(_key("absent-outage")) is None
+        assert cache.remote.fallbacks >= 1
+
+    def test_snapshot_includes_remote_tier(self, store, tmp_path):
+        cache = FleetCache(str(tmp_path / "local"),
+                           RemoteStore(store.url))
+        snap = cache.snapshot()
+        assert snap["remote"]["url"] == store.url
+
+
+class TestGatewayDegradation:
+    """Acceptance: killing the store mid-run must not fail jobs."""
+
+    def test_jobs_survive_a_store_outage(self, tmp_path):
+        from repro.service.jobs import JobSpec
+        from tests.fleet.conftest import start_gateway, start_store
+
+        live_store = start_store(tmp_path / "store")
+        gateway = start_gateway(
+            workers=0, cache_dir=str(tmp_path / "gw"),
+            store_url=live_store.url)
+        try:
+            spec = JobSpec("run",
+                           source="int main(int n) { return n + 1; }",
+                           nodes=1, args=[1]).to_dict()
+            status, body = gateway.request("POST", "/v1/jobs",
+                                           body=spec)
+            assert status == 200 and body["ok"]
+
+            live_store.close()  # the outage
+
+            spec2 = JobSpec("run",
+                            source="int main(int n) { return n + 2; }",
+                            nodes=1, args=[1]).to_dict()
+            status, body = gateway.request("POST", "/v1/jobs",
+                                           body=spec2, timeout=120)
+            assert status == 200 and body["ok"], \
+                "job failed during store outage"
+            assert body["result"]["payload"]["run"]["value"] == 3
+            _, metrics = gateway.request("GET", "/metrics")
+            assert metrics["metrics"]["store_fallbacks"] >= 1
+        finally:
+            gateway.close()

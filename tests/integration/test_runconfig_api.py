@@ -176,8 +176,7 @@ class TestDeprecationShims:
 
     def test_run_three_ways_commconfig_positional_warns(self):
         with pytest.warns(DeprecationWarning, match="comm_config"):
-            results = run_three_ways(SOURCE, num_nodes=2,
-                                     config=CommConfig())
+            results = run_three_ways(SOURCE, config=CommConfig())
         assert results["optimized"].value == 42
 
     def test_quiet_when_config_only(self, compiled):

@@ -1,0 +1,153 @@
+"""ServiceClient transport resilience: reconnect + bounded backoff.
+
+A real :class:`ServiceClient` against a scripted TCP server that
+misbehaves in controlled ways -- dropping connections before or after
+reading a request -- so the retry path is exercised end to end, not
+mocked.  The fleet load harness reconnects constantly; these tests pin
+the contract it relies on."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+
+
+class FlakyServer:
+    """Accepts connections; the first ``failures`` requests are
+    answered with a hard close (after optionally reading the request
+    line), later ones with a canned response."""
+
+    def __init__(self, failures: int, read_before_close: bool = True,
+                 response: dict = None):
+        self.failures = failures
+        self.read_before_close = read_before_close
+        self.response = response or {"ok": True, "pong": True}
+        self.requests_seen = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.host, self.port = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True).start()
+
+    def _handle(self, conn):
+        with conn:
+            handle = conn.makefile("rwb")
+            while True:
+                line = handle.readline() if self.read_before_close \
+                    else b""
+                if self.read_before_close and not line:
+                    return
+                with self._lock:
+                    if line:
+                        self.requests_seen.append(json.loads(line))
+                    fail = self.failures > 0
+                    if fail:
+                        self.failures -= 1
+                if fail:
+                    # Hard close mid-request: the client sees EOF (or
+                    # ECONNRESET) where the response line should be.
+                    conn.setsockopt(socket.SOL_SOCKET,
+                                    socket.SO_LINGER,
+                                    b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                    return
+                handle.write(json.dumps(self.response).encode() + b"\n")
+                handle.flush()
+                if not self.read_before_close:
+                    return
+
+    def close(self):
+        self._listener.close()
+
+
+def test_retries_after_mid_read_eof():
+    server = FlakyServer(failures=2)
+    try:
+        with ServiceClient(server.host, server.port, timeout=5.0,
+                           retries=3, retry_backoff_s=0.01) as client:
+            assert client.ping()["pong"] is True
+        # One logical request, three wire sends: two eaten by the
+        # flaky server, one answered.
+        assert len(server.requests_seen) == 3
+    finally:
+        server.close()
+
+
+def test_retry_budget_is_bounded():
+    server = FlakyServer(failures=100)
+    try:
+        with ServiceClient(server.host, server.port, timeout=5.0,
+                           retries=2, retry_backoff_s=0.01) as client:
+            with pytest.raises(ServiceError,
+                               match="after 3 attempt"):
+                client.ping()
+        assert len(server.requests_seen) == 3
+    finally:
+        server.close()
+
+
+def test_retries_disabled_surface_first_failure():
+    server = FlakyServer(failures=1)
+    try:
+        with ServiceClient(server.host, server.port, timeout=5.0,
+                           retries=0) as client:
+            with pytest.raises(ServiceError,
+                               match="after 1 attempt"):
+                client.ping()
+        assert len(server.requests_seen) == 1
+    finally:
+        server.close()
+
+
+def test_shutdown_is_never_retried():
+    server = FlakyServer(failures=100)
+    try:
+        with ServiceClient(server.host, server.port, timeout=5.0,
+                           retries=5, retry_backoff_s=0.01) as client:
+            with pytest.raises(ServiceError):
+                client.shutdown()
+        # A dropped connection after shutdown is not re-sent: exactly
+        # one wire request no matter the retry budget.
+        assert len(server.requests_seen) == 1
+    finally:
+        server.close()
+
+
+def test_healthy_path_takes_one_attempt():
+    server = FlakyServer(failures=0)
+    try:
+        with ServiceClient(server.host, server.port, timeout=5.0,
+                           retries=3) as client:
+            assert client.ping()["pong"] is True
+            assert client.ping()["pong"] is True
+        assert len(server.requests_seen) == 2
+    finally:
+        server.close()
+
+
+def test_reconnect_reaches_replacement_server():
+    """The retry reconnects the socket, so a server that died between
+    requests (here: first connection hard-closed) is reachable again
+    without the caller doing anything."""
+    server = FlakyServer(failures=1, read_before_close=True)
+    try:
+        with ServiceClient(server.host, server.port, timeout=5.0,
+                           retries=2, retry_backoff_s=0.01) as client:
+            assert client.ping()["pong"] is True
+            assert client.stats()["pong"] is True
+    finally:
+        server.close()
