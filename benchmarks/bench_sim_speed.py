@@ -1,11 +1,15 @@
-"""Simulator wall-clock speed: closure engine vs AST walker.
+"""Simulator wall-clock speed: the engine ladder on the Olden set.
 
-One bench per (Olden benchmark, engine) pair.  Each compiles the
-benchmark once (optimized, 4 nodes) and measures pure *execution*
-wall-clock at the catalog's full problem size, so the pair directly
-yields the closure engine's speedup over the reference tree walker.
-The closure run also asserts bit-identical results against the AST
-run -- a speedup that changes the answer is a bug, not a win.
+One bench per (Olden benchmark, engine) pair across all three engines
+(AST walker, closure compiler, per-function codegen).  Each compiles
+the benchmark once (optimized, 4 nodes) and measures pure *execution*
+wall-clock at the catalog's full problem size, so the pairs directly
+yield each engine's speedup over the reference tree walker.  The
+non-AST runs also assert bit-identical results against the AST run --
+a speedup that changes the answer is a bug, not a win.
+
+``--engine NAME`` (repeatable, from benchmarks/conftest.py) restricts
+the axis, e.g. ``--engine codegen`` for the CI codegen-only step.
 
 Regenerate the committed ``BENCH_sim_speed.json``::
 
@@ -41,9 +45,11 @@ def _run(spec, engine):
                                     max_stmts=spec.max_stmts, engine=engine))
 
 
-@pytest.mark.parametrize("engine", sorted(ENGINES))  # ast before closure
+@pytest.mark.parametrize("engine", sorted(ENGINES))  # ast first
 @pytest.mark.parametrize("name", [spec.name for spec in catalog()])
-def test_engine_speed(benchmark, name, engine):
+def test_engine_speed(benchmark, engine_axis, name, engine):
+    if engine_axis and engine not in engine_axis:
+        pytest.skip(f"--engine restricted to {engine_axis}")
     spec = next(s for s in catalog() if s.name == name)
     # Warm up once outside the timer: compiles the program and, for the
     # closure engine, builds the per-function closures.

@@ -12,6 +12,19 @@ in about a minute; ``python -m repro.harness.report`` runs the full
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine", action="append", default=None, metavar="NAME",
+        help="restrict engine-parametrized benches to this engine "
+             "(repeatable; default: all engines)")
+
+
+@pytest.fixture
+def engine_axis(request):
+    """The ``--engine`` selection, or None for all engines."""
+    return request.config.getoption("--engine")
+
+
 def pedantic(benchmark, fn, rounds=1):
     """One-round measurement for expensive end-to-end harness runs."""
     return benchmark.pedantic(fn, rounds=rounds, iterations=1,

@@ -140,10 +140,17 @@ def _parse_args(argv):
                         help="abort the run after N interpreted "
                              "statements (infinite-loop guard)")
     parser.add_argument("--engine", default="closure",
-                        choices=("closure", "ast"),
+                        choices=("closure", "ast", "codegen"),
                         help="execution engine: 'closure' precompiles "
                              "SIMPLE to bound closures (default), "
+                             "'codegen' emits specialized Python "
+                             "source per function (fastest), "
                              "'ast' walks the tree (reference)")
+    parser.add_argument("--dump-codegen", default=None, metavar="FUNC",
+                        help="print the Python source the codegen "
+                             "engine emits for FUNC (or a fallback "
+                             "notice when it delegates FUNC to the "
+                             "closure tier) and continue")
     parser.add_argument("--rcache-capacity", type=int, default=0,
                         metavar="LINES",
                         help="with --run: per-node remote-data cache "
@@ -294,6 +301,8 @@ def _compile_main(argv) -> int:
         if "profile" in shows:
             print(compiled.profile_text())
             print()
+        if args.dump_codegen is not None:
+            _dump_codegen(compiled, args.dump_codegen, args.nodes)
 
         if args.run:
             run_args = [int(part) for part in args.args.split(",")
@@ -343,6 +352,30 @@ def _compile_main(argv) -> int:
     except ReproError as exc:
         return _emit_error(exc, args.json)
     return EXIT_OK
+
+
+def _dump_codegen(compiled, name, nodes) -> None:
+    """``--dump-codegen FUNC``: print the source the codegen engine
+    emits for one function (the exact text it executes -- labels, busy
+    costs, and global addresses baked in for ``--nodes``)."""
+    from repro.earth.codegen import CodegenEngine
+    from repro.earth.interpreter import Interpreter
+    from repro.earth.machine import Machine
+    from repro.earth.params import MachineParams
+    if name not in compiled.simple.functions:
+        raise ReproError(f"no function named {name!r} "
+                         f"(have: {', '.join(compiled.simple.functions)})")
+    interp = Interpreter(compiled.simple, Machine(nodes, MachineParams()),
+                         engine="codegen")
+    interp._init_globals()
+    engine = CodegenEngine(interp)
+    engine.function(name)
+    source = engine.sources.get(name)
+    if source is None:
+        print(f"== codegen: {name} fell back to the closure engine")
+    else:
+        print(f"== codegen source: {name} (nodes={nodes})")
+        print(source)
 
 
 def _catalog_default_args(path):
@@ -504,7 +537,7 @@ def _submit_main(argv) -> int:
     parser.add_argument("--no-optimize", action="store_true")
     parser.add_argument("--inline", action="store_true")
     parser.add_argument("--engine", default="closure",
-                        choices=("closure", "ast"))
+                        choices=("closure", "ast", "codegen"))
     parser.add_argument("--config", default="default")
     parser.add_argument("--params", default="default")
     parser.add_argument("--entry", default="main")
@@ -618,7 +651,7 @@ def _batch_main(argv) -> int:
                         choices=("compile", "run", "three-way",
                                  "four-way"))
     parser.add_argument("--engine", default="closure",
-                        choices=("closure", "ast"))
+                        choices=("closure", "ast", "codegen"))
     parser.add_argument("--small", action="store_true",
                         help="use reduced problem sizes")
     parser.add_argument("--rcache-capacity", type=int, default=0,
@@ -834,6 +867,10 @@ def _loadtest_main(argv) -> int:
                              "(default power,tsp,health)")
     parser.add_argument("--kind", default="run",
                         choices=("compile", "run"))
+    parser.add_argument("--engine", default="closure",
+                        choices=("closure", "ast", "codegen"),
+                        help="execution engine for run jobs "
+                             "(default closure)")
     parser.add_argument("--nodes", type=int, default=2)
     parser.add_argument("--small", action="store_true", default=True,
                         help="use reduced problem sizes (default on)")
@@ -872,7 +909,7 @@ def _loadtest_main(argv) -> int:
     if not benchmarks:
         return _usage_error("--benchmarks needs at least one name")
     jobs = [JobSpec(opts.kind, benchmark=name, nodes=opts.nodes,
-                    small=opts.small).to_dict()
+                    small=opts.small, engine=opts.engine).to_dict()
             for name in benchmarks]
 
     try:

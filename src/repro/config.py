@@ -39,7 +39,7 @@ from repro.errors import ReproError
 
 #: Execution engines (mirrors ``repro.earth.interpreter.ENGINES``;
 #: duplicated here so importing a config does not pull the interpreter).
-ENGINES = ("closure", "ast")
+ENGINES = ("closure", "ast", "codegen")
 
 #: Named machine-parameter presets a serialized config may request
 #: (jobs travel as JSON, so they name a preset instead of carrying a

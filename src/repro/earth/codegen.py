@@ -1,0 +1,1515 @@
+"""Textual per-function Python code generation engine ("codegen").
+
+Tier 3 of the engine ladder.  Where the closure engine
+(:mod:`repro.earth.compile`) lowers each SIMPLE function to a tree of
+bound Python closures, this engine goes one step further and *emits
+Python source* for the whole function, compiles it with
+:func:`compile`, and ``exec``\\ s it into a per-function namespace:
+
+* frame variables become Python locals (``x`` -> ``v_x``), so variable
+  access is a fast-local load instead of a dict operation;
+* maximal runs of purely-local statements become straight-line code
+  under a single batched budget update and one ``("busy", total)``
+  yield -- no per-statement closure calls at all;
+* ``yield`` survives only at genuine split-phase points: remote loads
+  and stores, sync-slot waits, ``malloc``, ``blkmov``, shared-variable
+  operations, placed invocations (spawn + result wait), calls
+  (``yield from`` into the callee), and par/forall spawn + join;
+* field offsets, operand readers, binop/coercion selection, global
+  addresses and constant busy costs are resolved at codegen time
+  exactly as the closure compiler resolves them, and coercions are
+  elided where the operand's type already guarantees the
+  representation (e.g. ``int(x)`` on a value that is provably an
+  ``int``).
+
+The engine is *bit-identical* to the closure and AST engines: values,
+``MachineStats``, ``time_ns`` and traces all match, including under
+fault plans and with the remote-data cache enabled.  The machine
+action vocabulary and sync-wait ordering are replicated exactly; the
+only accepted divergence is the one the closure engine already has
+(the statement budget is charged per fused block).
+
+Anything the generator cannot prove it can emit faithfully -- a
+dynamically shadowed global, a name that is not a Python identifier,
+an unknown variable or callee, a non-finite float constant -- makes
+the *whole function* fall back to the closure engine (which in turn
+may delegate single statements to the AST engine).  Fallback is
+per-function, never whole-program; generated and closure-compiled
+functions call each other freely through the shared engine cells.
+
+Debugging: the emitted source of every generated function is kept in
+``CodegenEngine.sources`` and can be printed with the CLI's
+``--dump-codegen`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.earth.compile import (
+    ClosureEngine,
+    _FunctionCompiler,
+    _Uncompilable,
+    _char_coerce,
+    _coerce_fn,
+    _zero_of,
+    _op_div,
+    _op_mod,
+)
+from repro.earth.interpreter import (
+    _MATH_BUILTINS,
+    _MATH_COST_NS,
+    SharedCell,
+    _c_int,
+    _normalize_word,
+)
+from repro.earth.machine import Fiber, JoinCounter, Slot
+from repro.earth.memory import FILLER, NODE_SPAN
+from repro.errors import InterpreterError, MemoryFault
+from repro.frontend.types import PointerType, ScalarType, StructType
+from repro.simple import nodes as s
+
+#: Compiled code objects keyed by emitted source text.  The source
+#: bakes in everything static about a run (statement labels, busy
+#: costs, node count, global addresses), so a fresh Interpreter
+#: re-running the same program regenerates byte-identical source and
+#: can skip the CPython ``compile()`` call -- the dominant cost of
+#: warming this engine up.  Bounded LRU so long-lived service workers
+#: cycling through many programs cannot grow it without limit.
+_CODE_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_CODE_CACHE_LIMIT = 512
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers referenced by emitted code (installed in every
+# generated function's namespace).  Each mirrors one runtime check or
+# action-payload construction of the closure engine, with identical
+# error messages.
+# ---------------------------------------------------------------------------
+
+
+def _chkread(value, name):
+    """Checked read of a slot-capable / shared frame variable."""
+    if type(value) is Slot:
+        raise InterpreterError(
+            f"unsynchronized use of pending value {name!r}")
+    if type(value) is SharedCell:
+        raise InterpreterError(
+            f"shared variable {name!r} read directly")
+    return value
+
+
+def _ptr(value, name):
+    """Pointer-ness check for values the codegen cannot type."""
+    if not isinstance(value, int):
+        raise InterpreterError(
+            f"{name!r} does not hold a pointer: {value!r}")
+    return value
+
+
+def _sbuf(buffer, name):
+    """Struct-buffer check before offset indexing."""
+    if not isinstance(buffer, list):
+        raise InterpreterError(f"{name!r} is not a struct buffer")
+    return buffer
+
+
+def _shchk(cell, name):
+    """SharedCell check before a shared-variable operation."""
+    if not isinstance(cell, SharedCell):
+        raise InterpreterError(
+            f"{name!r} is not a shared variable")
+    return cell
+
+
+def _faddr(base, offset):
+    """``&(p->field)`` with the nil check of the closure engine."""
+    if base == 0:
+        raise MemoryFault("&(nil->field)")
+    return base + offset
+
+
+def _make_read_factory(stats, strict, memory):
+    """``_mk_read(addr)`` -> the remote-read action payload."""
+    read_word = memory.read_word
+
+    def _mk_read(addr):
+        def do_read(addr=addr):
+            if addr == 0:
+                stats.speculative_nil_reads += 1
+                if strict:
+                    raise MemoryFault("nil dereference (remote read)")
+                return 0
+            return _normalize_word(read_word(addr))
+        return do_read
+    return _mk_read
+
+
+def _make_write_factories(memory):
+    """``_mk_write1/_mk_write2`` -> remote-write action payloads
+    (single word, and double word with FILLER)."""
+    write_word = memory.write_word
+
+    def _mk_write1(addr, val):
+        def do_write(addr=addr, val=val):
+            write_word(addr, val)
+            return None
+        return do_write
+
+    def _mk_write2(addr, val):
+        def do_write(addr=addr, val=val):
+            write_word(addr, val)
+            write_word(addr + 1, FILLER)
+            return None
+        return do_write
+    return _mk_write1, _mk_write2
+
+
+def _make_alloc_factory(memory):
+    def _mk_alloc(target, words):
+        def do_alloc():
+            return memory.allocate(target, words)
+        return do_alloc
+    return _mk_alloc
+
+
+def _make_shared_factories():
+    def _mk_shw(cell, value):
+        def do_op(cell=cell, value=value):
+            cell.value = value
+            return None
+        return do_op
+
+    def _mk_sha(cell, value):
+        def do_op(cell=cell, value=value):
+            cell.value = cell.value + value
+            return None
+        return do_op
+
+    def _mk_shv(cell):
+        def do_op(cell=cell):
+            return cell.value
+        return do_op
+    return _mk_shw, _mk_sha, _mk_shv
+
+
+def _make_move_factory(memory, stats, strict, words, src_is_ptr,
+                       dst_is_ptr, lazy):
+    """Per-blkmov-statement ``_mk_mvN(src, dst)`` factory; the body is
+    the closure engine's ``do_move`` verbatim, including the lazy
+    whole-buffer tail snapshot taken before the issue."""
+
+    def _mk_move(src, dst):
+        def do_move(src=src, dst=dst):
+            if src_is_ptr:
+                if src == 0:
+                    stats.speculative_nil_reads += 1
+                    if strict:
+                        raise MemoryFault("nil blkmov source")
+                    data = [0] * words
+                else:
+                    data = memory.read_block(src, words)
+            else:
+                buffer, offset = src
+                data = list(buffer[offset:offset + words])
+            if dst_is_ptr:
+                if dst == 0:
+                    raise MemoryFault("nil blkmov destination")
+                memory.write_block(dst, list(data))
+                return None
+            return data
+
+        if lazy and words < len(dst[0]):
+            tail = list(dst[0][words:])
+
+            def do_op(move=do_move, tail=tail):
+                return move() + tail
+            return do_op
+        return do_move
+    return _mk_move
+
+
+# Map the coercion callables (as chosen by ``_coerce_fn``) to source
+# fragments; ``%s`` is the operand expression.
+_COERCE_FMT = {
+    _c_int: "_ci(%s)",
+    _char_coerce: "(_ci(%s) & 255)",
+    float: "float(%s)",
+    int: "int(%s)",
+}
+
+# Declared-type "kind" lattice used for coercion elision: 'int' means
+# the value is provably a Python int, 'float' provably a float, None
+# unknown.  Only exact matches elide a coercion.
+_KIND_OF_SCALAR = {"int": "int", "char": "int",
+                   "float": "float", "double": "float"}
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+_BITOPS = ("&", "|", "^", "<<", ">>")
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class GeneratedFunction:
+    """One SIMPLE function lowered to emitted Python source.  Duck-
+    compatible with :class:`~repro.earth.compile.CompiledFunction`:
+    callers only need ``.invoke`` (and the engine cells hold either
+    kind interchangeably)."""
+
+    __slots__ = ("name", "function", "invoke", "source")
+
+    def __init__(self, function: s.SimpleFunction, invoke, source: str):
+        self.name = function.name
+        self.function = function
+        self.invoke = invoke
+        self.source = source
+
+
+class CodegenEngine(ClosureEngine):
+    """Tier-3 engine: per-function textual codegen with per-function
+    fallback to the closure tier.  Shares the cell/compiled machinery
+    with :class:`ClosureEngine`, so generated and closure-compiled
+    functions interoperate transparently."""
+
+    __slots__ = ("sources", "fallbacks")
+
+    def __init__(self, interp):
+        super().__init__(interp)
+        # Emitted source per generated function (for --dump-codegen
+        # and the golden-snapshot test).
+        self.sources: Dict[str, str] = {}
+        # Functions that fell back to the closure tier.
+        self.fallbacks: Set[str] = set()
+
+    def function(self, name: str):
+        compiled = self.compiled.get(name)
+        if compiled is None:
+            func = self.program.functions.get(name)
+            if func is None:
+                raise InterpreterError(
+                    f"call to unknown function {name!r}")
+            try:
+                generated = _CodeGenerator(self, func).generate()
+            except Exception:
+                # Whole-function fallback: the closure tier (which may
+                # itself delegate single statements to the AST engine)
+                # is authoritative for anything codegen cannot prove.
+                self.fallbacks.add(name)
+                compiled = _FunctionCompiler(self, func).compile()
+            else:
+                self.sources[name] = generated.source
+                compiled = generated
+            self.compiled[name] = compiled
+            self.cell(name)[0] = compiled
+        return compiled
+
+
+# ---------------------------------------------------------------------------
+# Per-function code generator
+# ---------------------------------------------------------------------------
+
+
+class _EmitCtx:
+    """Where statements are being emitted: the main activation body, a
+    par branch, or a forall iteration body.  Controls how ReturnStmt
+    lowers and which outstanding-slot list split operations feed."""
+
+    __slots__ = ("mode", "out", "sig", "err")
+
+    def __init__(self, mode: str, out: str, sig: Optional[str] = None,
+                 err: Optional[str] = None):
+        self.mode = mode      # "main" | "par" | "forall"
+        self.out = out        # outstanding list variable name
+        self.sig = sig        # forall: signal flag variable name
+        self.err = err        # par/forall: error message
+
+
+class _CodeGenerator(_FunctionCompiler):
+    """Emits one Python generator function (``invoke``) per SIMPLE
+    function.  Inherits the closure compiler's static analyses
+    (slot-capable names, sync-entry construction, variable lookup) so
+    wait ordering is identical by construction.
+
+    Statement emitters are named ``_gen_*`` (not ``_compile_*``) so
+    test monkeypatching of either tier's lowering stays independent:
+    patching ``_FunctionCompiler._compile_*`` exercises
+    closure->AST delegation, patching ``_CodeGenerator._gen_*``
+    exercises codegen->closure fallback.
+    """
+
+    def __init__(self, engine: CodegenEngine, func: s.SimpleFunction):
+        super().__init__(engine, func)
+        self.lines: List[str] = []
+        self.indent = 0
+        self._tmp = 0
+        self._defn = 0
+        self.tracer = self.machine.tracer
+        # Stack of per-def assigned-name sets (for nonlocal in par
+        # branches; forall iteration defs discard theirs -- captured
+        # names are parameters there).
+        self._assigned: List[Set[str]] = [set()]
+        self.ns: Dict[str, object] = {}
+        self._ns_ready = False
+
+    # -- small emission helpers --------------------------------------------
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    def defn(self) -> int:
+        self._defn += 1
+        return self._defn
+
+    def mark(self, name: str) -> None:
+        self._assigned[-1].add(name)
+
+    def var(self, name: str) -> str:
+        if not name.isidentifier():
+            raise _Uncompilable(name)
+        return "v_" + name
+
+    # -- namespace ---------------------------------------------------------
+
+    def _build_ns(self) -> None:
+        machine = self.machine
+        memory = self.memory
+        mk_w1, mk_w2 = _make_write_factories(memory)
+        mk_shw, mk_sha, mk_shv = _make_shared_factories()
+        self.ns.update({
+            "InterpreterError": InterpreterError,
+            "MemoryFault": MemoryFault,
+            "Slot": Slot,
+            "SharedCell": SharedCell,
+            "Fiber": Fiber,
+            "JoinCounter": JoinCounter,
+            "_nw": _normalize_word,
+            "_ci": _c_int,
+            "_op_div": _op_div,
+            "_op_mod": _op_mod,
+            "_chkread": _chkread,
+            "_ptr": _ptr,
+            "_sbuf": _sbuf,
+            "_shchk": _shchk,
+            "_faddr": _faddr,
+            "_interp": self.interp,
+            "_stats": self.stats,
+            "_machine": machine,
+            "_engine": self.engine,
+            "_mem_read": memory.read_word,
+            "_mem_write": memory.write_word,
+            "_output": machine.output,
+            "_tracer": machine.tracer,
+            "_NODE_SPAN": NODE_SPAN,
+            "_FILLER": FILLER,
+            "_BUDGET_MSG": self._budget_msg,
+            "_shg": self.interp._shared_global,
+            "_mk_read": _make_read_factory(
+                self.stats, machine.strict_nil_reads, memory),
+            "_mk_write1": mk_w1,
+            "_mk_write2": mk_w2,
+            "_mk_alloc": _make_alloc_factory(memory),
+            "_mk_shw": mk_shw,
+            "_mk_sha": mk_sha,
+            "_mk_shv": mk_shv,
+        })
+
+    def _ns_cell(self, callee: str) -> str:
+        """Bind the engine cell of ``callee`` into the namespace."""
+        if not callee.isidentifier():
+            raise _Uncompilable(callee)
+        key = f"_cf_{callee}"
+        self.ns[key] = self.engine.cell(callee)
+        return key
+
+    def _ns_obj(self, prefix: str, name: str, obj) -> str:
+        if not name.isidentifier():
+            raise _Uncompilable(name)
+        key = f"{prefix}{name}"
+        self.ns[key] = obj
+        return key
+
+    # -- entry -------------------------------------------------------------
+
+    def generate(self) -> GeneratedFunction:
+        func = self.func
+        if self.shadowed:
+            # Dynamically shadowed globals need frame-first checks that
+            # Python locals cannot express; let the closure tier do it.
+            raise _Uncompilable("shadowed globals")
+        for name in func.variables:
+            if not name.isidentifier():
+                raise _Uncompilable(name)
+        self._build_ns()
+        fname = func.name
+        nparams = len(func.params)
+        self.w("def invoke(args, node, result_slot=None):")
+        self.indent += 1
+        self.w(f"if len(args) != {nparams}:")
+        self.w(f"    raise InterpreterError({(fname + ': expected ' + str(nparams) + ' args, got %d')!r} % (len(args),))")
+        for i, p in enumerate(func.params):
+            fmt = _COERCE_FMT.get(_coerce_fn(p.type))
+            src = f"args[{i}]" if fmt is None else fmt % f"args[{i}]"
+            self.w(f"{self.var(p.name)} = {src}")
+        for name, v in func.variables.items():
+            if v.kind == "param":
+                continue
+            if v.is_shared:
+                self.w(f"{self.var(name)} = SharedCell("
+                       f"{_zero_of(v.type)!r}, node)")
+            elif v.type.is_struct:
+                self.w(f"{self.var(name)} = [0] * "
+                       f"{v.type.size_words()}")
+            else:
+                self.w(f"{self.var(name)} = {_zero_of(v.type)!r}")
+        self.w("_out = []")
+        ctx = _EmitCtx("main", "_out")
+        self.emit_seq(func.body, ctx)
+        self.w(f"_ret = {_zero_of(func.return_type)!r}")
+        self._emit_main_epilogue()
+        self.w("yield  # unreachable; keeps this a generator")
+        self.indent -= 1
+        source = "\n".join(
+            [f"# codegen for SIMPLE function {fname!r}"]
+            + self.lines) + "\n"
+        code = _CODE_CACHE.get(source)
+        if code is None:
+            code = compile(source, f"<codegen:{fname}>", "exec")
+            _CODE_CACHE[source] = code
+            if len(_CODE_CACHE) > _CODE_CACHE_LIMIT:
+                _CODE_CACHE.popitem(last=False)
+        else:
+            _CODE_CACHE.move_to_end(source)
+        exec(code, self.ns)
+        return GeneratedFunction(func, self.ns["invoke"], source)
+
+    def _emit_main_epilogue(self) -> None:
+        """Wait trailing split-phase slots, fulfil the result slot,
+        return -- inlined at every main-context return site."""
+        self.w("for _sl in _out:")
+        self.w("    if not _sl.ready:")
+        self.w('        yield ("wait", _sl)')
+        self.w("if result_slot is not None:")
+        self.w('    yield ("fulfill", result_slot, _ret)')
+        self.w("return _ret")
+
+    # -- sequences and fusion ----------------------------------------------
+
+    def emit_seq(self, seq: s.SeqStmt, ctx: _EmitCtx) -> None:
+        """Fuse maximal runs of purely-local statements into one
+        straight-line block with a single batched budget update and one
+        busy yield -- the codegen analogue of ``compile_seq``."""
+        items: List[s.Stmt] = []
+        self._flatten_stmts(seq, items)
+        classified = [self._classify(stmt) for stmt in items]
+        i, n = 0, len(items)
+        while i < n:
+            kind = classified[i][0]
+            if kind == "pure":
+                j = i
+                busy = 0.0
+                effects = []
+                while j < n and classified[j][0] == "pure":
+                    busy += classified[j][1]
+                    if classified[j][2] is not None:
+                        effects.append(classified[j][2])
+                    j += 1
+                self._emit_block(busy, j - i, effects, ctx)
+                i = j
+            else:
+                classified[i][1](ctx)
+                i += 1
+
+    def _flatten_stmts(self, seq: s.SeqStmt, items: list) -> None:
+        for stmt in seq.stmts:
+            if isinstance(stmt, s.SeqStmt):
+                self._flatten_stmts(stmt, items)
+            else:
+                items.append(stmt)
+
+    def _emit_block(self, busy: float, count: int, effects,
+                    ctx: _EmitCtx) -> None:
+        self.w(f"_interp._stmts_left -= {count}")
+        self.w("if _interp._stmts_left <= 0:")
+        self.w("    raise InterpreterError(_BUDGET_MSG)")
+        self.w(f"_stats.basic_stmts_executed += {count}")
+        self.w(f'yield ("busy", {busy!r})')
+        for effect in effects:
+            effect(ctx)
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _classify(self, stmt: s.Stmt):
+        """("pure", busy, effect-emitter-or-None) for statements that
+        fuse, ("gen", emitter) for split-phase/compound ones.  Mirrors
+        ``compile_stmt``/``_compile_basic`` case for case."""
+        if isinstance(stmt, s.BasicStmt):
+            if isinstance(stmt, s.AssignStmt):
+                return self._gen_assign(stmt)
+            if isinstance(stmt, s.CallStmt):
+                return self._gen_call(stmt)
+            if isinstance(stmt, s.AllocStmt):
+                return ("gen", lambda ctx: self._gen_alloc(stmt, ctx))
+            if isinstance(stmt, s.BlkmovStmt):
+                return ("gen", lambda ctx: self._gen_blkmov(stmt, ctx))
+            if isinstance(stmt, s.SharedOpStmt):
+                return ("gen", lambda ctx: self._gen_shared(stmt, ctx))
+            if isinstance(stmt, s.ReturnStmt):
+                return ("gen", lambda ctx: self._gen_return(stmt, ctx))
+            if isinstance(stmt, s.PrintStmt):
+                return self._pure_or_sync_gen(
+                    stmt, 1000.0, lambda ctx: self._gen_print(stmt))
+            if isinstance(stmt, s.NopStmt):
+                return self._pure_or_sync_gen(stmt, 0.0, None)
+            raise _Uncompilable(stmt)
+        if isinstance(stmt, s.IfStmt):
+            return ("gen", lambda ctx: self._gen_if(stmt, ctx))
+        if isinstance(stmt, s.WhileStmt):
+            return ("gen", lambda ctx: self._gen_while(stmt, ctx))
+        if isinstance(stmt, s.DoStmt):
+            return ("gen", lambda ctx: self._gen_do(stmt, ctx))
+        if isinstance(stmt, s.SwitchStmt):
+            return ("gen", lambda ctx: self._gen_switch(stmt, ctx))
+        if isinstance(stmt, s.ParStmt):
+            return ("gen", lambda ctx: self._gen_par(stmt, ctx))
+        if isinstance(stmt, s.ForallStmt):
+            return ("gen", lambda ctx: self._gen_forall(stmt, ctx))
+        raise _Uncompilable(stmt)
+
+    def _pure_or_sync_gen(self, stmt, busy: float, effect):
+        """PURE when the statement has no sync entries (so it can fuse);
+        otherwise a GEN emitter with prologue + sync + busy + effect."""
+        entries = self._sync_entries_for_basic(stmt)
+        if not entries:
+            return ("pure", busy, effect)
+
+        def emit(ctx):
+            self._emit_prologue(stmt)
+            self._emit_sync(entries)
+            self.w(f'yield ("busy", {busy!r})')
+            if effect is not None:
+                effect(ctx)
+        return ("gen", emit)
+
+    # -- per-statement prologue / sync --------------------------------------
+
+    def _emit_prologue(self, stmt: s.BasicStmt) -> None:
+        self.w("_interp._stmts_left -= 1")
+        self.w("if _interp._stmts_left <= 0:")
+        self.w("    raise InterpreterError(_BUDGET_MSG)")
+        self.w("_stats.basic_stmts_executed += 1")
+        if self.tracer is not None:
+            self.w(f"_tracer.current_site = "
+                   f"({self.func.name!r}, {stmt.label!r})")
+
+    def _emit_sync(self, entries) -> None:
+        for name, coerce in entries:
+            v = self.var(name)
+            fmt = _COERCE_FMT.get(coerce)
+            self.w(f"if type({v}) is Slot:")
+            t = self.tmp()
+            self.w(f'    {t} = yield ("wait", {v})')
+            if fmt is None:
+                self.w(f"    {v} = {t}")
+            else:
+                self.w(f"    {v} = {t} if isinstance({t}, list) "
+                       f"else {fmt % t}")
+            self.mark(name)
+
+    # -- expressions ---------------------------------------------------------
+    #
+    # ``_x_*`` helpers may emit setup lines into the current buffer and
+    # return ``(expr, kind)`` where kind is 'int' (provably a Python
+    # int), 'float' (provably a float) or None (unknown).  Coercions
+    # are elided only on an exact kind match.
+
+    def _kind_of_type(self, type_) -> Optional[str]:
+        if isinstance(type_, ScalarType):
+            return _KIND_OF_SCALAR.get(type_.kind)
+        if isinstance(type_, PointerType):
+            return "int"
+        return None
+
+    def _coerce_expr(self, type_, expr: str, kind: Optional[str]) -> str:
+        """Apply the declared-type coercion to ``expr``, elided when
+        the operand kind already guarantees the representation."""
+        fn = _coerce_fn(type_)
+        if fn is None:
+            return expr
+        target = "int" if fn in (_c_int, int) else \
+            "float" if fn is float else None
+        if target is not None and kind == target:
+            return expr
+        return _COERCE_FMT[fn] % expr
+
+    def _x_var(self, name: str) -> Tuple[str, Optional[str]]:
+        var = self.func.variables.get(name)
+        if var is not None:
+            v = self.var(name)
+            if name in self.slotcap or var.is_shared:
+                return f"_chkread({v}, {name!r})", \
+                    self._kind_of_type(var.type)
+            return v, self._kind_of_type(var.type)
+        gvar = self.program.globals.get(name)
+        if gvar is not None:
+            address = self.memory.global_address(name)
+            # Memory words are untyped (a global can be written through
+            # an aliasing pointer), so no kind is assumed.
+            return f"_nw(_mem_read({address!r}))", None
+        raise _Uncompilable(name)
+
+    def _x_operand(self, operand: s.Operand) -> Tuple[str, Optional[str]]:
+        if isinstance(operand, s.Const):
+            value = operand.value
+            if type(value) is int:
+                return repr(value), "int"
+            if type(value) is float:
+                if not math.isfinite(value):
+                    raise _Uncompilable(operand)
+                return repr(value), "float"
+            raise _Uncompilable(operand)
+        if isinstance(operand, s.VarUse):
+            return self._x_var(operand.name)
+        raise _Uncompilable(operand)
+
+    def _x_pointer(self, name: str) -> Tuple[str, Optional[str]]:
+        """A variable read that must hold a pointer; the isinstance
+        check is elided when the declared type already proves int."""
+        expr, kind = self._x_var(name)
+        if kind == "int":
+            return expr, kind
+        return f"_ptr({expr}, {name!r})", "int"
+
+    def _binop_kind(self, op: str, lk, rk) -> Optional[str]:
+        if op in _COMPARISONS or op == "%" or op in _BITOPS:
+            return "int"
+        if op in ("+", "-", "*", "/"):
+            if lk == "int" and rk == "int":
+                return "int" if op != "/" else "int"
+            if lk in ("int", "float") and rk in ("int", "float"):
+                return "float"
+            return None
+        return None
+
+    def _x_binop(self, op: str, left: str, lk, right: str, rk
+                 ) -> Tuple[str, Optional[str]]:
+        if op in _COMPARISONS:
+            return f"(1 if {left} {op} {right} else 0)", "int"
+        if op in ("+", "-", "*"):
+            return f"({left} {op} {right})", \
+                self._binop_kind(op, lk, rk)
+        if op == "/":
+            return f"_op_div({left}, {right})", \
+                self._binop_kind(op, lk, rk)
+        if op == "%":
+            return f"_op_mod({left}, {right})", "int"
+        if op in _BITOPS:
+            li = left if lk == "int" else f"int({left})"
+            ri = right if rk == "int" else f"int({right})"
+            return f"({li} {op} {ri})", "int"
+        raise _Uncompilable(op)
+
+    def _x_rhs(self, rhs: s.Rhs) -> Tuple[str, Optional[str]]:
+        if isinstance(rhs, s.OperandRhs):
+            return self._x_operand(rhs.operand)
+        if isinstance(rhs, s.UnaryRhs):
+            expr, kind = self._x_operand(rhs.operand)
+            if rhs.op == "-":
+                return f"(-{expr})", kind
+            if rhs.op == "!":
+                return f"(0 if {expr} else 1)", "int"
+            if rhs.op == "~":
+                inner = expr if kind == "int" else f"_ci({expr})"
+                return f"(~{inner})", "int"
+            raise _Uncompilable(rhs)
+        if isinstance(rhs, s.BinaryRhs):
+            left, lk = self._x_operand(rhs.left)
+            right, rk = self._x_operand(rhs.right)
+            return self._x_binop(rhs.op, left, lk, right, rk)
+        if isinstance(rhs, s.ConvertRhs):
+            expr, kind = self._x_operand(rhs.operand)
+            if rhs.kind == "int":
+                return (expr, "int") if kind == "int" \
+                    else (f"_ci({expr})", "int")
+            if rhs.kind == "char":
+                inner = expr if kind == "int" else f"_ci({expr})"
+                return f"({inner} & 255)", "int"
+            if rhs.kind in ("float", "double"):
+                return (expr, "float") if kind == "float" \
+                    else (f"float({expr})", "float")
+            return expr, kind  # unknown kind: operand unchanged
+        if isinstance(rhs, s.AddrOfRhs):
+            if self.memory.has_global(rhs.var):
+                return repr(self.memory.global_address(rhs.var)), "int"
+            raise _Uncompilable(rhs)
+        if isinstance(rhs, s.FieldAddrRhs):
+            base, _ = self._x_pointer(rhs.base)
+            ptr_type = self._lookup_type(rhs.base)
+            target = getattr(ptr_type, "target", None)
+            offset, _ = rhs.path.resolve(target)
+            return f"_faddr({base}, {offset!r})", "int"
+        if isinstance(rhs, s.StructFieldReadRhs):
+            name = rhs.struct_var
+            struct_type = self.func.var_type(name)
+            offset, field_type = rhs.path.resolve(struct_type)
+            t = self.tmp()
+            self.w(f"{t} = _sbuf({self.var(name)}, {name!r})")
+            word = f"_nw({t}[{offset!r}])"
+            return self._coerce_expr(field_type, word, None), \
+                self._kind_of_type(field_type)
+        raise _Uncompilable(rhs)
+
+    def _x_cond(self, cond: s.CondExpr) -> str:
+        """A truthiness expression for an if/while/do condition (the
+        closure engine's ``bool(...)`` is elided -- only truthiness is
+        consumed)."""
+        left, lk = self._x_operand(cond.left)
+        if cond.op is None:
+            return left
+        right, rk = self._x_operand(cond.right)
+        if cond.op in _COMPARISONS:
+            return f"{left} {cond.op} {right}"
+        expr, _ = self._x_binop(cond.op, left, lk, right, rk)
+        return expr
+
+    # -- heap access addresses ----------------------------------------------
+
+    def _x_access(self, access) -> Tuple[str, Optional[str], object]:
+        """Emit setup lines for a field/deref/index access and return
+        ``(address expr, kind, value type)``; evaluation order (base,
+        then index, both unconditionally) matches ``_access_fn``."""
+        if isinstance(access, (s.FieldReadRhs, s.FieldWriteLV)):
+            base, _ = self._x_pointer(access.base)
+            ptr_type = self._lookup_type(access.base)
+            struct = getattr(ptr_type, "target", None)
+            if not isinstance(struct, StructType):
+                raise _Uncompilable(access)
+            offset, field_type = access.path.resolve(struct)
+            if offset == 0:
+                return base, "int", field_type
+            t = self.tmp()
+            self.w(f"{t} = {base}")
+            return f"({t} + {offset!r} if {t} != 0 else 0)", "int", \
+                field_type
+        if isinstance(access, (s.DerefReadRhs, s.DerefWriteLV)):
+            base, _ = self._x_pointer(access.base)
+            ptr_type = self._lookup_type(access.base)
+            if not isinstance(ptr_type, PointerType):
+                raise _Uncompilable(access)
+            return base, "int", ptr_type.target
+        if isinstance(access, (s.IndexReadRhs, s.IndexWriteLV)):
+            ptr_type = self._lookup_type(access.base)
+            if not isinstance(ptr_type, PointerType):
+                raise _Uncompilable(access)
+            base, _ = self._x_pointer(access.base)
+            tb = self.tmp()
+            self.w(f"{tb} = {base}")
+            index, ik = self._x_operand(access.index)
+            ti = self.tmp()
+            self.w(f"{ti} = {index}")
+            ii = ti if ik == "int" else f"int({ti})"
+            return f"({tb} + {ii} if {tb} != 0 else 0)", "int", \
+                ptr_type.target
+        raise _Uncompilable(access)
+
+    # -- stores --------------------------------------------------------------
+
+    @staticmethod
+    def _store_is_pure(lhs) -> bool:
+        if isinstance(lhs, (s.VarLV, s.StructFieldWriteLV)):
+            return True
+        return not lhs.remote
+
+    def _emit_store_var(self, name: str, value: str,
+                        kind: Optional[str]) -> None:
+        """Mirror of ``_store_var_fn`` (frame variable or global)."""
+        var = self.func.variables.get(name)
+        if var is not None:
+            self.w(f"{self.var(name)} = "
+                   f"{self._coerce_expr(var.type, value, kind)}")
+            self.mark(name)
+            return
+        gvar = self.program.globals.get(name)
+        if gvar is None:
+            raise _Uncompilable(name)
+        address = self.memory.global_address(name)
+        coerced = self._coerce_expr(gvar.type, value, kind)
+        self.w(f"_mem_write({address!r}, {coerced})")
+        if gvar.type.size_words() == 2:
+            self.w(f"_mem_write({address + 1!r}, _FILLER)")
+
+    def _emit_pure_store(self, lhs, value: str,
+                         kind: Optional[str]) -> None:
+        """Non-yielding store; evaluation order (value first, then
+        target checks, then coercion) matches ``_store_pure``."""
+        if isinstance(lhs, s.VarLV):
+            self._emit_store_var(lhs.name, value, kind)
+            return
+        if isinstance(lhs, s.StructFieldWriteLV):
+            name = lhs.struct_var
+            if name not in self.func.variables:
+                raise _Uncompilable(lhs)
+            struct_type = self.func.var_type(name)
+            offset, field_type = lhs.path.resolve(struct_type)
+            tv = self.tmp()
+            self.w(f"{tv} = {value}")
+            tb = self.tmp()
+            self.w(f"{tb} = _sbuf({self.var(name)}, {name!r})")
+            self.w(f"{tb}[{offset!r}] = "
+                   f"{self._coerce_expr(field_type, tv, kind)}")
+            if field_type.size_words() == 2:
+                self.w(f"{tb}[{offset + 1!r}] = _FILLER")
+            return
+        # Local heap write.
+        fname = self.func.name
+        tv = self.tmp()
+        self.w(f"{tv} = {value}")
+        addr, _, field_type = self._x_access(lhs)
+        ta = self.tmp()
+        self.w(f"{ta} = {addr}")
+        self.w(f"if {ta} == 0:")
+        self.w(f"    raise MemoryFault("
+               f"{(fname + ': nil dereference (write)')!r})")
+        self.w(f"if {ta} // _NODE_SPAN != node:")
+        msg = (f"{fname}: write compiled as local touches node %d "
+               f"from node %d -- locality analysis or `local` "
+               f"declaration is wrong")
+        self.w(f"    raise InterpreterError({msg!r} % "
+               f"({ta} // _NODE_SPAN, node))")
+        self.w(f"_mem_write({ta}, "
+               f"{self._coerce_expr(field_type, tv, kind)})")
+        if field_type.size_words() == 2:
+            self.w(f"_mem_write({ta} + 1, _FILLER)")
+
+    def _emit_store_value(self, lhs, value: str, kind, split,
+                          ctx: _EmitCtx) -> None:
+        """Any-lvalue store for yielding contexts (the ``_store_gen``
+        analogue); ``value`` must already be a temp or re-evaluable
+        atom."""
+        if self._store_is_pure(lhs):
+            self._emit_pure_store(lhs, value, kind)
+            return
+        # Remote heap write.
+        addr, _, field_type = self._x_access(lhs)
+        ta = self.tmp()
+        self.w(f"{ta} = {addr}")
+        self.w(f"if {ta} == 0:")
+        self.w(f"    raise MemoryFault("
+               f"{(self.func.name + ': nil dereference (write)')!r})")
+        tc = self.tmp()
+        self.w(f"{tc} = {self._coerce_expr(field_type, value, kind)}")
+        words = field_type.size_words() or 1
+        mk = "_mk_write2" if field_type.size_words() == 2 \
+            else "_mk_write1"
+        ts = self.tmp()
+        self.w(f"{ts} = Slot('write')")
+        self.w(f'yield ("issue", "write", {ta} // _NODE_SPAN, '
+               f'{words!r}, {mk}({ta}, {tc}), {ts}, {ta})')
+        if split:
+            self.w(f"{ctx.out}.append({ts})")
+        else:
+            self.w(f'yield ("wait", {ts})')
+
+    # -- assignments ---------------------------------------------------------
+
+    def _emit_local_read_value(self, rhs) -> Tuple[str, object]:
+        """Emit a checked local heap load; returns (temp, value type)."""
+        fname = self.func.name
+        addr, _, value_type = self._x_access(rhs)
+        ta = self.tmp()
+        self.w(f"{ta} = {addr}")
+        self.w(f"if {ta} == 0:")
+        self.w(f"    raise MemoryFault("
+               f"{(fname + ': nil dereference (local read)')!r})")
+        self.w(f"if {ta} // _NODE_SPAN != node:")
+        msg = (f"{fname}: access compiled as local touches node %d "
+               f"from node %d -- locality analysis or `local` "
+               f"declaration is wrong")
+        self.w(f"    raise InterpreterError({msg!r} % "
+               f"({ta} // _NODE_SPAN, node))")
+        tv = self.tmp()
+        self.w(f"{tv} = _nw(_mem_read({ta}))")
+        return tv, value_type
+
+    def _gen_assign(self, stmt: s.AssignStmt):
+        rhs, lhs = stmt.rhs, stmt.lhs
+        local_ns = self.local_ns
+        if isinstance(rhs, (s.FieldReadRhs, s.DerefReadRhs,
+                            s.IndexReadRhs)):
+            if not rhs.remote:
+                if self._store_is_pure(lhs):
+                    def effect(ctx):
+                        tv, _ = self._emit_local_read_value(rhs)
+                        self._emit_pure_store(lhs, tv, None)
+                    return self._pure_or_sync_gen(stmt, local_ns,
+                                                  effect)
+
+                def emit_local_remote(ctx):
+                    self._emit_prologue(stmt)
+                    self._emit_sync(
+                        self._sync_entries_for_basic(stmt))
+                    self.w(f'yield ("busy", {local_ns!r})')
+                    tv, _ = self._emit_local_read_value(rhs)
+                    # NB the closure engine passes bool(value_type)
+                    # (always truthy) as the split flag here;
+                    # replicated for exactness.
+                    self._emit_store_value(lhs, tv, None, True, ctx)
+                return ("gen", emit_local_remote)
+
+            def emit_remote(ctx):
+                self._gen_remote_read(stmt, rhs, lhs, ctx)
+            return ("gen", emit_remote)
+
+        if self._store_is_pure(lhs):
+            def effect(ctx):
+                expr, kind = self._x_rhs(rhs)
+                self._emit_pure_store(lhs, expr, kind)
+            return self._pure_or_sync_gen(stmt, local_ns, effect)
+
+        def emit_assign(ctx):
+            self._emit_prologue(stmt)
+            self._emit_sync(self._sync_entries_for_basic(stmt))
+            self.w(f'yield ("busy", {local_ns!r})')
+            expr, kind = self._x_rhs(rhs)
+            t = self.tmp()
+            self.w(f"{t} = {expr}")
+            self._emit_store_value(lhs, t, kind, stmt.split_phase,
+                                   ctx)
+        return ("gen", emit_assign)
+
+    def _gen_remote_read(self, stmt, rhs, lhs, ctx: _EmitCtx) -> None:
+        self._emit_prologue(stmt)
+        self._emit_sync(self._sync_entries_for_basic(stmt))
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        addr, _, value_type = self._x_access(rhs)
+        ta = self.tmp()
+        self.w(f"{ta} = {addr}")
+        ts = self.tmp()
+        self.w(f"{ts} = Slot({('read@' + str(stmt.label))!r})")
+        tn = self.tmp()
+        self.w(f"{tn} = {ta} // _NODE_SPAN if {ta} != 0 else node")
+        words = value_type.size_words() or 1
+        self.w(f'yield ("issue", "read", {tn}, {words!r}, '
+               f'_mk_read({ta}), {ts}, {ta})')
+        if stmt.split_phase and isinstance(lhs, s.VarLV):
+            if lhs.name not in self.func.variables:
+                raise _Uncompilable(lhs)
+            # The pending Slot itself goes into the variable, raw.
+            self.w(f"{self.var(lhs.name)} = {ts}")
+            self.mark(lhs.name)
+            return
+        tv = self.tmp()
+        self.w(f'{tv} = yield ("wait", {ts})')
+        self._emit_store_value(lhs, tv, None, stmt.split_phase, ctx)
+
+    # -- calls ---------------------------------------------------------------
+
+    def _gen_call(self, stmt: s.CallStmt):
+        name = stmt.func
+        local_ns = self.local_ns
+        if name in _MATH_BUILTINS:
+            fn_key = self._ns_obj("_mb_", name, _MATH_BUILTINS[name])
+
+            def effect_math(ctx):
+                arg, ak = self._x_operand(stmt.args[0])
+                inner = arg if ak == "float" else f"float({arg})"
+                tv = self.tmp()
+                self.w(f"{tv} = {fn_key}({inner})")
+                if stmt.target is not None:
+                    self._emit_store_var(stmt.target, tv, None)
+            return self._pure_or_sync_gen(stmt, _MATH_COST_NS,
+                                          effect_math)
+        if name == "num_nodes":
+            def effect_num(ctx):
+                if stmt.target is not None:
+                    self._emit_store_var(
+                        stmt.target, repr(self.machine.num_nodes),
+                        "int")
+            return self._pure_or_sync_gen(stmt, local_ns, effect_num)
+        if name == "my_node":
+            def effect_my(ctx):
+                if stmt.target is not None:
+                    self._emit_store_var(stmt.target, "node", "int")
+            return self._pure_or_sync_gen(stmt, local_ns, effect_my)
+        if name == "owner_of":
+            def effect_owner(ctx):
+                arg, ak = self._x_operand(stmt.args[0])
+                tp = self.tmp()
+                self.w(f"{tp} = {arg}")
+                if stmt.target is not None:
+                    inner = tp if ak == "int" else f"int({tp})"
+                    self._emit_store_var(
+                        stmt.target, f"({inner} // _NODE_SPAN)",
+                        "int")
+            return self._pure_or_sync_gen(stmt, local_ns,
+                                          effect_owner)
+        if name not in self.program.functions:
+            raise _Uncompilable(name)
+        entries = self._sync_entries_for_basic(stmt)
+        cell_key = self._ns_cell(name)
+        call_ns = self.params.call_overhead_ns
+
+        def emit_call(ctx):
+            self._emit_prologue(stmt)
+            self._emit_sync(entries)
+            arg_temps = []
+            for a in stmt.args:
+                expr, _ = self._x_operand(a)
+                t = self.tmp()
+                self.w(f"{t} = {expr}")
+                arg_temps.append(t)
+            args_list = "[" + ", ".join(arg_temps) + "]"
+            if stmt.placement is None:
+                self.w(f'yield ("busy", {call_ns!r})')
+                tc = self.tmp()
+                self.w(f"{tc} = {cell_key}[0]")
+                self.w(f"if {tc} is None:")
+                self.w(f"    {tc} = _engine.function({name!r})")
+                tv = self.tmp()
+                self.w(f"{tv} = yield from "
+                       f"{tc}.invoke({args_list}, node)")
+                if stmt.target is not None:
+                    self._emit_store_var(stmt.target, tv, None)
+                return
+            # Placed invocation: always a fresh fiber.
+            placement = stmt.placement
+            tn = self.tmp()
+            home = False
+            if placement[0] == "owner_of":
+                pexpr, _ = self._x_pointer(placement[1])
+                tp = self.tmp()
+                self.w(f"{tp} = {pexpr}")
+                self.w(f"{tn} = {tp} // _NODE_SPAN "
+                       f"if {tp} != 0 else node")
+            elif placement[0] == "home":
+                home = True
+                self.w(f"{tn} = node")
+            elif placement[0] == "node":
+                vexpr, vk = self._x_operand(placement[1])
+                inner = vexpr if vk == "int" else f"int({vexpr})"
+                self.w(f"{tn} = {inner} % "
+                       f"{self.machine.num_nodes!r}")
+            else:
+                raise _Uncompilable(placement)
+            if not home:
+                self.w(f"if {tn} != node:")
+                self.w("    _stats.remote_calls += 1")
+            ts = self.tmp()
+            self.w(f"{ts} = Slot({('call:' + name)!r})")
+            tc = self.tmp()
+            self.w(f"{tc} = {cell_key}[0]")
+            self.w(f"if {tc} is None:")
+            self.w(f"    {tc} = _engine.function({name!r})")
+            tf = self.tmp()
+            self.w(f"{tf} = Fiber({tc}.invoke({args_list}, {tn}, "
+                   f"{ts}), {tn}, name={name!r})")
+            remote_ns = call_ns + self.params.read_one_way_ns
+            if home:
+                self.w(f'yield ("busy", {call_ns!r})')
+            else:
+                self.w(f"if {tn} != node:")
+                self.w(f'    yield ("busy", {remote_ns!r})')
+                self.w("else:")
+                self.w(f'    yield ("busy", {call_ns!r})')
+            self.w(f'yield ("spawn", {tf})')
+            tv = self.tmp()
+            self.w(f'{tv} = yield ("wait", {ts})')
+            if stmt.target is not None:
+                self._emit_store_var(stmt.target, tv, None)
+        return ("gen", emit_call)
+
+    # -- malloc / blkmov / shared / return / print ---------------------------
+
+    def _gen_alloc(self, stmt: s.AllocStmt, ctx: _EmitCtx) -> None:
+        self._emit_prologue(stmt)
+        self._emit_sync(self._sync_entries_for_basic(stmt))
+        wexpr, wk = self._x_operand(stmt.words)
+        tw = self.tmp()
+        self.w(f"{tw} = {wexpr if wk == 'int' else f'int({wexpr})'}")
+        tn = self.tmp()
+        if stmt.node is not None:
+            nexpr, nk = self._x_operand(stmt.node)
+            inner = nexpr if nk == "int" else f"int({nexpr})"
+            self.w(f"{tn} = {inner} % {self.machine.num_nodes!r}")
+        else:
+            self.w(f"{tn} = node")
+        ts = self.tmp()
+        self.w(f"{ts} = Slot('malloc')")
+        self.w(f'yield ("issue", "malloc", {tn}, {tw}, '
+               f'_mk_alloc({tn}, {tw}), {ts})')
+        tv = self.tmp()
+        self.w(f'{tv} = yield ("wait", {ts})')
+        self._emit_store_var(stmt.target, tv, None)
+
+    def _gen_blkmov(self, stmt: s.BlkmovStmt, ctx: _EmitCtx) -> None:
+        words = stmt.words
+        split = stmt.split_phase
+        src_kind, src_name, src_off = stmt.src
+        dst_kind, dst_name, dst_off = stmt.dst
+        src_is_ptr = src_kind == "ptr"
+        dst_is_ptr = dst_kind == "ptr"
+        lazy = (not dst_is_ptr) and split and dst_off == 0
+        if not src_is_ptr and src_name not in self.func.variables:
+            raise _Uncompilable(src_name)
+        if not dst_is_ptr and dst_name not in self.func.variables:
+            raise _Uncompilable(dst_name)
+        mv_key = f"_mk_mv{self.defn()}"
+        self.ns[mv_key] = _make_move_factory(
+            self.memory, self.stats, self.machine.strict_nil_reads,
+            words, src_is_ptr, dst_is_ptr, lazy)
+        self._emit_prologue(stmt)
+        self._emit_sync(self._sync_entries_for_basic(stmt))
+        if src_is_ptr:
+            pexpr, _ = self._x_pointer(src_name)
+            tb = self.tmp()
+            self.w(f"{tb} = {pexpr}")
+            tsrc = self.tmp()
+            self.w(f"{tsrc} = {tb} + {src_off!r} "
+                   f"if {tb} != 0 else 0")
+            tsn = self.tmp()
+            self.w(f"{tsn} = {tsrc} // _NODE_SPAN "
+                   f"if {tsrc} != 0 else node")
+            src_arg = tsrc
+        else:
+            tsb = self.tmp()
+            self.w(f"{tsb} = _sbuf({self.var(src_name)}, "
+                   f"{src_name!r})")
+            src_arg = f"({tsb}, {src_off!r})"
+        if dst_is_ptr:
+            pexpr, _ = self._x_pointer(dst_name)
+            tb = self.tmp()
+            self.w(f"{tb} = {pexpr}")
+            tdst = self.tmp()
+            self.w(f"{tdst} = {tb} + {dst_off!r} "
+                   f"if {tb} != 0 else 0")
+            tdn = self.tmp()
+            self.w(f"{tdn} = {tdst} // _NODE_SPAN "
+                   f"if {tdst} != 0 else node")
+            dst_arg = tdst
+        else:
+            tdb = self.tmp()
+            self.w(f"{tdb} = _sbuf({self.var(dst_name)}, "
+                   f"{dst_name!r})")
+            dst_arg = f"({tdb}, {dst_off!r})"
+        trn = self.tmp()
+        self.w(f"{trn} = node")
+        if src_is_ptr:
+            self.w(f"if {tsn} != node:")
+            self.w(f"    {trn} = {tsn}")
+        if dst_is_ptr:
+            self.w(f"if {tdn} != node:")
+            self.w(f"    {trn} = {tdn}")
+        ts = self.tmp()
+        self.w(f"{ts} = Slot({('blkmov@' + str(stmt.label))!r})")
+        addr_arg = tdst if dst_is_ptr else "None"
+        self.w(f'yield ("issue", "blkmov", {trn}, {words!r}, '
+               f'{mv_key}({src_arg}, {dst_arg}), {ts}, {addr_arg})')
+        if not dst_is_ptr:
+            if lazy:
+                self.w(f"{self.var(dst_name)} = {ts}")
+                self.mark(dst_name)
+                return
+            td = self.tmp()
+            self.w(f'{td} = yield ("wait", {ts})')
+            self.w(f"{tdb}[{dst_off!r}:{dst_off + words!r}] = {td}")
+            return
+        if split:
+            self.w(f"{ctx.out}.append({ts})")
+            return
+        self.w(f'yield ("wait", {ts})')
+
+    def _gen_shared(self, stmt: s.SharedOpStmt, ctx: _EmitCtx) -> None:
+        op = stmt.op
+        name = stmt.shared_var
+        gvar = self.program.globals.get(name)
+        global_ok = gvar is not None and gvar.is_shared
+        declared = name in self.func.variables
+        self._emit_prologue(stmt)
+        self._emit_sync(self._sync_entries_for_basic(stmt))
+        unknown_msg = f"unknown shared variable {name!r}"
+        tc = self.tmp()
+        if declared:
+            self.w(f"{tc} = {self.var(name)}")
+            self.w(f"if {tc} is None:")
+            if global_ok:
+                gv_key = self._ns_obj("_gv_", name, gvar)
+                self.w(f"    {tc} = _shg({name!r}, {gv_key})")
+            else:
+                self.w(f"    raise InterpreterError("
+                       f"{unknown_msg!r})")
+            self.w(f"{tc} = _shchk({tc}, {name!r})")
+        elif global_ok:
+            gv_key = self._ns_obj("_gv_", name, gvar)
+            self.w(f"{tc} = _shchk(_shg({name!r}, {gv_key}), "
+                   f"{name!r})")
+        else:
+            self.w(f"raise InterpreterError({unknown_msg!r})")
+            return
+        value_temp = None
+        if stmt.value is not None:
+            vexpr, _ = self._x_operand(stmt.value)
+            value_temp = self.tmp()
+            self.w(f"{value_temp} = {vexpr}")
+        ts = self.tmp()
+        self.w(f"{ts} = Slot({('shared:' + op)!r})")
+        if op == "writeto":
+            do = f"_mk_shw({tc}, {value_temp})"
+        elif op == "addto":
+            do = f"_mk_sha({tc}, {value_temp})"
+        else:
+            do = f"_mk_shv({tc})"
+        self.w(f'yield ("issue", "shared", {tc}.owner, 1, {do}, '
+               f'{ts})')
+        if op == "valueof":
+            tv = self.tmp()
+            self.w(f'{tv} = yield ("wait", {ts})')
+            self._emit_store_var(stmt.target, tv, None)
+        else:
+            self.w(f"{ctx.out}.append({ts})")
+
+    def _gen_return(self, stmt: s.ReturnStmt, ctx: _EmitCtx) -> None:
+        self._emit_prologue(stmt)
+        self._emit_sync(self._sync_entries_for_basic(stmt))
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        if stmt.value is not None:
+            vexpr, _ = self._x_operand(stmt.value)
+        else:
+            vexpr = "0"
+        if ctx.mode == "main":
+            self.w(f"_ret = {vexpr}")
+            self._emit_main_epilogue()
+        elif ctx.mode == "par":
+            t = self.tmp()
+            self.w(f"{t} = {vexpr}")
+            self.w(f"raise InterpreterError({ctx.err!r})")
+        else:  # forall iteration body
+            t = self.tmp()
+            self.w(f"{t} = {vexpr}")
+            self.w(f"{ctx.sig} = True")
+            self.w("break")
+
+    def _gen_print(self, stmt: s.PrintStmt) -> None:
+        temps = []
+        for a in stmt.args:
+            expr, _ = self._x_operand(a)
+            t = self.tmp()
+            self.w(f"{t} = {expr}")
+            temps.append(t)
+        tup = "(" + ", ".join(temps) + ("," if temps else "") + ")"
+        tt = self.tmp()
+        self.w("try:")
+        self.w(f"    {tt} = {stmt.format!r} % {tup}")
+        self.w("except (TypeError, ValueError) as _e:")
+        self.w("    raise InterpreterError("
+               "'printf format error: %s' % (_e,)) from _e")
+        self.w(f"_output.append({tt})")
+
+    # -- compound statements -------------------------------------------------
+
+    @staticmethod
+    def _has_return(node) -> bool:
+        return any(isinstance(x, s.ReturnStmt) for x in node.walk())
+
+    def _emit_suite(self, seq: s.SeqStmt, ctx: _EmitCtx) -> None:
+        mark = len(self.lines)
+        self.emit_seq(seq, ctx)
+        if len(self.lines) == mark:
+            self.w("pass")
+
+    def _seq_is_empty(self, seq: s.SeqStmt) -> bool:
+        items: list = []
+        self._flatten_stmts(seq, items)
+        return not items
+
+    def _maybe_cascade(self, contains_return: bool,
+                       ctx: _EmitCtx) -> None:
+        """In a forall iteration body, a lowered ReturnStmt sets the
+        signal flag and ``break``s out of its nearest loop; every
+        enclosing emitted loop re-breaks until the iteration wrapper
+        is reached (mirroring the closure engine's signal
+        propagation)."""
+        if ctx.mode == "forall" and contains_return:
+            self.w(f"if {ctx.sig}:")
+            self.w("    break")
+
+    def _gen_if(self, stmt: s.IfStmt, ctx: _EmitCtx) -> None:
+        self._emit_sync(self._sync_entries(stmt.cond.variables()))
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        self.w(f"if {self._x_cond(stmt.cond)}:")
+        self.indent += 1
+        self._emit_suite(stmt.then_seq, ctx)
+        self.indent -= 1
+        if not self._seq_is_empty(stmt.else_seq):
+            self.w("else:")
+            self.indent += 1
+            self._emit_suite(stmt.else_seq, ctx)
+            self.indent -= 1
+
+    def _gen_while(self, stmt: s.WhileStmt, ctx: _EmitCtx) -> None:
+        entries = self._sync_entries(stmt.cond.variables())
+        self.w("while True:")
+        self.indent += 1
+        self._emit_sync(entries)
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        self.w(f"if not ({self._x_cond(stmt.cond)}):")
+        self.w("    break")
+        self.emit_seq(stmt.body, ctx)
+        self.indent -= 1
+        self._maybe_cascade(self._has_return(stmt), ctx)
+
+    def _gen_do(self, stmt: s.DoStmt, ctx: _EmitCtx) -> None:
+        entries = self._sync_entries(stmt.cond.variables())
+        self.w("while True:")
+        self.indent += 1
+        self.emit_seq(stmt.body, ctx)
+        self._emit_sync(entries)
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        self.w(f"if not ({self._x_cond(stmt.cond)}):")
+        self.w("    break")
+        self.indent -= 1
+        self._maybe_cascade(self._has_return(stmt), ctx)
+
+    def _gen_switch(self, stmt: s.SwitchStmt, ctx: _EmitCtx) -> None:
+        self._emit_sync(
+            self._sync_entries(stmt.scrutinee.variables()))
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        sexpr, _ = self._x_operand(stmt.scrutinee)
+        t = self.tmp()
+        self.w(f"{t} = {sexpr}")
+        first = True
+        for case_value, seq in stmt.cases:
+            if type(case_value) not in (int, float) or (
+                    type(case_value) is float
+                    and not math.isfinite(case_value)):
+                raise _Uncompilable(stmt)
+            kw = "if" if first else "elif"
+            first = False
+            self.w(f"{kw} {t} == {case_value!r}:")
+            self.indent += 1
+            self._emit_suite(seq, ctx)
+            self.indent -= 1
+        if stmt.default is not None:
+            if first:
+                self.emit_seq(stmt.default, ctx)
+            else:
+                self.w("else:")
+                self.indent += 1
+                self._emit_suite(stmt.default, ctx)
+                self.indent -= 1
+
+    def _gen_par(self, stmt: s.ParStmt, ctx: _EmitCtx) -> None:
+        n = self.defn()
+        join = f"_j{n}"
+        self.w(f"{join} = JoinCounter({len(stmt.branches)})")
+        branch_name = f"{self.func.name}:par"
+        err = (f"{self.func.name}: return inside a parallel sequence "
+               f"branch is not supported")
+        # Branches share the parent's frame (Python locals, via
+        # nonlocal) and the parent's outstanding list, exactly like
+        # the closure engine's shared-activation branches.
+        bctx = _EmitCtx("par", ctx.out, err=err)
+        for bi, branch in enumerate(stmt.branches):
+            bname = f"_pb{n}_{bi}"
+            mark = len(self.lines)
+            self.w(f"def {bname}():")
+            self.indent += 1
+            self._assigned.append(set())
+            self.emit_seq(branch, bctx)
+            self.w("return")
+            self.w("yield  # unreachable; keeps this a generator")
+            assigned = self._assigned.pop()
+            self.indent -= 1
+            if assigned:
+                names = ", ".join(
+                    sorted("v_" + a for a in assigned))
+                self.lines.insert(
+                    mark + 1,
+                    "    " * (self.indent + 1)
+                    + f"nonlocal {names}")
+            tf = self.tmp()
+            self.w(f"{tf} = Fiber({bname}(), node, "
+                   f"name={branch_name!r})")
+            self.w(f"{tf}.on_done.append({join}.child_done)")
+            self.w(f'yield ("spawn", {tf})')
+        self.w(f'yield ("wait", {join}.slot)')
+        self.w(f'yield ("busy", {self.params.join_ns!r})')
+
+    def _gen_forall(self, stmt: s.ForallStmt, ctx: _EmitCtx) -> None:
+        n = self.defn()
+        entries = self._sync_entries(stmt.cond.variables())
+        # init runs in the enclosing context.
+        self.emit_seq(stmt.init, ctx)
+        ch = f"_ch{n}"
+        itname = f"_it{n}"
+        iout = f"_iout{n}"
+        sig = f"_sig{n}"
+        err = (f"{self.func.name}: return inside forall body is not "
+               f"supported")
+        self.w(f"{ch} = []")
+        self.w("while True:")
+        self.indent += 1
+        self._emit_sync(entries)
+        self.w(f'yield ("busy", {self.local_ns!r})')
+        self.w(f"if not ({self._x_cond(stmt.cond)}):")
+        self.w("    break")
+        # Iteration generator; default arguments snapshot the frame
+        # with the exact semantics of Interpreter._copy_frame (lists
+        # copied, everything else by reference).
+        params = []
+        for vname, v in self.func.variables.items():
+            pv = self.var(vname)
+            if _coerce_fn(v.type) is not None:
+                params.append(f"{pv}={pv}")
+            else:
+                params.append(f"{pv}=(list({pv}) "
+                              f"if isinstance({pv}, list) else {pv})")
+        self.w(f"def {itname}({', '.join(params)}):")
+        self.indent += 1
+        self._assigned.append(set())
+        self.w(f"{iout} = []")
+        self.w(f"{sig} = False")
+        self.w("while True:")
+        self.indent += 1
+        self.emit_seq(stmt.body, _EmitCtx("forall", iout, sig=sig))
+        self.w("break")
+        self.indent -= 1
+        self.w(f"for _sl in {iout}:")
+        self.w("    if not _sl.ready:")
+        self.w('        yield ("wait", _sl)')
+        self.w(f"if {sig}:")
+        self.w(f"    raise InterpreterError({err!r})")
+        self.w("return")
+        self.w("yield  # unreachable; keeps this a generator")
+        self._assigned.pop()
+        self.indent -= 1
+        tf = self.tmp()
+        self.w(f"{tf} = Fiber({itname}(), node, "
+               f"name={(self.func.name + ':forall')!r})")
+        self.w(f"{ch}.append({tf})")
+        self.w(f'yield ("spawn", {tf})')
+        # step runs in the enclosing context.
+        self.emit_seq(stmt.step, ctx)
+        self.indent -= 1
+        # A return lowered inside init/step of an enclosing forall
+        # body breaks this scan loop; re-break BEFORE the join, like
+        # the closure engine returning the signal past it.
+        self._maybe_cascade(
+            self._has_return(stmt.init) or self._has_return(stmt.step),
+            ctx)
+        join = f"_j{n}"
+        self.w(f"{join} = JoinCounter(len({ch}))")
+        self.w(f"for _f in {ch}:")
+        self.w("    if _f.done:")
+        self.w(f"        {join}.child_done(_machine, 0.0)")
+        self.w("    else:")
+        self.w(f"        _f.on_done.append({join}.child_done)")
+        self.w(f'yield ("wait", {join}.slot)')
+        self.w(f'yield ("busy", {self.params.join_ns!r})')

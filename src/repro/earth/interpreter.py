@@ -121,11 +121,14 @@ class RunResult:
 
 
 #: Engines: ``"closure"`` precompiles each function to bound closures
-#: (:mod:`repro.earth.compile`); ``"ast"`` walks the SIMPLE tree (the
-#: reference implementation below).  Both drive the same machine and
-#: must produce identical results -- the differential suite
-#: (tests/earth/test_engine_equivalence.py) pins this.
-ENGINES = ("closure", "ast")
+#: (:mod:`repro.earth.compile`); ``"codegen"`` emits specialized
+#: Python source per function and falls back per-function to the
+#: closure tier (:mod:`repro.earth.codegen`); ``"ast"`` walks the
+#: SIMPLE tree (the reference implementation below).  All drive the
+#: same machine and must produce identical results -- the
+#: differential suite (tests/earth/test_engine_equivalence.py) pins
+#: this.
+ENGINES = ("closure", "ast", "codegen")
 
 
 class Interpreter:
@@ -169,10 +172,14 @@ class Interpreter:
         func = self.program.functions[entry]
         result_slot = Slot(f"result:{entry}")
 
-        if self.engine == "closure":
-            from repro.earth.compile import ClosureEngine
+        if self.engine in ("closure", "codegen"):
             if self._closure_engine is None:
-                self._closure_engine = ClosureEngine(self)
+                if self.engine == "codegen":
+                    from repro.earth.codegen import CodegenEngine
+                    self._closure_engine = CodegenEngine(self)
+                else:
+                    from repro.earth.compile import ClosureEngine
+                    self._closure_engine = ClosureEngine(self)
             compiled = self._closure_engine.function(entry)
 
             def root():

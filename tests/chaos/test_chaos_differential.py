@@ -3,7 +3,7 @@
 EARTH-C's non-interference contract makes program results independent
 of message timing, so a seeded fault schedule doubles as a correctness
 oracle: run a generated program clean, then under sampled fault plans
-on both execution engines, and require that the value, the printed
+on every execution engine, and require that the value, the printed
 output, and every communication counter are unchanged -- only timing,
 context switches, and the fault/retry statistics may differ.
 
@@ -18,6 +18,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.earth.faults import PROFILES, FaultPlan
+from repro.earth.interpreter import ENGINES
 from repro.harness.pipeline import compile_earthc, execute
 from repro.config import RunConfig
 
@@ -49,7 +50,7 @@ def test_faults_never_change_what_a_program_computes(source, config):
     compiled = compile_earthc(source, optimize=True)
     baseline = execute(compiled, config=RunConfig(nodes=3))
     base_stats = baseline.stats
-    for engine in ("closure", "ast"):
+    for engine in ENGINES:
         plan = FaultPlan.from_profile(profile, seed)
         result = execute(compiled, faults=plan,
                          config=RunConfig(nodes=3, engine=engine))

@@ -41,7 +41,7 @@ def test_benchmark_invariant_under_chaos(compiled_benchmarks, baselines,
     spec, compiled = compiled_benchmarks[name]
     baseline = baselines[name]
     runs = {}
-    for engine in ("closure", "ast"):
+    for engine in ("closure", "ast", "codegen"):
         plan = FaultPlan.from_profile("chaos", seed)
         result = execute(compiled, faults=plan,
                          config=RunConfig(nodes=NODES,
@@ -54,9 +54,10 @@ def test_benchmark_invariant_under_chaos(compiled_benchmarks, baselines,
         assert result.stats.op_retries > 0
         runs[engine] = result
     # Same plan => the engines agree on everything, faults included.
-    assert runs["closure"].time_ns == runs["ast"].time_ns
-    assert runs["closure"].stats.snapshot() \
-        == runs["ast"].stats.snapshot()
+    for engine in ("ast", "codegen"):
+        assert runs["closure"].time_ns == runs[engine].time_ns, engine
+        assert runs["closure"].stats.snapshot() \
+            == runs[engine].stats.snapshot(), engine
 
 
 @pytest.mark.parametrize("name", [spec.name for spec in catalog()])

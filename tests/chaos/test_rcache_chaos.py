@@ -94,11 +94,11 @@ def test_retried_writes_invalidate_exactly_once(compiled, name):
 def test_cached_equals_uncached_under_faults(source, fault_config):
     """Property form of the soundness argument: for generated heap
     programs, a cached faulty run, an uncached faulty run, and a clean
-    run all compute the same value and output, on both engines."""
+    run all compute the same value and output, on every engine."""
     profile, seed = fault_config
     compiled_program = compile_earthc(source, optimize=True)
     clean = execute(compiled_program, config=RunConfig(nodes=3))
-    for engine in ("closure", "ast"):
+    for engine in ("closure", "ast", "codegen"):
         base = RunConfig(nodes=3, engine=engine,
                          faults=dict(PROFILES[profile], seed=seed))
         uncached = execute(compiled_program, config=base)

@@ -5,7 +5,7 @@ The remote-data cache must be pay-for-what-you-use: with
 and every observable of a run -- value, output, simulated time, every
 statistic, and the full event trace -- matches both the pre-cache
 golden capture and a fresh plain run, on all five Olden benchmarks
-under both execution engines.
+under every execution engine.
 """
 
 import json
@@ -21,7 +21,7 @@ from repro.olden.loader import catalog, get_benchmark
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
                            "golden_zero_fault.json")
 NODES = 4
-ENGINES = ["ast", "closure"]
+ENGINES = ["ast", "closure", "codegen"]
 
 
 @pytest.fixture(scope="module")

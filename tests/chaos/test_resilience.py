@@ -150,7 +150,8 @@ class TestEngineAgreement:
             runs = [execute(compiled, faults=ScriptedPlan(index),
                             config=RunConfig(nodes=2, args=tuple([]),
                                              engine=engine))
-                    for engine in ("closure", "ast")]
-            assert runs[0].value == runs[1].value
-            assert runs[0].time_ns == runs[1].time_ns
-            assert runs[0].stats.snapshot() == runs[1].stats.snapshot()
+                    for engine in ("closure", "ast", "codegen")]
+            for other in runs[1:]:
+                assert other.value == runs[0].value
+                assert other.time_ns == runs[0].time_ns
+                assert other.stats.snapshot() == runs[0].stats.snapshot()

@@ -1,9 +1,11 @@
-"""Regression tests for the closure engine's AST-delegation fallback.
+"""Regression tests for the engines' fallback ladders.
 
 When the closure compiler cannot statically lower a statement it
 raises ``_Uncompilable`` and ``compile_stmt`` falls back to delegating
-that one statement to the AST walker.  Real programs rarely trip this,
-so these tests force it: every assign/call/alloc/blkmov/shared lowering
+that one statement to the AST walker.  The codegen engine has the same
+escape one tier up: any function its generator cannot prove falls back
+*whole* to the closure engine.  Real programs rarely trip either, so
+these tests force both: every assign/call/alloc/blkmov/shared lowering
 is made to fail, and the hybrid execution must still be bit-identical
 -- value, output, simulated time, and statistics -- to the pure AST
 engine, with and without fault injection.
@@ -11,6 +13,7 @@ engine, with and without fault injection.
 
 import pytest
 
+from repro.earth import codegen as codegen_mod
 from repro.earth import compile as compile_mod
 from repro.earth.faults import FaultPlan
 from repro.harness.pipeline import compile_earthc, execute
@@ -25,6 +28,16 @@ FALLBACK_SETS = [
     ("_compile_alloc", "_compile_blkmov", "_compile_shared"),
     ("_compile_assign", "_compile_call", "_compile_alloc",
      "_compile_blkmov", "_compile_shared"),
+]
+
+#: The codegen-tier counterparts: making these emitters raise forces
+#: per-function codegen -> closure fallback.
+CODEGEN_FALLBACK_SETS = [
+    ("_gen_assign",),
+    ("_gen_call",),
+    ("_gen_alloc", "_gen_blkmov", "_gen_shared"),
+    ("_gen_assign", "_gen_call", "_gen_alloc",
+     "_gen_blkmov", "_gen_shared"),
 ]
 
 
@@ -104,6 +117,74 @@ def test_fallback_agrees_under_faults(monkeypatch):
     assert delegations
 
 
+def _force_codegen_fallback(monkeypatch, methods):
+    """Make the chosen codegen emitters always raise ``_Uncompilable``
+    and count the functions that actually fall back to the closure
+    tier."""
+    for name in methods:
+        def boom(self, stmt, *args, _name=name, **kwargs):
+            raise compile_mod._Uncompilable(f"forced: {_name}")
+        monkeypatch.setattr(codegen_mod._CodeGenerator, name, boom)
+    fallbacks = []
+    original = codegen_mod.CodegenEngine.function
+
+    def counting(self, name):
+        result = original(self, name)
+        fallbacks[:] = sorted(self.fallbacks)
+        return result
+
+    monkeypatch.setattr(codegen_mod.CodegenEngine, "function", counting)
+    return fallbacks
+
+
+@pytest.mark.parametrize("methods", CODEGEN_FALLBACK_SETS,
+                         ids=lambda m: "+".join(n.replace("_gen_", "")
+                                                for n in m))
+class TestForcedCodegenFallback:
+    def test_rmw_loop_bit_identical_to_ast(self, monkeypatch, methods):
+        compiled = compile_earthc(RMW_LOOP, "rmw_loop.ec",
+                                  optimize=True)
+        reference = execute(compiled,
+                            config=RunConfig(nodes=2, engine="ast"))
+        fallbacks = _force_codegen_fallback(monkeypatch, methods)
+        hybrid = execute(compiled,
+                         config=RunConfig(nodes=2, engine="codegen"))
+        _identical(hybrid, reference)
+        assert fallbacks  # the closure tier actually took over
+
+    def test_power_bit_identical_to_ast(self, monkeypatch, methods):
+        spec = get_benchmark("power")
+        compiled = compile_earthc(spec.source(), spec.filename,
+                                  optimize=True, inline=spec.inline)
+        reference = execute(compiled,
+                            config=RunConfig(nodes=4,
+                                             args=tuple(spec.small_args),
+                                             engine="ast"))
+        fallbacks = _force_codegen_fallback(monkeypatch, methods)
+        hybrid = execute(compiled,
+                         config=RunConfig(nodes=4,
+                                          args=tuple(spec.small_args),
+                                          engine="codegen"))
+        _identical(hybrid, reference)
+        assert fallbacks
+
+
+def test_codegen_fallback_agrees_under_faults(monkeypatch):
+    """A codegen run with some functions delegated to the closure tier
+    must stay bit-identical to pure AST on the resilient network path
+    too."""
+    compiled = compile_earthc(RMW_LOOP, "rmw_loop.ec", optimize=True)
+    plan = FaultPlan.from_profile("chaos", 6)
+    reference = execute(compiled, faults=plan.clone(),
+                        config=RunConfig(nodes=2, engine="ast"))
+    fallbacks = _force_codegen_fallback(monkeypatch,
+                                        CODEGEN_FALLBACK_SETS[-1])
+    hybrid = execute(compiled, faults=plan.clone(),
+                     config=RunConfig(nodes=2, engine="codegen"))
+    _identical(hybrid, reference)
+    assert fallbacks
+
+
 def test_unforced_closure_engine_does_not_delegate(monkeypatch):
     """The five Olden-style statement forms all lower statically: on an
     unpatched compiler the fallback should stay cold for power."""
@@ -123,3 +204,16 @@ def test_unforced_closure_engine_does_not_delegate(monkeypatch):
             config=RunConfig(nodes=4, args=tuple(list(spec.small_args)),
                              engine="closure"))
     assert delegations == []
+
+
+def test_unforced_codegen_engine_does_not_fall_back(monkeypatch):
+    """Every Olden function lowers to generated source: on an unpatched
+    generator the closure-tier fallback should stay cold for power."""
+    fallbacks = _force_codegen_fallback(monkeypatch, ())
+    spec = get_benchmark("power")
+    compiled = compile_earthc(spec.source(), spec.filename,
+                              optimize=True, inline=spec.inline)
+    execute(compiled,
+            config=RunConfig(nodes=4, args=tuple(list(spec.small_args)),
+                             engine="codegen"))
+    assert fallbacks == []

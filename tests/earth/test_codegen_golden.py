@@ -1,0 +1,165 @@
+"""Golden snapshot of the codegen engine's emitted Python source.
+
+The codegen engine (``repro.earth.codegen``) turns each SIMPLE
+function into specialized Python text; the emitted source *is* the
+engine's behaviour, so accidental drift (a reordered check, a lost
+fusion, a changed yield point) should be visible in review as a plain
+text diff.  This pins the complete emitted source for one small
+split-phase function covering the main shapes: fused basic runs with
+a batched statement budget, split-phase remote reads landing a Slot in
+a local, sync-on-use with coercion, checked reads, and the inlined
+return epilogue.
+
+Statement labels embed in the source (``Slot('read@N')``), so the test
+pins the global label counter before compiling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import textwrap
+
+from repro.earth.codegen import CodegenEngine
+from repro.earth.interpreter import Interpreter
+from repro.earth.machine import Machine
+from repro.earth.params import MachineParams
+from repro.harness.pipeline import compile_earthc
+from repro.simple import nodes
+
+SOURCE = """
+struct cell { int value; struct cell *next; };
+
+struct cell *make_cell(int value, int where) {
+    struct cell *c;
+    c = (struct cell *) malloc(sizeof(struct cell)) @ where;
+    c->value = value;
+    c->next = NULL;
+    return c;
+}
+
+int sum_chain(struct cell *head) {
+    int total;
+    total = 0;
+    while (head != NULL) {
+        total = total + head->value;
+        head = head->next;
+    }
+    return total;
+}
+
+int main() {
+    struct cell *a;
+    struct cell *b;
+    a = make_cell(40, 0);
+    b = make_cell(2, 1);
+    a->next = b;
+    return sum_chain(a);
+}
+"""
+
+GOLDEN_SUM_CHAIN = textwrap.dedent("""\
+    # codegen for SIMPLE function 'sum_chain'
+    def invoke(args, node, result_slot=None):
+        if len(args) != 1:
+            raise InterpreterError('sum_chain: expected 1 args, got %d' % (len(args),))
+        v_head = int(args[0])
+        v_total = 0
+        v_temp_1 = 0
+        v_comm1 = 0
+        _out = []
+        _interp._stmts_left -= 1
+        if _interp._stmts_left <= 0:
+            raise InterpreterError(_BUDGET_MSG)
+        _stats.basic_stmts_executed += 1
+        yield ("busy", 60.0)
+        v_total = 0
+        while True:
+            yield ("busy", 60.0)
+            if not (v_head != 0):
+                break
+            _interp._stmts_left -= 1
+            if _interp._stmts_left <= 0:
+                raise InterpreterError(_BUDGET_MSG)
+            _stats.basic_stmts_executed += 1
+            yield ("busy", 60.0)
+            _t1 = v_head
+            _t2 = (_t1 + 1 if _t1 != 0 else 0)
+            _t3 = Slot('read@26')
+            _t4 = _t2 // _NODE_SPAN if _t2 != 0 else node
+            yield ("issue", "read", _t4, 1, _mk_read(_t2), _t3, _t2)
+            v_comm1 = _t3
+            _interp._stmts_left -= 1
+            if _interp._stmts_left <= 0:
+                raise InterpreterError(_BUDGET_MSG)
+            _stats.basic_stmts_executed += 1
+            yield ("busy", 60.0)
+            _t5 = v_head
+            _t6 = Slot('read@10')
+            _t7 = _t5 // _NODE_SPAN if _t5 != 0 else node
+            yield ("issue", "read", _t7, 1, _mk_read(_t5), _t6, _t5)
+            v_temp_1 = _t6
+            _interp._stmts_left -= 1
+            if _interp._stmts_left <= 0:
+                raise InterpreterError(_BUDGET_MSG)
+            _stats.basic_stmts_executed += 1
+            if type(v_temp_1) is Slot:
+                _t8 = yield ("wait", v_temp_1)
+                v_temp_1 = _t8 if isinstance(_t8, list) else _ci(_t8)
+            yield ("busy", 60.0)
+            v_total = (v_total + _chkread(v_temp_1, 'temp_1'))
+            _interp._stmts_left -= 1
+            if _interp._stmts_left <= 0:
+                raise InterpreterError(_BUDGET_MSG)
+            _stats.basic_stmts_executed += 1
+            if type(v_comm1) is Slot:
+                _t9 = yield ("wait", v_comm1)
+                v_comm1 = _t9 if isinstance(_t9, list) else int(_t9)
+            yield ("busy", 60.0)
+            v_head = _chkread(v_comm1, 'comm1')
+        _interp._stmts_left -= 1
+        if _interp._stmts_left <= 0:
+            raise InterpreterError(_BUDGET_MSG)
+        _stats.basic_stmts_executed += 1
+        yield ("busy", 60.0)
+        _ret = v_total
+        for _sl in _out:
+            if not _sl.ready:
+                yield ("wait", _sl)
+        if result_slot is not None:
+            yield ("fulfill", result_slot, _ret)
+        return _ret
+        _ret = 0
+        for _sl in _out:
+            if not _sl.ready:
+                yield ("wait", _sl)
+        if result_slot is not None:
+            yield ("fulfill", result_slot, _ret)
+        return _ret
+        yield  # unreachable; keeps this a generator
+""")
+
+
+def _engine_for(source, nodes_count=4):
+    compiled = compile_earthc(source, optimize=True)
+    interp = Interpreter(compiled.simple,
+                         Machine(nodes_count, MachineParams()),
+                         engine="codegen")
+    interp._init_globals()
+    return CodegenEngine(interp)
+
+
+def test_sum_chain_emitted_source_is_pinned(monkeypatch):
+    monkeypatch.setattr(nodes, "_label_counter", itertools.count(1))
+    engine = _engine_for(SOURCE)
+    engine.function("sum_chain")
+    assert engine.fallbacks == set()
+    assert engine.sources["sum_chain"] == GOLDEN_SUM_CHAIN
+
+
+def test_every_function_generates_without_fallback(monkeypatch):
+    monkeypatch.setattr(nodes, "_label_counter", itertools.count(1))
+    engine = _engine_for(SOURCE)
+    for name in engine.interp.program.functions:
+        engine.function(name)
+    assert engine.fallbacks == set()
+    assert set(engine.sources) == set(engine.interp.program.functions)

@@ -1,12 +1,14 @@
-"""Differential tests: the closure engine against the AST walker.
+"""Differential tests: every engine against the AST walker.
 
-The closure engine (``repro.earth.compile``) must be *observationally
-bit-identical* to the reference tree walker for every program that
-completes: same result value, same printed output, same
-``MachineStats`` snapshot, and the same simulated ``time_ns`` down to
-the last bit.  These tests drive every bundled example program and
-every Olden benchmark through both engines under the paper's three
-machine configurations, plus Hypothesis-generated programs.
+The closure engine (``repro.earth.compile``) and the codegen engine
+(``repro.earth.codegen``) must be *observationally bit-identical* to
+the reference tree walker for every program that completes: same
+result value, same printed output, same ``MachineStats`` snapshot, and
+the same simulated ``time_ns`` down to the last bit.  These tests
+drive every bundled example program and every Olden benchmark through
+all engines under the paper's three machine configurations -- the
+Olden set additionally under fault plans and with the remote-data
+cache enabled -- plus Hypothesis-generated programs.
 """
 
 from __future__ import annotations
@@ -50,21 +52,28 @@ def _example_source(filename: str) -> str:
 
 
 def _compare(compiled, num_nodes, params=None, args=(),
-             max_stmts=200_000_000, entry="main"):
-    """Run both engines on one compiled program; assert bit-identity."""
+             max_stmts=200_000_000, entry="main", faults=None,
+             rcache_capacity=0):
+    """Run every engine on one compiled program; assert bit-identity
+    against the AST reference."""
     results = {}
     for engine in ENGINES:
         results[engine] = execute(
             compiled, params=params,
             config=RunConfig(nodes=num_nodes, entry=entry,
                              args=tuple(args), max_stmts=max_stmts,
-                             engine=engine))
-    ast, closure = results["ast"], results["closure"]
-    assert closure.value == ast.value
-    assert closure.output == ast.output
-    assert closure.time_ns == ast.time_ns  # bit-identical, no rounding
-    assert closure.stats.snapshot() == ast.stats.snapshot()
-    return closure
+                             engine=engine, faults=faults,
+                             rcache_capacity=rcache_capacity))
+    ast = results["ast"]
+    for engine, result in results.items():
+        if engine == "ast":
+            continue
+        assert result.value == ast.value, engine
+        assert result.output == ast.output, engine
+        # bit-identical, no rounding
+        assert result.time_ns == ast.time_ns, engine
+        assert result.stats.snapshot() == ast.stats.snapshot(), engine
+    return results["closure"]
 
 
 def _compare_three_ways(source, filename, args=(), inline=False,
@@ -107,6 +116,27 @@ def test_olden_identical(name):
                         max_stmts=spec.max_stmts)
 
 
+#: A lossy, jittery network for the ±faults legs below.
+FAULT_SPEC = {"seed": 7, "drop_prob": 0.01, "jitter_ns": 2000.0}
+
+
+@pytest.mark.parametrize("faulted", [False, True],
+                         ids=["clean", "faults"])
+@pytest.mark.parametrize("rcache", [0, 64],
+                         ids=["nocache", "rcache"])
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_olden_identical_faults_rcache(name, faulted, rcache):
+    """All engines stay bit-identical under fault plans and with the
+    remote-data cache enabled (optimized program, 4 nodes)."""
+    spec = next(s for s in catalog() if s.name == name)
+    compiled = compile_earthc(spec.source(), spec.filename,
+                              optimize=True, inline=spec.inline)
+    _compare(compiled, 4, args=spec.small_args,
+             max_stmts=spec.max_stmts,
+             faults=FAULT_SPEC if faulted else None,
+             rcache_capacity=rcache)
+
+
 # ---------------------------------------------------------------------------
 # Engine selection plumbing
 # ---------------------------------------------------------------------------
@@ -144,7 +174,8 @@ def test_runtime_errors_match():
             execute(compiled, config=RunConfig(strict_nil_reads=True,
                                                engine=engine))
         messages[engine] = str(info.value)
-    assert messages["closure"] == messages["ast"]
+    for engine in ENGINES:
+        assert messages[engine] == messages["ast"], engine
 
 
 # ---------------------------------------------------------------------------

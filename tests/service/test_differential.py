@@ -20,7 +20,7 @@ from repro.service.pool import WorkerPool
 from repro.config import RunConfig
 
 #: Matrix axes: execution engine x fault injection (seeded profile).
-ENGINES = ("closure", "ast")
+ENGINES = ("closure", "ast", "codegen")
 FAULT_SEED = 29
 FAULT_CASES = (None, "mild")
 
