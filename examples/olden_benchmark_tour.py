@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Run the paper's five Olden benchmarks (scaled sizes) and print a
-mini version of Table III and Figure 10.
+"""Run every Olden benchmark in the catalog (scaled sizes) and print
+a mini version of Table III and Figure 10 -- the paper's five plus
+the rest of the suite.
 
 Run:  python examples/olden_benchmark_tour.py [--nodes N]
 """

@@ -7,6 +7,7 @@
     python -m repro fleet-serve [options]      HTTP/JSON gateway
     python -m repro fleet-store [options]      shared artifact blob store
     python -m repro loadtest [options]         open-loop fleet load test
+    python -m repro genjobs [options]          seeded synthetic job stream
 
 Compiles an EARTH-C file and, on request, prints its SIMPLE form, its
 Threaded-C fiber form, the communication tuples, and/or runs it on the
@@ -35,6 +36,8 @@ Examples::
     python -m repro fleet-store --port 7792 --cache-dir /tmp/store
     python -m repro fleet-serve --port 7791 --store 127.0.0.1:7792
     python -m repro loadtest --targets 127.0.0.1:7791 --rate 20 --total 200
+    python -m repro genjobs --seed 7 --count 20 --output jobs.json
+    python -m repro batch --jobs jobs.json --workers 4
 
 Exit codes: 0 success, 1 generic error, 2 usage, 3 compile error,
 4 simulator runtime error, 5 I/O error, 6 service error.  With
@@ -69,7 +72,7 @@ from repro.simple import nodes as s
 from repro.simple.printer import print_function
 
 SERVICE_VERBS = ("serve", "submit", "batch",
-                 "fleet-serve", "fleet-store", "loadtest")
+                 "fleet-serve", "fleet-store", "loadtest", "genjobs")
 
 
 def _emit_error(exc: BaseException, json_mode: bool,
@@ -433,6 +436,8 @@ def _service_main(verb: str, argv) -> int:
         return _fleet_store_main(argv)
     if verb == "loadtest":
         return _loadtest_main(argv)
+    if verb == "genjobs":
+        return _genjobs_main(argv)
     return _batch_main(argv)
 
 
@@ -862,9 +867,18 @@ def _loadtest_main(argv) -> int:
     parser.add_argument("--targets", required=True,
                         metavar="HOST:PORT[,HOST:PORT...]",
                         help="comma-separated gateway addresses")
-    parser.add_argument("--benchmarks", default="power,tsp,health",
+    parser.add_argument("--benchmarks", default=None,
                         help="comma-separated Olden benchmark mix "
-                             "(default power,tsp,health)")
+                             "(default: the full catalog; 'none' for "
+                             "a purely generated mix)")
+    parser.add_argument("--generated", type=int, default=0,
+                        metavar="N",
+                        help="add N seeded synthetic workload jobs "
+                             "to the mix (repro.workload)")
+    parser.add_argument("--generated-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="workload generation seed (default: "
+                             "--seed)")
     parser.add_argument("--kind", default="run",
                         choices=("compile", "run"))
     parser.add_argument("--engine", default="closure",
@@ -904,13 +918,29 @@ def _loadtest_main(argv) -> int:
     if not targets:
         return _usage_error("--targets needs at least one HOST:PORT")
 
-    benchmarks = [part.strip() for part in opts.benchmarks.split(",")
-                  if part.strip()]
-    if not benchmarks:
-        return _usage_error("--benchmarks needs at least one name")
+    if opts.benchmarks is None:
+        from repro.olden.loader import catalog
+        benchmarks = [spec.name for spec in catalog()]
+    elif opts.benchmarks.strip().lower() == "none":
+        benchmarks = []
+    else:
+        benchmarks = [part.strip()
+                      for part in opts.benchmarks.split(",")
+                      if part.strip()]
     jobs = [JobSpec(opts.kind, benchmark=name, nodes=opts.nodes,
                     small=opts.small, engine=opts.engine).to_dict()
             for name in benchmarks]
+    if opts.generated:
+        from repro.workload import generate_jobs
+        seed = opts.seed if opts.generated_seed is None \
+            else opts.generated_seed
+        jobs += [job.to_dict(opts.kind)
+                 for job in generate_jobs(seed, opts.generated,
+                                          nodes=(opts.nodes,),
+                                          engines=(opts.engine,))]
+    if not jobs:
+        return _usage_error("the job mix is empty: give --benchmarks "
+                            "and/or --generated N")
 
     try:
         generator = LoadGenerator(targets, jobs, rate=opts.rate,
@@ -931,6 +961,107 @@ def _loadtest_main(argv) -> int:
     print(text)
     failures = report["transport_errors"] + report["other_failures"]
     return EXIT_OK if failures == 0 else EXIT_ERROR
+
+
+def _genjobs_main(argv) -> int:
+    from repro.workload import MIXES, SHAPES, generate_jobs
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro genjobs",
+        description="Emit a seeded stream of synthetic EARTH-C jobs "
+                    "as a JSON array compatible with `batch --jobs` "
+                    "and `POST /v1/jobs`")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0); the stream "
+                             "is byte-deterministic per seed")
+    parser.add_argument("--count", type=int, default=10,
+                        help="number of jobs (default 10)")
+    parser.add_argument("--shapes", default=",".join(SHAPES),
+                        help="comma-separated structure shapes "
+                             f"(default {','.join(SHAPES)})")
+    parser.add_argument("--mixes", default=",".join(sorted(MIXES)),
+                        help="comma-separated read/write mixes "
+                             f"(default {','.join(sorted(MIXES))})")
+    parser.add_argument("--sizes", default="3:8", metavar="LO:HI",
+                        help="inclusive structure-size range "
+                             "(default 3:8; tree depths cap at 6)")
+    parser.add_argument("--sweeps", default="1:3", metavar="LO:HI",
+                        help="inclusive sweep-count range (default "
+                             "1:3)")
+    parser.add_argument("--nodes", default="2,4",
+                        help="comma-separated machine sizes to draw "
+                             "from (default 2,4)")
+    parser.add_argument("--engines", default="closure",
+                        help="comma-separated engine pool (default "
+                             "closure)")
+    parser.add_argument("--fault-profiles", default="none",
+                        help="comma-separated fault-profile pool; "
+                             "'none' is a clean network (default "
+                             "none)")
+    parser.add_argument("--rcache", default="0",
+                        help="comma-separated rcache-capacity pool "
+                             "in lines (default 0)")
+    parser.add_argument("--kind", default="run",
+                        choices=("compile", "run", "three-way",
+                                 "four-way"))
+    parser.add_argument("--sources", default=None, metavar="DIR",
+                        help="also write each generated program as "
+                             "DIR/<name>.ec")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the JSON job array to FILE "
+                             "instead of stdout")
+    opts = parser.parse_args(argv)
+
+    def _range(text, flag):
+        low, sep, high = text.partition(":")
+        if not sep or not low.strip().isdigit() \
+                or not high.strip().isdigit():
+            raise ValueError(f"{flag} needs LO:HI, got {text!r}")
+        return int(low), int(high)
+
+    try:
+        if opts.count < 1:
+            raise ValueError(f"--count must be >= 1, got {opts.count}")
+        jobs = generate_jobs(
+            opts.seed, opts.count,
+            shapes=[p.strip() for p in opts.shapes.split(",")
+                    if p.strip()],
+            mixes=[p.strip() for p in opts.mixes.split(",")
+                   if p.strip()],
+            sizes=_range(opts.sizes, "--sizes"),
+            sweeps=_range(opts.sweeps, "--sweeps"),
+            nodes=[int(p) for p in opts.nodes.split(",") if p.strip()],
+            engines=[p.strip() for p in opts.engines.split(",")
+                     if p.strip()],
+            fault_profiles=[None if p.strip().lower() == "none"
+                            else p.strip()
+                            for p in opts.fault_profiles.split(",")
+                            if p.strip()],
+            rcache_capacities=[int(p) for p in opts.rcache.split(",")
+                               if p.strip()])
+    except ValueError as exc:
+        return _usage_error(str(exc))
+
+    text = json.dumps([job.to_dict(opts.kind) for job in jobs],
+                      indent=2, sort_keys=True)
+    try:
+        if opts.sources is not None:
+            os.makedirs(opts.sources, exist_ok=True)
+            for job in jobs:
+                path = os.path.join(opts.sources, job.filename)
+                with open(path, "w") as handle:
+                    handle.write(job.source)
+        if opts.output is not None:
+            with open(opts.output, "w") as handle:
+                handle.write(text + "\n")
+        else:
+            print(text)
+    except OSError as exc:
+        return _emit_error(exc, False)
+    if opts.output is not None:
+        print(f"genjobs: wrote {len(jobs)} job(s) to {opts.output} "
+              f"(seed {opts.seed})", file=sys.stderr)
+    return EXIT_OK
 
 
 if __name__ == "__main__":

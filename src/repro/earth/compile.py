@@ -500,9 +500,11 @@ class _FunctionCompiler:
     # -- sync entries ------------------------------------------------------
 
     def _sync_entries_for_basic(self, stmt: s.BasicStmt):
-        # Build the SAME set, via the same mutations, as the AST
-        # engine's ``_sync_uses`` so iteration order (and therefore
-        # wait order) is identical within this process.
+        # Build the SAME names, via the same mutations, as the AST
+        # engine's ``_sync_uses``, then sort: ``basic_uses`` returns a
+        # hash-ordered set, and wait order must not depend on the
+        # process's hash seed (it is observable through simulated time
+        # whenever two slots are pending at once).
         names = basic_uses(stmt)
         if isinstance(stmt, s.AssignStmt) and \
                 isinstance(stmt.lhs, s.StructFieldWriteLV):
@@ -511,7 +513,7 @@ class _FunctionCompiler:
         if isinstance(stmt, s.BlkmovStmt) and stmt.dst[0] == "local":
             names = set(names)
             names.add(stmt.dst[1])
-        return self._sync_entries(names)
+        return self._sync_entries(sorted(names))
 
     def _sync_entries(self, names):
         """Filter to slot-capable names, preserving iteration order;

@@ -454,7 +454,10 @@ class Interpreter:
             # previous split-phase blkmov requires it delivered first.
             names = set(names)
             names.add(stmt.dst[1])
-        yield from self._sync_names(act, names)
+        # Sorted: ``basic_uses`` is a hash-ordered set, and wait order
+        # is observable through simulated time whenever two slots are
+        # pending at once -- it must not depend on the hash seed.
+        yield from self._sync_names(act, sorted(names))
 
     def _sync_names(self, act: Activation, names):
         for name in names:

@@ -1,0 +1,322 @@
+/* bh -- Olden Barnes-Hut N-body benchmark, EARTH-C version (2D).
+ *
+ * Bodies are strip-distributed across the machine in a global list;
+ * an adaptive quadtree is built over the unit square by recursive
+ * subdivision (cells placed round-robin, each subdivision running at
+ * its cell's owner), centers of mass are computed bottom-up in
+ * parallel, and each timestep every body walks the (mostly remote)
+ * tree with the standard theta opening criterion, then advances.
+ *
+ * The force walk is the paper's favourite access shape: several field
+ * reads of one remote cell or body per visit (leaf flag, center of
+ * mass, size; position and mass) that the optimizer collapses into
+ * one blkmov-in per visited object.  Velocity updates are Jacobi --
+ * the walk reads only positions and masses, never velocities, so the
+ * result is independent of machine size and update order.
+ *
+ * main(nbodies, steps) returns a scaled checksum of the final
+ * positions and velocities plus the built cell count.
+ */
+
+struct body {
+    double x;
+    double y;
+    double mass;
+    double vx;
+    double vy;
+    struct body *next;
+    struct body *qnext;
+};
+
+struct cell {
+    double cx;
+    double cy;
+    double cmass;
+    double xmin;
+    double ymin;
+    double size;
+    int leaf;
+    int count;
+    struct cell *q0;
+    struct cell *q1;
+    struct cell *q2;
+    struct cell *q3;
+    struct body *bodies;
+};
+
+int next_seed(int seed)
+{
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+/* LCG positions in the unit square, strip-distributed. */
+struct body *make_bodies(int n)
+{
+    struct body *head;
+    struct body *b;
+    int i;
+    int seed;
+
+    seed = 4242;
+    head = NULL;
+    for (i = n - 1; i >= 0; i = i - 1) {
+        seed = next_seed(seed + i);
+        b = (struct body *) malloc(sizeof(struct body))
+            @ (i % num_nodes());
+        b->x = (double) (seed % 1024) / 1024.0;
+        seed = next_seed(seed);
+        b->y = (double) (seed % 1024) / 1024.0;
+        b->mass = 1.0 + (double) (seed % 5) / 8.0;
+        b->vx = 0.0;
+        b->vy = 0.0;
+        b->next = head;
+        b->qnext = NULL;
+        head = b;
+    }
+    return head;
+}
+
+struct cell *make_cell(double xmin, double ymin, double size, int where)
+{
+    struct cell *c;
+
+    c = (struct cell *) malloc(sizeof(struct cell)) @ where;
+    c->cx = 0.0;
+    c->cy = 0.0;
+    c->cmass = 0.0;
+    c->xmin = xmin;
+    c->ymin = ymin;
+    c->size = size;
+    c->leaf = 1;
+    c->count = 0;
+    c->q0 = NULL;
+    c->q1 = NULL;
+    c->q2 = NULL;
+    c->q3 = NULL;
+    c->bodies = NULL;
+    return c;
+}
+
+int push_body(struct cell *c, struct body *b)
+{
+    b->qnext = c->bodies;
+    c->bodies = b;
+    c->count = c->count + 1;
+    return 0;
+}
+
+/* Adaptive subdivision, run at the cell's owner: partition the
+ * bodies into four quadrant children (placed round-robin by the
+ * cell's label), then subdivide the children in parallel. */
+int subdivide(struct cell local *c, int depth, int label)
+{
+    struct cell *c0;
+    struct cell *c1;
+    struct cell *c2;
+    struct cell *c3;
+    struct body *b;
+    struct body *bn;
+    double half;
+    double mx;
+    double my;
+    int r0;
+    int r1;
+    int r2;
+    int r3;
+
+    if (depth == 0 || c->count <= 2)
+        return 1;
+    half = c->size / 2.0;
+    mx = c->xmin + half;
+    my = c->ymin + half;
+    c0 = make_cell(c->xmin, c->ymin, half,
+                   (4 * label + 1) % num_nodes());
+    c1 = make_cell(mx, c->ymin, half, (4 * label + 2) % num_nodes());
+    c2 = make_cell(c->xmin, my, half, (4 * label + 3) % num_nodes());
+    c3 = make_cell(mx, my, half, (4 * label + 4) % num_nodes());
+    b = c->bodies;
+    while (b != NULL) {
+        bn = b->qnext;
+        if (b->x < mx) {
+            if (b->y < my)
+                push_body(c0, b);
+            else
+                push_body(c2, b);
+        } else {
+            if (b->y < my)
+                push_body(c1, b);
+            else
+                push_body(c3, b);
+        }
+        b = bn;
+    }
+    c->bodies = NULL;
+    c->leaf = 0;
+    c->q0 = c0;
+    c->q1 = c1;
+    c->q2 = c2;
+    c->q3 = c3;
+    {^
+        r0 = subdivide(c0, depth - 1, 4 * label + 1) @ OWNER_OF(c0);
+        r1 = subdivide(c1, depth - 1, 4 * label + 2) @ OWNER_OF(c1);
+        r2 = subdivide(c2, depth - 1, 4 * label + 3) @ OWNER_OF(c2);
+        r3 = subdivide(c3, depth - 1, 4 * label + 4) @ OWNER_OF(c3);
+    ^}
+    return 1 + r0 + r1 + r2 + r3;
+}
+
+/* Bottom-up centers of mass, children in parallel at their owners.
+ * Returns the number of cells underneath. */
+int center_of_mass(struct cell local *c)
+{
+    struct cell *k0;
+    struct cell *k1;
+    struct cell *k2;
+    struct cell *k3;
+    struct body *b;
+    double sx;
+    double sy;
+    double sm;
+    int r0;
+    int r1;
+    int r2;
+    int r3;
+
+    sx = 0.0;
+    sy = 0.0;
+    sm = 0.0;
+    if (c->leaf == 1) {
+        b = c->bodies;
+        while (b != NULL) {
+            sx = sx + b->x * b->mass;
+            sy = sy + b->y * b->mass;
+            sm = sm + b->mass;
+            b = b->qnext;
+        }
+        r0 = 0;
+        r1 = 0;
+        r2 = 0;
+        r3 = 0;
+    } else {
+        k0 = c->q0;
+        k1 = c->q1;
+        k2 = c->q2;
+        k3 = c->q3;
+        {^
+            r0 = center_of_mass(k0) @ OWNER_OF(k0);
+            r1 = center_of_mass(k1) @ OWNER_OF(k1);
+            r2 = center_of_mass(k2) @ OWNER_OF(k2);
+            r3 = center_of_mass(k3) @ OWNER_OF(k3);
+        ^}
+        sx = k0->cx * k0->cmass + k1->cx * k1->cmass
+           + k2->cx * k2->cmass + k3->cx * k3->cmass;
+        sy = k0->cy * k0->cmass + k1->cy * k1->cmass
+           + k2->cy * k2->cmass + k3->cy * k3->cmass;
+        sm = k0->cmass + k1->cmass + k2->cmass + k3->cmass;
+    }
+    if (sm > 0.0) {
+        c->cx = sx / sm;
+        c->cy = sy / sm;
+    } else {
+        c->cx = c->xmin;
+        c->cy = c->ymin;
+    }
+    c->cmass = sm;
+    return 1 + r0 + r1 + r2 + r3;
+}
+
+/* The Barnes-Hut force walk for one body, run at the body's owner.
+ * Cells and foreign bodies are mostly remote; each visit reads a
+ * handful of fields of one object (the blkmov-in region).  theta is
+ * fixed at 0.5 (opening test s*s < 0.25 * d2). */
+int force_walk(struct cell *c, struct body local *me, double dt)
+{
+    struct body *p;
+    double dx;
+    double dy;
+    double d2;
+    double inv;
+    double s;
+
+    if (c == NULL)
+        return 0;
+    if (c->leaf == 1) {
+        p = c->bodies;
+        while (p != NULL) {
+            if (p != me) {
+                dx = p->x - me->x;
+                dy = p->y - me->y;
+                d2 = dx * dx + dy * dy + 0.01;
+                inv = p->mass / (d2 * sqrt(d2));
+                me->vx = me->vx + dt * dx * inv;
+                me->vy = me->vy + dt * dy * inv;
+            }
+            p = p->qnext;
+        }
+        return 1;
+    }
+    dx = c->cx - me->x;
+    dy = c->cy - me->y;
+    d2 = dx * dx + dy * dy + 0.01;
+    s = c->size;
+    if (s * s < 0.25 * d2) {
+        inv = c->cmass / (d2 * sqrt(d2));
+        me->vx = me->vx + dt * dx * inv;
+        me->vy = me->vy + dt * dy * inv;
+        return 1;
+    }
+    return 1 + force_walk(c->q0, me, dt) + force_walk(c->q1, me, dt)
+             + force_walk(c->q2, me, dt) + force_walk(c->q3, me, dt);
+}
+
+int advance(struct body local *b, double dt)
+{
+    b->x = b->x + dt * b->vx;
+    b->y = b->y + dt * b->vy;
+    return 0;
+}
+
+/* Root-side checksum over the distributed body list: four reads per
+ * remote body, blocked into one blkmov-in each. */
+int body_checksum(struct body *list)
+{
+    double acc;
+    struct body *b;
+
+    acc = 0.0;
+    b = list;
+    while (b != NULL) {
+        acc = acc / 2.0 + b->x * 3.0 + b->y * 5.0 + b->vx + b->vy;
+        b = b->next;
+    }
+    return (int) (acc * 1000.0);
+}
+
+int main(int nbodies, int steps)
+{
+    struct body *bodies;
+    struct body *b;
+    struct cell *root;
+    int ncells;
+    int step;
+    int f;
+
+    bodies = make_bodies(nbodies);
+    root = make_cell(0.0, 0.0, 1.0, 0);
+    b = bodies;
+    while (b != NULL) {
+        push_body(root, b);
+        b = b->next;
+    }
+    subdivide(root, 3, 0);
+    ncells = center_of_mass(root);
+    for (step = 0; step < steps; step = step + 1) {
+        forall (b = bodies; b != NULL; b = b->next) {
+            f = force_walk(root, b, 0.05) @ OWNER_OF(b);
+        }
+        forall (b = bodies; b != NULL; b = b->next) {
+            f = advance(b, 0.05) @ OWNER_OF(b);
+        }
+    }
+    return body_checksum(bodies) + ncells;
+}

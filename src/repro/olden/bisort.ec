@@ -1,0 +1,162 @@
+/* bisort -- Olden bitonic sort benchmark, EARTH-C version.
+ *
+ * Values live at the leaves of a perfect binary tree whose top
+ * `spread` levels place their subtrees round-robin across the nodes.
+ * The classic bitonic network is mapped onto the tree: sort the left
+ * half ascending and the right half descending (in parallel, each at
+ * its owner), then bitonic-merge the whole tree.  The merge
+ * compare-exchanges corresponding leaves of the two halves --
+ * `conf_exch` walks two equal-shape subtrees that usually live on
+ * different nodes, re-reading the value fields in the naive style the
+ * paper's optimizer feeds on (redundant-read elimination plus
+ * read/write blocking).
+ *
+ * main(levels, spread) builds 2^levels leaves of LCG values, sorts
+ * ascending, and returns a checksum that also encodes sortedness.
+ */
+
+struct node {
+    int value;
+    struct node *left;
+    struct node *right;
+};
+
+int next_seed(int seed)
+{
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+/* Perfect tree with 2^levels leaves; the top `spread` levels fan out
+ * over the machine.  Returns the root; leaves carry the values. */
+struct node *build_tree(int levels, int seed, int spread, int where)
+{
+    struct node *t;
+    int w1;
+    int w2;
+
+    t = (struct node *) malloc(sizeof(struct node)) @ where;
+    if (levels == 0) {
+        t->value = seed % 100000;
+        t->left = NULL;
+        t->right = NULL;
+        return t;
+    }
+    t->value = 0;
+    if (spread > 0) {
+        struct node *tl;
+        struct node *tr;
+        w1 = (2 * where + 1) % num_nodes();
+        w2 = (2 * where + 2) % num_nodes();
+        {^
+            tl = build_tree(levels - 1, next_seed(seed), spread - 1, w1)
+                 @ w1;
+            tr = build_tree(levels - 1, next_seed(next_seed(seed)),
+                            spread - 1, w2) @ w2;
+        ^}
+        t->left = tl;
+        t->right = tr;
+    } else {
+        t->left = build_tree(levels - 1, next_seed(seed), 0, where);
+        t->right = build_tree(levels - 1, next_seed(next_seed(seed)), 0,
+                              where);
+    }
+    return t;
+}
+
+/* Compare-exchange corresponding leaves of two equal-shape subtrees.
+ * dir=1 keeps the smaller value on the left.  Written naively -- the
+ * value fields are re-read around the swap so the optimizer gets a
+ * redundant-read/forwarding region to collapse. */
+int conf_exch(struct node *a, struct node *b, int dir)
+{
+    int t;
+    int swaps;
+    if (a->left == NULL) {
+        swaps = 0;
+        if (dir == 1 && a->value > b->value)
+            swaps = 1;
+        if (dir == 0 && a->value < b->value)
+            swaps = 1;
+        if (swaps == 1) {
+            t = a->value;
+            a->value = b->value;
+            b->value = t;
+        }
+        return swaps;
+    }
+    return conf_exch(a->left, b->left, dir)
+         + conf_exch(a->right, b->right, dir);
+}
+
+/* Bitonic merge: compare-exchange element i with element i + n/2,
+ * then merge the two halves in parallel at their owners. */
+int bimerge(struct node local *t, int dir)
+{
+    int l;
+    int r;
+    int x;
+    if (t->left == NULL)
+        return 0;
+    x = conf_exch(t->left, t->right, dir);
+    {^
+        l = bimerge(t->left, dir) @ OWNER_OF(t->left);
+        r = bimerge(t->right, dir) @ OWNER_OF(t->right);
+    ^}
+    return x + l + r;
+}
+
+/* Bitonic sort: ascending left half, descending right half, merge. */
+int bisort(struct node local *t, int dir)
+{
+    int l;
+    int r;
+    if (t->left == NULL)
+        return 0;
+    {^
+        l = bisort(t->left, dir) @ OWNER_OF(t->left);
+        r = bisort(t->right, 1 - dir) @ OWNER_OF(t->right);
+    ^}
+    return l + r + bimerge(t, dir);
+}
+
+/* In-order leaf walk from the root: verify ascending order and fold
+ * the values into a checksum.  `prev` threads the previously seen
+ * leaf value through the walk (encoded; -1 before the first leaf). */
+int check_sorted(struct node *t, int prev)
+{
+    int v;
+    if (t->left == NULL) {
+        v = t->value;
+        if (prev > v)
+            return -1000000000;
+        return v;
+    }
+    prev = check_sorted(t->left, prev);
+    if (prev == -1000000000)
+        return prev;
+    return check_sorted(t->right, prev);
+}
+
+int leaf_checksum(struct node *t, int acc)
+{
+    if (t->left == NULL)
+        return (acc * 31 + t->value) & 1048575;
+    acc = leaf_checksum(t->left, acc);
+    return leaf_checksum(t->right, acc);
+}
+
+int main(int levels, int spread)
+{
+    struct node *root;
+    int swaps;
+    int last;
+    int check;
+
+    root = build_tree(levels, 773577, spread, 0);
+    swaps = bisort(root, 1);
+    last = check_sorted(root, -1);
+    if (last == -1000000000)
+        return -1;
+    check = leaf_checksum(root, 7);
+    return check * 2 + swaps % 1000;
+}

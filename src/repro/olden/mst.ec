@@ -1,0 +1,228 @@
+/* mst -- Olden minimum-spanning-tree benchmark, EARTH-C version.
+ *
+ * Prim's algorithm with the Olden "blue rule" step.  The vertices are
+ * hash-distributed over a fixed number of partitions (independent of
+ * the machine size, so the tree weight never depends on how many
+ * nodes simulate it); each partition's vertex list lives on one
+ * machine node and the partition descriptors are chained from the
+ * root.  Edge weights are a symmetric LCG hash of the endpoint keys,
+ * computed on demand -- the dialect has no arrays, so the Olden
+ * per-vertex hash table becomes this arithmetic hash.
+ *
+ * Each blue-rule step runs one placed call per partition that both
+ * folds the newest tree vertex into every fringe distance
+ * (read-modify-write of three vertex fields -- a blkmov-in/blkmov-out
+ * region after optimization) and returns the partition's encoded
+ * minimum; the root combines the partition minima, walking the
+ * (remote) partition descriptors.
+ *
+ * main(nvert, nparts) returns the total tree weight combined with a
+ * checksum of the insertion order and a final root-side tally walk
+ * over every (remote) vertex -- three field reads per vertex that the
+ * optimizer folds into one blkmov-in each, the same shape as health's
+ * end-of-run tally.
+ */
+
+struct vertex {
+    int key;
+    int dist;
+    int intree;
+    struct vertex *next;
+};
+
+struct part {
+    struct vertex *verts;
+    int count;
+    struct part *next;
+};
+
+int next_seed(int seed)
+{
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+/* Symmetric pseudo-random edge weight between two vertex keys. */
+int edge_weight(int a, int b)
+{
+    int lo;
+    int hi;
+    int h;
+    if (a < b) {
+        lo = a;
+        hi = b;
+    } else {
+        lo = b;
+        hi = a;
+    }
+    h = next_seed(lo * 4099 + hi * 31 + 17);
+    return h % 2048 + 1;
+}
+
+/* Build the partition ring: partition i lives on machine node
+ * i % num_nodes(); vertex k joins partition k % nparts.  The root
+ * builds everything, so vertex initialization is remote traffic. */
+struct part *build_parts(int nparts)
+{
+    struct part *head;
+    struct part *p;
+    int i;
+
+    head = NULL;
+    for (i = nparts - 1; i >= 0; i = i - 1) {
+        p = (struct part *) malloc(sizeof(struct part))
+            @ (i % num_nodes());
+        p->verts = NULL;
+        p->count = 0;
+        p->next = head;
+        head = p;
+    }
+    return head;
+}
+
+struct part *nth_part(struct part *list, int i)
+{
+    while (i > 0) {
+        list = list->next;
+        i = i - 1;
+    }
+    return list;
+}
+
+/* Insert vertex `key` into its partition; the vertex is allocated on
+ * the partition's machine node but initialized from the root. */
+int add_vertex(struct part *parts, int key, int nparts)
+{
+    struct part *p;
+    struct vertex *v;
+    int home;
+
+    p = nth_part(parts, key % nparts);
+    home = owner_of(p);
+    v = (struct vertex *) malloc(sizeof(struct vertex)) @ home;
+    v->key = key;
+    v->dist = 1000000000;
+    v->intree = 0;
+    v->next = p->verts;
+    p->verts = v;
+    p->count = p->count + 1;
+    return 0;
+}
+
+/* One blue-rule scan of a partition, run at the partition's owner:
+ * fold the newly added tree vertex `newkey` into every fringe
+ * distance, then return the encoded minimum (dist * 2^16 + key) so
+ * ties break deterministically on the smaller key. */
+int blue_rule(struct part local *p, int newkey)
+{
+    struct vertex *v;
+    int k;
+    int d;
+    int t;
+    int w;
+    int best;
+
+    best = 2147483647;
+    v = p->verts;
+    while (v != NULL) {
+        k = v->key;
+        d = v->dist;
+        t = v->intree;
+        if (t == 0 && k != newkey) {
+            if (newkey >= 0) {
+                w = edge_weight(k, newkey);
+                if (w < d)
+                    d = w;
+            }
+            v->dist = d;
+            v->intree = t;
+            if (d * 65536 + k < best)
+                best = d * 65536 + k;
+        }
+        v = v->next;
+    }
+    return best;
+}
+
+/* Mark the chosen vertex as a tree member; placed at its partition. */
+int claim_vertex(struct part local *p, int key)
+{
+    struct vertex *v;
+    v = p->verts;
+    while (v != NULL) {
+        if (v->key == key) {
+            v->intree = 1;
+            return v->dist;
+        }
+        v = v->next;
+    }
+    return -1;
+}
+
+/* Root-side verification walk over the whole distributed structure:
+ * every vertex is read remotely (key, dist, intree). */
+int tally(struct part *parts)
+{
+    struct part *p;
+    struct vertex *v;
+    int acc;
+    int k;
+    int d;
+    int t;
+
+    acc = 0;
+    p = parts;
+    while (p != NULL) {
+        v = p->verts;
+        while (v != NULL) {
+            k = v->key;
+            d = v->dist;
+            t = v->intree;
+            acc = (acc * 17 + k * 3 + d % 4096 + t) & 1048575;
+            v = v->next;
+        }
+        p = p->next;
+    }
+    return acc;
+}
+
+int main(int nvert, int nparts)
+{
+    struct part *parts;
+    struct part *p;
+    int i;
+    int step;
+    int newkey;
+    int best;
+    int enc;
+    int weight;
+    int order;
+    int d;
+
+    parts = build_parts(nparts);
+    for (i = 0; i < nvert; i = i + 1)
+        add_vertex(parts, i, nparts);
+
+    /* Vertex 0 seeds the tree. */
+    p = nth_part(parts, 0);
+    d = claim_vertex(p, 0) @ OWNER_OF(p);
+    newkey = 0;
+    weight = 0;
+    order = 0;
+
+    for (step = 1; step < nvert; step = step + 1) {
+        best = 2147483647;
+        p = parts;
+        while (p != NULL) {
+            enc = blue_rule(p, newkey) @ OWNER_OF(p);
+            if (enc < best)
+                best = enc;
+            p = p->next;
+        }
+        newkey = best % 65536;
+        weight = weight + best / 65536;
+        order = (order * 31 + newkey) & 1048575;
+        p = nth_part(parts, newkey % nparts);
+        d = claim_vertex(p, newkey) @ OWNER_OF(p);
+    }
+    return weight * 7 + order + tally(parts);
+}

@@ -1,0 +1,144 @@
+/* treeadd -- Olden recursive tree-sum benchmark, EARTH-C version.
+ *
+ * Builds a balanced binary tree whose top `spread` levels place their
+ * subtrees round-robin across the nodes (the Olden allocation pattern),
+ * then sums a per-node polynomial of three value fields with a parallel
+ * recursion: each subtree's sum is computed at its owner via @OWNER_OF,
+ * the two children in a parallel statement sequence.
+ *
+ * Node values are initialized by the root walking the freshly built
+ * remote subtrees with a read-modify-write of three fields per node
+ * (the optimizer turns the region into one blkmov-in plus one
+ * blkmov-out, paper Fig. 11's shape), and verified after the parallel
+ * sum by a root-side partial walk over the distributed top of the
+ * tree (three field reads per node -- a blkmov-in region).
+ *
+ * main(levels, spread) returns the tree sum combined with the
+ * verification walk's checksum.
+ */
+
+struct tree {
+    int val;
+    int aux;
+    int bias;
+    struct tree *left;
+    struct tree *right;
+};
+
+int next_seed(int seed)
+{
+    return (seed * 1103515245 + 12345) & 2147483647;
+}
+
+/* Build the subtree shape; the top `spread` levels fan out over the
+ * nodes in parallel, deeper levels stay with their parent. */
+struct tree *build_tree(int levels, int label, int spread, int where)
+{
+    struct tree *t;
+    int w1;
+    int w2;
+
+    if (levels == 0)
+        return NULL;
+    t = (struct tree *) malloc(sizeof(struct tree)) @ where;
+    t->val = label % 1024;
+    t->aux = label % 33;
+    t->bias = label % 7;
+    if (spread > 0) {
+        struct tree *tl;
+        struct tree *tr;
+        w1 = (2 * where + 1) % num_nodes();
+        w2 = (2 * where + 2) % num_nodes();
+        {^
+            tl = build_tree(levels - 1, 2 * label, spread - 1, w1) @ w1;
+            tr = build_tree(levels - 1, 2 * label + 1, spread - 1, w2)
+                 @ w2;
+        ^}
+        t->left = tl;
+        t->right = tr;
+    } else {
+        t->left = build_tree(levels - 1, 2 * label, 0, where);
+        t->right = build_tree(levels - 1, 2 * label + 1, 0, where);
+    }
+    return t;
+}
+
+/* Root-side initialization walk: a read-modify-write of three fields
+ * per (mostly remote) node.  After optimization the region becomes one
+ * blkmov-in plus one blkmov-out instead of three reads and three
+ * writes. */
+int init_tree(struct tree *t, int label)
+{
+    int v;
+    int a;
+    int b;
+    int seed;
+    if (t == NULL)
+        return 0;
+    v = t->val;
+    a = t->aux;
+    b = t->bias;
+    seed = next_seed(v * 65599 + a * 37 + b + label);
+    t->val = seed % 1000;
+    t->aux = (seed + a) % 17;
+    t->bias = (seed + b) % 5;
+    return 1 + init_tree(t->left, 2 * label)
+             + init_tree(t->right, 2 * label + 1);
+}
+
+/* The per-node kernel: reads three fields of one node -- a blkmov-in
+ * region after optimization. */
+int node_value(struct tree *t)
+{
+    int v;
+    int a;
+    int b;
+    v = t->val;
+    a = t->aux;
+    b = t->bias;
+    return 2 * v + a - b;
+}
+
+/* The Olden kernel: parallel recursive sum, each subtree at its
+ * owner. */
+int treeadd(struct tree local *t)
+{
+    int l;
+    int r;
+    if (t == NULL)
+        return 0;
+    if (t->left == NULL)
+        return node_value(t);
+    {^
+        l = treeadd(t->left) @ OWNER_OF(t->left);
+        r = treeadd(t->right) @ OWNER_OF(t->right);
+    ^}
+    return l + r + node_value(t);
+}
+
+/* Verification: the root re-walks the distributed top of the tree
+ * (depth-limited so the walk stays proportional to the spread, not the
+ * whole tree) reading the same three fields remotely. */
+int check_walk(struct tree *t, int depth)
+{
+    int here;
+    if (t == NULL || depth == 0)
+        return 0;
+    here = node_value(t);
+    return here + 3 * check_walk(t->left, depth - 1)
+                + 5 * check_walk(t->right, depth - 1);
+}
+
+int main(int levels, int spread)
+{
+    struct tree *root;
+    int built;
+    int sum;
+    int check;
+
+    root = build_tree(levels, 1, spread, 0);
+    built = init_tree(root, 1);
+    sum = treeadd(root);
+    check = check_walk(root, spread + 2);
+    return sum * 2 + check % 1000 + built;
+}

@@ -1,4 +1,4 @@
-"""All five Olden benchmarks under seeded fault plans, both engines.
+"""All ten Olden benchmarks under seeded fault plans, every engine.
 
 The heavyweight end of the chaos-differential suite: every benchmark
 runs clean once, then under three seeded ``chaos``-profile plans on

@@ -17,7 +17,7 @@ from repro.earth import codegen as codegen_mod
 from repro.earth import compile as compile_mod
 from repro.earth.faults import FaultPlan
 from repro.harness.pipeline import compile_earthc, execute
-from repro.olden.loader import get_benchmark
+from repro.olden.loader import catalog, get_benchmark
 from repro.config import RunConfig
 
 from tests.chaos.scripted import RMW_LOOP
@@ -185,9 +185,10 @@ def test_codegen_fallback_agrees_under_faults(monkeypatch):
     assert fallbacks
 
 
-def test_unforced_closure_engine_does_not_delegate(monkeypatch):
-    """The five Olden-style statement forms all lower statically: on an
-    unpatched compiler the fallback should stay cold for power."""
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_unforced_closure_engine_does_not_delegate(monkeypatch, name):
+    """The Olden-style statement forms all lower statically: on an
+    unpatched compiler the fallback stays cold for every benchmark."""
     delegations = []
     original = compile_mod._FunctionCompiler._delegate
 
@@ -197,7 +198,7 @@ def test_unforced_closure_engine_does_not_delegate(monkeypatch):
 
     monkeypatch.setattr(compile_mod._FunctionCompiler, "_delegate",
                         counting)
-    spec = get_benchmark("power")
+    spec = get_benchmark(name)
     compiled = compile_earthc(spec.source(), spec.filename,
                               optimize=True, inline=spec.inline)
     execute(compiled,
@@ -206,11 +207,13 @@ def test_unforced_closure_engine_does_not_delegate(monkeypatch):
     assert delegations == []
 
 
-def test_unforced_codegen_engine_does_not_fall_back(monkeypatch):
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_unforced_codegen_engine_does_not_fall_back(monkeypatch, name):
     """Every Olden function lowers to generated source: on an unpatched
-    generator the closure-tier fallback should stay cold for power."""
+    generator the closure-tier fallback stays cold for all ten
+    benchmarks (100% codegen coverage)."""
     fallbacks = _force_codegen_fallback(monkeypatch, ())
-    spec = get_benchmark("power")
+    spec = get_benchmark(name)
     compiled = compile_earthc(spec.source(), spec.filename,
                               optimize=True, inline=spec.inline)
     execute(compiled,

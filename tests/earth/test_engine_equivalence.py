@@ -13,6 +13,7 @@ cache enabled -- plus Hypothesis-generated programs.
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 
@@ -135,6 +136,27 @@ def test_olden_identical_faults_rcache(name, faulted, rcache):
              max_stmts=spec.max_stmts,
              faults=FAULT_SPEC if faulted else None,
              rcache_capacity=rcache)
+
+
+#: Full default-size equivalence is a slow sweep; it rides only under
+#: the ``ci`` hypothesis profile (HYPOTHESIS_PROFILE=ci or CI=...),
+#: exactly like the heavyweight property budgets in tests/conftest.py.
+_FULL_SIZES = (os.environ.get("HYPOTHESIS_PROFILE",
+                              "ci" if os.environ.get("CI") else "fast")
+               == "ci")
+
+
+@pytest.mark.skipif(not _FULL_SIZES,
+                    reason="full-size sweep runs under the ci profile")
+@pytest.mark.parametrize("name", [spec.name for spec in catalog()])
+def test_olden_identical_full_size(name):
+    """The same three-engine bit-identity, at the paper-scaled default
+    sizes instead of the tier-1 small sizes."""
+    spec = next(s for s in catalog() if s.name == name)
+    compiled = compile_earthc(spec.source(), spec.filename,
+                              optimize=True, inline=spec.inline)
+    _compare(compiled, 16, args=spec.default_args,
+             max_stmts=spec.max_stmts)
 
 
 # ---------------------------------------------------------------------------

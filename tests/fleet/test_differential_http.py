@@ -13,6 +13,8 @@ cache) and **warm** (the second submission replays the cached payload
 bit-for-bit).  A fleet is only sound if the wire format cannot change
 the answer."""
 
+import os
+
 import pytest
 
 from repro.config import RunConfig
@@ -33,9 +35,19 @@ def _fault_dict(profile):
     return plan_from_cli(FAULT_SEED, profile, None, None).spec()
 
 
+#: CI runs the faulted leg on the whole catalog; the local tier-1
+#: profile keeps it to a representative third (the chaos suites cover
+#: every benchmark under faults -- this matrix pins the wire formats).
+_FULL_MATRIX = bool(os.environ.get("CI")) \
+    or os.environ.get("HYPOTHESIS_PROFILE") == "ci"
+FAULTED_BENCHMARKS = ("power", "em3d", "treeadd")
+
+
 def _matrix():
     return [(spec, profile) for spec in catalog()
-            for profile in FAULT_CASES]
+            for profile in FAULT_CASES
+            if profile is None or _FULL_MATRIX
+            or spec.name in FAULTED_BENCHMARKS]
 
 
 def _job(spec, profile):
@@ -139,7 +151,11 @@ def test_tcp_path_matches_in_process_cold_and_warm(references,
 def test_faulted_runs_actually_took_faults(references):
     """Guard against the fault leg silently degenerating into the
     clean one: the two payloads must differ in simulated time."""
+    faulted_names = {spec.name for spec, profile in _matrix()
+                     if profile is not None}
     for spec in catalog():
+        if spec.name not in faulted_names:
+            continue
         clean = references[(spec.name, None)]
         faulted = references[(spec.name, "mild")]
         assert clean != faulted, \

@@ -9,9 +9,10 @@ from repro.config import RunConfig
 
 
 class TestCatalog:
-    def test_five_benchmarks_in_paper_order(self):
+    def test_paper_benchmarks_first_then_rest_of_olden(self):
         assert [s.name for s in catalog()] == \
-            ["power", "perimeter", "tsp", "health", "voronoi"]
+            ["power", "perimeter", "tsp", "health", "voronoi",
+             "bh", "bisort", "em3d", "mst", "treeadd"]
 
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(KeyError, match="known:"):

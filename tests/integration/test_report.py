@@ -28,7 +28,7 @@ class TestSweepJobs:
 
     def test_defaults_to_the_full_catalog(self):
         jobs = sweep_jobs([4])
-        assert len(jobs) == 5
+        assert len(jobs) == 10
 
     def test_fault_and_engine_options_propagate(self):
         jobs = sweep_jobs([1], benchmarks=["power"], engine="ast",

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.workload import flat_field_statements
+
 VARS = ["v0", "v1", "v2", "v3"]
 
 
@@ -172,23 +174,27 @@ _FIELDS = ["f0", "f1", "f2", "f3"]
 _PTRS = ["a", "b", "c"]
 
 
+class _DrawRng:
+    """A ``random.Random``-shaped adapter over a Hypothesis ``draw``,
+    so the shared generators in :mod:`repro.workload` double as
+    strategies (Hypothesis still drives -- and shrinks -- every
+    choice)."""
+
+    def __init__(self, draw):
+        self._draw = draw
+
+    def randint(self, low, high):
+        return self._draw(st.integers(low, high))
+
+    def choice(self, options):
+        return self._draw(st.sampled_from(list(options)))
+
+
 @st.composite
 def _flat_heap_stmts(draw):
     """Straight-line field traffic only (safe inside a walk body)."""
-    count = draw(st.integers(1, 3))
-    lines = []
-    for _ in range(count):
-        kind = draw(st.sampled_from(["read", "write", "rmw"]))
-        ptr = draw(st.sampled_from(_PTRS))
-        field = draw(st.sampled_from(_FIELDS))
-        if kind == "read":
-            lines.append(f"t = t + {ptr}->{field};")
-        elif kind == "write":
-            value = draw(st.integers(0, 9))
-            lines.append(f"{ptr}->{field} = t + {value};")
-        else:
-            lines.append(f"{ptr}->{field} = {ptr}->{field} + 1;")
-    return lines
+    return flat_field_statements(_DrawRng(draw), ptrs=_PTRS,
+                                 fields=_FIELDS, acc="t")
 
 
 @st.composite
