@@ -133,6 +133,12 @@ def _parse_args(argv):
                         help="execute main() on the simulator")
     parser.add_argument("--nodes", type=int, default=1,
                         help="number of EARTH nodes (default 1)")
+    parser.add_argument("--shards", type=int, default=1, metavar="K",
+                        help="with --run: partition the simulated "
+                             "nodes across K worker processes "
+                             "(repro.shard); results are bit-identical "
+                             "to --shards 1, only wall-clock changes "
+                             "(default 1)")
     parser.add_argument("--args", default="",
                         help="comma-separated integer arguments to main "
                              "(for the bundled Olden benchmarks, "

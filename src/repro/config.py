@@ -35,7 +35,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.earth.faults import FaultPlan, plan_from_cli
 from repro.earth.params import MachineParams
-from repro.errors import ReproError
+from repro.errors import ReproError, UsageError
 
 #: Execution engines (mirrors ``repro.earth.interpreter.ENGINES``;
 #: duplicated here so importing a config does not pull the interpreter).
@@ -60,6 +60,14 @@ class RunConfig:
     """
 
     nodes: int = 1
+    #: Number of OS worker processes the simulated nodes are partitioned
+    #: across (:mod:`repro.shard`); 1 runs single-process.  Sharding is
+    #: an execution strategy, not a semantic knob -- results are
+    #: bit-identical for every value -- but it participates in the cache
+    #: key like everything else (conservative: merged traces differ in
+    #: no observable way, but artifact provenance records how a result
+    #: was produced).
+    shards: int = 1
     entry: str = "main"
     args: Tuple[Union[int, float], ...] = ()
     engine: str = "closure"
@@ -82,6 +90,13 @@ class RunConfig:
         object.__setattr__(self, "args", tuple(self.args))
         if self.nodes < 1:
             raise ReproError(f"nodes must be >= 1, got {self.nodes}")
+        if self.shards < 1:
+            raise UsageError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > self.nodes:
+            raise UsageError(
+                f"cannot split {self.nodes} node(s) across "
+                f"{self.shards} shard(s): --shards must not exceed "
+                f"the node count")
         if self.engine not in ENGINES:
             raise ReproError(f"unknown engine {self.engine!r} "
                              f"(known: {', '.join(ENGINES)})")
@@ -190,6 +205,10 @@ class RunConfig:
         max_stmts = getattr(opts, "max_stmts", None)
         return cls(
             nodes=getattr(opts, "nodes", None) or 1,
+            # Not ``or 1``: --shards 0 must reach validation, not be
+            # silently coerced into a single-process run.
+            shards=(1 if getattr(opts, "shards", None) is None
+                    else opts.shards),
             entry=getattr(opts, "entry", None) or "main",
             args=tuple(args if args is not None else ()),
             engine=getattr(opts, "engine", None) or "closure",
@@ -208,6 +227,8 @@ class RunConfig:
 
     def __str__(self) -> str:
         parts = [f"nodes={self.nodes}", f"engine={self.engine}"]
+        if self.shards != 1:
+            parts.append(f"shards={self.shards}")
         if self.params != "default":
             parts.append(f"params={self.params}")
         if self.rcache_capacity:

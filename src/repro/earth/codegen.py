@@ -168,9 +168,9 @@ def _make_write_factories(memory):
 
 
 def _make_alloc_factory(memory):
-    def _mk_alloc(target, words):
+    def _mk_alloc(target, words, origin):
         def do_alloc():
-            return memory.allocate(target, words)
+            return memory.allocate(target, words, origin=origin)
         return do_alloc
     return _mk_alloc
 
@@ -197,37 +197,102 @@ def _make_shared_factories():
 
 def _make_move_factory(memory, stats, strict, words, src_is_ptr,
                        dst_is_ptr, lazy):
-    """Per-blkmov-statement ``_mk_mvN(src, dst)`` factory; the body is
-    the closure engine's ``do_move`` verbatim, including the lazy
-    whole-buffer tail snapshot taken before the issue."""
+    """Per-blkmov-statement ``_mk_mvN(src, dst, node, slot)`` factory;
+    the body is the closure engine's blkmov lowering verbatim: the
+    endpoint/remote-node classification, the push-side issue-time
+    snapshot, the pull-side ``slot.post`` destination write, and the
+    lazy whole-buffer tail snapshot.  Returns ``(remote_node, do_op,
+    rop)`` for the issue action."""
 
-    def _mk_move(src, dst):
-        def do_move(src=src, dst=dst):
-            if src_is_ptr:
-                if src == 0:
-                    stats.speculative_nil_reads += 1
-                    if strict:
-                        raise MemoryFault("nil blkmov source")
-                    data = [0] * words
+    def _mk_move(src, dst, node, slot):
+        if src_is_ptr:
+            src_node = src // NODE_SPAN if src != 0 else node
+        else:
+            src_node = node
+        if dst_is_ptr:
+            dst_node = dst // NODE_SPAN if dst != 0 else node
+        else:
+            dst_node = node
+        remote_node = node
+        if src_is_ptr and src_node != node:
+            remote_node = src_node
+        if dst_is_ptr and dst_node != node:
+            remote_node = dst_node
+
+        rop = None
+        if remote_node == node:
+            # Fully local: executes inline at issue time.
+            def do_op(src=src, dst=dst):
+                if src_is_ptr:
+                    if src == 0:
+                        stats.speculative_nil_reads += 1
+                        if strict:
+                            raise MemoryFault("nil blkmov source")
+                        data = [0] * words
+                    else:
+                        data = memory.read_block(src, words)
                 else:
-                    data = memory.read_block(src, words)
+                    buffer, offset = src
+                    data = list(buffer[offset:offset + words])
+                if dst_is_ptr:
+                    if dst == 0:
+                        raise MemoryFault("nil blkmov destination")
+                    memory.write_block(dst, list(data))
+                    return None
+                return data
+        elif dst_is_ptr and dst_node == remote_node:
+            src_is_origin_local = ((not src_is_ptr)
+                                   or src_node == node or src == 0)
+            if src_is_origin_local:
+                # Push: snapshot the source at issue time.
+                if src_is_ptr:
+                    if src == 0:
+                        stats.speculative_nil_reads += 1
+                        if strict:
+                            raise MemoryFault("nil blkmov source")
+                        data = [0] * words
+                    else:
+                        data = memory.read_block(src, words)
+                else:
+                    buffer, offset = src
+                    data = list(buffer[offset:offset + words])
+
+                def do_op(data=data, dst=dst):
+                    memory.write_block(dst, list(data))
+                    return None
+                rop = ("bwrite", dst, list(data))
             else:
-                buffer, offset = src
-                data = list(buffer[offset:offset + words])
+                # Both endpoints remote: the servicing SU at the
+                # destination reads the source directly.
+                def do_op(src=src, dst=dst):
+                    memory.write_block(
+                        dst, list(memory.read_block(src, words)))
+                    return None
+                rop = ("bxfer", src, dst, words, remote_node)
+        else:
+            # Pull: the reply carries the block; destination effects
+            # apply at delivery (slot.post).
+            def do_op(src=src):
+                return memory.read_block(src, words)
+            rop = ("bread", src, words)
             if dst_is_ptr:
-                if dst == 0:
-                    raise MemoryFault("nil blkmov destination")
-                memory.write_block(dst, list(data))
-                return None
-            return data
+                def post(data, dst=dst):
+                    if dst == 0:
+                        raise MemoryFault("nil blkmov destination")
+                    memory.write_block(dst, list(data))
+                    return None
+                slot.post = post
 
-        if lazy and words < len(dst[0]):
+        if lazy and words < len(dst[0]) and remote_node != node:
             tail = list(dst[0][words:])
+            slot.post = lambda data, tail=tail: list(data) + tail
+        elif lazy and words < len(dst[0]):
+            tail = list(dst[0][words:])
+            inner = do_op
 
-            def do_op(move=do_move, tail=tail):
+            def do_op(move=inner, tail=tail):
                 return move() + tail
-            return do_op
-        return do_move
+        return remote_node, do_op, rop
     return _mk_move
 
 
@@ -910,9 +975,11 @@ class _CodeGenerator(_FunctionCompiler):
         mk = "_mk_write2" if field_type.size_words() == 2 \
             else "_mk_write1"
         ts = self.tmp()
+        double = field_type.size_words() == 2
         self.w(f"{ts} = Slot('write')")
         self.w(f'yield ("issue", "write", {ta} // _NODE_SPAN, '
-               f'{words!r}, {mk}({ta}, {tc}), {ts}, {ta})')
+               f'{words!r}, {mk}({ta}, {tc}), {ts}, {ta}, '
+               f'("write", {ta}, {tc}, {double!r}))')
         if split:
             self.w(f"{ctx.out}.append({ts})")
         else:
@@ -998,7 +1065,7 @@ class _CodeGenerator(_FunctionCompiler):
         self.w(f"{tn} = {ta} // _NODE_SPAN if {ta} != 0 else node")
         words = value_type.size_words() or 1
         self.w(f'yield ("issue", "read", {tn}, {words!r}, '
-               f'_mk_read({ta}), {ts}, {ta})')
+               f'_mk_read({ta}), {ts}, {ta}, ("read", {ta}))')
         if stmt.split_phase and isinstance(lhs, s.VarLV):
             if lhs.name not in self.func.variables:
                 raise _Uncompilable(lhs)
@@ -1104,6 +1171,7 @@ class _CodeGenerator(_FunctionCompiler):
                 self.w("    _stats.remote_calls += 1")
             ts = self.tmp()
             self.w(f"{ts} = Slot({('call:' + name)!r})")
+            self.w(f"{ts}.node = node")
             tc = self.tmp()
             self.w(f"{tc} = {cell_key}[0]")
             self.w(f"if {tc} is None:")
@@ -1111,14 +1179,10 @@ class _CodeGenerator(_FunctionCompiler):
             tf = self.tmp()
             self.w(f"{tf} = Fiber({tc}.invoke({args_list}, {tn}, "
                    f"{ts}), {tn}, name={name!r})")
-            remote_ns = call_ns + self.params.read_one_way_ns
-            if home:
-                self.w(f'yield ("busy", {call_ns!r})')
-            else:
-                self.w(f"if {tn} != node:")
-                self.w(f'    yield ("busy", {remote_ns!r})')
-                self.w("else:")
-                self.w(f'    yield ("busy", {call_ns!r})')
+            self.w(f"{tf}.spawn_desc = ({name!r}, {args_list}, {ts})")
+            # The cross-node request hop rides the network inside the
+            # machine's spawn handling; the EU only pays the issue.
+            self.w(f'yield ("busy", {call_ns!r})')
             self.w(f'yield ("spawn", {tf})')
             tv = self.tmp()
             self.w(f'{tv} = yield ("wait", {ts})')
@@ -1144,7 +1208,7 @@ class _CodeGenerator(_FunctionCompiler):
         ts = self.tmp()
         self.w(f"{ts} = Slot('malloc')")
         self.w(f'yield ("issue", "malloc", {tn}, {tw}, '
-               f'_mk_alloc({tn}, {tw}), {ts})')
+               f'_mk_alloc({tn}, {tw}, node), {ts})')
         tv = self.tmp()
         self.w(f'{tv} = yield ("wait", {ts})')
         self._emit_store_var(stmt.target, tv, None)
@@ -1174,9 +1238,6 @@ class _CodeGenerator(_FunctionCompiler):
             tsrc = self.tmp()
             self.w(f"{tsrc} = {tb} + {src_off!r} "
                    f"if {tb} != 0 else 0")
-            tsn = self.tmp()
-            self.w(f"{tsn} = {tsrc} // _NODE_SPAN "
-                   f"if {tsrc} != 0 else node")
             src_arg = tsrc
         else:
             tsb = self.tmp()
@@ -1190,28 +1251,22 @@ class _CodeGenerator(_FunctionCompiler):
             tdst = self.tmp()
             self.w(f"{tdst} = {tb} + {dst_off!r} "
                    f"if {tb} != 0 else 0")
-            tdn = self.tmp()
-            self.w(f"{tdn} = {tdst} // _NODE_SPAN "
-                   f"if {tdst} != 0 else node")
             dst_arg = tdst
         else:
             tdb = self.tmp()
             self.w(f"{tdb} = _sbuf({self.var(dst_name)}, "
                    f"{dst_name!r})")
             dst_arg = f"({tdb}, {dst_off!r})"
-        trn = self.tmp()
-        self.w(f"{trn} = node")
-        if src_is_ptr:
-            self.w(f"if {tsn} != node:")
-            self.w(f"    {trn} = {tsn}")
-        if dst_is_ptr:
-            self.w(f"if {tdn} != node:")
-            self.w(f"    {trn} = {tdn}")
         ts = self.tmp()
         self.w(f"{ts} = Slot({('blkmov@' + str(stmt.label))!r})")
+        trn = self.tmp()
+        tdo = self.tmp()
+        trop = self.tmp()
+        self.w(f"{trn}, {tdo}, {trop} = "
+               f"{mv_key}({src_arg}, {dst_arg}, node, {ts})")
         addr_arg = tdst if dst_is_ptr else "None"
         self.w(f'yield ("issue", "blkmov", {trn}, {words!r}, '
-               f'{mv_key}({src_arg}, {dst_arg}), {ts}, {addr_arg})')
+               f'{tdo}, {ts}, {addr_arg}, {trop})')
         if not dst_is_ptr:
             if lazy:
                 self.w(f"{self.var(dst_name)} = {ts}")
@@ -1236,8 +1291,11 @@ class _CodeGenerator(_FunctionCompiler):
         self._emit_sync(self._sync_entries_for_basic(stmt))
         unknown_msg = f"unknown shared variable {name!r}"
         tc = self.tmp()
+        tg = None
         if declared:
             self.w(f"{tc} = {self.var(name)}")
+            tg = self.tmp()
+            self.w(f"{tg} = {tc} is None")
             self.w(f"if {tc} is None:")
             if global_ok:
                 gv_key = self._ns_obj("_gv_", name, gvar)
@@ -1266,8 +1324,13 @@ class _CodeGenerator(_FunctionCompiler):
             do = f"_mk_sha({tc}, {value_temp})"
         else:
             do = f"_mk_shv({tc})"
+        rop_tuple = (f'("sharedg", {name!r}, {op!r}, {value_temp})')
+        if tg is not None:
+            rop_expr = f"({rop_tuple} if {tg} else None)"
+        else:
+            rop_expr = rop_tuple
         self.w(f'yield ("issue", "shared", {tc}.owner, 1, {do}, '
-               f'{ts})')
+               f'{ts}, None, {rop_expr})')
         if op == "valueof":
             tv = self.tmp()
             self.w(f'{tv} = yield ("wait", {ts})')

@@ -895,7 +895,7 @@ class _FunctionCompiler:
 
             slot = Slot("write")
             yield ("issue", "write", node_of(address), words, do_write,
-                   slot, address)
+                   slot, address, ("write", address, coerced, double))
             if split:
                 act.outstanding.append(slot)
             else:
@@ -1012,7 +1012,7 @@ class _FunctionCompiler:
                     return _normalize_word(memory.read_word(addr))
 
                 yield ("issue", "read", target, words, do_read, slot,
-                       address)
+                       address, ("read", address))
                 frame[target_name] = slot
                 return None
             return step_split
@@ -1044,7 +1044,7 @@ class _FunctionCompiler:
                 return _normalize_word(memory.read_word(addr))
 
             yield ("issue", "read", target, words, do_read, slot,
-                   address)
+                   address, ("read", address))
             value = yield ("wait", slot)
             yield from store_gen(act, value)
             return None
@@ -1132,7 +1132,6 @@ class _FunctionCompiler:
         # Placed invocation: always a fresh fiber (EARTH INVOKE token).
         placement_fn = self._placement_fn(stmt.placement)
         stats = self.stats
-        remote_ns = call_ns + self.params.read_one_way_ns
         slot_label = f"call:{name}"
 
         def step_invoke(act):
@@ -1151,15 +1150,18 @@ class _FunctionCompiler:
             if target_node != act.node:
                 stats.remote_calls += 1
             result_slot = Slot(slot_label)
+            # Pin the consuming node: a fulfill arriving from another
+            # node pays the call-return network leg.
+            result_slot.node = act.node
             compiled = cell[0]
             if compiled is None:
                 compiled = engine.function(name)
             fiber = Fiber(compiled.invoke(args, target_node, result_slot),
                           target_node, name=name)
-            if target_node != act.node:
-                yield ("busy", remote_ns)
-            else:
-                yield ("busy", call_ns)
+            fiber.spawn_desc = (name, list(args), result_slot)
+            # The cross-node request hop rides the network inside the
+            # machine's spawn handling; the EU only pays the issue.
+            yield ("busy", call_ns)
             yield ("spawn", fiber)
             value = yield ("wait", result_slot)
             if store is not None:
@@ -1214,9 +1216,10 @@ class _FunctionCompiler:
             else:
                 target = act.node
             slot = Slot("malloc")
+            origin = act.node
 
             def do_alloc():
-                return memory.allocate(target, words)
+                return memory.allocate(target, words, origin=origin)
 
             yield ("issue", "malloc", target, words, do_alloc, slot)
             value = yield ("wait", slot)
@@ -1284,35 +1287,87 @@ class _FunctionCompiler:
             if dst_is_ptr and dst_node != node:
                 remote_node = dst_node
 
-            def do_move(src=src, dst=dst):
-                if src_is_ptr:
-                    if src == 0:
-                        stats.speculative_nil_reads += 1
-                        if strict:
-                            raise MemoryFault("nil blkmov source")
-                        data = [0] * words
+            slot = Slot(slot_label)
+            rop = None
+            if remote_node == node:
+                # Fully local: executes inline at issue time.
+                def do_op(src=src, dst=dst):
+                    if src_is_ptr:
+                        if src == 0:
+                            stats.speculative_nil_reads += 1
+                            if strict:
+                                raise MemoryFault("nil blkmov source")
+                            data = [0] * words
+                        else:
+                            data = memory.read_block(src, words)
                     else:
-                        data = memory.read_block(src, words)
+                        buffer, offset = src
+                        data = list(buffer[offset:offset + words])
+                    if dst_is_ptr:
+                        if dst == 0:
+                            raise MemoryFault("nil blkmov destination")
+                        memory.write_block(dst, list(data))
+                        return None
+                    return data
+            elif dst_is_ptr and dst_node == remote_node:
+                src_is_origin_local = ((not src_is_ptr)
+                                       or src_node == node or src == 0)
+                if src_is_origin_local:
+                    # Push: the data leaves with the request --
+                    # snapshot the source at issue time.
+                    if src_is_ptr:
+                        if src == 0:
+                            stats.speculative_nil_reads += 1
+                            if strict:
+                                raise MemoryFault("nil blkmov source")
+                            data = [0] * words
+                        else:
+                            data = memory.read_block(src, words)
+                    else:
+                        buffer, offset = src
+                        data = list(buffer[offset:offset + words])
+
+                    def do_op(data=data, dst=dst):
+                        memory.write_block(dst, list(data))
+                        return None
+                    rop = ("bwrite", dst, list(data))
                 else:
-                    buffer, offset = src
-                    data = list(buffer[offset:offset + words])
+                    # Both endpoints remote: the servicing SU at the
+                    # destination reads the source directly.
+                    def do_op(src=src, dst=dst):
+                        memory.write_block(
+                            dst, list(memory.read_block(src, words)))
+                        return None
+                    rop = ("bxfer", src, dst, words, remote_node)
+            else:
+                # Pull: the reply carries the block; destination
+                # effects apply at delivery (slot.post).
+                def do_op(src=src):
+                    return memory.read_block(src, words)
+                rop = ("bread", src, words)
                 if dst_is_ptr:
-                    if dst == 0:
-                        raise MemoryFault("nil blkmov destination")
-                    memory.write_block(dst, list(data))
-                    return None
-                return data
+                    def post(data, dst=dst):
+                        if dst == 0:
+                            raise MemoryFault("nil blkmov destination")
+                        memory.write_block(dst, list(data))
+                        return None
+                    slot.post = post
 
-            do_op = do_move
-            if lazy_local_fill and words < len(dst[0]):
+            if lazy_local_fill and words < len(dst[0]) \
+                    and remote_node != node:
+                # Prefix block move delivered lazily: append the
+                # buffer's captured tail at delivery.
                 tail = list(dst[0][words:])
+                slot.post = lambda data, tail=tail: list(data) + tail
+            elif lazy_local_fill and words < len(dst[0]):
+                tail = list(dst[0][words:])
+                inner = do_op
 
-                def do_op(move=do_move, tail=tail):
+                def do_op(move=inner, tail=tail):
                     return move() + tail
 
-            slot = Slot(slot_label)
             yield ("issue", "blkmov", remote_node, words, do_op, slot,
-                   dst if dst_is_ptr else None)
+                   dst if dst_is_ptr else None, rop)
 
             if not dst_is_ptr:
                 buffer, offset = dst
@@ -1357,6 +1412,7 @@ class _FunctionCompiler:
                         resolved = coerce(resolved)
                     frame[name] = resolved
             cell = frame.get(shared_name)
+            is_global = cell is None
             if cell is None:
                 if unknown_exc is not None:
                     raise unknown_exc
@@ -1376,7 +1432,10 @@ class _FunctionCompiler:
                 return None
 
             slot = Slot(slot_label)
-            yield ("issue", "shared", cell.owner, 1, do_op, slot)
+            rop = (("sharedg", shared_name, op, value)
+                   if is_global else None)
+            yield ("issue", "shared", cell.owner, 1, do_op, slot, None,
+                   rop)
             if valueof:
                 result = yield ("wait", slot)
                 store(act, result)

@@ -19,13 +19,15 @@ three injection points:
   (:meth:`FaultPlan.stall_until`), modeling a node that briefly stops
   responding.
 
-Determinism has two layers.  Message-level draws are consumed from the
-plan's own PRNG in simulation event order, which is itself
-deterministic (the machine is a single-threaded discrete-event
-simulator with a total event order).  Window layouts are derived from
-*string* seeds per ``(seed, node, kind)`` -- stable across platforms
-and Python versions, and independent of how many draws the message
-stream consumed.
+Determinism is *stateless*: every injection point derives its draws
+from a string seed naming the thing being faulted.  A network leg is
+keyed by ``(seed, leg kind, origin, target, channel sequence,
+attempt)`` and window layouts by ``(seed, node, kind)`` -- stable
+across platforms and Python versions, independent of event processing
+order, and therefore identical whether the machine runs in one process
+or partitioned across shard workers (each worker rebuilds the same
+plan from the same spec and computes the same fates for the legs it
+owns).
 
 Because EARTH-C's non-interference contract makes program *values*
 independent of message timing, any fault schedule that changes a
@@ -91,7 +93,7 @@ class FaultPlan:
     __slots__ = ("seed", "drop_prob", "jitter_ns", "su_slowdown_factor",
                  "su_slowdown_windows", "su_slowdown_window_ns",
                  "stall_windows", "stall_ns", "horizon_ns",
-                 "_rng", "_bound", "_su_windows", "_stall_windows")
+                 "_bound", "_su_windows", "_stall_windows")
 
     def __init__(self, seed: int, *,
                  drop_prob: float = 0.0,
@@ -125,8 +127,6 @@ class FaultPlan:
         self.stall_windows = int(stall_windows)
         self.stall_ns = float(stall_ns)
         self.horizon_ns = float(horizon_ns)
-        # String seeding: stable across platforms and Python versions.
-        self._rng = random.Random(f"faultplan:{self.seed}:messages")
         self._bound = False
         self._su_windows: List[List[Tuple[float, float]]] = []
         self._stall_windows: List[List[Tuple[float, float]]] = []
@@ -193,13 +193,19 @@ class FaultPlan:
 
     # -- injection points --------------------------------------------------
 
-    def leg(self, op: str) -> Tuple[bool, float]:
+    def leg(self, kind: str, origin: int, target: int, chan_seq: int,
+            attempt: int) -> Tuple[bool, float]:
         """Fate of one network leg: ``(dropped, extra_latency_ns)``.
 
-        Two draws are always consumed (even when drop/jitter are zero)
-        so the PRNG stream position depends only on the number of legs,
-        not on the configuration."""
-        rng = self._rng
+        ``kind`` is ``"request"`` or ``"reply"``; ``(origin, target,
+        chan_seq)`` names the operation on its reliable channel and
+        ``attempt`` the send number (for replies, the reply number).
+        The fate is a pure function of those coordinates and the seed:
+        string-seeded, stateless, and identical no matter which process
+        computes it or in what order legs are evaluated."""
+        rng = random.Random(
+            f"faultplan:{self.seed}:leg:{kind}:{origin}:{target}:"
+            f"{chan_seq}:{attempt}")
         dropped = rng.random() < self.drop_prob
         extra = rng.random() * self.jitter_ns
         return dropped, extra

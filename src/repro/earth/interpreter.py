@@ -166,6 +166,17 @@ class Interpreter:
 
     def run(self, entry: str = "main",
             args: Sequence[Value] = ()) -> RunResult:
+        result_slot = self.start(entry, args)
+        self.machine.run()
+        return self.finish(entry, result_slot)
+
+    def start(self, entry: str = "main",
+              args: Sequence[Value] = (), root_fiber: bool = True
+              ) -> Slot:
+        """Set up the run without driving the machine: register and
+        initialize globals and (unless ``root_fiber`` is false -- shard
+        workers that do not own node 0) enqueue the root fiber.  The
+        caller pumps the machine and then calls :meth:`finish`."""
         if entry not in self.program.functions:
             raise InterpreterError(f"no function named {entry!r}")
         self._init_globals()
@@ -173,14 +184,7 @@ class Interpreter:
         result_slot = Slot(f"result:{entry}")
 
         if self.engine in ("closure", "codegen"):
-            if self._closure_engine is None:
-                if self.engine == "codegen":
-                    from repro.earth.codegen import CodegenEngine
-                    self._closure_engine = CodegenEngine(self)
-                else:
-                    from repro.earth.compile import ClosureEngine
-                    self._closure_engine = ClosureEngine(self)
-            compiled = self._closure_engine.function(entry)
+            compiled = self._engine_impl().function(entry)
 
             def root():
                 value = yield from compiled.invoke(list(args), 0)
@@ -190,6 +194,8 @@ class Interpreter:
                 value = yield from self._exec_function(func, list(args), 0)
                 yield ("fulfill", result_slot, value)
 
+        if not root_fiber:
+            return result_slot
         fiber = Fiber(root(), 0, name=entry)
 
         def capture(machine: Machine, time: float) -> None:
@@ -197,10 +203,118 @@ class Interpreter:
 
         fiber.on_done.append(capture)
         self.machine.add_fiber(fiber)
-        self.machine.run()
+        return result_slot
+
+    def finish(self, entry: str, result_slot: Slot) -> RunResult:
         if not result_slot.ready:
             raise InterpreterError(f"{entry}() never returned")
         return RunResult(result_slot.value, self._finish_time, self.machine)
+
+    def _engine_impl(self):
+        if self._closure_engine is None:
+            if self.engine == "codegen":
+                from repro.earth.codegen import CodegenEngine
+                self._closure_engine = CodegenEngine(self)
+            else:
+                from repro.earth.compile import ClosureEngine
+                self._closure_engine = ClosureEngine(self)
+        return self._closure_engine
+
+    def spawn_remote(self, fname: str, args: List[Value], node: int,
+                     result_slot, fiber_id: int,
+                     earliest: float, _tag=None) -> None:
+        """Rebuild and enqueue a placed-call fiber from a shard spawn
+        description (the receiving half of a cross-shard spawn).
+        ``result_slot`` is usually a proxy whose real slot lives on the
+        spawning shard."""
+        if self.engine in ("closure", "codegen"):
+            compiled = self._engine_impl().function(fname)
+
+            def remote_body():
+                value = yield from compiled.invoke(list(args), node)
+                yield ("fulfill", result_slot, value)
+        else:
+            callee = self.program.functions.get(fname)
+            if callee is None:
+                raise InterpreterError(
+                    f"spawn of unknown function {fname!r}")
+
+            def remote_body():
+                value = yield from self._exec_function(callee, list(args),
+                                                       node)
+                yield ("fulfill", result_slot, value)
+
+        fiber = Fiber(remote_body(), node, name=fname)
+        fiber.id = fiber_id
+        self.machine.add_fiber(fiber, earliest=earliest, _tag=_tag)
+
+    def apply_rop(self, rop):
+        """Build the ``do_op`` callable for a reified operation that
+        arrived from another shard (the receiving half of a cross-shard
+        split-phase request).  Mirrors the closures the engines build
+        at the issue site."""
+        machine = self.machine
+        memory = machine.memory
+        kind = rop[0]
+        if kind == "fill":
+            _, node, addr, inner = rop
+            return machine.rcache.wrap_fill(node, addr,
+                                            self.apply_rop(inner))
+        if kind == "read":
+            addr = rop[1]
+            return lambda: _normalize_word(memory.read_word(addr))
+        if kind == "write":
+            _, addr, value, double = rop
+
+            def do_write():
+                memory.write_word(addr, value)
+                if double:
+                    memory.write_word(addr + 1, FILLER)
+                return None
+            return do_write
+        if kind == "bread":
+            _, src, words = rop
+            return lambda: memory.read_block(src, words)
+        if kind == "bwrite":
+            _, dst, data = rop
+
+            def do_bwrite():
+                memory.write_block(dst, list(data))
+                return None
+            return do_bwrite
+        if kind == "bxfer":
+            _, src, dst, words, target = rop
+            if node_of(src) != target and machine.port is not None \
+                    and not machine.port.owns(node_of(src)):
+                from repro.errors import ShardError
+                raise ShardError(
+                    f"blkmov with both endpoints remote reads node "
+                    f"{node_of(src)} while servicing at node {target}; "
+                    f"the partition places them on different shards")
+
+            def do_bxfer():
+                memory.write_block(dst, list(memory.read_block(src,
+                                                               words)))
+                return None
+            return do_bxfer
+        if kind == "sharedg":
+            _, name, op, value = rop
+            gvar = self._global_cell(name)
+            if gvar is None or not gvar.is_shared:
+                raise InterpreterError(
+                    f"unknown shared global {name!r} in shard message")
+            cell = self._shared_global(name, gvar)
+
+            def do_shared():
+                if op == "writeto":
+                    cell.value = value
+                elif op == "addto":
+                    cell.value = cell.value + value
+                else:  # valueof
+                    return cell.value
+                return None
+            return do_shared
+        raise InterpreterError(f"unknown reified operation {rop!r}")
 
     # -- globals --------------------------------------------------------------------
 
@@ -499,7 +613,8 @@ class Interpreter:
                 return _normalize_word(word)
 
             yield ("issue", "read", target,
-                   value_type.size_words() or 1, do_read, slot, address)
+                   value_type.size_words() or 1, do_read, slot, address,
+                   ("read", address))
             if stmt.split_phase and isinstance(lhs, s.VarLV):
                 act.frame[lhs.name] = slot
                 return None
@@ -558,7 +673,8 @@ class Interpreter:
             return
         slot = Slot("write")
         yield ("issue", "write", node_of(address),
-               field_type.size_words() or 1, do_write, slot, address)
+               field_type.size_words() or 1, do_write, slot, address,
+               ("write", address, coerced, double))
         if split_phase:
             act.outstanding.append(slot)
         else:
@@ -776,6 +892,9 @@ class Interpreter:
         if target_node != act.node:
             self.machine.stats.remote_calls += 1
         result_slot = Slot(f"call:{name}")
+        # Pin the consuming node: a fulfill arriving from another node
+        # pays the call-return network leg.
+        result_slot.node = act.node
 
         def remote_body():
             value = yield from self._exec_function(callee, args,
@@ -783,12 +902,11 @@ class Interpreter:
             yield ("fulfill", result_slot, value)
 
         fiber = Fiber(remote_body(), target_node, name=name)
-        if target_node != act.node:
-            # Request message crosses the network.
-            yield ("busy", params.call_overhead_ns
-                   + params.read_one_way_ns)
-        else:
-            yield ("busy", params.call_overhead_ns)
+        fiber.spawn_desc = (name, list(args), result_slot)
+        # The cross-node request hop rides the network (the machine
+        # delays the remote spawn by ``read_one_way_ns``); the caller's
+        # EU only pays the issue overhead.
+        yield ("busy", params.call_overhead_ns)
         yield ("spawn", fiber)
         value = yield ("wait", result_slot)
         if stmt.target is not None:
@@ -821,9 +939,10 @@ class Interpreter:
             target = act.node
         machine = self.machine
         slot = Slot("malloc")
+        origin = act.node
 
         def do_alloc():
-            return machine.memory.allocate(target, words)
+            return machine.memory.allocate(target, words, origin=origin)
 
         yield ("issue", "malloc", target, words, do_alloc, slot)
         value = yield ("wait", slot)
@@ -856,39 +975,92 @@ class Interpreter:
         if dst_kind == "ptr" and dst_node != act.node:
             remote_node = dst_node
 
-        def do_move():
-            if src_kind == "ptr":
-                if src == 0:
-                    machine.stats.speculative_nil_reads += 1
-                    if machine.strict_nil_reads:
-                        raise MemoryFault("nil blkmov source")
-                    data = [0] * words
+        slot = Slot(f"blkmov@{stmt.label}")
+        rop = None
+        if remote_node == act.node:
+            # Fully local: executes inline at issue time.
+            def do_op():
+                if src_kind == "ptr":
+                    if src == 0:
+                        machine.stats.speculative_nil_reads += 1
+                        if machine.strict_nil_reads:
+                            raise MemoryFault("nil blkmov source")
+                        data = [0] * words
+                    else:
+                        data = machine.memory.read_block(src, words)
                 else:
-                    data = machine.memory.read_block(src, words)
-            else:
-                buffer, offset = src
-                data = list(buffer[offset:offset + words])
-            if dst_kind == "ptr":
-                if dst == 0:
-                    raise MemoryFault("nil blkmov destination")
-                machine.memory.write_block(dst, list(data))
-                return None
-            return data  # delivered into the local buffer at sync time
+                    buffer, offset = src
+                    data = list(buffer[offset:offset + words])
+                if dst_kind == "ptr":
+                    if dst == 0:
+                        raise MemoryFault("nil blkmov destination")
+                    machine.memory.write_block(dst, list(data))
+                    return None
+                return data
+        elif dst_kind == "ptr" and dst_node == remote_node:
+            src_is_origin_local = (src_kind == "local"
+                                   or src_node == act.node or src == 0)
+            if src_is_origin_local:
+                # Push: the data leaves with the request -- snapshot
+                # the source at issue time (also what lets the request
+                # cross a shard boundary).
+                if src_kind == "ptr":
+                    if src == 0:
+                        machine.stats.speculative_nil_reads += 1
+                        if machine.strict_nil_reads:
+                            raise MemoryFault("nil blkmov source")
+                        data = [0] * words
+                    else:
+                        data = machine.memory.read_block(src, words)
+                else:
+                    buffer, offset = src
+                    data = list(buffer[offset:offset + words])
 
-        do_op = do_move
+                def do_op(data=data):
+                    machine.memory.write_block(dst, list(data))
+                    return None
+                rop = ("bwrite", dst, list(data))
+            else:
+                # Both endpoints remote: the servicing SU at the
+                # destination reads the source directly (only possible
+                # when one shard owns both nodes).
+                def do_op():
+                    machine.memory.write_block(
+                        dst, list(machine.memory.read_block(src, words)))
+                    return None
+                rop = ("bxfer", src, dst, words, remote_node)
+        else:
+            # Pull: the servicing SU at the source reads the block and
+            # the reply carries it; destination effects apply at the
+            # origin when the reply is delivered (slot.post).
+            def do_op():
+                return machine.memory.read_block(src, words)
+            rop = ("bread", src, words)
+            if dst_kind == "ptr":
+                def post(data):
+                    if dst == 0:
+                        raise MemoryFault("nil blkmov destination")
+                    machine.memory.write_block(dst, list(data))
+                    return None
+                slot.post = post
+
         lazy_local_fill = (dst_kind == "local" and stmt.split_phase
                            and dst[1] == 0)
-        if lazy_local_fill and words < len(dst[0]):
+        if lazy_local_fill and words < len(dst[0]) \
+                and remote_node != act.node:
             # Prefix block move delivered lazily: append the buffer's
-            # captured tail so the delivered list is full-length.
+            # captured tail at delivery so the list is full-length.
             tail = list(dst[0][words:])
+            slot.post = lambda data: list(data) + tail
+        elif lazy_local_fill and words < len(dst[0]):
+            tail = list(dst[0][words:])
+            inner = do_op
 
-            def do_op(move=do_move, tail=tail):
+            def do_op(move=inner, tail=tail):
                 return move() + tail
 
-        slot = Slot(f"blkmov@{stmt.label}")
         yield ("issue", "blkmov", remote_node, words, do_op, slot,
-               dst if dst_kind == "ptr" else None)
+               dst if dst_kind == "ptr" else None, rop)
 
         if dst_kind == "local":
             buffer, offset = dst
@@ -910,6 +1082,7 @@ class Interpreter:
 
     def _exec_shared(self, act: Activation, stmt: s.SharedOpStmt):
         cell = act.frame.get(stmt.shared_var)
+        is_global = cell is None
         if cell is None:
             gvar = self._global_cell(stmt.shared_var)
             if gvar is None or not gvar.is_shared:
@@ -934,7 +1107,13 @@ class Interpreter:
             return None
 
         slot = Slot(f"shared:{op}")
-        yield ("issue", "shared", cell.owner, 1, do_op, slot)
+        # Frame-declared shared cells are plain Python objects the
+        # owning shard cannot rebuild, so only global cells get a
+        # reified form; a frame cell crossing shards is a ShardError
+        # at shipment.
+        rop = (("sharedg", stmt.shared_var, op, value)
+               if is_global else None)
+        yield ("issue", "shared", cell.owner, 1, do_op, slot, None, rop)
         if op == "valueof":
             result = yield ("wait", slot)
             self._store_var(act, stmt.target, result)

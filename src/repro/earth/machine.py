@@ -11,10 +11,14 @@ consumers synchronize on.
 Fibers are Python generators yielding actions:
 
 * ``("busy", ns)`` -- occupy the EU;
-* ``("issue", kind, target_node, words, do_op, slot)`` -- start a
-  split-phase operation (``kind`` in read/write/blkmov/shared/malloc);
-  ``do_op()`` performs the memory side effect when the request is
-  serviced and returns the slot value;
+* ``("issue", kind, target_node, words, do_op, slot[, addr[, rop]])``
+  -- start a split-phase operation (``kind`` in
+  read/write/blkmov/shared/malloc); ``do_op()`` performs the memory
+  side effect when the request is serviced and returns the slot value.
+  ``addr`` is the touched global address (feeds the remote-data
+  cache); ``rop`` is a picklable description of the side effect so a
+  shard worker can rebuild ``do_op`` on the process that owns the
+  target node -- both optional, and ignored on local fast paths;
 * ``("wait", slot)`` -- block until a slot is fulfilled (the EU switches
   to another ready fiber);
 * ``("spawn", fiber)`` -- put a new fiber on its node's ready queue.
@@ -29,20 +33,37 @@ cross-node effects are applied by SU events in timestamp order.  Under
 the EARTH-C non-interference contract (no concurrent conflicting access
 to ordinary memory) the observable behaviour is unaffected.
 
+Deterministic event order (the sharding contract)
+-------------------------------------------------
+
+The event heap is keyed by ``(time, key)`` where ``key`` is an
+*intrinsic* tuple naming the event -- never a global insertion counter.
+Each event class carries enough coordinates (nodes, channel sequence
+numbers, attempt counts) to make every key unique machine-wide, and
+every event is scheduled at a ``(time, key)`` no smaller than the event
+being processed, so the pop order equals the globally sorted order.
+That property is what makes multi-process sharding
+(:mod:`repro.shard`) bit-identical to this single-process machine: each
+shard pops the same sub-sequence of the same totally ordered event
+stream, and merging per-shard traces by ``(time, key)`` reconstructs
+the single-process order exactly.  For the same reason fiber ids are
+node-striped (assigned from the *spawning* node's counter), channel
+sequence numbers are always on, and every effect that crosses nodes is
+delayed by at least one network latency -- including call returns
+(``read_one_way_ns``) and third-party cache invalidations
+(``rcache_inval_ns``).
+
 Remote-data cache: with ``MachineParams.rcache_capacity > 0`` each node
 keeps a software cache of remote lines (:mod:`repro.earth.rcache`).  A
 remote scalar read whose address hits the cache completes at the EU in
-``rcache_hit_ns`` without touching the network (and without counting as
-a remote read); a miss rides the normal split-phase path and installs
-the line when the read's side effect applies at the target.  Writes
-invalidate write-through: the issuing node drops its own copies of the
-written line at issue time (preserving the machine's read-after-write
-ordering on a channel), and every other holder drops its copy at the
-instant the store's side effect lands in global memory -- under fault
-injection that instant is the exactly-once, channel-ordered
-application in :meth:`Machine._apply_pending`, so retried writes
-invalidate exactly once.  Capacity 0 (the default) leaves this path
-byte-identical to the uncached machine.
+``rcache_hit_ns`` without touching the network; a miss rides the normal
+split-phase path, snapshots the line when the read's side effect
+applies at the target, and installs it when the *reply* reaches the
+reader.  Writes invalidate write-through: the issuing node drops its
+own copies at issue time (and blocks installs of the written line until
+its write completes), and every other holder drops its copy
+``rcache_inval_ns`` after the store's side effect lands in global
+memory -- the invalidation message crossing the network.
 
 Fault injection & resilience: attaching a
 :class:`~repro.earth.faults.FaultPlan` routes every cross-node
@@ -53,19 +74,19 @@ or replies trigger a re-send; and the target SU applies each
 operation's side effect exactly once (duplicate requests only re-emit
 the reply, duplicate replies are discarded at the origin).  Retried
 sends do not re-occupy the issuing EU -- the paper's runtime charges
-the EU the issue cost once.  With no plan attached the original
-fast path runs unchanged: byte-identical timing and statistics.
+the EU the issue cost once.  Leg fates are keyed by ``(origin, target,
+chan_seq, attempt)`` so every shard computes the same drops and jitter
+for the legs it owns.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.earth.memory import GlobalMemory
 from repro.earth.params import MachineParams
-from repro.earth.rcache import RemoteCache
+from repro.earth.rcache import RemoteCache, _Fill
 from repro.earth.stats import MachineStats
 from repro.errors import SimulatorError
 
@@ -73,11 +94,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.earth.faults import FaultPlan
     from repro.obs.trace import Tracer
 
+# Event-class ranks of the intrinsic heap keys.  The EU runner ranks
+# *highest*: it is the one event class legitimately scheduled at the
+# current instant while another same-time event is being processed
+# (a reply delivered at t readies a fiber whose EU slice also starts at
+# t), and ranking it last keeps the pop order equal to the sorted
+# order.  All other classes are only ever scheduled strictly in the
+# future (network legs, timeouts, return legs, invalidation delays).
+_EV_ARRIVE = 1   # request arrival at the target SU
+_EV_REPLY = 2    # reply delivery at the origin
+_EV_TIMEOUT = 3  # retry timeout at the origin
+_EV_RET = 4      # cross-node call-return delivery
+_EV_INVAL = 5    # delayed cache invalidation firing at a holder
+_EV_RUN = 9      # EU runner (at most one pending per node)
+
 
 class Slot:
     """A split-phase synchronization slot."""
 
-    __slots__ = ("ready", "value", "waiters", "label", "trace")
+    __slots__ = ("ready", "value", "waiters", "label", "trace", "node",
+                 "post")
 
     def __init__(self, label: str = ""):
         self.ready = False
@@ -86,7 +122,16 @@ class Slot:
         self.label = label
         #: ``(op_id, origin_node)`` of the traced split-phase operation
         #: this slot completes; ``None`` unless tracing is enabled.
-        self.trace: Optional[Tuple[int, int]] = None
+        self.trace: Optional[Tuple[object, int]] = None
+        #: The node consuming the value.  A fulfill from a *different*
+        #: node pays one network latency (the return leg of a remote
+        #: call); ``None`` means deliver instantly wherever fulfilled
+        #: (local slots, join counters, reply slots fulfilled at their
+        #: own origin).
+        self.node: Optional[int] = None
+        #: Optional origin-side hook applied to the value at delivery
+        #: (a pulled blkmov writes its destination block here).
+        self.post: Optional[Callable[[object], object]] = None
 
     def __repr__(self) -> str:
         state = "ready" if self.ready else "pending"
@@ -116,15 +161,21 @@ class _PendingOp:
     The object itself is the target SU's dedup table entry: ``applied``
     flips when the side effect runs (retries of an applied op only
     re-send the reply), ``completed`` flips when the first reply
-    reaches the origin (later replies are discarded)."""
+    reaches the origin (later replies are discarded).  In a sharded
+    run the origin and target shards each hold their own half: the
+    origin's carries the slot, timeout and attempt state; the target's
+    carries the dedup/channel state and a ``do_op`` rebuilt from the
+    shipped ``rop``."""
 
     __slots__ = ("op", "origin", "target", "words", "do_op", "slot",
                  "op_id", "attempts", "applied", "completed", "value",
-                 "chan_seq")
+                 "chan_seq", "addr", "rop", "reply_seq", "remote_origin")
 
     def __init__(self, op: str, origin: int, target: int, words: int,
-                 do_op: Callable[[], object], slot: Optional["Slot"],
-                 op_id: Optional[int], chan_seq: int):
+                 do_op: Optional[Callable[[], object]],
+                 slot: Optional["Slot"],
+                 op_id: Optional[object], chan_seq: int,
+                 addr: Optional[int] = None, rop: object = None):
         self.op = op
         self.origin = origin
         self.target = target
@@ -135,10 +186,16 @@ class _PendingOp:
         #: Position in the (origin, target) channel: the SU applies
         #: requests from one origin in this order.
         self.chan_seq = chan_seq
+        self.addr = addr
+        self.rop = rop
         self.attempts = 0
         self.applied = False
         self.completed = False
         self.value = None
+        self.reply_seq = 0
+        #: True on a target-shard record whose origin lives on another
+        #: shard: replies go back through the port.
+        self.remote_origin = False
 
     def __repr__(self) -> str:
         state = ("done" if self.completed
@@ -148,12 +205,15 @@ class _PendingOp:
 
 
 class Fiber:
-    """One EARTH fiber: a generator plus scheduling state."""
+    """One EARTH fiber: a generator plus scheduling state.
 
-    _ids = itertools.count(1)
+    The id is assigned by the machine when the fiber is spawned --
+    ``spawning_node + num_nodes * k`` for the spawner's k-th spawn --
+    so ids are unique machine-wide yet depend only on per-node spawn
+    order (identical across shard partitionings)."""
 
     __slots__ = ("gen", "node", "name", "done", "on_done", "id",
-                 "resume_slot")
+                 "resume_slot", "spawn_desc")
 
     def __init__(self, gen, node: int, name: str = "fiber"):
         self.gen = gen
@@ -161,10 +221,14 @@ class Fiber:
         self.name = name
         self.done = False
         self.on_done: List[Callable[["Machine", float], None]] = []
-        self.id = next(self._ids)
+        self.id: Optional[int] = None
         #: The slot this fiber parked on; its value is delivered into the
         #: generator when the fiber resumes.
         self.resume_slot: Optional["Slot"] = None
+        #: Picklable recipe for rebuilding this fiber's generator on
+        #: another shard (set by engines on placed-call fibers); a
+        #: fiber without one cannot cross a shard boundary.
+        self.spawn_desc: Optional[tuple] = None
 
     def __repr__(self) -> str:
         return f"Fiber#{self.id}({self.name}@{self.node})"
@@ -194,6 +258,7 @@ class Machine:
                 self.params.rcache_capacity,
                 self.params.rcache_line_words,
                 self.params.rcache_policy, tracer)
+            self.rcache.machine = self
             self.memory.rcache = self.rcache
         self.time = 0.0
         self.output: List[str] = []
@@ -201,13 +266,24 @@ class Machine:
         # slice / SU service -- cheap enough to keep unconditionally).
         self.eu_busy_ns = [0.0] * num_nodes
         self.su_busy_ns = [0.0] * num_nodes
+        #: Shard port: when set, effects targeting nodes the port does
+        #: not own are shipped as messages instead of scheduled
+        #: locally.  ``None`` in single-process runs (zero overhead
+        #: beyond one attribute test per cross-node effect).
+        self.port = None
 
-        self._events: List[Tuple[float, int, Callable[[], None]]] = []
-        self._event_seq = itertools.count()
+        self._events: List[Tuple[float, tuple, Callable[[], None]]] = []
         self._ready: List[List[Tuple[float, int, Fiber]]] = [
             [] for _ in range(num_nodes)]
         self._running = [False] * num_nodes
-        self._run_scheduled = [False] * num_nodes
+        # Earliest pending EU-runner start per node (``None`` when no
+        # RUN event is outstanding).  A later-start RUN never suppresses
+        # an earlier one: _kick schedules an additional earlier event
+        # and the superseded entry fires as a harmless poll, so a
+        # fiber's wake-up time depends only on its own ``earliest``,
+        # never on when add_fiber happened to be called.
+        self._run_pending: List[Optional[float]] = [None] * num_nodes
+        self._event_seq = 0
         # One pre-bound runner thunk per node: _kick fires thousands of
         # times per run and must not allocate a fresh closure each time.
         self._run_thunks = [
@@ -217,55 +293,112 @@ class Machine:
         self._su_free = [0.0] * num_nodes
         self._last_fiber: List[Optional[int]] = [None] * num_nodes
         self._parked_count = 0
-        # Reliable-channel state, only used while a FaultPlan is
-        # attached: per-(origin, target) send sequence numbers, the
-        # highest consecutively applied sequence, and requests that
-        # arrived ahead of a lost predecessor.
+        # Node-striped fiber-id counters (indexed by spawning node).
+        self._fiber_next = [0] * num_nodes
+        # Per-(origin, target) channel sequence numbers -- always on:
+        # they key arrival/reply events and, under fault injection,
+        # drive exactly-once in-order application at the target SU.
         self._chan_next: Dict[Tuple[int, int], int] = {}
         self._chan_applied: Dict[Tuple[int, int], int] = {}
         self._chan_buffer: Dict[Tuple[int, int],
                                 Dict[int, "_PendingOp"]] = {}
+        # Per-(dst, src) sequence numbers for cross-node call returns.
+        self._ret_next: Dict[Tuple[int, int], int] = {}
+        # Per-(holder, line) sequence numbers for invalidation events.
+        self._inval_seq: Dict[tuple, int] = {}
+        # Cross-shard bookkeeping (empty in single-process runs):
+        # operations whose reply will arrive through the port, and
+        # target-side records for requests received through the port.
+        self._inflight: Dict[Tuple[int, int, int], "_PendingOp"] = {}
+        self._remote_served: Dict[Tuple[int, int, int], "_PendingOp"] = {}
+        # Event tagging for shard-trace merging (enabled by workers).
+        self._tag_events = False
+        self._cur_ord: Optional[tuple] = None
+        self._out_tags: List[tuple] = []
 
     # -- event machinery ----------------------------------------------------------
 
-    def _schedule(self, time: float, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._events, (time, next(self._event_seq), fn))
+    def _schedule(self, time: float, key: tuple,
+                  fn: Callable[[], None]) -> None:
+        # The monotonic tiebreaker keeps duplicate (time, key) entries
+        # (possible for RUN polls) from ever comparing the thunks.
+        self._event_seq += 1
+        heapq.heappush(self._events, (time, key, self._event_seq, fn))
 
-    def add_fiber(self, fiber: Fiber, earliest: float = 0.0) -> None:
+    def _assign_fiber_id(self, spawning_node: int) -> int:
+        count = self._fiber_next[spawning_node]
+        self._fiber_next[spawning_node] = count + 1
+        return spawning_node + self.num_nodes * count
+
+    def add_fiber(self, fiber: Fiber, earliest: float = 0.0,
+                  _tag: Optional[tuple] = None) -> None:
+        if fiber.id is None:
+            fiber.id = self._assign_fiber_id(fiber.node)
         self.stats.fibers_spawned += 1
         if self.tracer is not None:
             self.tracer.emit("fiber_spawn", earliest, fiber.node,
-                             fiber=fiber.id, name=fiber.name)
+                             fiber=fiber.id, name=fiber.name, _at=_tag)
         heapq.heappush(self._ready[fiber.node],
                        (earliest, fiber.id, fiber))
         self._kick(fiber.node, earliest)
 
     def _kick(self, node: int, at_time: float) -> None:
-        if self._running[node] or self._run_scheduled[node]:
-            return
-        if not self._ready[node]:
+        if self._running[node] or not self._ready[node]:
             return
         earliest = self._ready[node][0][0]
         start = max(earliest, self._eu_free[node], at_time)
-        self._run_scheduled[node] = True
-        self._schedule(start, self._run_thunks[node])
+        pending = self._run_pending[node]
+        if pending is not None and pending <= start:
+            return
+        self._run_pending[node] = start
+        self._schedule(start, (_EV_RUN, node), self._run_thunks[node])
+
+    def _pump(self, horizon: Optional[float] = None) -> None:
+        events = self._events
+        tag = self._tag_events
+        tracer = self.tracer
+        while events:
+            if horizon is not None and events[0][0] >= horizon:
+                break
+            time, key, _seq, fn = heapq.heappop(events)
+            if time > self.time:
+                self.time = time
+            if tag:
+                self._cur_ord = (time, key)
+                if tracer is not None:
+                    tracer.ord = self._cur_ord
+            fn()
 
     def run(self) -> None:
         """Process events until the machine is quiescent."""
-        while self._events:
-            time, _seq, fn = heapq.heappop(self._events)
-            if time > self.time:
-                self.time = time
-            fn()
+        self._pump()
         if self._parked_count:
             raise SimulatorError(
                 f"deadlock: {self._parked_count} fiber(s) blocked forever "
                 f"at t={self.time:.0f}ns")
 
+    def run_until(self, horizon: float) -> None:
+        """Process events with time strictly below ``horizon`` (the
+        shard worker's window step)."""
+        self._pump(horizon)
+
+    def next_event_time(self) -> Optional[float]:
+        return self._events[0][0] if self._events else None
+
+    def enable_event_tags(self) -> None:
+        """Tag every trace event and output line with the ``(time,
+        key)`` of the event that produced it, so a shard merge can
+        interleave per-shard streams into the single-process order.
+        Pre-run emissions (the root fiber spawn) sort before time 0."""
+        self._tag_events = True
+        self._cur_ord = (-1.0, ())
+        if self.tracer is not None:
+            self.tracer.ord = self._cur_ord
+
     # -- EU execution -------------------------------------------------------------
 
     def _run_node(self, node: int) -> None:
-        self._run_scheduled[node] = False
+        self._run_pending[node] = None
         if self._running[node] or not self._ready[node]:
             return
         earliest, _fid, fiber = self._ready[node][0]
@@ -295,6 +428,8 @@ class Machine:
         gen = fiber.gen
         tracer = self.tracer
         t0 = t
+        if self.rcache is not None:
+            self.rcache.now = t
         if tracer is not None:
             tracer.emit("fiber_start", t, node, fiber=fiber.id,
                         name=fiber.name)
@@ -310,6 +445,8 @@ class Machine:
                     t = self._issue(fiber, t, op, target, words, do_op,
                                     slot,
                                     action[6] if len(action) > 6
+                                    else None,
+                                    action[7] if len(action) > 7
                                     else None)
                 elif kind == "wait":
                     slot: Slot = action[1]
@@ -331,13 +468,28 @@ class Machine:
                 elif kind == "spawn":
                     child: Fiber = action[1]
                     t += params.spawn_ns
-                    if self.faults is not None and child.node != node:
-                        self._spawn_resilient(node, t, child)
-                    else:
+                    if child.id is None:
+                        child.id = self._assign_fiber_id(node)
+                    if child.node == node:
                         self.add_fiber(child, earliest=t)
+                    elif self.faults is not None:
+                        self._spawn_resilient(node, t, child)
+                    elif self.port is not None \
+                            and not self.port.owns(child.node):
+                        self.port.send_spawn(
+                            child, t + params.read_one_way_ns)
+                    else:
+                        # The invoke token crosses the network like a
+                        # read-sized request.
+                        self.add_fiber(
+                            child,
+                            earliest=t + params.read_one_way_ns)
                 elif kind == "fulfill":
-                    self.fulfill(action[1], action[2], t)
+                    self._fulfill_from(node, action[1], action[2], t)
                 elif kind == "print":
+                    if self._tag_events:
+                        self._out_tags.append(
+                            (self._cur_ord, len(self.output)))
                     self.output.append(action[1])
                 else:  # pragma: no cover
                     raise SimulatorError(f"unknown action {action!r}")
@@ -363,7 +515,8 @@ class Machine:
     def _issue(self, fiber: Fiber, t: float, op: str, target: int,
                words: int, do_op: Callable[[], object],
                slot: Optional[Slot],
-               addr: Optional[int] = None) -> float:
+               addr: Optional[int] = None,
+               rop: object = None) -> float:
         """Issue one operation; returns the new fiber-local time.
 
         ``addr`` is the global memory address the operation touches
@@ -382,7 +535,8 @@ class Machine:
                     self.fulfill(slot, value, t)
                 return t
             t += params.shared_op_ns
-            self._send_request(node, t, "write", target, do_op, slot, 1)
+            self._send_request(node, t, "write", target, do_op, slot, 1,
+                               addr=None, rop=rop)
             return t
         if op == "malloc":
             if target == node:
@@ -391,8 +545,12 @@ class Machine:
                 if slot is not None:
                     self.fulfill(slot, value, t)
                 return t
+            # Remote allocation stays instantaneous at the origin: it
+            # bumps the origin's slice of the target's arena address
+            # space (repro.earth.memory), so no message is needed even
+            # when the target node lives on another shard.
             t += params.malloc_ns + params.remote_malloc_extra_ns
-            value = do_op()  # allocation itself is instantaneous
+            value = do_op()
             if slot is not None:
                 self.fulfill(slot, value, t)
             return t
@@ -400,6 +558,8 @@ class Machine:
         if target == node:
             t += params.local_op_cost(op, words)
             self._count_op(op, local=True, words=words)
+            if self.rcache is not None:
+                self.rcache.now = t
             value = do_op()
             if slot is not None:
                 self.fulfill(slot, value, t)
@@ -423,34 +583,44 @@ class Machine:
                         self.fulfill(slot, value, t)
                     return t
                 self.stats.rcache_misses += 1
-                do_op = rcache.filling(node, addr, do_op)
+                do_op = rcache.wrap_fill(node, addr, do_op)
+                rop = ("fill", node, addr, rop)
             else:
                 # write / blkmov destination: drop the issuing node's
-                # own stale copies before the fiber can read them back.
+                # own stale copies before the fiber can read them back,
+                # and hold off installs of in-flight stale fills until
+                # this write's reply confirms completion.
                 rcache.invalidate_node(node, addr, words, at=t)
+                rcache.writer_block(node, addr, words)
         t += params.issue_cost(op, words)
         self._count_op(op, local=False, words=words)
-        self._send_request(node, t, op, target, do_op, slot, words)
+        self._send_request(node, t, op, target, do_op, slot, words,
+                           addr=addr, rop=rop)
         return t
 
     def _send_request(self, origin: int, t: float, op: str, target: int,
-                      do_op: Callable[[], object],
-                      slot: Optional[Slot], words: int) -> None:
+                      do_op: Optional[Callable[[], object]],
+                      slot: Optional[Slot], words: int,
+                      addr: Optional[int] = None,
+                      rop: object = None) -> None:
         if self.faults is not None:
             self._send_resilient(origin, t, op, target, do_op, slot,
-                                 words)
+                                 words, addr=addr, rop=rop)
             return
-        one_way = self.params.one_way_latency(op if op != "shared"
-                                              else "write")
+        one_way = self.params.one_way_latency(op)
         arrival = t + one_way
         su_time = self.params.su_service_ns
         if op == "blkmov":
             su_time += self.params.su_blkmov_per_word_ns * words
 
+        chan = (origin, target)
+        chan_seq = self._chan_next.get(chan, 1)
+        self._chan_next[chan] = chan_seq + 1
+
         tracer = self.tracer
         op_id = None
         if tracer is not None:
-            op_id = tracer.next_op_id()
+            op_id = tracer.next_op_id(origin)
             tracer.emit("issue", t, origin, op=op, target=target,
                         words=words, site=tracer.current_site, id=op_id)
             tracer.emit("net_send", t, origin, op=op, dst=target,
@@ -458,34 +628,114 @@ class Machine:
             if slot is not None:
                 slot.trace = (op_id, origin)
 
-        def service() -> None:
-            su_start = max(arrival, self._su_free[target])
-            su_done = su_start + su_time
-            self._su_free[target] = su_done
-            self.su_busy_ns[target] += su_time
-            if tracer is not None:
-                tracer.emit("net_recv", arrival, target, op=op,
-                            src=origin, id=op_id)
-                tracer.emit("su_span", su_start, target, dur=su_time,
-                            op=op, queue_wait=su_start - arrival,
-                            src=origin, id=op_id)
-            value = do_op()
+        if self.port is not None and not self.port.owns(target):
             if slot is not None:
-                reply_at = su_done + one_way
-                self._schedule(reply_at,
-                               lambda: self.fulfill(slot, value, reply_at))
-            elif tracer is not None:
-                # No reply slot: the operation logically completes when
-                # the SU is done with it.
-                tracer.emit("fulfill", su_done, origin, id=op_id)
+                pending = _PendingOp(op, origin, target, words, None,
+                                     slot, op_id, chan_seq, addr=addr)
+                self._inflight[(origin, target, chan_seq)] = pending
+            self.port.send_request(
+                op=op, origin=origin, target=target, words=words,
+                chan_seq=chan_seq, attempt=1, arrival=arrival,
+                rop=rop, has_slot=slot is not None, op_id=op_id,
+                resilient=False)
+            return
 
-        self._schedule(arrival, service)
+        self._schedule(
+            arrival, (_EV_ARRIVE, target, origin, chan_seq, 1),
+            lambda: self._service_clean(op, origin, target, words,
+                                        do_op, slot, arrival, one_way,
+                                        su_time, op_id, chan_seq,
+                                        addr=addr))
+
+    def _service_clean(self, op: str, origin: int, target: int,
+                       words: int, do_op: Callable[[], object],
+                       slot: Optional[Slot], arrival: float,
+                       one_way: float, su_time: float,
+                       op_id: Optional[object], chan_seq: int,
+                       addr: Optional[int] = None,
+                       reply_via_port: bool = False,
+                       has_slot: bool = False) -> None:
+        """Target-SU half of the clean (fault-free) protocol."""
+        tracer = self.tracer
+        su_start = max(arrival, self._su_free[target])
+        su_done = su_start + su_time
+        self._su_free[target] = su_done
+        self.su_busy_ns[target] += su_time
+        if tracer is not None:
+            tracer.emit("net_recv", arrival, target, op=op,
+                        src=origin, id=op_id)
+            tracer.emit("su_span", su_start, target, dur=su_time,
+                        op=op, queue_wait=su_start - arrival,
+                        src=origin, id=op_id)
+        if self.rcache is not None:
+            self.rcache.now = su_done
+        value = do_op()
+        reply_at = su_done + one_way
+        if reply_via_port:
+            if has_slot:
+                self.port.send_reply(
+                    origin=origin, target=target, chan_seq=chan_seq,
+                    value=value, reply_at=reply_at, reply_seq=1,
+                    attempts=1)
+            elif tracer is not None:
+                tracer.emit("fulfill", su_done, origin, id=op_id)
+            return
+        if slot is not None:
+            self._schedule(
+                reply_at, (_EV_REPLY, origin, target, chan_seq, 1),
+                lambda: self._deliver_clean(op, origin, slot, value,
+                                            reply_at, addr, words))
+        elif tracer is not None:
+            # No reply slot: the operation logically completes when
+            # the SU is done with it.
+            tracer.emit("fulfill", su_done, origin, id=op_id)
+
+    def _deliver_clean(self, op: str, origin: int, slot: Slot, value,
+                       reply_at: float, addr: Optional[int],
+                       words: int) -> None:
+        if self.rcache is not None and addr \
+                and op in ("write", "blkmov"):
+            self.rcache.writer_unblock(origin, addr, words)
+        self.fulfill(slot, value, reply_at)
+
+    def deliver_remote_reply(self, origin: int, target: int,
+                             chan_seq: int, value, reply_at: float,
+                             attempts: int) -> None:
+        """Origin-side delivery of a reply that crossed shards (both
+        protocols; called by the shard worker when the reply message's
+        scheduled event fires)."""
+        pending = self._inflight.get((origin, target, chan_seq))
+        if pending is None:  # pragma: no cover - protocol error
+            raise SimulatorError(
+                f"reply for unknown operation {origin}->{target} "
+                f"seq {chan_seq}")
+        if pending.completed:
+            self.stats.dup_replies += 1
+            return
+        pending.completed = True
+        # The record stays in _inflight: under faults a retransmitted
+        # reply (dedup replay at the target) can still arrive, and it
+        # must count as a duplicate above, not an unknown operation.
+        if self.faults is not None:
+            self.stats.op_attempts_histogram[str(pending.attempts)] += 1
+        if self.rcache is not None and pending.addr \
+                and pending.op in ("write", "blkmov"):
+            self.rcache.writer_unblock(origin, pending.addr,
+                                       pending.words)
+        if pending.slot is not None:
+            self.fulfill(pending.slot, value, reply_at)
+        elif self.tracer is not None:
+            self.tracer.emit("fulfill", reply_at, origin,
+                             id=pending.op_id)
 
     # -- resilient split-phase protocol (fault injection active) -------------------
 
     def _send_resilient(self, origin: int, t: float, op: str,
-                        target: int, do_op: Callable[[], object],
-                        slot: Optional[Slot], words: int) -> None:
+                        target: int,
+                        do_op: Optional[Callable[[], object]],
+                        slot: Optional[Slot], words: int,
+                        addr: Optional[int] = None,
+                        rop: object = None) -> None:
         """Faulty-network counterpart of :meth:`_send_request`.
 
         Every operation becomes a :class:`_PendingOp` with a timeout,
@@ -499,9 +749,11 @@ class Machine:
         otherwise leak a stale value.)  Only reached when a FaultPlan
         is attached -- the zero-fault path above stays byte-identical."""
         if op == "spawn":
-            # The caller's EU already accounted the request hop
-            # (``call_overhead_ns + read_one_way_ns`` busy time).
-            one_way = 0.0
+            # The invoke token rides the network like a read-sized
+            # request (keeps every cross-node effect -- including
+            # retried spawns -- at least one network latency after the
+            # event that produced it, the shard-window bound).
+            one_way = self.params.read_one_way_ns
         else:
             one_way = self.params.one_way_latency(op if op != "shared"
                                                   else "write")
@@ -512,7 +764,7 @@ class Machine:
         tracer = self.tracer
         op_id = None
         if tracer is not None:
-            op_id = tracer.next_op_id()
+            op_id = tracer.next_op_id(origin)
             tracer.emit("issue", t, origin, op=op, target=target,
                         words=words, site=tracer.current_site, id=op_id)
             if slot is not None:
@@ -522,7 +774,9 @@ class Machine:
         chan_seq = self._chan_next.get(chan, 1)
         self._chan_next[chan] = chan_seq + 1
         pending = _PendingOp(op, origin, target, words, do_op, slot,
-                             op_id, chan_seq)
+                             op_id, chan_seq, addr=addr, rop=rop)
+        if self.port is not None and not self.port.owns(target):
+            self._inflight[(origin, target, chan_seq)] = pending
         self._launch_attempt(pending, t, one_way, su_time)
 
     def _spawn_resilient(self, origin: int, t: float,
@@ -535,7 +789,9 @@ class Machine:
         read uninitialized memory.)"""
         self._send_resilient(
             origin, t, "spawn", child.node,
-            lambda at: self.add_fiber(child, earliest=at), None, 0)
+            lambda at: self.add_fiber(child, earliest=at), None, 0,
+            rop=("spawn", child.spawn_desc, child.id, child.name,
+                 child.node))
 
     def _launch_attempt(self, pending: "_PendingOp", t: float,
                         one_way: float, su_time: float) -> None:
@@ -573,9 +829,14 @@ class Machine:
                             id=pending.op_id)
             self._launch_attempt(pending, deadline, one_way, su_time)
 
-        self._schedule(deadline, timeout)
+        self._schedule(deadline,
+                       (_EV_TIMEOUT, pending.origin, pending.target,
+                        pending.chan_seq, attempt),
+                       timeout)
 
-        dropped, extra = faults.leg(pending.op)
+        dropped, extra = faults.leg("request", pending.origin,
+                                    pending.target, pending.chan_seq,
+                                    attempt)
         if tracer is not None:
             tracer.emit("net_send", t, pending.origin, op=pending.op,
                         dst=pending.target, latency=one_way + extra,
@@ -589,8 +850,66 @@ class Machine:
             return
         arrival = faults.stall_until(pending.target,
                                      t + one_way + extra)
+        if self.port is not None and not self.port.owns(pending.target):
+            self.port.send_request(
+                op=pending.op, origin=pending.origin,
+                target=pending.target, words=pending.words,
+                chan_seq=pending.chan_seq, attempt=attempt,
+                arrival=arrival, rop=pending.rop,
+                has_slot=pending.slot is not None,
+                op_id=pending.op_id, resilient=True)
+            return
         self._schedule(
             arrival,
+            (_EV_ARRIVE, pending.target, pending.origin,
+             pending.chan_seq, attempt),
+            lambda: self._service_resilient(pending, arrival, one_way,
+                                            su_time))
+
+    def recv_remote_request(self, op: str, origin: int, target: int,
+                            words: int, chan_seq: int, attempt: int,
+                            arrival: float,
+                            do_op: Optional[Callable[[], object]],
+                            has_slot: bool, op_id: Optional[object],
+                            resilient: bool) -> None:
+        """Target-side entry for a request that crossed shards: build
+        (or refresh) the local service record and schedule its arrival
+        event (called by the shard worker at message application)."""
+        if op == "spawn":
+            # Must mirror _send_resilient: the reply leg reuses the
+            # request's one-way latency.
+            one_way = self.params.read_one_way_ns
+        else:
+            one_way = self.params.one_way_latency(op if op != "shared"
+                                                  else "write")
+        su_time = self.params.su_service_ns
+        if op == "blkmov":
+            su_time += self.params.su_blkmov_per_word_ns * words
+        if not resilient:
+            self._schedule(
+                arrival, (_EV_ARRIVE, target, origin, chan_seq, attempt),
+                lambda: self._service_clean(
+                    op, origin, target, words, do_op, None, arrival,
+                    one_way, su_time, op_id, chan_seq,
+                    reply_via_port=True, has_slot=has_slot))
+            return
+        key = (origin, target, chan_seq)
+        pending = self._remote_served.get(key)
+        if pending is None:
+            pending = _PendingOp(op, origin, target, words, do_op,
+                                 None, op_id, chan_seq)
+            pending.remote_origin = True
+            pending.attempts = attempt
+            # ``has_slot`` rides in ``value`` until applied? No --
+            # keep it on the record so replies know whether the origin
+            # expects a payload trace event.
+            pending.rop = has_slot
+            self._remote_served[key] = pending
+        else:
+            pending.attempts = max(pending.attempts, attempt)
+        self._schedule(
+            arrival,
+            (_EV_ARRIVE, target, origin, chan_seq, attempt),
             lambda: self._service_resilient(pending, arrival, one_way,
                                             su_time))
 
@@ -654,6 +973,8 @@ class Machine:
     def _apply_pending(self, pending: "_PendingOp", at: float) -> None:
         """Apply one request's side effect (exactly once) and advance
         its channel's applied sequence number."""
+        if self.rcache is not None:
+            self.rcache.now = at
         if pending.op == "spawn":
             pending.value = pending.do_op(at)
         else:
@@ -668,7 +989,10 @@ class Machine:
         faults = self.faults
         stats = self.stats
         tracer = self.tracer
-        dropped, extra = faults.leg(pending.op)
+        pending.reply_seq += 1
+        dropped, extra = faults.leg("reply", pending.origin,
+                                    pending.target, pending.chan_seq,
+                                    pending.reply_seq)
         if dropped:
             stats.net_drops += 1
             if tracer is not None:
@@ -679,19 +1003,34 @@ class Machine:
         reply_at = faults.stall_until(pending.origin,
                                       at + one_way + extra)
 
+        if pending.remote_origin:
+            self.port.send_reply(
+                origin=pending.origin, target=pending.target,
+                chan_seq=pending.chan_seq, value=pending.value,
+                reply_at=reply_at, reply_seq=pending.reply_seq,
+                attempts=pending.attempts)
+            return
+
         def deliver() -> None:
             if pending.completed:
                 stats.dup_replies += 1
                 return
             pending.completed = True
             stats.op_attempts_histogram[str(pending.attempts)] += 1
+            if self.rcache is not None and pending.addr \
+                    and pending.op in ("write", "blkmov"):
+                self.rcache.writer_unblock(pending.origin, pending.addr,
+                                           pending.words)
             if pending.slot is not None:
                 self.fulfill(pending.slot, pending.value, reply_at)
             elif tracer is not None:
                 tracer.emit("fulfill", reply_at, pending.origin,
                             id=pending.op_id)
 
-        self._schedule(reply_at, deliver)
+        self._schedule(reply_at,
+                       (_EV_REPLY, pending.origin, pending.target,
+                        pending.chan_seq, pending.reply_seq),
+                       deliver)
 
     def _count_op(self, op: str, local: bool, words: int) -> None:
         stats = self.stats
@@ -716,9 +1055,41 @@ class Machine:
 
     # -- slots -----------------------------------------------------------------------
 
+    def _fulfill_from(self, node: int, slot, value,
+                      t: float) -> None:
+        """Fulfill ``slot`` from code running on ``node``.  Same-node
+        (or unpinned) slots complete instantly; a slot consumed on
+        another node pays one network latency -- the return leg of a
+        remote call -- keyed per (dst, src) so delivery order is
+        intrinsic."""
+        dst = slot.node
+        if dst is None or dst == node:
+            self.fulfill(slot, value, t)
+            return
+        at = t + self.params.read_one_way_ns
+        key = (dst, node)
+        seq = self._ret_next.get(key, 0)
+        self._ret_next[key] = seq + 1
+        if self.port is not None and not self.port.owns(dst):
+            self.port.send_ret(slot, value, at, dst, node, seq)
+            return
+        self._schedule(at, (_EV_RET, dst, node, seq),
+                       lambda: self.fulfill(slot, value, at))
+
+    def deliver_ret(self, slot: Slot, value, at: float, dst: int,
+                    src: int, seq: int) -> None:
+        """Schedule a call-return delivery that arrived through the
+        port (the slot has already been resolved by the worker)."""
+        self._schedule(at, (_EV_RET, dst, src, seq),
+                       lambda: self.fulfill(slot, value, at))
+
     def fulfill(self, slot: Slot, value, time: float) -> None:
         if slot.ready:
             raise SimulatorError(f"slot {slot!r} fulfilled twice")
+        if self.rcache is not None and type(value) is _Fill:
+            value = self.rcache.install(value, time)
+        if slot.post is not None:
+            value = slot.post(value)
         slot.ready = True
         slot.value = value
         tracer = self.tracer
@@ -734,18 +1105,19 @@ class Machine:
             # compute (earliest == time, at_time == time).
             fiber = waiters[0]
             node = fiber.node
-            if not self._running[node] and not self._run_scheduled[node] \
+            if not self._running[node] \
+                    and self._run_pending[node] is None \
                     and not self._ready[node]:
                 self._parked_count -= 1
                 if tracer is not None:
                     tracer.emit("fiber_resume", time, node,
                                 fiber=fiber.id, slot=slot.label)
                 waiters.clear()
-                self._run_scheduled[node] = True
                 eu_free = self._eu_free[node]
                 start = time if time >= eu_free else eu_free
+                self._run_pending[node] = start
                 self._schedule(
-                    start,
+                    start, (_EV_RUN, node),
                     lambda: self._direct_resume(node, fiber, time))
                 return
         self._parked_count -= len(waiters)
@@ -763,19 +1135,21 @@ class Machine:
         """Resume ``fiber`` without it having visited the ready heap.
 
         Equivalent to a heappush of ``(ready_at, fiber.id, fiber)``
-        followed by ``_run_node``: if the node started running or an
-        earlier-ranked fiber arrived meanwhile, fall back to exactly
-        that."""
-        self._run_scheduled[node] = False
+        followed by ``_run_node``: if the node started running, an
+        earlier-ranked fiber arrived, or the EU became busy past this
+        event's time meanwhile (an earlier RUN can interleave), fall
+        back to exactly that."""
+        self._run_pending[node] = None
         ready = self._ready[node]
         if self._running[node] or \
-                (ready and ready[0][:2] < (ready_at, fiber.id)):
+                (ready and ready[0][:2] < (ready_at, fiber.id)) or \
+                self._eu_free[node] > self.time:
             heapq.heappush(ready, (ready_at, fiber.id, fiber))
             self._run_node(node)
             return
-        # start = max(ready_at, eu_free, self.time) always equals
-        # self.time here: the event fired at max(ready_at, eu_free) and
-        # eu_free cannot have advanced while _run_scheduled was set.
+        # start = max(ready_at, eu_free, self.time) equals self.time
+        # here: the event fired at max(ready_at, eu_free) and the
+        # eu_free guard above rules out later advancement.
         self._running[node] = True
         t = self.time
         if self._last_fiber[node] is not None \
@@ -788,3 +1162,27 @@ class Machine:
             resume_value = fiber.resume_slot.value
             fiber.resume_slot = None
         self._execute(fiber, t, resume_value)
+
+    # -- cache invalidation transport ----------------------------------------------
+
+    def send_inval(self, holder: int, key: tuple, t_w: float) -> None:
+        """Deliver a third-party invalidation to ``holder``'s cache,
+        firing ``rcache_inval_ns`` after the store applied (called by
+        the cache's home-side write hook)."""
+        at = t_w + self.params.rcache_inval_ns
+        seq_key = (holder, key)
+        seq = self._inval_seq.get(seq_key, 0)
+        self._inval_seq[seq_key] = seq + 1
+        if self.port is not None and not self.port.owns(holder):
+            self.port.send_inval(holder, key, t_w, at, seq)
+            return
+        self._schedule(at, (_EV_INVAL, holder, key[0], key[1], t_w, seq),
+                       lambda: self.rcache.fire_inval(holder, key, t_w,
+                                                      at))
+
+    def deliver_inval(self, holder: int, key: tuple, t_w: float,
+                      at: float, seq: int) -> None:
+        """Schedule an invalidation that arrived through the port."""
+        self._schedule(at, (_EV_INVAL, holder, key[0], key[1], t_w, seq),
+                       lambda: self.rcache.fire_inval(holder, key, t_w,
+                                                      at))

@@ -11,11 +11,29 @@ words: the float lives in the first word and the second holds the
 correctly without knowing field types.  Reading an uninitialized or
 filler word yields 0 (the speculative-read semantics of the EARTH
 runtime; strict mode can be enabled to fault instead).
+
+Remote-allocation arenas
+------------------------
+
+``allocate(node, words, origin=...)`` with a different origin carves
+the block out of an *arena*: the upper half of the target node's
+address space (offsets at and above :data:`REMOTE_ARENA_BASE`) is
+pre-partitioned into one equal slice per originating node, and each
+origin bumps its own slice counter.  Two properties follow.  First,
+remote allocation needs no message -- the address is computable at the
+origin, matching the machine's instantaneous remote-malloc cost model.
+Second, the counter for a slice is touched only by its origin, so a
+sharded run (:mod:`repro.shard`) hands out bit-identical addresses no
+matter how nodes are partitioned across processes, with no
+allocation-order races between shards.  Arena storage is sparse
+(materialized by writes) and arena reads never bounds-fault: an
+untouched arena word reads as uninitialized (0), since the origin may
+legitimately hand out the address before any write reaches the target.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import MemoryFault
 
@@ -24,6 +42,11 @@ NODE_SPAN = 1 << 40
 
 #: First allocatable word offset (0 is NULL, low words are reserved).
 _HEAP_BASE = 16
+
+#: First word offset of the remote-allocation arenas; the dense local
+#: heap bump-allocates below this, remote allocations land at or above
+#: it (one slice per originating node).
+REMOTE_ARENA_BASE = 1 << 39
 
 
 class _Filler:
@@ -34,8 +57,19 @@ class _Filler:
     def __repr__(self) -> str:
         return "<filler>"
 
+    def __reduce__(self):
+        # Pickle to the module singleton, so block-move payloads that
+        # contain filler words can cross shard-worker processes and
+        # still satisfy ``word is FILLER`` checks.
+        return (_get_filler, ())
+
 
 FILLER = _Filler()
+
+
+def _get_filler() -> "_Filler":
+    return FILLER
+
 
 Word = Union[int, float, _Filler, None]
 
@@ -53,35 +87,51 @@ def offset_of(address: int) -> int:
 
 
 class NodeMemory:
-    """One node's local word-addressed memory with a bump allocator."""
+    """One node's local word-addressed memory: a dense bump-allocated
+    heap plus a sparse remote-allocation arena."""
 
     def __init__(self, node: int):
         self.node = node
         self._words: List[Word] = [None] * _HEAP_BASE
+        #: Sparse storage for arena offsets (>= REMOTE_ARENA_BASE),
+        #: materialized by writes; absent words are uninitialized.
+        self._arena: Dict[int, Word] = {}
         self.allocated_words = 0
 
     def allocate(self, words: int) -> int:
-        """Allocate ``words`` words; returns the *global* address."""
+        """Allocate ``words`` words from the dense local heap; returns
+        the *global* address."""
         if words <= 0:
             raise MemoryFault(f"allocation of {words} words", self.node)
         offset = len(self._words)
+        if offset + words > REMOTE_ARENA_BASE:
+            raise MemoryFault(
+                f"local heap exhausted ({offset} words)", self.node)
         self._words.extend([None] * words)
         self.allocated_words += words
         return make_address(self.node, offset)
 
     def read(self, offset: int) -> Word:
+        if offset >= REMOTE_ARENA_BASE:
+            return self._arena.get(offset)
         if offset < 0 or offset >= len(self._words):
             raise MemoryFault(f"read of unmapped offset {offset}",
                               self.node, offset)
         return self._words[offset]
 
     def write(self, offset: int, value: Word) -> None:
+        if offset >= REMOTE_ARENA_BASE:
+            self._arena[offset] = value
+            return
         if offset < 0 or offset >= len(self._words):
             raise MemoryFault(f"write of unmapped offset {offset}",
                               self.node, offset)
         self._words[offset] = value
 
     def read_block(self, offset: int, words: int) -> List[Word]:
+        if offset >= REMOTE_ARENA_BASE:
+            arena = self._arena
+            return [arena.get(o) for o in range(offset, offset + words)]
         if offset < 0 or offset + words > len(self._words):
             raise MemoryFault(
                 f"block read [{offset}, {offset + words}) out of range",
@@ -89,6 +139,11 @@ class NodeMemory:
         return self._words[offset:offset + words]
 
     def write_block(self, offset: int, values: List[Word]) -> None:
+        if offset >= REMOTE_ARENA_BASE:
+            arena = self._arena
+            for index, value in enumerate(values):
+                arena[offset + index] = value
+            return
         if offset < 0 or offset + len(values) > len(self._words):
             raise MemoryFault(
                 f"block write [{offset}, {offset + len(values)}) out of "
@@ -114,10 +169,16 @@ class GlobalMemory:
         self.num_nodes = num_nodes
         self.nodes = [NodeMemory(i) for i in range(num_nodes)]
         self._global_addrs: Dict[str, int] = {}
+        #: Width of one origin's slice of every node's arena.
+        self._arena_span = (NODE_SPAN - REMOTE_ARENA_BASE) // num_nodes
+        #: Bump counters for the arenas: (target, origin) -> next
+        #: offset.  Only code running on ``origin`` bumps its slices.
+        self._arena_next: Dict[Tuple[int, int], int] = {}
+        self._arena_allocated = 0
         #: Optional per-node remote-data cache (earth/rcache.py).  The
         #: machine attaches it so every mutation of global memory --
         #: regardless of which code path performs it -- invalidates
-        #: stale cached copies before the new value lands.
+        #: stale cached copies.
         self.rcache = None
 
     # -- global variables ---------------------------------------------------------
@@ -135,8 +196,25 @@ class GlobalMemory:
 
     # -- typed access helpers --------------------------------------------------------
 
-    def allocate(self, node: int, words: int) -> int:
-        return self.nodes[node].allocate(words)
+    def allocate(self, node: int, words: int,
+                 origin: "int | None" = None) -> int:
+        """Allocate ``words`` words of ``node``'s memory.  With an
+        ``origin`` other than ``node``, the block comes from the
+        origin's slice of the node's remote-allocation arena -- the
+        address is determined entirely by origin-side state."""
+        if origin is None or origin == node:
+            return self.nodes[node].allocate(words)
+        if words <= 0:
+            raise MemoryFault(f"allocation of {words} words", node)
+        key = (node, origin)
+        base = REMOTE_ARENA_BASE + origin * self._arena_span
+        offset = self._arena_next.get(key, base)
+        if offset + words > base + self._arena_span:
+            raise MemoryFault(
+                f"arena slice for origin {origin} exhausted", node)
+        self._arena_next[key] = offset + words
+        self._arena_allocated += words
+        return make_address(node, offset)
 
     def read_word(self, address: int) -> Word:
         if address == 0:
@@ -147,7 +225,7 @@ class GlobalMemory:
         if address == 0:
             raise MemoryFault("nil dereference (write)")
         if self.rcache is not None:
-            self.rcache.invalidate(address)
+            self.rcache.store_applied(address, 1)
         self.nodes[node_of(address)].write(offset_of(address), value)
 
     def read_block(self, address: int, words: int) -> List[Word]:
@@ -160,9 +238,10 @@ class GlobalMemory:
         if address == 0:
             raise MemoryFault("nil dereference (block write)")
         if self.rcache is not None:
-            self.rcache.invalidate(address, len(values))
+            self.rcache.store_applied(address, len(values))
         self.nodes[node_of(address)].write_block(
             offset_of(address), values)
 
     def total_allocated_words(self) -> int:
-        return sum(node.allocated_words for node in self.nodes)
+        return sum(node.allocated_words for node in self.nodes) \
+            + self._arena_allocated

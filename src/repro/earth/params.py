@@ -76,6 +76,11 @@ class MachineParams:
         rcache_line_words: int = 16,
         rcache_policy: str = "lru",
         rcache_hit_ns: float = 150.0,
+        # Third-party cached copies are dropped this long after the
+        # store's side effect lands in global memory (the invalidation
+        # message crossing the network); the writer's own copies still
+        # drop at issue time.  Defaults to the write one-way latency.
+        rcache_inval_ns: float = 2054.5,
     ):
         self.local_stmt_ns = local_stmt_ns
         self.call_overhead_ns = call_overhead_ns
@@ -116,10 +121,13 @@ class MachineParams:
                 f"{rcache_policy!r}")
         if rcache_hit_ns < 0:
             raise ValueError("rcache_hit_ns must be >= 0")
+        if rcache_inval_ns <= 0:
+            raise ValueError("rcache_inval_ns must be positive")
         self.rcache_capacity = rcache_capacity
         self.rcache_line_words = rcache_line_words
         self.rcache_policy = rcache_policy
         self.rcache_hit_ns = rcache_hit_ns
+        self.rcache_inval_ns = rcache_inval_ns
 
     # -- derived costs ----------------------------------------------------------
 
@@ -149,6 +157,23 @@ class MachineParams:
             return (self.local_blkmov_base_ns
                     + self.local_blkmov_per_word_ns * words)
         return self.local_remote_op_ns
+
+    def shard_window_ns(self) -> float:
+        """Length of the conservative time window for sharded runs.
+
+        Every effect that crosses simulated nodes -- and therefore
+        potentially crosses shard processes -- is delayed by at least
+        one of these latencies past the event that produced it, so a
+        shard may safely simulate one whole window before exchanging
+        messages at a barrier.  (The resilient protocol only adds
+        non-negative jitter and stalls, and timeouts/retries fire on
+        the origin shard, so the bound survives fault injection.)
+        """
+        window = min(self.read_one_way_ns, self.write_one_way_ns,
+                     self.blkmov_one_way_ns)
+        if self.rcache_capacity > 0:
+            window = min(window, self.rcache_inval_ns)
+        return window
 
     @classmethod
     def sequential_c(cls) -> "MachineParams":

@@ -117,6 +117,19 @@ class InterferenceError(SimulatorError):
     write violates the EARTH-C programmer contract (paper Section 2.2)."""
 
 
+class ShardError(SimulatorError):
+    """Sharded-simulation failure: a worker process died, a barrier
+    round timed out, or an operation crossed shards in a way the
+    partition cannot serve (e.g. a dual-remote blkmov whose source
+    lives on a third shard)."""
+
+
+class UsageError(ReproError):
+    """Invalid flag values or flag combinations detected past argparse
+    (e.g. ``--shards`` larger than the node count).  Maps to the same
+    exit code argparse uses for bad flags."""
+
+
 class HarnessError(ReproError):
     """Experiment-harness misconfiguration."""
 
@@ -164,6 +177,8 @@ def exit_code_for(exc: BaseException) -> int:
     """The CLI exit code for an exception (most specific class wins)."""
     if isinstance(exc, (FrontendError, SimplifyError)):
         return EXIT_COMPILE
+    if isinstance(exc, UsageError):
+        return EXIT_USAGE
     if isinstance(exc, ServiceError):
         return EXIT_SERVICE
     if isinstance(exc, SimulatorError):

@@ -32,7 +32,7 @@ from repro.comm.optimizer import (
 )
 from repro.config import RunConfig
 from repro.earth.faults import FaultPlan
-from repro.errors import ReproDeprecationWarning
+from repro.errors import ReproDeprecationWarning, UsageError
 from repro.earth.interpreter import Interpreter, RunResult
 from repro.earth.machine import Machine
 from repro.earth.params import MachineParams
@@ -52,7 +52,7 @@ from repro.simple.validate import validate_program
 #: whenever a change makes ``compile_earthc`` or the simulator produce
 #: different output for the same (source, options) -- stale cached
 #: artifacts then miss instead of serving wrong payloads.
-PIPELINE_VERSION = "2026.08-pr5"
+PIPELINE_VERSION = "2026.08-pr9"
 
 
 class CompiledProgram:
@@ -211,6 +211,16 @@ def execute(
         config, "execute", num_nodes=num_nodes, entry=entry, args=args,
         max_stmts=max_stmts, strict_nil_reads=strict_nil_reads,
         engine=engine)
+    if config.shards > 1:
+        if params is not None or tracer is not None \
+                or faults is not None:
+            raise UsageError(
+                "sharded execution (shards > 1) builds its machines "
+                "inside worker processes; live params=/tracer=/faults= "
+                "overrides cannot cross that boundary -- use the "
+                "declarative RunConfig fields instead")
+        from repro.shard import run_sharded
+        return run_sharded(compiled.simple, config)
     if params is None:
         params = config.machine_params()
     if tracer is None:

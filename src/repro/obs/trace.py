@@ -95,21 +95,48 @@ class Tracer:
         self.current_site: Optional[Tuple[str, int]] = None
         self._seq = itertools.count()
         self._op_ids = itertools.count(1)
+        #: ``(time, key)`` of the machine event currently being
+        #: processed -- set by the machine only when shard-style event
+        #: tagging is enabled; ``None`` otherwise (and then no ``_at``
+        #: field is attached, keeping single-process traces unchanged).
+        self.ord: Optional[tuple] = None
+        #: When True, op ids are ``(origin_node, n)`` pairs drawn from
+        #: per-origin counters instead of one global counter, so every
+        #: shard assigns the same ids the single-process machine would;
+        #: the shard merge renumbers them back to plain ints.
+        self.origin_op_ids = False
+        self._op_ids_by_origin: Dict[int, int] = {}
 
     # -- recording ---------------------------------------------------------------
 
-    def emit(self, kind: str, ts: float, node: int, **fields) -> None:
+    def emit(self, kind: str, ts: float, node: int,
+             _at: Optional[tuple] = None, **fields) -> None:
         if self.capacity is not None and len(self.events) == self.capacity:
             self.dropped += 1
         fields["kind"] = kind
         fields["ts"] = ts
         fields["node"] = node
         fields["seq"] = next(self._seq)
+        if self.ord is not None:
+            fields["_at"] = (_at if _at is not None
+                             else (self.ord, fields["seq"]))
         self.events.append(fields)
 
-    def next_op_id(self) -> int:
+    def reserve(self) -> tuple:
+        """Consume one emission position and return it as an ``_at``
+        tag.  Shard workers use this for the one event emitted on a
+        *different* shard than the one whose event stream it belongs
+        in (the ``fiber_spawn`` of a clean cross-shard spawn must sort
+        at the spawner's position)."""
+        return (self.ord, next(self._seq))
+
+    def next_op_id(self, origin: int = 0):
         """Fresh id pairing one split-phase ``issue`` with its
         ``fulfill``."""
+        if self.origin_op_ids:
+            count = self._op_ids_by_origin.get(origin, 0) + 1
+            self._op_ids_by_origin[origin] = count
+            return (origin, count)
         return next(self._op_ids)
 
     # -- reading -----------------------------------------------------------------

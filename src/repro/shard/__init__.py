@@ -1,0 +1,19 @@
+"""Sharded execution of the simulated EARTH machine.
+
+Partitions the simulated nodes across K OS worker processes, each
+running an ordinary :class:`~repro.earth.machine.Machine` event loop
+over its own nodes, with cross-shard effects exchanged as messages at
+deterministic time-window barriers.  Results -- value, program output,
+``time_ns``, every stat counter, and the event trace -- are
+**bit-identical** to the single-process run for any shard count; only
+host wall-clock changes.  See :mod:`repro.shard.runner` for the
+correctness argument and DESIGN.md section 17 for the narrative.
+
+Entry point: :func:`run_sharded`, reached from the pipeline/CLI via
+``RunConfig(shards=K)`` / ``--shards K``.
+"""
+
+from repro.shard.partition import Partition
+from repro.shard.runner import run_sharded
+
+__all__ = ["Partition", "run_sharded"]

@@ -1,0 +1,81 @@
+"""Recombining per-shard results into the single-process observables.
+
+Every worker runs with event tagging on: each trace event and output
+line carries ``_at = ((event_time, event_key), emission_seq)``, the
+position of the machine event that produced it.  The single-process
+machine executes events in exactly ``(time, key)`` order (the heap key;
+ties exist only between RUN polls, which emit nothing), so sorting the
+union of per-shard streams by ``_at`` reproduces the single-process
+emission order bit-for-bit -- which is what the property suite pins.
+
+Ring-buffer capacity is applied *here*, after the merge: workers record
+unbounded, and the merged stream keeps the last ``capacity`` events
+with the remainder counted as dropped -- exactly what the
+single-process ``deque(maxlen=capacity)`` would have kept.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.earth.stats import MachineStats
+
+
+def merge_stats(snapshots: Iterable[dict]) -> MachineStats:
+    """Sum per-shard stat snapshots.  Every counter is touched by
+    exactly one side of each operation (documented per-field in
+    :mod:`repro.earth.stats`), so the sum equals the single-process
+    totals."""
+    stats = MachineStats()
+    for snapshot in snapshots:
+        stats.merge(MachineStats.from_snapshot(snapshot))
+    return stats
+
+
+def merge_output(shards: Iterable[dict]) -> List[str]:
+    """Interleave per-shard print lines into program order."""
+    tagged: List[Tuple[tuple, int, str]] = []
+    for shard in shards:
+        for (ord_, index), line in zip(shard["out_tags"],
+                                       shard["output"]):
+            tagged.append((ord_, index, line))
+    tagged.sort(key=lambda item: (item[0], item[1]))
+    return [line for _ord, _index, line in tagged]
+
+
+def merge_busy(arrays: Iterable[List[float]]) -> List[float]:
+    """Element-wise sum of per-node busy-time arrays (each node's
+    entry is non-zero on its owning shard only)."""
+    total: Optional[List[float]] = None
+    for array in arrays:
+        if total is None:
+            total = list(array)
+        else:
+            for index, value in enumerate(array):
+                total[index] += value
+    return total or []
+
+
+def merge_traces(per_shard_events: Iterable[List[dict]],
+                 capacity: Optional[int]) -> Tuple[List[dict], int]:
+    """Merge per-shard trace streams into the single-process stream.
+
+    Returns ``(events, dropped)``.  Op ids -- per-origin ``(node, n)``
+    pairs while sharded -- are renumbered to plain ints by first
+    appearance in merged order, which is exactly the order the
+    single-process global counter assigned them (ids are minted by
+    ``issue`` events, and those sort identically)."""
+    events = [event for stream in per_shard_events for event in stream]
+    events.sort(key=lambda event: event["_at"])
+    id_map: dict = {}
+    for index, event in enumerate(events):
+        del event["_at"]
+        event["seq"] = index
+        op_id = event.get("id")
+        if isinstance(op_id, tuple):
+            event["id"] = id_map.setdefault(op_id, len(id_map) + 1)
+    dropped = 0
+    if capacity is not None and len(events) > capacity:
+        dropped = len(events) - capacity
+        events = events[-capacity:]
+    return events, dropped

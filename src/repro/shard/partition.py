@@ -1,0 +1,53 @@
+"""Node-to-shard assignment for the sharded simulator.
+
+The partition is *striped*: node ``n`` lives on shard ``n % K``.  Two
+properties make striping the right default for EARTH-C programs:
+
+* the compiler's placement idioms (``@ owner_of(p)``, ``@ node(i)``)
+  spread work by node number, so consecutive nodes -- which tend to be
+  busy together -- land on different workers;
+* the assignment is a pure function of ``(node, K)``: every worker,
+  the coordinator, and a post-mortem reader of a merged trace can
+  compute it without a lookup table travelling in every message.
+
+Determinism does **not** depend on the partition shape: any
+shard-count/assignment must produce bit-identical results (that is the
+whole point of the subsystem, and what tests/shard pins).  The shape
+only moves wall-clock load balance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import UsageError
+
+
+class Partition:
+    """Striped assignment of ``num_nodes`` simulated nodes to
+    ``num_shards`` worker processes."""
+
+    __slots__ = ("num_nodes", "num_shards")
+
+    def __init__(self, num_nodes: int, num_shards: int):
+        if num_shards < 1:
+            raise UsageError(
+                f"shards must be >= 1, got {num_shards}")
+        if num_shards > num_nodes:
+            raise UsageError(
+                f"cannot split {num_nodes} node(s) across {num_shards} "
+                f"shard(s): --shards must not exceed the node count")
+        self.num_nodes = num_nodes
+        self.num_shards = num_shards
+
+    def shard_of(self, node: int) -> int:
+        """The shard that owns ``node``."""
+        return node % self.num_shards
+
+    def nodes_of(self, shard: int) -> List[int]:
+        """All nodes owned by ``shard``, ascending."""
+        return list(range(shard, self.num_nodes, self.num_shards))
+
+    def __repr__(self) -> str:
+        return (f"Partition({self.num_nodes} nodes / "
+                f"{self.num_shards} shards)")

@@ -1,0 +1,150 @@
+"""The shard coordinator: deterministic time-window barrier loop.
+
+``run_sharded(compiled_simple, config)`` is the sharded counterpart of
+building one Machine/Interpreter pair and calling ``interp.run()`` --
+same inputs, same :class:`~repro.earth.interpreter.RunResult`, and
+**bit-identical observables** (value, output, ``time_ns``, stats,
+trace) to the single-process run.  Only wall-clock behaviour differs.
+
+Why a fixed window is sound
+---------------------------
+
+Let ``W = MachineParams.shard_window_ns()`` -- the minimum latency any
+cross-node effect pays (one-way network latency of the cheapest
+operation class, and the invalidation delay when the remote cache is
+on).  The machine guarantees that every message handed to the shard
+port takes effect at least ``W`` after the event that produced it (the
+invariant is spelled out in :mod:`repro.shard.messages`).  The
+coordinator therefore advances all shards in lockstep windows of
+length ``W``: a message generated inside window ``[H - W, H)`` has its
+effect at or after ``H``, so exchanging messages only at the ``H``
+barrier never delivers one late.  Within a window each worker's heap
+is self-contained and the single-process event order (the ``(time,
+key)`` heap key) is preserved per shard; the merge
+(:mod:`repro.shard.merge`) restores the global order.
+
+Quiet phases don't cost barriers: when a round moves no messages, the
+next horizon jumps straight to the first ``W``-multiple strictly above
+the earliest pending event anywhere (that target is at most
+``min_next + W``, so in-flight effects still land at or after it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.config import RunConfig
+from repro.earth.interpreter import RunResult
+from repro.errors import InterpreterError, ShardError, SimulatorError
+from repro.shard import messages
+from repro.shard.merge import (
+    merge_busy,
+    merge_output,
+    merge_stats,
+    merge_traces,
+)
+from repro.shard.partition import Partition
+from repro.shard.transport import InlineTransport, ProcessTransport
+
+
+class _MergedRun:
+    """Duck-typed stand-in for the machine that
+    :class:`~repro.earth.interpreter.RunResult` reads its fields from."""
+
+    def __init__(self, num_nodes: int, stats, output, eu_busy, su_busy,
+                 tracer, faults):
+        self.num_nodes = num_nodes
+        self.stats = stats
+        self.output = output
+        self.eu_busy_ns = eu_busy
+        self.su_busy_ns = su_busy
+        self.tracer = tracer
+        self.faults = faults
+
+
+def run_sharded(compiled_simple, config: RunConfig, *,
+                inline: bool = False,
+                barrier_timeout: float = 60.0,
+                crash_spec: Optional[Tuple[int, int]] = None
+                ) -> RunResult:
+    """Run ``compiled_simple`` (a ``SimpleProgram``) partitioned across
+    ``config.shards`` workers.
+
+    ``inline`` keeps the workers in-process (fast, for tests);
+    ``crash_spec=(shard_id, window_index)`` makes that worker die
+    abruptly at that barrier round (crash-handling tests)."""
+    partition = Partition(config.nodes, config.shards)
+    window = config.machine_params().shard_window_ns()
+    if window <= 0:  # pragma: no cover - params invariant
+        raise ShardError(
+            f"machine parameters give a non-positive shard window "
+            f"({window}); sharded execution needs a positive minimum "
+            f"cross-node latency")
+    if inline:
+        transport = InlineTransport(partition, compiled_simple, config,
+                                    crash_spec=crash_spec)
+    else:
+        transport = ProcessTransport(partition, compiled_simple, config,
+                                     barrier_timeout=barrier_timeout,
+                                     crash_spec=crash_spec)
+    num_shards = partition.num_shards
+    try:
+        inboxes: List[list] = [[] for _ in range(num_shards)]
+        horizon = window
+        while True:
+            rounds = transport.window(horizon, inboxes)
+            inboxes = [[] for _ in range(num_shards)]
+            pending = [next_time
+                       for _out, next_time, _parked, _time in rounds
+                       if next_time is not None]
+            for outbox, _next, _parked, _time in rounds:
+                for dest, message in outbox:
+                    inboxes[dest].append(message)
+                    pending.append(messages.effect_time(message))
+            if pending:
+                # Skip dead time: every future event -- a shard's next
+                # heap entry or an in-flight message's effect -- is at
+                # or after min(pending), so anything *generated* before
+                # the next horizon takes effect at or after
+                # min(pending) + W >= that horizon.  (The max() guard
+                # only defends the strict-progress invariant against
+                # float rounding; pending times never precede the
+                # horizon that produced them.)
+                horizon = max(
+                    window * (math.floor(min(pending) / window) + 1),
+                    horizon + window)
+                continue
+            parked = sum(p for _out, _next, p, _time in rounds)
+            if parked:
+                last = max(t for _out, _next, _parked, t in rounds)
+                raise SimulatorError(
+                    f"deadlock: {parked} fiber(s) blocked forever "
+                    f"at t={last:.0f}ns")
+            break
+
+        shards = transport.finish()
+        root = shards[partition.shard_of(0)]
+        if not root["root_ready"]:
+            raise InterpreterError(f"{config.entry}() never returned")
+
+        tracer = None
+        if config.trace:
+            from repro.obs.trace import Tracer
+            tracer = Tracer(capacity=config.trace_capacity)
+            events, dropped = merge_traces(
+                [shard["events"] for shard in shards],
+                config.trace_capacity)
+            tracer.events.extend(events)
+            tracer.dropped = dropped
+        merged = _MergedRun(
+            config.nodes,
+            merge_stats([shard["stats"] for shard in shards]),
+            merge_output(shards),
+            merge_busy([shard["eu_busy"] for shard in shards]),
+            merge_busy([shard["su_busy"] for shard in shards]),
+            tracer,
+            config.fault_plan())
+        return RunResult(root["value"], root["finish_time"], merged)
+    finally:
+        transport.close()

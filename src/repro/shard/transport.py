@@ -1,0 +1,202 @@
+"""How the coordinator drives its shard workers.
+
+Two interchangeable transports run the same
+:class:`~repro.shard.worker.ShardWorker` objects:
+
+* :class:`InlineTransport` keeps every worker in the coordinator's
+  process.  No pickling, no fork latency -- the property suite uses it
+  to sweep many (program, K) combinations cheaply, and it is the
+  fallback when the platform cannot fork.
+* :class:`ProcessTransport` is the real thing: one OS process per
+  shard (``fork`` start method -- the compiled program crosses into
+  the child by inheritance, not pickling), a dedicated pipe each, and
+  a strict request/reply protocol.  Every barrier wait is bounded by
+  ``barrier_timeout`` and every pipe error is converted into a
+  structured :class:`~repro.errors.ShardError` naming the dead shard
+  and its exit code -- a crashed or wedged worker can never hang the
+  coordinator.
+
+Wire protocol (coordinator -> worker): ``("window", horizon, inbox)``,
+``("finish",)``, ``("stop",)``.  Worker -> coordinator: ``("ok",
+payload)`` or ``("error", exc_module, exc_name, message)``; after an
+error the worker exits and the coordinator re-raises the original
+exception class when it is one of ours (:mod:`repro.errors`), so e.g. a
+``SimulatorError`` from a lost split-phase op surfaces identically to
+the single-process run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Tuple
+
+from repro.errors import ShardError
+from repro.shard.partition import Partition
+from repro.shard.worker import ShardWorker
+
+
+def _build_workers(partition: Partition, program, config
+                   ) -> List[ShardWorker]:
+    return [ShardWorker(shard_id, partition, program, config)
+            for shard_id in range(partition.num_shards)]
+
+
+class InlineTransport:
+    """All shard workers in the coordinator's own process."""
+
+    def __init__(self, partition: Partition, program, config,
+                 crash_spec: Optional[Tuple[int, int]] = None):
+        self.workers = _build_workers(partition, program, config)
+        self._crash_spec = crash_spec
+        self._windows = 0
+
+    def window(self, horizon: float, inboxes: List[list]) -> List[tuple]:
+        if self._crash_spec is not None \
+                and self._windows == self._crash_spec[1]:
+            raise ShardError(
+                f"shard worker {self._crash_spec[0]} injected crash "
+                f"at window {self._windows}")
+        self._windows += 1
+        return [worker.run_window(horizon, inbox)
+                for worker, inbox in zip(self.workers, inboxes)]
+
+    def finish(self) -> List[dict]:
+        return [worker.finish() for worker in self.workers]
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(shard_id: int, partition: Partition, program, config,
+                 conn, crash_spec: Optional[Tuple[int, int]]) -> None:
+    """Child-process loop: build the worker, serve barrier commands."""
+    windows = 0
+    try:
+        worker = ShardWorker(shard_id, partition, program, config)
+        while True:
+            command = conn.recv()
+            kind = command[0]
+            if kind == "window":
+                if crash_spec is not None \
+                        and crash_spec[0] == shard_id \
+                        and windows == crash_spec[1]:
+                    # Test hook: die abruptly (no error message, no
+                    # cleanup) so the coordinator's crash detection --
+                    # not Python teardown -- is what gets exercised.
+                    os._exit(1)
+                windows += 1
+                conn.send(("ok", worker.run_window(command[1],
+                                                   command[2])))
+            elif kind == "finish":
+                conn.send(("ok", worker.finish()))
+            else:  # "stop"
+                return
+    except EOFError:
+        return
+    except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+        try:
+            conn.send(("error", type(exc).__module__,
+                       type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+
+
+class ProcessTransport:
+    """One OS process per shard, pipes, bounded barrier waits."""
+
+    def __init__(self, partition: Partition, program, config,
+                 barrier_timeout: float = 60.0,
+                 crash_spec: Optional[Tuple[int, int]] = None):
+        self.barrier_timeout = barrier_timeout
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for shard_id in range(partition.num_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(shard_id, partition, program, config, child_conn,
+                      crash_spec),
+                name=f"repro-shard-{shard_id}",
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # -- protocol ------------------------------------------------------------
+
+    def window(self, horizon: float, inboxes: List[list]) -> List[tuple]:
+        for conn, inbox in zip(self._conns, inboxes):
+            self._send(conn, ("window", horizon, inbox))
+        return [self._recv(shard_id)
+                for shard_id in range(len(self._conns))]
+
+    def finish(self) -> List[dict]:
+        for conn in self._conns:
+            self._send(conn, ("finish",))
+        return [self._recv(shard_id)
+                for shard_id in range(len(self._conns))]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+    # -- failure conversion ---------------------------------------------------
+
+    def _send(self, conn, command: tuple) -> None:
+        try:
+            conn.send(command)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            shard_id = self._conns.index(conn)
+            raise self._dead(shard_id) from exc
+
+    def _recv(self, shard_id: int):
+        conn = self._conns[shard_id]
+        try:
+            if not conn.poll(self.barrier_timeout):
+                raise ShardError(
+                    f"shard worker {shard_id} did not reach the window "
+                    f"barrier within {self.barrier_timeout:.0f}s "
+                    f"(process {'alive' if self._procs[shard_id].is_alive() else 'dead'})")
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._dead(shard_id) from exc
+        if reply[0] == "error":
+            _, module, name, message = reply
+            raise self._rebuild(module, name, message, shard_id)
+        return reply[1]
+
+    def _dead(self, shard_id: int) -> ShardError:
+        proc = self._procs[shard_id]
+        proc.join(timeout=5.0)
+        code = proc.exitcode
+        return ShardError(
+            f"shard worker {shard_id} exited "
+            f"{'with code ' + str(code) if code is not None else 'abnormally'} "
+            f"before reaching the window barrier")
+
+    @staticmethod
+    def _rebuild(module: str, name: str, message: str,
+                 shard_id: int) -> Exception:
+        """Re-raise a worker's exception as its original class when it
+        is one of ours, so simulated-error behaviour (e.g. a lost
+        split-phase op under faults) is transport-independent."""
+        if module == "repro.errors":
+            import repro.errors as errors_mod
+            cls = getattr(errors_mod, name, None)
+            if isinstance(cls, type) and issubclass(cls, Exception):
+                return cls(message)
+        return ShardError(
+            f"shard worker {shard_id} failed: {name}: {message}")

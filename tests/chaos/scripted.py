@@ -35,7 +35,14 @@ int main() {
 
 
 class ScriptedPlan(FaultPlan):
-    """Drops exactly the legs whose global index is in ``drop_legs``."""
+    """Drops exactly the legs whose global index is in ``drop_legs``.
+
+    Legs are indexed by evaluation order, which is deterministic for a
+    single-process run (the machine consults the plan in event order).
+    Unlike the stateless keyed :meth:`FaultPlan.leg`, this counter is
+    shared mutable state, so a ScriptedPlan cannot be sharded -- which
+    is fine: these surgical tests pin down single-machine recovery
+    behaviour."""
 
     def __init__(self, *drop_legs):
         super().__init__(0)
@@ -43,10 +50,10 @@ class ScriptedPlan(FaultPlan):
         self.leg_count = 0
         self.ops_seen = []
 
-    def leg(self, op):
+    def leg(self, kind, origin, target, chan_seq, attempt):
         index = self.leg_count
         self.leg_count += 1
-        self.ops_seen.append(op)
+        self.ops_seen.append((kind, origin, target, chan_seq, attempt))
         return (index in self._drop_legs, 0.0)
 
     def clone(self):

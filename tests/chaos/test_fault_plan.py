@@ -9,27 +9,38 @@ from repro.errors import FaultPlanError, ReproError
 
 
 class TestDeterminism:
-    def test_same_seed_same_leg_stream(self):
+    def test_same_seed_same_leg_fates(self):
         a = FaultPlan(7, drop_prob=0.3, jitter_ns=1000.0)
         b = FaultPlan(7, drop_prob=0.3, jitter_ns=1000.0)
-        assert [a.leg("read") for _ in range(50)] \
-            == [b.leg("read") for _ in range(50)]
+        legs = [("request", 0, 1, s, 1) for s in range(50)]
+        assert [a.leg(*leg) for leg in legs] \
+            == [b.leg(*leg) for leg in legs]
 
     def test_different_seeds_differ(self):
         a = FaultPlan(1, drop_prob=0.3, jitter_ns=1000.0)
         b = FaultPlan(2, drop_prob=0.3, jitter_ns=1000.0)
-        assert [a.leg("read") for _ in range(50)] \
-            != [b.leg("read") for _ in range(50)]
+        legs = [("request", 0, 1, s, 1) for s in range(50)]
+        assert [a.leg(*leg) for leg in legs] \
+            != [b.leg(*leg) for leg in legs]
 
-    def test_leg_stream_position_independent_of_config(self):
-        # Zero-config plans consume draws at the same rate, so turning
-        # faults on cannot shift where later faults land.
-        quiet = FaultPlan(5)
-        noisy = FaultPlan(5, drop_prob=0.5, jitter_ns=100.0)
-        for _ in range(10):
-            quiet.leg("read")
-            noisy.leg("read")
-        assert quiet._rng.random() == noisy._rng.random()
+    def test_leg_fate_independent_of_evaluation_order(self):
+        # A leg's fate is keyed by its coordinates, not by how many
+        # other legs were evaluated first -- the property that lets
+        # shard workers compute fates for disjoint subsets of legs.
+        a = FaultPlan(5, drop_prob=0.5, jitter_ns=100.0)
+        b = FaultPlan(5, drop_prob=0.5, jitter_ns=100.0)
+        legs = [("request", o, t, s, n)
+                for o in range(2) for t in range(2)
+                for s in range(3) for n in (1, 2)]
+        forward = {leg: a.leg(*leg) for leg in legs}
+        backward = {leg: b.leg(*leg) for leg in reversed(legs)}
+        assert forward == backward
+
+    def test_request_and_reply_legs_independent(self):
+        plan = FaultPlan(5, drop_prob=0.5, jitter_ns=100.0)
+        requests = [plan.leg("request", 0, 1, s, 1) for s in range(40)]
+        replies = [plan.leg("reply", 0, 1, s, 1) for s in range(40)]
+        assert requests != replies
 
     def test_never_touches_global_random(self):
         random.seed(1234)
@@ -37,8 +48,8 @@ class TestDeterminism:
         random.seed(1234)
         plan = FaultPlan(9, drop_prob=0.5, jitter_ns=500.0)
         plan.bind(4)
-        for _ in range(100):
-            plan.leg("write")
+        for n in range(100):
+            plan.leg("request", 0, 1, n, 1)
             plan.su_scale(0, 1000.0)
             plan.stall_until(1, 1000.0)
         assert random.random() == before
@@ -47,10 +58,10 @@ class TestDeterminism:
         a = FaultPlan(3, stall_windows=2, su_slowdown_windows=2,
                       su_slowdown_factor=2.0)
         b = a.clone()
-        # Consume message draws from one plan only: window layout must
-        # not depend on the message stream position.
-        for _ in range(25):
-            a.leg("read")
+        # Evaluate legs from one plan only: window layout must not
+        # depend on leg evaluations.
+        for n in range(25):
+            a.leg("request", 0, 1, n, 1)
         a.bind(4)
         b.bind(4)
         assert a._su_windows == b._su_windows
@@ -75,8 +86,8 @@ class TestLifecycle:
     def test_zero_config_plan_injects_nothing(self):
         plan = FaultPlan(11)
         plan.bind(4)
-        for _ in range(20):
-            dropped, extra = plan.leg("read")
+        for n in range(20):
+            dropped, extra = plan.leg("request", 0, 1, n, 1)
             assert not dropped
             assert extra == 0.0
         assert plan.su_scale(2, 12345.0) == 1.0

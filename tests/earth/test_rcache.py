@@ -1,6 +1,8 @@
 """Unit tests for the per-node remote-data cache (earth/rcache.py):
-line geometry, LRU/FIFO replacement, the two invalidation paths, the
-memory write hooks, and the machine-level integration knobs."""
+line geometry, LRU/FIFO replacement, the message-delayed invalidation
+protocol (pack/install, store grants, high-water marks, writer
+blocks), the memory write hooks, and the machine-level integration
+knobs."""
 
 import pytest
 
@@ -13,10 +15,24 @@ from repro.earth.rcache import (
     DEFAULT_LINE_WORDS,
     POLICIES,
     RemoteCache,
+    _Fill,
 )
 from repro.earth.stats import MachineStats
 from repro.harness.pipeline import compile_earthc, execute
 from repro.obs.trace import Tracer
+
+
+class InstantInval:
+    """Stands in for the machine in unit tests: an invalidation
+    'message' fires the moment the store applies (zero network
+    delay), which makes the protocol's ordering rules directly
+    observable through timestamps alone."""
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def send_inval(self, holder, key, t_w):
+        self.cache.fire_inval(holder, key, t_w, t_w)
 
 
 def make_cache(num_nodes=3, capacity=4, line_words=4, policy="lru",
@@ -27,8 +43,18 @@ def make_cache(num_nodes=3, capacity=4, line_words=4, policy="lru",
         memory.allocate(node, heap_words)
     cache = RemoteCache(num_nodes, memory, stats, capacity, line_words,
                         policy, tracer)
+    cache.machine = InstantInval(cache)
     memory.rcache = cache
     return cache, memory, stats
+
+
+def fill(cache, node, address):
+    """Snapshot-and-install in one step: what a zero-latency network
+    would do with pack_fill / install."""
+    packed = cache.pack_fill(node, address)
+    if packed is not None:
+        cache.install(packed, cache.now)
+    return packed
 
 
 def addr(node, offset):
@@ -68,7 +94,7 @@ class TestLookupFill:
         memory.nodes[1].write(16, 42)
         hit, _ = cache.lookup(0, a)
         assert not hit
-        cache.fill(0, a)
+        fill(cache, 0, a)
         hit, value = cache.lookup(0, a)
         assert hit and value == 42
 
@@ -76,15 +102,26 @@ class TestLookupFill:
         cache, memory, _ = make_cache(line_words=4)
         memory.nodes[1].write(16, FILLER)
         # word 17 left as None
-        cache.fill(0, addr(1, 0))
+        fill(cache, 0, addr(1, 0))
         assert cache.lookup(0, addr(1, 0)) == (True, 0)
         assert cache.lookup(0, addr(1, 1)) == (True, 0)
 
-    def test_fill_skips_own_node(self):
+    def test_pack_fill_skips_own_node(self):
         cache, _, _ = make_cache()
-        cache.fill(1, addr(1, 0))
+        assert cache.pack_fill(1, addr(1, 0)) is None
         assert cache.lines_held(1) == 0
         assert not cache.lookup(1, addr(1, 0))[0]
+
+    def test_pack_fill_registers_the_grant_at_the_home(self):
+        cache, _, _ = make_cache()
+        a = addr(1, 0)
+        packed = cache.pack_fill(0, a)
+        # Granted the instant the home snaps it, even though the fill
+        # is still in flight (not installed yet).
+        assert cache.granted_to(a) == (0,)
+        assert cache.holders_of(a) == ()
+        cache.install(packed, cache.now)
+        assert cache.holders_of(a) == (0,)
 
     def test_partial_line_at_end_of_heap(self):
         # Line reaches past the mapped heap: mapped words cached,
@@ -93,25 +130,39 @@ class TestLookupFill:
         size = memory.nodes[1].size_words  # 36 words: 16 base + 20 heap
         last_line_start = (size // 16) * 16
         a = make_address(1, last_line_start)
-        cache.fill(0, a)
+        fill(cache, 0, a)
         assert cache.lookup(0, a)[0]
         beyond = make_address(1, size)  # same line, unmapped word
         if cache._key(beyond) == cache._key(a):
             assert not cache.lookup(0, beyond)[0]
 
-    def test_filling_wrapper_fills_after_do_op(self):
+    def test_wrap_fill_rides_the_read_value(self):
         cache, memory, _ = make_cache()
         memory.nodes[1].write(16, 9)
         a = addr(1, 0)
-        wrapped = cache.filling(0, a, lambda: memory.read_word(a))
-        assert wrapped() == 9
+        wrapped = cache.wrap_fill(0, a, lambda: memory.read_word(a))
+        carried = wrapped()
+        # The side effect produced a picklable in-flight snapshot...
+        assert isinstance(carried, _Fill)
+        assert carried.value == 9
+        assert not cache.lookup(0, a)[0]  # not installed yet
+        # ...and delivery installs the line and yields the read value.
+        assert cache.install(carried, cache.now) == 9
         assert cache.lookup(0, a) == (True, 9)
+
+    def test_wrap_fill_own_node_degenerates_to_plain_value(self):
+        cache, memory, _ = make_cache()
+        memory.nodes[1].write(16, 7)
+        a = addr(1, 0)
+        wrapped = cache.wrap_fill(1, a, lambda: memory.read_word(a))
+        assert wrapped() == 7
+        assert cache.lines_held(1) == 0
 
 
 class TestReplacement:
     def fill_n(self, cache, node, count, line_words=4):
         for i in range(count):
-            cache.fill(node, make_address(1, i * line_words))
+            fill(cache, node, make_address(1, i * line_words))
 
     def test_capacity_bounds_lines_and_counts_evictions(self):
         cache, _, stats = make_cache(capacity=2, line_words=4,
@@ -122,51 +173,59 @@ class TestReplacement:
 
     def test_lru_promotes_on_hit(self):
         cache, _, _ = make_cache(capacity=2, line_words=4, heap_words=64)
-        cache.fill(0, make_address(1, 0))
-        cache.fill(0, make_address(1, 4))
+        fill(cache, 0, make_address(1, 0))
+        fill(cache, 0, make_address(1, 4))
         cache.lookup(0, make_address(1, 0))  # touch line 0
-        cache.fill(0, make_address(1, 8))   # evicts line 1 (LRU)
+        fill(cache, 0, make_address(1, 8))   # evicts line 1 (LRU)
         assert cache.lookup(0, make_address(1, 0))[0]
         assert not cache.lookup(0, make_address(1, 4))[0]
 
     def test_fifo_ignores_hits(self):
         cache, _, _ = make_cache(capacity=2, line_words=4,
                                  policy="fifo", heap_words=64)
-        cache.fill(0, make_address(1, 0))
-        cache.fill(0, make_address(1, 4))
+        fill(cache, 0, make_address(1, 0))
+        fill(cache, 0, make_address(1, 4))
         cache.lookup(0, make_address(1, 0))  # touch does not promote
-        cache.fill(0, make_address(1, 8))   # evicts line 0 (oldest)
+        fill(cache, 0, make_address(1, 8))   # evicts line 0 (oldest)
         assert not cache.lookup(0, make_address(1, 0))[0]
         assert cache.lookup(0, make_address(1, 4))[0]
 
-    def test_eviction_cleans_reverse_index(self):
+    def test_eviction_is_invisible_to_the_home(self):
         cache, _, _ = make_cache(capacity=1, line_words=4, heap_words=64)
         a, b = make_address(1, 0), make_address(1, 4)
-        cache.fill(0, a)
+        fill(cache, 0, a)
         assert cache.holders_of(a) == (0,)
-        cache.fill(0, b)
+        fill(cache, 0, b)
         assert cache.holders_of(a) == ()
         assert cache.holders_of(b) == (0,)
+        # The grant directory still lists the evicted holder: the home
+        # cannot see remote evictions, so a later store will send it a
+        # harmless no-op invalidation.
+        assert cache.granted_to(a) == (0,)
 
 
 class TestInvalidation:
     def test_write_word_hook_drops_all_holders(self):
         cache, memory, stats = make_cache()
         a = addr(1, 0)
-        cache.fill(0, a)
-        cache.fill(2, a)
+        fill(cache, 0, a)
+        fill(cache, 2, a)
         assert cache.holders_of(a) == (0, 2)
+        cache.now = 5.0  # copies were snapped strictly earlier
         memory.write_word(a, 7)
         assert cache.holders_of(a) == ()
         assert not cache.lookup(0, a)[0]
         assert not cache.lookup(2, a)[0]
         assert stats.rcache_invalidations == 2
+        # The store consumed the grants.
+        assert cache.granted_to(a) == ()
 
     def test_write_block_invalidates_every_covered_line(self):
         cache, memory, _ = make_cache(line_words=4)
         first, second = addr(1, 0), addr(1, 4)
-        cache.fill(0, first)
-        cache.fill(0, second)
+        fill(cache, 0, first)
+        fill(cache, 0, second)
+        cache.now = 5.0
         memory.write_block(addr(1, 2), [1, 2, 3, 4])  # spans both lines
         assert not cache.lookup(0, first)[0]
         assert not cache.lookup(0, second)[0]
@@ -175,34 +234,84 @@ class TestInvalidation:
         cache, memory, _ = make_cache()
         a = addr(1, 0)
         memory.write_word(a, 1)
-        cache.fill(0, a)
+        cache.now = 1.0
+        fill(cache, 0, a)
+        cache.now = 2.0
         memory.write_word(a, 2)
         hit, _ = cache.lookup(0, a)
         assert not hit  # must re-read, not serve the stale 1
-        cache.fill(0, a)
+        cache.now = 3.0
+        fill(cache, 0, a)
         assert cache.lookup(0, a) == (True, 2)
+
+    def test_stale_inflight_snapshot_cannot_install(self):
+        # A fill snapped *before* a store must not resurface *after*
+        # the store's invalidation fired at the reader.
+        cache, memory, _ = make_cache()
+        a = addr(1, 0)
+        memory.nodes[1].write(16, 1)
+        stale = cache.pack_fill(0, a)     # snapped at t=0
+        cache.now = 5.0
+        memory.write_word(a, 2)           # inval fires at t=5
+        cache.install(stale, 6.0)         # delivery after the inval
+        assert not cache.lookup(0, a)[0]
+
+    def test_newer_copy_survives_older_inval(self):
+        # Invalidations carry the store time: a copy snapped after the
+        # store (reordered delivery) is already fresh and must stay.
+        cache, _, _ = make_cache()
+        a = addr(1, 0)
+        cache.now = 10.0
+        fill(cache, 0, a)
+        cache.fire_inval(0, cache._key(a), 5.0, 12.0)
+        assert cache.lookup(0, a)[0]
+
+    def test_writer_block_gates_installs_until_unblock(self):
+        cache, memory, _ = make_cache()
+        a = addr(1, 0)
+        packed = cache.pack_fill(0, a)
+        cache.writer_block(0, a)
+        cache.install(packed, cache.now)
+        assert not cache.lookup(0, a)[0]  # blocked while write in flight
+        cache.writer_unblock(0, a)
+        cache.install(packed, cache.now)
+        assert cache.lookup(0, a)[0]
+
+    def test_writer_blocks_nest(self):
+        cache, _, _ = make_cache()
+        a = addr(1, 0)
+        cache.writer_block(0, a)
+        cache.writer_block(0, a)
+        cache.writer_unblock(0, a)
+        packed = cache.pack_fill(0, a)
+        cache.install(packed, cache.now)
+        assert not cache.lookup(0, a)[0]  # one write still in flight
+        cache.writer_unblock(0, a)
+        cache.install(packed, cache.now)
+        assert cache.lookup(0, a)[0]
 
     def test_invalidate_node_only_drops_the_writer(self):
         cache, _, _ = make_cache()
         a = addr(1, 0)
-        cache.fill(0, a)
-        cache.fill(2, a)
+        fill(cache, 0, a)
+        fill(cache, 2, a)
         cache.invalidate_node(0, a)
         assert cache.holders_of(a) == (2,)
         assert not cache.lookup(0, a)[0]
         assert cache.lookup(2, a)[0]
 
-    def test_invalidate_unheld_line_is_a_noop(self):
-        cache, _, stats = make_cache()
-        cache.invalidate(addr(1, 0))
+    def test_invalidating_unheld_lines_is_a_noop(self):
+        cache, memory, stats = make_cache()
+        memory.write_word(addr(1, 0), 3)  # no grants: nothing to send
         cache.invalidate_node(0, addr(1, 0))
+        cache.fire_inval(0, cache._key(addr(1, 0)), 1.0, 1.0)
         assert stats.rcache_invalidations == 0
 
     def test_inval_emits_trace_events(self):
         tracer = Tracer()
         cache, memory, _ = make_cache(tracer=tracer)
         a = addr(1, 0)
-        cache.fill(0, a)
+        fill(cache, 0, a)
         cache.now = 123.0
         memory.write_word(a, 5)
         events = tracer.events_of("cache_inval")

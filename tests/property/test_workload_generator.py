@@ -155,4 +155,8 @@ def test_optimizer_preserves_generated_results(seed):
     after = execute(opt, config=config)
     assert before.value == after.value
     assert before.output == after.output
-    assert after.stats.total_comm_ops <= before.stats.total_comm_ops
+    # The optimizer's contract is about *messages*: it may trade many
+    # remote reads for one blkmov plus extra local buffer traffic
+    # (which total_comm_ops would count against it), but the number of
+    # operations that cross the network must never grow.
+    assert after.stats.total_remote_ops <= before.stats.total_remote_ops

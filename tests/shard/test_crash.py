@@ -1,0 +1,83 @@
+"""Worker-crash handling: structured errors within the timeout, never
+a hang.
+
+``crash_spec=(shard_id, window_index)`` makes that worker ``os._exit``
+abruptly at that barrier round -- no exception message, no pipe
+goodbye -- so what's under test is the coordinator's own detection:
+EOF/poll on the pipe converted into a :class:`ShardError` (exit-code-4
+family) naming the dead shard, with every surviving worker reaped.
+"""
+
+import time
+
+import pytest
+
+from repro.config import RunConfig
+from repro.errors import EXIT_RUNTIME, ShardError, exit_code_for
+from repro.harness.pipeline import compile_earthc
+from repro.olden.loader import catalog
+from repro.shard.runner import run_sharded
+
+NODES = 8
+TIMEOUT = 20.0
+
+
+@pytest.fixture(scope="module")
+def treeadd():
+    spec = next(s for s in catalog() if s.name == "treeadd")
+    return spec, compile_earthc(spec.source(), spec.filename,
+                                optimize=True, inline=spec.inline)
+
+
+@pytest.mark.parametrize("window_index", (0, 3))
+def test_crashed_worker_raises_shard_error(treeadd, window_index):
+    spec, compiled = treeadd
+    config = RunConfig(nodes=NODES, shards=4,
+                       args=tuple(spec.small_args))
+    started = time.monotonic()
+    with pytest.raises(ShardError) as err:
+        run_sharded(compiled.simple, config,
+                    barrier_timeout=TIMEOUT,
+                    crash_spec=(2, window_index))
+    elapsed = time.monotonic() - started
+    # Structured, prompt, and attributable -- not a hang, not a
+    # BrokenPipeError traceback.
+    assert elapsed < TIMEOUT + 15.0
+    assert "shard worker 2" in str(err.value)
+    assert "exited" in str(err.value)
+
+
+def test_crash_error_is_exit_code_4_family(treeadd):
+    spec, compiled = treeadd
+    config = RunConfig(nodes=NODES, shards=2,
+                       args=tuple(spec.small_args))
+    with pytest.raises(ShardError) as err:
+        run_sharded(compiled.simple, config,
+                    barrier_timeout=TIMEOUT, crash_spec=(1, 1))
+    assert exit_code_for(err.value) == EXIT_RUNTIME
+
+
+def test_no_leaked_workers_after_crash(treeadd):
+    """close() reaps the survivors even on the error path."""
+    import multiprocessing
+
+    spec, compiled = treeadd
+    config = RunConfig(nodes=NODES, shards=4,
+                       args=tuple(spec.small_args))
+    with pytest.raises(ShardError):
+        run_sharded(compiled.simple, config,
+                    barrier_timeout=TIMEOUT, crash_spec=(0, 2))
+    leftovers = [proc for proc in multiprocessing.active_children()
+                 if proc.name.startswith("repro-shard-")]
+    assert leftovers == []
+
+
+def test_inline_crash_spec_raises_too(treeadd):
+    """The inline transport honors the hook (fast path for the
+    coordinator's error handling without fork overhead)."""
+    spec, compiled = treeadd
+    config = RunConfig(nodes=NODES, shards=2,
+                       args=tuple(spec.small_args))
+    with pytest.raises(ShardError, match="injected crash"):
+        run_sharded(compiled.simple, config, inline=True,
+                    crash_spec=(0, 1))

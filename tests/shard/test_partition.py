@@ -1,0 +1,122 @@
+"""Partition shape, shard-count validation, and CLI usage errors."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.config import RunConfig
+from repro.errors import (
+    EXIT_RUNTIME,
+    EXIT_USAGE,
+    ShardError,
+    UsageError,
+    exit_code_for,
+)
+from repro.shard.partition import Partition
+
+SOURCE = """
+int main(int n) {
+    return n + n;
+}
+"""
+
+
+class TestPartition:
+    def test_striping(self):
+        part = Partition(10, 3)
+        assert [part.shard_of(n) for n in range(10)] \
+            == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+        assert part.nodes_of(0) == [0, 3, 6, 9]
+        assert part.nodes_of(2) == [2, 5, 8]
+        # Every node is owned by exactly one shard.
+        owned = [n for s in range(3) for n in part.nodes_of(s)]
+        assert sorted(owned) == list(range(10))
+
+    def test_root_node_is_always_shard_zero(self):
+        for shards in (1, 2, 5, 16):
+            assert Partition(16, shards).shard_of(0) == 0
+
+    def test_too_many_shards_rejected(self):
+        with pytest.raises(UsageError, match="must not exceed"):
+            Partition(4, 5)
+
+    def test_nonpositive_shards_rejected(self):
+        with pytest.raises(UsageError, match=">= 1"):
+            Partition(4, 0)
+        with pytest.raises(UsageError, match=">= 1"):
+            Partition(4, -2)
+
+
+class TestRunConfigValidation:
+    def test_shards_default_single(self):
+        assert RunConfig(nodes=4).shards == 1
+
+    def test_shards_round_trips_json(self):
+        config = RunConfig(nodes=8, shards=4)
+        assert RunConfig.from_json(config.to_json()) == config
+
+    def test_shards_exceeding_nodes(self):
+        with pytest.raises(UsageError, match="must not exceed"):
+            RunConfig(nodes=2, shards=3)
+
+    def test_shards_below_one(self):
+        with pytest.raises(UsageError, match=">= 1"):
+            RunConfig(nodes=2, shards=0)
+
+    def test_usage_error_is_exit_2(self):
+        try:
+            RunConfig(nodes=2, shards=3)
+        except UsageError as exc:
+            assert exit_code_for(exc) == EXIT_USAGE
+
+    def test_shard_error_is_exit_4_family(self):
+        assert exit_code_for(ShardError("x")) == EXIT_RUNTIME
+
+
+class TestCliValidation:
+    @pytest.fixture()
+    def source_file(self, tmp_path):
+        path = tmp_path / "prog.ec"
+        path.write_text(SOURCE)
+        return str(path)
+
+    def test_shards_over_nodes_is_usage_error(self, source_file,
+                                              capsys):
+        code = main([source_file, "--run", "--nodes", "2",
+                     "--shards", "3", "--args", "5"])
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "must not exceed the node count" in err
+        assert "Traceback" not in err
+
+    def test_shards_zero_is_usage_error(self, source_file, capsys):
+        code = main([source_file, "--run", "--nodes", "2",
+                     "--shards", "0", "--args", "5"])
+        assert code == EXIT_USAGE
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_shards_happy_path(self, source_file, capsys):
+        code = main([source_file, "--run", "--nodes", "2",
+                     "--shards", "2", "--args", "21"])
+        assert code == 0
+        assert "result  = 42" in capsys.readouterr().out
+
+
+class TestLiveOverrideGuard:
+    def test_execute_rejects_live_overrides_with_shards(self):
+        from repro.earth.params import MachineParams
+        from repro.harness.pipeline import compile_earthc, execute
+        compiled = compile_earthc(SOURCE, "guard.ec")
+        with pytest.raises(UsageError, match="worker processes"):
+            execute(compiled, params=MachineParams(),
+                    config=RunConfig(nodes=2, shards=2, args=(1,)))
+
+
+class TestPortGuards:
+    def test_fiber_without_spawn_desc_cannot_cross(self):
+        from repro.earth.machine import Fiber
+        from repro.shard.worker import ShardPort
+
+        port = ShardPort(0, Partition(4, 2), None)
+        fiber = Fiber(iter(()), node=1, name="branch")
+        with pytest.raises(ShardError, match="cannot cross a shard"):
+            port.send_spawn(fiber, 100.0)
