@@ -10,6 +10,9 @@ a speedup that changes the answer is a bug, not a win.
 
 ``--engine NAME`` (repeatable, from benchmarks/conftest.py) restricts
 the axis, e.g. ``--engine codegen`` for the CI codegen-only step.
+``--opt PRESET`` compiles the programs under that OptConfig preset
+(e.g. ``--opt probabilistic`` for the CI opt leg); the cross-engine
+bit-identity asserts hold per preset.
 
 Regenerate the committed ``BENCH_sim_speed.json``::
 
@@ -31,30 +34,31 @@ _COMPILED = {}
 _REFERENCE = {}
 
 
-def _compiled(spec):
-    if spec.name not in _COMPILED:
-        _COMPILED[spec.name] = compile_earthc(
+def _compiled(spec, opt):
+    key = (spec.name, opt)
+    if key not in _COMPILED:
+        _COMPILED[key] = compile_earthc(
             spec.source(), spec.filename, optimize=True,
-            inline=spec.inline)
-    return _COMPILED[spec.name]
+            inline=spec.inline, opt=opt)
+    return _COMPILED[key]
 
 
-def _run(spec, engine):
-    return execute(_compiled(spec),
+def _run(spec, engine, opt):
+    return execute(_compiled(spec, opt),
                    config=RunConfig(nodes=4, args=tuple(spec.default_args),
                                     max_stmts=spec.max_stmts, engine=engine))
 
 
 @pytest.mark.parametrize("engine", sorted(ENGINES))  # ast first
 @pytest.mark.parametrize("name", [spec.name for spec in catalog()])
-def test_engine_speed(benchmark, engine_axis, name, engine):
+def test_engine_speed(benchmark, engine_axis, opt_axis, name, engine):
     if engine_axis and engine not in engine_axis:
         pytest.skip(f"--engine restricted to {engine_axis}")
     spec = next(s for s in catalog() if s.name == name)
     # Warm up once outside the timer: compiles the program and, for the
     # closure engine, builds the per-function closures.
-    warm = _run(spec, engine)
-    result = benchmark.pedantic(lambda: _run(spec, engine),
+    warm = _run(spec, engine, opt_axis)
+    result = benchmark.pedantic(lambda: _run(spec, engine, opt_axis),
                                 rounds=3, iterations=1,
                                 warmup_rounds=0)
     assert result.value == warm.value

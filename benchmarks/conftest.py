@@ -17,12 +17,22 @@ def pytest_addoption(parser):
         "--engine", action="append", default=None, metavar="NAME",
         help="restrict engine-parametrized benches to this engine "
              "(repeatable; default: all engines)")
+    parser.addoption(
+        "--opt", default=None, metavar="PRESET",
+        help="compile optimized legs under this OptConfig preset "
+             "(legacy/probabilistic; default: unset = legacy)")
 
 
 @pytest.fixture
 def engine_axis(request):
     """The ``--engine`` selection, or None for all engines."""
     return request.config.getoption("--engine")
+
+
+@pytest.fixture
+def opt_axis(request):
+    """The ``--opt`` OptConfig preset, or None for the legacy default."""
+    return request.config.getoption("--opt")
 
 
 def pedantic(benchmark, fn, rounds=1):

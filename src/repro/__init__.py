@@ -44,9 +44,16 @@ arguments (``execute(compiled, num_nodes=4, engine=...)``) still work
 but emit :class:`DeprecationWarning` and will be removed one release
 after 2026.08.  Live instances of :class:`MachineParams`,
 :class:`Tracer`, and fault plans remain first-class keyword overrides.
+
+Since 1.2, the optimizer's heuristic knobs live in :class:`OptConfig`
+(``RunConfig(opt=...)``, ``compile_source(..., opt=...)``, the
+``--opt-*`` CLI flags).  The legacy module-level constants
+(``LOOP_FREQUENCY_FACTOR`` and friends) are deprecated read-only
+aliases.
 """
 
 from repro.comm.costmodel import CommCostModel
+from repro.comm.optconfig import OptConfig
 from repro.comm.optimizer import (
     CommConfig,
     CommunicationOptimizer,
@@ -70,7 +77,7 @@ from repro.harness.pipeline import (
 from repro.obs.trace import Tracer
 from repro.service.cache import ArtifactCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArtifactCache",
@@ -81,6 +88,7 @@ __all__ = [
     "Interpreter",
     "Machine",
     "MachineParams",
+    "OptConfig",
     "OptimizationReport",
     "ReproError",
     "RunConfig",

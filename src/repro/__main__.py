@@ -55,8 +55,9 @@ import sys
 from repro.analysis.connection import ConnectionInfo
 from repro.analysis.points_to import analyze_points_to
 from repro.analysis.rw_sets import EffectsAnalysis
+from repro.comm.optconfig import BLKMOV_SHAPES, OPT_PRESETS
 from repro.comm.placement import analyze_placement
-from repro.config import RunConfig
+from repro.config import RunConfig, opt_from_cli_args
 from repro.earth.faults import PROFILES, plan_from_cli
 from repro.errors import (
     EXIT_ERROR,
@@ -202,6 +203,52 @@ def _parse_args(argv):
                         help="named fault configuration (requires "
                              "--faults; --fault-drop/--fault-jitter "
                              "override its fields)")
+    opt_group = parser.add_argument_group(
+        "optimizer heuristics (OptConfig)",
+        "tuning knobs for -O; defaults reproduce the paper's fixed "
+        "multipliers bit-for-bit")
+    opt_group.add_argument("--opt-preset", default=None,
+                           choices=sorted(OPT_PRESETS),
+                           help="named heuristic preset; individual "
+                                "--opt-* flags override its fields")
+    opt_group.add_argument("--opt-loop-weight", type=float, default=None,
+                           metavar="W", dest="opt_loop_weight",
+                           help="frequency multiplier per enclosing "
+                                "loop (legacy 10)")
+    opt_group.add_argument("--opt-branch-weight", type=float,
+                           default=None, metavar="W",
+                           dest="opt_branch_weight",
+                           help="frequency multiplier / execution "
+                                "probability per conditional arm "
+                                "(legacy 0.5)")
+    opt_group.add_argument("--opt-probabilistic", action="store_true",
+                           default=False, dest="opt_probabilistic",
+                           help="drive selection by the probability "
+                                "channel instead of raw frequencies")
+    opt_group.add_argument("--opt-block-threshold", type=int,
+                           default=None, metavar="N",
+                           dest="opt_block_threshold",
+                           help="minimum distinct fields before a "
+                                "block move is considered (legacy 3)")
+    opt_group.add_argument("--opt-min-expected", type=float,
+                           default=None, metavar="X",
+                           dest="opt_min_expected",
+                           help="minimum expected scalar accesses a "
+                                "block move must replace (legacy 2)")
+    opt_group.add_argument("--opt-spurious-ratio", type=float,
+                           default=None, metavar="R",
+                           dest="opt_spurious_ratio",
+                           help="max struct-size / words-needed ratio "
+                                "for a block move (legacy 4)")
+    opt_group.add_argument("--opt-shape", default=None,
+                           choices=BLKMOV_SHAPES, dest="opt_shape",
+                           help="read block-move shape policy "
+                                "(legacy 'prefix')")
+    opt_group.add_argument("--opt-private-lines", action="store_true",
+                           default=False, dest="opt_private_lines",
+                           help="skip rcache write-through "
+                                "invalidation for provably-private "
+                                "allocations")
     return parser.parse_args(argv)
 
 
@@ -215,12 +262,12 @@ def _selected_functions(compiled, only):
     return [functions[only]]
 
 
-def _show_tuples(compiled, only):
+def _show_tuples(compiled, only, opt=None):
     simple = compiled.simple
     pts = analyze_points_to(simple)
     conn = ConnectionInfo(simple, pts, EffectsAnalysis(simple, pts))
     for function in _selected_functions(compiled, only):
-        placement = analyze_placement(function, conn)
+        placement = analyze_placement(function, conn, opt)
         print(f"== RemoteReads / RemoteWrites per statement: "
               f"{function.name}")
         for stmt in function.body.walk():
@@ -288,9 +335,11 @@ def _compile_main(argv) -> int:
                             f"{args.fault_jitter}", args.json)
 
     try:
+        opt = opt_from_cli_args(args)
         compiled = compile_earthc(
             source, args.file, optimize=args.optimize,
-            inline=args.inline, reorder_fields=args.reorder_fields)
+            inline=args.inline, reorder_fields=args.reorder_fields,
+            opt=opt)
 
         if "simple" in shows:
             for function in _selected_functions(compiled, args.function):
@@ -300,7 +349,7 @@ def _compile_main(argv) -> int:
             print(compiled.threaded_listing())
             print()
         if "tuples" in shows:
-            _show_tuples(compiled, args.function)
+            _show_tuples(compiled, args.function, opt)
         if "stats" in shows and compiled.report is not None:
             print("== optimization report")
             for name, stats in compiled.report.selections.items():
@@ -556,6 +605,10 @@ def _submit_main(argv) -> int:
                         help="comma-separated integer arguments")
     parser.add_argument("--small", action="store_true",
                         help="use the benchmark's reduced problem size")
+    parser.add_argument("--opt-preset", default=None,
+                        choices=sorted(OPT_PRESETS), dest="opt_preset",
+                        help="optimizer heuristic preset "
+                             "(OptConfig) for the job")
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="client socket timeout in seconds")
     parser.add_argument("--json", action="store_true",
@@ -587,7 +640,7 @@ def _submit_main(argv) -> int:
                        params=opts.params, faults=_fault_spec(opts),
                        rcache_capacity=opts.rcache_capacity,
                        rcache_line_words=opts.rcache_line,
-                       small=opts.small)
+                       small=opts.small, opt=opts.opt_preset)
         with ServiceClient(opts.host, opts.port,
                            timeout=opts.timeout) as client:
             result = client.submit(spec)
@@ -672,6 +725,10 @@ def _batch_main(argv) -> int:
     parser.add_argument("--rcache-line", type=int, default=16,
                         metavar="WORDS",
                         help="remote-data cache line size in words")
+    parser.add_argument("--opt-preset", default=None,
+                        choices=sorted(OPT_PRESETS), dest="opt_preset",
+                        help="optimizer heuristic preset (OptConfig) "
+                             "applied to every sweep job")
     parser.add_argument("--workers", type=int, default=2,
                         help="local worker processes (0 = inline; "
                              "default 2)")
@@ -711,7 +768,8 @@ def _batch_main(argv) -> int:
                                kind=opts.kind, engine=opts.engine,
                                faults=_fault_spec(opts),
                                rcache_capacity=opts.rcache_capacity,
-                               rcache_line_words=opts.rcache_line)
+                               rcache_line_words=opts.rcache_line,
+                               opt=opts.opt_preset)
         if not specs:
             return _usage_error("batch has no jobs to run", opts.json)
 

@@ -64,6 +64,15 @@ class CommCostModel:
         self.min_expected_accesses = min_expected_accesses
         self.max_spurious_ratio = max_spurious_ratio
 
+    @classmethod
+    def from_opt(cls, opt) -> "CommCostModel":
+        """A cost model whose decision thresholds come from an
+        :class:`~repro.comm.optconfig.OptConfig` (Table I hardware
+        costs are fixed; only the blocking-decision knobs vary)."""
+        return cls(block_access_threshold=opt.block_access_threshold,
+                   min_expected_accesses=opt.min_expected_accesses,
+                   max_spurious_ratio=opt.max_spurious_ratio)
+
     # -- cost queries ---------------------------------------------------------
 
     def read_cost(self, pipelined: bool) -> float:

@@ -21,12 +21,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.connection import ConnectionInfo
-from repro.analysis.locality import LocalityResult, analyze_locality
+from repro.analysis.locality import (
+    LocalityResult,
+    analyze_locality,
+    mark_private_sites,
+)
 from repro.analysis.nilness import analyze_nilness
 from repro.analysis.points_to import analyze_points_to
 from repro.analysis.rw_sets import EffectsAnalysis
 from repro.comm.costmodel import CommCostModel
 from repro.comm.forwarding import ForwardingStats, forward_remote_values
+from repro.comm.optconfig import OptConfig
 from repro.comm.placement import PlacementResult, analyze_placement
 from repro.comm.selection import CommSelection, SelectionStats
 from repro.obs.profile import PassProfile, timed_pass
@@ -40,6 +45,12 @@ class CommConfig:
     ``speculative_reads`` mirrors the paper's runtime option of issuing
     remote reads to potentially-invalid addresses (footnote 2); when
     False, selection falls back to the nilness analysis.
+
+    ``opt`` carries the heuristic knobs
+    (:class:`~repro.comm.optconfig.OptConfig`); None means the legacy
+    defaults.  The pass on/off switches stay here -- they change *what
+    the optimizer does*, while OptConfig only changes *how it weighs
+    choices*.
     """
 
     def __init__(
@@ -50,6 +61,7 @@ class CommConfig:
         enable_blocking: bool = True,
         speculative_reads: bool = True,
         split_phase_residuals: bool = True,
+        opt: Optional[OptConfig] = None,
     ):
         self.enable_locality = enable_locality
         self.enable_forwarding = enable_forwarding
@@ -57,6 +69,7 @@ class CommConfig:
         self.enable_blocking = enable_blocking
         self.speculative_reads = speculative_reads
         self.split_phase_residuals = split_phase_residuals
+        self.opt = opt
 
     def __repr__(self) -> str:
         flags = [name for name in ("enable_locality", "enable_forwarding",
@@ -64,6 +77,8 @@ class CommConfig:
                                    "speculative_reads",
                                    "split_phase_residuals")
                  if getattr(self, name)]
+        if self.opt is not None:
+            flags.append(str(self.opt))
         return f"CommConfig({', '.join(flags)})"
 
 
@@ -122,7 +137,12 @@ class CommunicationOptimizer:
                  cost_model: Optional[CommCostModel] = None):
         self.program = program
         self.config = config or CommConfig()
-        self.cost_model = cost_model or CommCostModel()
+        self.opt = self.config.opt if self.config.opt is not None \
+            else OptConfig()
+        # An explicit cost model wins; otherwise the decision
+        # thresholds come from the opt config (identical to the plain
+        # CommCostModel at legacy defaults).
+        self.cost_model = cost_model or CommCostModel.from_opt(self.opt)
 
     def run(self) -> OptimizationReport:
         report = OptimizationReport()
@@ -156,14 +176,16 @@ class CommunicationOptimizer:
                 conn = self._fresh_connection()
                 read_selections = {}
                 for function in self.program.functions.values():
-                    placement = analyze_placement(function, conn)
+                    placement = analyze_placement(function, conn,
+                                                  self.opt)
                     report.placements[function.name] = placement
                     nilness = analyze_nilness(function)
                     selection = CommSelection(
                         function, placement, conn, nilness,
                         self.cost_model,
                         speculative_reads=config.speculative_reads,
-                        enable_blocking=config.enable_blocking)
+                        enable_blocking=config.enable_blocking,
+                        opt=self.opt)
                     selection.run_reads()
                     read_selections[function.name] = selection
             self._placement_counters(profile, report.placements.values())
@@ -184,7 +206,8 @@ class CommunicationOptimizer:
                 conn = self._fresh_connection()
                 write_placements = []
                 for function in self.program.functions.values():
-                    placement = analyze_placement(function, conn)
+                    placement = analyze_placement(function, conn,
+                                                  self.opt)
                     write_placements.append(placement)
                     nilness = analyze_nilness(function)
                     prior = read_selections[function.name]
@@ -194,7 +217,8 @@ class CommunicationOptimizer:
                         speculative_reads=config.speculative_reads,
                         enable_blocking=config.enable_blocking,
                         stats=prior.stats,
-                        block_regions=prior.block_regions)
+                        block_regions=prior.block_regions,
+                        opt=self.opt)
                     selection.run_writes()
                     report.selections[function.name] = selection.stats
             self._placement_counters(profile, write_placements)
@@ -214,6 +238,14 @@ class CommunicationOptimizer:
                     marked += _mark_residual_split_phase(function)
             profile.counters["residuals_marked"] = marked
 
+        if self.opt.private_lines:
+            # Last: the points-to facts must cover the comm statements
+            # selection inserted.
+            with timed_pass(report.passes, "private lines") as profile:
+                conn = self._fresh_connection()
+                private = mark_private_sites(self.program, conn.pts)
+            profile.counters["private_sites"] = private
+
         with timed_pass(report.passes, "validate"):
             validate_program(self.program)
         return report
@@ -228,7 +260,7 @@ class CommunicationOptimizer:
     def _fresh_connection(self) -> ConnectionInfo:
         """(Re)build the alias information for the current program
         state -- cheap at benchmark scale, and keeps every pass exact."""
-        pts = analyze_points_to(self.program)
+        pts = analyze_points_to(self.program, self.opt.branch_weight)
         effects = EffectsAnalysis(self.program, pts)
         return ConnectionInfo(self.program, pts, effects)
 

@@ -20,7 +20,13 @@ values coherent; we run the store-to-load forwarding pass
 redundancy wins, and keep the placement analysis unconditionally sound.
 
 Frequency adjustments follow the paper's ``adjustFrequency``: x10 out of
-loops, /2 out of ``if``, /#arms out of ``switch``.
+loops, /2 out of ``if``, /#arms out of ``switch``.  The x10 and /2
+weights are the :class:`~repro.comm.optconfig.OptConfig` defaults
+(``loop_weight`` / ``branch_weight``); alongside the frequency each
+tuple maintains its execution probability (see
+:class:`~repro.comm.tuples.CommTuple`), which only the probabilistic
+selection mode consumes.  Kill decisions never depend on either -- they
+are soundness conditions, not profitability ones.
 
 Parallel constructs (absent from the paper's figures) are handled
 conservatively: tuples generated inside ``{^...^}`` branches escape only
@@ -31,16 +37,36 @@ and never export write tuples (a forall may run zero iterations).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
 from repro.analysis.connection import ConnectionInfo
+from repro.comm.optconfig import OptConfig
 from repro.comm.tuples import CommSet, CommTuple
+from repro.errors import ReproDeprecationWarning
 from repro.simple import nodes as s
 
 READ = "read"
 WRITE = "write"
 
-LOOP_FREQUENCY_FACTOR = 10.0
+#: Deprecated module constants, kept as read-only aliases of the
+#: :class:`OptConfig` defaults for one release (module ``__getattr__``
+#: below).  Use ``OptConfig().loop_weight`` instead.
+_DEPRECATED_CONSTANTS = {
+    "LOOP_FREQUENCY_FACTOR": ("loop_weight", 10.0),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONSTANTS:
+        field, value = _DEPRECATED_CONSTANTS[name]
+        warnings.warn(
+            f"repro.comm.placement.{name} is deprecated; use "
+            f"OptConfig().{field} (repro.comm.optconfig)",
+            ReproDeprecationWarning, stacklevel=2)
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class PlacementResult:
@@ -67,9 +93,11 @@ class PlacementResult:
 class PlacementAnalysis:
     """Runs possible-placement analysis on one function."""
 
-    def __init__(self, func: s.SimpleFunction, conn: ConnectionInfo):
+    def __init__(self, func: s.SimpleFunction, conn: ConnectionInfo,
+                 opt: Optional[OptConfig] = None):
         self.func = func
         self.conn = conn
+        self.opt = opt if opt is not None else OptConfig()
         self.result = PlacementResult(func.name)
         self._returns_cache: Dict[int, bool] = {}
 
@@ -228,13 +256,14 @@ class PlacementAnalysis:
         then_set = self._collect(stmt.then_seq, access)
         else_set = self._collect(stmt.else_seq, access)
         result = CommSet()
+        arm = self.opt.branch_weight
         if access == READ:
             # Optimistic: reads from either arm may be hoisted (spurious
-            # reads are safe), at halved frequency.
+            # reads are safe), at per-arm frequency.
             for tup in then_set:
-                result.add(tup.scaled(0.5))
+                result.add(tup.scaled(arm))
             for tup in else_set:
-                result.add(tup.scaled(0.5))
+                result.add(tup.scaled(arm))
             return result
         # Writes: only locations written in *all* alternatives may sink
         # below the conditional.
@@ -242,8 +271,8 @@ class PlacementAnalysis:
             other = else_set.get(tup.key)
             if other is None:
                 continue
-            result.add(tup.scaled(0.5))
-            result.add(other.scaled(0.5))
+            result.add(tup.scaled(arm))
+            result.add(other.scaled(arm))
         return result
 
     def _collect_switch(self, stmt: s.SwitchStmt, access: str) -> CommSet:
@@ -283,7 +312,7 @@ class PlacementAnalysis:
                 if self._read_killed_by(tup, stmt):
                     self.result.tuples_killed += 1
                     continue
-                result.add(tup.scaled(LOOP_FREQUENCY_FACTOR))
+                result.add(tup.scaled(self.opt.loop_weight))
             return result
         if not self._executes_once(stmt):
             return result
@@ -291,7 +320,7 @@ class PlacementAnalysis:
             if self._write_killed_by_loop(tup, stmt):
                 self.result.tuples_killed += 1
                 continue
-            result.add(tup.scaled(LOOP_FREQUENCY_FACTOR))
+            result.add(tup.scaled(self.opt.loop_weight))
         return result
 
     def _write_killed_by_loop(self, tup: CommTuple, loop: s.Stmt) -> bool:
@@ -345,7 +374,7 @@ class PlacementAnalysis:
                 if self._read_killed_by(tup, stmt):
                     self.result.tuples_killed += 1
                 else:
-                    result.add(tup.scaled(LOOP_FREQUENCY_FACTOR))
+                    result.add(tup.scaled(self.opt.loop_weight))
             for tup in init_set:
                 if self._read_killed_by(tup, stmt):
                     self.result.tuples_killed += 1
@@ -375,6 +404,7 @@ class PlacementAnalysis:
 
 
 def analyze_placement(func: s.SimpleFunction,
-                      conn: ConnectionInfo) -> PlacementResult:
+                      conn: ConnectionInfo,
+                      opt: Optional[OptConfig] = None) -> PlacementResult:
     """Run possible-placement analysis on one function."""
-    return PlacementAnalysis(func, conn).run()
+    return PlacementAnalysis(func, conn, opt).run()

@@ -27,14 +27,32 @@ observable change is communication cost.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import warnings
+from typing import Dict, List, Optional, Tuple
 
+from repro.comm.optconfig import OptConfig
+from repro.errors import ReproDeprecationWarning
 from repro.frontend import ast_nodes as ast
 from repro.frontend.types import PointerType, StructType
 
-#: Static weight multiplier per enclosing loop, mirroring the placement
-#: analysis' frequency adjustment.
-LOOP_WEIGHT = 10.0
+#: Deprecated module constants, kept as read-only aliases of the
+#: :class:`OptConfig` defaults for one release (module ``__getattr__``
+#: below).  Use ``OptConfig().loop_weight`` instead.
+_DEPRECATED_CONSTANTS = {
+    "LOOP_WEIGHT": ("loop_weight", 10.0),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONSTANTS:
+        field, value = _DEPRECATED_CONSTANTS[name]
+        warnings.warn(
+            f"repro.comm.reorder.{name} is deprecated; use "
+            f"OptConfig().{field} (repro.comm.optconfig)",
+            ReproDeprecationWarning, stacklevel=2)
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class ReorderReport:
@@ -49,8 +67,13 @@ class ReorderReport:
         return f"ReorderReport(changed={self.changed})"
 
 
-def _access_weights(program: ast.Program) -> Dict[str, Dict[str, float]]:
+def _access_weights(program: ast.Program,
+                    opt: Optional[OptConfig] = None
+                    ) -> Dict[str, Dict[str, float]]:
     """Remote-affinity score per (struct, field), from the typed AST."""
+    opt = opt if opt is not None else OptConfig()
+    loop_weight = opt.loop_weight
+    arm_weight = opt.branch_weight
     scores: Dict[str, Dict[str, float]] = {}
 
     def visit_expr(expr: ast.Expr, weight: float) -> None:
@@ -75,14 +98,14 @@ def _access_weights(program: ast.Program) -> Dict[str, Dict[str, float]]:
 
     def visit_stmt(stmt: ast.Stmt, weight: float) -> None:
         if isinstance(stmt, (ast.While, ast.DoWhile)):
-            visit_expr(stmt.cond, weight * LOOP_WEIGHT)
-            visit_stmt(stmt.body, weight * LOOP_WEIGHT)
+            visit_expr(stmt.cond, weight * loop_weight)
+            visit_stmt(stmt.body, weight * loop_weight)
             return
         if isinstance(stmt, ast.For):
             for part in (stmt.init, stmt.cond, stmt.step):
                 if part is not None:
-                    visit_expr(part, weight * LOOP_WEIGHT)
-            visit_stmt(stmt.body, weight * LOOP_WEIGHT)
+                    visit_expr(part, weight * loop_weight)
+            visit_stmt(stmt.body, weight * loop_weight)
             return
         if isinstance(stmt, ast.Block):
             for child in stmt.stmts:
@@ -94,9 +117,9 @@ def _access_weights(program: ast.Program) -> Dict[str, Dict[str, float]]:
             return
         if isinstance(stmt, ast.If):
             visit_expr(stmt.cond, weight)
-            visit_stmt(stmt.then_body, weight / 2.0)
+            visit_stmt(stmt.then_body, weight * arm_weight)
             if stmt.else_body is not None:
-                visit_stmt(stmt.else_body, weight / 2.0)
+                visit_stmt(stmt.else_body, weight * arm_weight)
             return
         if isinstance(stmt, ast.Switch):
             visit_expr(stmt.scrutinee, weight)
@@ -116,7 +139,9 @@ def _access_weights(program: ast.Program) -> Dict[str, Dict[str, float]]:
     return scores
 
 
-def reorder_struct_fields(program: ast.Program) -> ReorderReport:
+def reorder_struct_fields(program: ast.Program,
+                          opt: Optional[OptConfig] = None
+                          ) -> ReorderReport:
     """Permute struct member orders by descending remote affinity.
 
     Must run after :func:`~repro.frontend.typecheck.check_program`
@@ -126,7 +151,7 @@ def reorder_struct_fields(program: ast.Program) -> ReorderReport:
     put and programs without remote accesses are untouched.
     """
     report = ReorderReport()
-    report.scores = _access_weights(program)
+    report.scores = _access_weights(program, opt)
     for struct in program.structs:
         per_field = report.scores.get(struct.name, {})
         original = [(field.name, field.type) for field in struct.fields]

@@ -32,19 +32,38 @@ blocked writes.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.connection import ConnectionInfo
 from repro.analysis.nilness import NilnessResult
 from repro.comm.costmodel import CommCostModel
+from repro.comm.optconfig import OptConfig
 from repro.comm.placement import PlacementResult
 from repro.comm.tuples import CommSet, CommTuple, SelectedOp
-from repro.errors import TransformError
+from repro.errors import ReproDeprecationWarning, TransformError
 from repro.frontend.types import StructType
 from repro.simple import nodes as s
 from repro.simple.traversal import basic_defs, insert_after, insert_before
 
-FREQ_EPS = 1e-9
+#: Deprecated module constants, kept as read-only aliases of the
+#: :class:`OptConfig` defaults for one release (module ``__getattr__``
+#: below).  Use ``OptConfig().freq_eps`` instead.
+_DEPRECATED_CONSTANTS = {
+    "FREQ_EPS": ("freq_eps", 1e-9),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONSTANTS:
+        field, value = _DEPRECATED_CONSTANTS[name]
+        warnings.warn(
+            f"repro.comm.selection.{name} is deprecated; use "
+            f"OptConfig().{field} (repro.comm.optconfig)",
+            ReproDeprecationWarning, stacklevel=2)
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class SelectionStats:
@@ -103,7 +122,8 @@ class CommSelection:
                  speculative_reads: bool = True,
                  enable_blocking: bool = True,
                  stats: Optional[SelectionStats] = None,
-                 block_regions: Optional[List[BlockRegion]] = None):
+                 block_regions: Optional[List[BlockRegion]] = None,
+                 opt: Optional[OptConfig] = None):
         self.func = func
         self.placement = placement
         self.conn = conn
@@ -111,6 +131,7 @@ class CommSelection:
         self.cost_model = cost_model
         self.speculative_reads = speculative_reads
         self.enable_blocking = enable_blocking
+        self.opt = opt if opt is not None else OptConfig()
         self.stats = stats if stats is not None else SelectionStats()
         self.selected_reads: Set[SelectedOp] = set()
         self.selected_writes: Set[SelectedOp] = set()
@@ -133,7 +154,7 @@ class CommSelection:
         """
         from repro.comm.placement import analyze_placement
         self.run_reads()
-        self.placement = analyze_placement(self.func, self.conn)
+        self.placement = analyze_placement(self.func, self.conn, self.opt)
         self.run_writes()
         return self.stats
 
@@ -202,13 +223,43 @@ class CommSelection:
             if not self._safe_deref(tup.base, at_label):
                 continue
             groups.setdefault(tup.base, []).append(
-                CommTuple(tup.base, tup.path, tup.freq, fresh))
+                CommTuple(tup.base, tup.path, tup.freq, fresh, tup.prob))
         return groups
 
-    @staticmethod
-    def _is_strong(tup: CommTuple) -> bool:
+    def _is_strong(self, tup: CommTuple) -> bool:
         """Frequent enough to be selected on its own (paper: >= 1)."""
-        return tup.freq >= 1.0 - FREQ_EPS
+        return self.opt.is_strong(tup.freq)
+
+    def _expected_accesses(self, tup: CommTuple) -> float:
+        """Expected scalar accesses a block move saves for one tuple.
+
+        Legacy mode is the paper's estimate: frequency capped at one.
+        Probabilistic mode uses the tuple's execution probability
+        weighted by the points-to lattice's likelihood that the base
+        pointer holds any tracked object at all (a pointer assigned
+        only on rare paths makes its accesses correspondingly rare).
+        A *strong* tuple executes unconditionally, which conditions the
+        likelihood away -- an access that certainly runs certainly
+        dereferences its base -- so it keeps its full weight."""
+        if not self.opt.probabilistic:
+            return min(tup.freq, 1.0)
+        if self._is_strong(tup):
+            return min(tup.freq, 1.0)
+        return tup.prob * self.conn.pts.likelihood(self.func.name,
+                                                   tup.base)
+
+    def _group_blockable(self, field_tuples: List[CommTuple],
+                         expected: float) -> bool:
+        """May this group be considered for a block move at all?  The
+        legacy gate demands one certain access; the probabilistic gate
+        also admits groups whose *summed* expected accesses clear the
+        cost model's profitability floor even when no single access is
+        certain (three half-likely branch arms justify one blkmov)."""
+        if any(self._is_strong(t) for t in field_tuples):
+            return True
+        if self.opt.probabilistic:
+            return expected >= self.cost_model.min_expected_accesses - 1e-9
+        return False
 
     def _safe_deref(self, base: str, label: int) -> bool:
         if self.speculative_reads:
@@ -235,22 +286,25 @@ class CommSelection:
 
         new_stmts: List[s.Stmt] = []
         block_words = 0
-        if struct is not None and field_tuples and self.enable_blocking \
-                and any(self._is_strong(t) for t in field_tuples):
+        if struct is not None and field_tuples and self.enable_blocking:
             words_needed = 0
             expected = 0.0
             span_end = 0
             for tup in field_tuples:
                 offset, field_type = tup.path.resolve(struct)  # type: ignore[union-attr]
                 words_needed += field_type.size_words()
-                expected += min(tup.freq, 1.0)
+                expected += self._expected_accesses(tup)
                 span_end = max(span_end, offset + field_type.size_words())
-            if self.cost_model.should_block(
+            if not self._group_blockable(field_tuples, expected):
+                pass
+            elif self.cost_model.should_block(
                     len(field_tuples), expected, words_needed,
                     struct.size_words()):
                 block_words = struct.size_words()
-            elif self.cost_model.should_block(
-                    len(field_tuples), expected, words_needed, span_end):
+            elif self.opt.blkmov_shape == "prefix" \
+                    and self.cost_model.should_block(
+                        len(field_tuples), expected, words_needed,
+                        span_end):
                 # Prefix block move: the struct as a whole is too large
                 # (spurious-field rule) but the needed fields cluster at
                 # the front -- which field reordering arranges.
@@ -385,17 +439,17 @@ class CommSelection:
                         if t.path is None and self._is_strong(t)]
 
         region: Optional[BlockRegion] = None
-        if struct is not None and field_tuples and self.enable_blocking \
-                and any(self._is_strong(t) for t in field_tuples):
+        if struct is not None and field_tuples and self.enable_blocking:
             words_needed = 0
             expected = 0.0
             for tup in field_tuples:
                 _, field_type = tup.path.resolve(struct)  # type: ignore[union-attr]
                 words_needed += field_type.size_words()
-                expected += min(tup.freq, 1.0)
-            if self.cost_model.should_block(len(field_tuples), expected,
-                                            words_needed,
-                                            struct.size_words()):
+                expected += self._expected_accesses(tup)
+            if self._group_blockable(field_tuples, expected) \
+                    and self.cost_model.should_block(
+                        len(field_tuples), expected, words_needed,
+                        struct.size_words()):
                 region = self._find_block_region(seq, stmt, base,
                                                  field_tuples)
 

@@ -28,16 +28,28 @@ def make_key(base: str, path: Optional[FieldPath]) -> TupleKey:
 
 
 class CommTuple:
-    """One remote communication expression ``(p, f, n, Dlist)``."""
+    """One remote communication expression ``(p, f, n, Dlist)``.
 
-    __slots__ = ("base", "path", "freq", "dlist")
+    Alongside the paper's frequency ``n`` (which loops *multiply*, so
+    it estimates dynamic access counts) each tuple carries ``prob``:
+    the probability that the access executes at least once per
+    function invocation.  Branch scaling reduces both; loop scaling
+    multiplies the frequency but leaves the probability alone (the
+    paper's loops-run-hot assumption).  ``prob`` is a side channel for
+    the probabilistic selection mode -- it is excluded from
+    equality/hash/repr so legacy-mode behaviour is bit-identical to
+    the three-field tuple.
+    """
+
+    __slots__ = ("base", "path", "freq", "dlist", "prob")
 
     def __init__(self, base: str, path: Optional[FieldPath], freq: float,
-                 dlist: FrozenSet[int]):
+                 dlist: FrozenSet[int], prob: float = 1.0):
         self.base = base
         self.path = path
         self.freq = freq
         self.dlist = frozenset(dlist)
+        self.prob = prob
 
     @classmethod
     def single(cls, base: str, path: Optional[FieldPath],
@@ -49,18 +61,26 @@ class CommTuple:
         return make_key(self.base, self.path)
 
     def with_freq(self, freq: float) -> "CommTuple":
-        return CommTuple(self.base, self.path, freq, self.dlist)
+        return CommTuple(self.base, self.path, freq, self.dlist,
+                         self.prob)
 
     def scaled(self, factor: float) -> "CommTuple":
+        """Frequency adjustment (the paper's ``adjustFrequency``).
+        Probability scales by ``min(factor, 1)``: branch factors < 1
+        are per-arm execution probabilities, loop factors > 1 estimate
+        iteration counts and do not change the chance of reaching the
+        loop."""
         return CommTuple(self.base, self.path, self.freq * factor,
-                         self.dlist)
+                         self.dlist, self.prob * min(factor, 1.0))
 
     def merged_with(self, other: "CommTuple") -> "CommTuple":
         """The paper's merge: same location, summed frequency, unioned
-        definition lists."""
+        definition lists.  Probabilities sum capped at one -- exact for
+        mutually exclusive arms, a safe upper bound otherwise."""
         assert self.key == other.key
         return CommTuple(self.base, self.path, self.freq + other.freq,
-                         self.dlist | other.dlist)
+                         self.dlist | other.dlist,
+                         min(1.0, self.prob + other.prob))
 
     def __repr__(self) -> str:
         field = str(self.path) if self.path is not None else "*"

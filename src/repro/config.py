@@ -33,6 +33,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.comm.optconfig import OptConfig, resolve_opt
 from repro.earth.faults import FaultPlan, plan_from_cli
 from repro.earth.params import MachineParams
 from repro.errors import ReproError, UsageError
@@ -85,9 +86,18 @@ class RunConfig:
     faults: Optional[Dict[str, object]] = None
     trace: bool = False
     trace_capacity: Optional[int] = None
+    #: Optimizer heuristic knobs (:class:`~repro.comm.optconfig.OptConfig`),
+    #: or None for the legacy defaults.  Accepts the loose forms job
+    #: specs travel as (preset name, JSON dict) and normalizes them.
+    #: Compile-side, unlike every other field -- carried here so
+    #: heuristic variants flow through ``config_digest``/cache keys and
+    #: the layers that compile-and-run (``run``, ``run_three_ways``,
+    #: service jobs) pick it up without a parallel options object.
+    opt: Optional[OptConfig] = None
 
     def __post_init__(self):
         object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(self, "opt", resolve_opt(self.opt))
         if self.nodes < 1:
             raise ReproError(f"nodes must be >= 1, got {self.nodes}")
         if self.shards < 1:
@@ -166,6 +176,8 @@ class RunConfig:
             value = getattr(self, spec.name)
             if isinstance(value, tuple):
                 value = list(value)
+            elif isinstance(value, OptConfig):
+                value = value.to_json()
             out[spec.name] = value
         return out
 
@@ -216,6 +228,7 @@ class RunConfig:
             rcache_capacity=getattr(opts, "rcache_capacity", None) or 0,
             rcache_line_words=getattr(opts, "rcache_line", None) or 16,
             rcache_policy=getattr(opts, "rcache_policy", None) or "lru",
+            opt=opt_from_cli_args(opts),
             max_stmts=DEFAULT_MAX_STMTS if max_stmts is None
             else max_stmts,
             strict_nil_reads=bool(getattr(opts, "strict_nil_reads",
@@ -239,7 +252,43 @@ class RunConfig:
             parts.append(f"faults=seed{self.faults.get('seed')}")
         if self.trace:
             parts.append("trace")
+        if self.opt is not None:
+            parts.append(str(self.opt))
         return f"RunConfig({', '.join(parts)})"
+
+
+#: ``--opt-*`` flag name -> OptConfig field (shared by the CLI parsers
+#: and :func:`opt_from_cli_args`, so the two cannot drift).
+OPT_CLI_FIELDS = {
+    "opt_loop_weight": "loop_weight",
+    "opt_branch_weight": "branch_weight",
+    "opt_probabilistic": "probabilistic",
+    "opt_block_threshold": "block_access_threshold",
+    "opt_min_expected": "min_expected_accesses",
+    "opt_spurious_ratio": "max_spurious_ratio",
+    "opt_shape": "blkmov_shape",
+    "opt_private_lines": "private_lines",
+}
+
+
+def opt_from_cli_args(opts) -> Optional[OptConfig]:
+    """``--opt-*`` argparse flags -> an :class:`OptConfig` (or None
+    when no opt flag was given, meaning "legacy default, unset").
+    ``--opt-preset`` names the base; individual flags override its
+    fields."""
+    preset = getattr(opts, "opt_preset", None)
+    overrides = {}
+    for attr, field in OPT_CLI_FIELDS.items():
+        value = getattr(opts, attr, None)
+        # store_true flags parse to False when absent; treat False the
+        # same as "not given" so they never un-set a preset's field.
+        if value is not None and value is not False:
+            overrides[field] = value
+    if preset is None and not overrides:
+        return None
+    base = resolve_opt(preset) if preset is not None \
+        else OptConfig.legacy()
+    return base.replace(**overrides) if overrides else base
 
 
 def config_digest(config: RunConfig) -> str:
@@ -249,5 +298,6 @@ def config_digest(config: RunConfig) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
 
 
-__all__ = ["RunConfig", "config_digest", "ENGINES", "PARAMS_PRESETS",
+__all__ = ["RunConfig", "OptConfig", "config_digest", "opt_from_cli_args",
+           "ENGINES", "PARAMS_PRESETS", "OPT_CLI_FIELDS",
            "DEFAULT_MAX_STMTS"]

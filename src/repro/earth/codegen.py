@@ -168,9 +168,12 @@ def _make_write_factories(memory):
 
 
 def _make_alloc_factory(memory):
-    def _mk_alloc(target, words, origin):
+    # ``private`` is emitted in generated source only for marked sites,
+    # so legacy programs produce byte-identical code.
+    def _mk_alloc(target, words, origin, private=False):
         def do_alloc():
-            return memory.allocate(target, words, origin=origin)
+            return memory.allocate(target, words, origin=origin,
+                                   private=private)
         return do_alloc
     return _mk_alloc
 
@@ -1207,8 +1210,9 @@ class _CodeGenerator(_FunctionCompiler):
             self.w(f"{tn} = node")
         ts = self.tmp()
         self.w(f"{ts} = Slot('malloc')")
+        extra = ", True" if stmt.private else ""
         self.w(f'yield ("issue", "malloc", {tn}, {tw}, '
-               f'_mk_alloc({tn}, {tw}, node), {ts})')
+               f'_mk_alloc({tn}, {tw}, node{extra}), {ts})')
         tv = self.tmp()
         self.w(f'{tv} = yield ("wait", {ts})')
         self._emit_store_var(stmt.target, tv, None)

@@ -1198,6 +1198,7 @@ class _FunctionCompiler:
         num = self.machine.num_nodes
         memory = self.memory
         store = self._store_var_fn(stmt.target)
+        private = stmt.private
 
         def step_alloc(act):
             prologue()
@@ -1219,7 +1220,8 @@ class _FunctionCompiler:
             origin = act.node
 
             def do_alloc():
-                return memory.allocate(target, words, origin=origin)
+                return memory.allocate(target, words, origin=origin,
+                                       private=private)
 
             yield ("issue", "malloc", target, words, do_alloc, slot)
             value = yield ("wait", slot)

@@ -940,9 +940,11 @@ class Interpreter:
         machine = self.machine
         slot = Slot("malloc")
         origin = act.node
+        private = stmt.private
 
         def do_alloc():
-            return machine.memory.allocate(target, words, origin=origin)
+            return machine.memory.allocate(target, words, origin=origin,
+                                           private=private)
 
         yield ("issue", "malloc", target, words, do_alloc, slot)
         value = yield ("wait", slot)

@@ -33,6 +33,7 @@ legitimately hand out the address before any write reaches the target.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Tuple, Union
 
 from repro.errors import MemoryFault
@@ -97,8 +98,14 @@ class NodeMemory:
         #: materialized by writes; absent words are uninitialized.
         self._arena: Dict[int, Word] = {}
         self.allocated_words = 0
+        #: Half-open ``[start, end)`` offset ranges of blocks allocated
+        #: with ``private=True`` (provably never remotely accessed, per
+        #: :func:`~repro.analysis.locality.mark_private_sites`).  Bump
+        #: allocation appends them in increasing order, so lookups can
+        #: bisect.
+        self._private_ranges: List[Tuple[int, int]] = []
 
-    def allocate(self, words: int) -> int:
+    def allocate(self, words: int, private: bool = False) -> int:
         """Allocate ``words`` words from the dense local heap; returns
         the *global* address."""
         if words <= 0:
@@ -109,7 +116,21 @@ class NodeMemory:
                 f"local heap exhausted ({offset} words)", self.node)
         self._words.extend([None] * words)
         self.allocated_words += words
+        if private:
+            self._private_ranges.append((offset, offset + words))
         return make_address(self.node, offset)
+
+    def is_private(self, offset: int, words: int = 1) -> bool:
+        """Does ``[offset, offset + words)`` lie inside one
+        private-allocated block?"""
+        ranges = self._private_ranges
+        if not ranges:
+            return False
+        index = bisect_right(ranges, (offset, REMOTE_ARENA_BASE)) - 1
+        if index < 0:
+            return False
+        start, end = ranges[index]
+        return start <= offset and offset + words <= end
 
     def read(self, offset: int) -> Word:
         if offset >= REMOTE_ARENA_BASE:
@@ -180,6 +201,8 @@ class GlobalMemory:
         #: regardless of which code path performs it -- invalidates
         #: stale cached copies.
         self.rcache = None
+        #: Fast path: no private block exists anywhere yet.
+        self._has_private = False
 
     # -- global variables ---------------------------------------------------------
 
@@ -197,13 +220,21 @@ class GlobalMemory:
     # -- typed access helpers --------------------------------------------------------
 
     def allocate(self, node: int, words: int,
-                 origin: "int | None" = None) -> int:
+                 origin: "int | None" = None,
+                 private: bool = False) -> int:
         """Allocate ``words`` words of ``node``'s memory.  With an
         ``origin`` other than ``node``, the block comes from the
         origin's slice of the node's remote-allocation arena -- the
-        address is determined entirely by origin-side state."""
+        address is determined entirely by origin-side state.
+
+        ``private`` marks the block as provably never remotely
+        accessed: writes into it skip write-through cache invalidation.
+        Only meaningful for local allocations (unplaced mallocs are the
+        only sites the analysis can mark)."""
         if origin is None or origin == node:
-            return self.nodes[node].allocate(words)
+            if private:
+                self._has_private = True
+            return self.nodes[node].allocate(words, private)
         if words <= 0:
             raise MemoryFault(f"allocation of {words} words", node)
         key = (node, origin)
@@ -225,7 +256,11 @@ class GlobalMemory:
         if address == 0:
             raise MemoryFault("nil dereference (write)")
         if self.rcache is not None:
-            self.rcache.store_applied(address, 1)
+            if self._has_private and self.nodes[node_of(address)] \
+                    .is_private(offset_of(address)):
+                self.rcache.note_private_skip()
+            else:
+                self.rcache.store_applied(address, 1)
         self.nodes[node_of(address)].write(offset_of(address), value)
 
     def read_block(self, address: int, words: int) -> List[Word]:
@@ -238,7 +273,11 @@ class GlobalMemory:
         if address == 0:
             raise MemoryFault("nil dereference (block write)")
         if self.rcache is not None:
-            self.rcache.store_applied(address, len(values))
+            if self._has_private and self.nodes[node_of(address)] \
+                    .is_private(offset_of(address), len(values)):
+                self.rcache.note_private_skip()
+            else:
+                self.rcache.store_applied(address, len(values))
         self.nodes[node_of(address)].write_block(
             offset_of(address), values)
 

@@ -395,7 +395,8 @@ def sweep_jobs(processor_counts: Sequence[int],
                engine: str = "closure",
                faults: Optional[Dict[str, object]] = None,
                rcache_capacity: int = 0,
-               rcache_line_words: int = 16) -> List[object]:
+               rcache_line_words: int = 16,
+               opt: object = None) -> List[object]:
     """The benchmark-by-processors cross product as service
     :class:`~repro.service.jobs.JobSpec` objects -- what
     ``python -m repro batch`` and the pooled measurement helpers feed a
@@ -406,7 +407,7 @@ def sweep_jobs(processor_counts: Sequence[int],
     return [JobSpec(kind, benchmark=name, nodes=processors,
                     small=small, engine=engine, faults=faults,
                     rcache_capacity=rcache_capacity,
-                    rcache_line_words=rcache_line_words)
+                    rcache_line_words=rcache_line_words, opt=opt)
             for name in names for processors in processor_counts]
 
 
@@ -550,4 +551,97 @@ def format_fig10(bars: List[Fig10Bar]) -> str:
             f"{optimized['read_data']:>7.1f}{optimized['write_data']:>7.1f}"
             f"{optimized['blkmov']:>6.1f}"
             f"{bar.optimized_normalized_total:>8.1f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# OptConfig sweep: legacy vs probabilistic heuristics
+# ---------------------------------------------------------------------------
+
+
+class OptSweepRow:
+    """One benchmark's optimized leg compiled twice -- once under the
+    ``legacy`` :class:`~repro.comm.optconfig.OptConfig` preset and once
+    under ``probabilistic`` defaults -- and run on the same machine
+    geometry.  ``values_equal`` is the correctness gate: the heuristics
+    may only change *where* communication happens, never the answer."""
+
+    def __init__(self, benchmark: str, processors: int,
+                 legacy_remote_ops: int, prob_remote_ops: int,
+                 legacy_time_ns: float, prob_time_ns: float,
+                 values_equal: bool):
+        self.benchmark = benchmark
+        self.processors = processors
+        self.legacy_remote_ops = legacy_remote_ops
+        self.prob_remote_ops = prob_remote_ops
+        self.legacy_time_ns = legacy_time_ns
+        self.prob_time_ns = prob_time_ns
+        self.values_equal = values_equal
+
+    @property
+    def delta_ops(self) -> int:
+        return self.prob_remote_ops - self.legacy_remote_ops
+
+    @property
+    def delta_pct(self) -> float:
+        base = self.legacy_remote_ops or 1
+        return 100.0 * self.delta_ops / base
+
+    def __repr__(self) -> str:
+        return (f"OptSweepRow({self.benchmark}, p={self.processors}, "
+                f"{self.legacy_remote_ops} -> {self.prob_remote_ops})")
+
+
+def _remote_ops(stats) -> int:
+    return (stats.remote_reads + stats.remote_writes
+            + stats.remote_blkmovs)
+
+
+def measure_opt_sweep(num_nodes: int = 4,
+                      benchmarks: Optional[Sequence[str]] = None,
+                      small: bool = False) -> List[OptSweepRow]:
+    """Compile every benchmark's optimized leg under both OptConfig
+    presets and compare dynamic remote-operation counts."""
+    rows: List[OptSweepRow] = []
+    names = benchmarks if benchmarks is not None \
+        else [spec.name for spec in catalog()]
+    for name in names:
+        spec = get_benchmark(name)
+        args = spec.small_args if small else spec.default_args
+        config = RunConfig(nodes=num_nodes, args=tuple(args),
+                           max_stmts=spec.max_stmts)
+        results = {}
+        for preset in ("legacy", "probabilistic"):
+            compiled = compile_earthc(spec.source(), spec.name,
+                                      optimize=True, inline=spec.inline,
+                                      opt=preset)
+            results[preset] = execute(compiled, config=config)
+        legacy, prob = results["legacy"], results["probabilistic"]
+        rows.append(OptSweepRow(
+            name, num_nodes,
+            _remote_ops(legacy.stats), _remote_ops(prob.stats),
+            legacy.time_ns, prob.time_ns,
+            legacy.value == prob.value))
+    return rows
+
+
+def format_opt_sweep(rows: List[OptSweepRow]) -> str:
+    lines = [
+        "OptConfig sweep: dynamic remote operations, legacy vs "
+        "probabilistic presets",
+        f"{'benchmark':<11}{'procs':>6}{'legacy':>10}{'prob':>10}"
+        f"{'delta':>8}{'delta%':>9}{'value':>7}",
+    ]
+    reduced = 0
+    for row in rows:
+        if row.delta_ops < 0:
+            reduced += 1
+        lines.append(
+            f"{row.benchmark:<11}{row.processors:>6}"
+            f"{row.legacy_remote_ops:>10}{row.prob_remote_ops:>10}"
+            f"{row.delta_ops:>+8}{row.delta_pct:>+9.2f}"
+            f"{'ok' if row.values_equal else 'DIFF':>7}")
+    lines.append(f"(remote ops strictly reduced on {reduced}/{len(rows)} "
+                 "benchmarks; 'value' checks the probabilistic run "
+                 "returned the legacy answer)")
     return "\n".join(lines)

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 from repro.backend.threaded import render_threaded_program
 from repro.comm.costmodel import CommCostModel
+from repro.comm.optconfig import OptConfig, resolve_opt
 from repro.comm.optimizer import (
     CommConfig,
     CommunicationOptimizer,
@@ -52,7 +53,7 @@ from repro.simple.validate import validate_program
 #: whenever a change makes ``compile_earthc`` or the simulator produce
 #: different output for the same (source, options) -- stale cached
 #: artifacts then miss instead of serving wrong payloads.
-PIPELINE_VERSION = "2026.08-pr9"
+PIPELINE_VERSION = "2026.08-pr10"
 
 
 class CompiledProgram:
@@ -98,6 +99,7 @@ def compile_earthc(
     cost_model: Optional[CommCostModel] = None,
     inline: Union[bool, Set[str]] = False,
     reorder_fields: bool = False,
+    opt: "OptConfig | str | dict | None" = None,
 ) -> CompiledProgram:
     """Compile EARTH-C source text.
 
@@ -107,7 +109,21 @@ def compile_earthc(
     ``reorder_fields`` applies the struct-field reordering extension
     (the paper's stated further work): remotely-accessed fields cluster
     at the front of each struct, improving blocked communication.
+    ``opt`` tunes the optimizer's heuristics (an
+    :class:`~repro.comm.optconfig.OptConfig`, preset name, or JSON
+    dict); it also weights ``reorder_fields``.  Passing both ``opt``
+    and a ``config`` that already carries a different one is a
+    contradiction and raises.
     """
+    opt = resolve_opt(opt)
+    if opt is not None and config is not None:
+        if config.opt is not None and config.opt != opt:
+            raise UsageError(
+                "conflicting optimizer heuristics: config= carries an "
+                "OptConfig and opt= names a different one")
+        config = _comm_config_with_opt(config, opt)
+    effective_opt = opt if opt is not None else \
+        (config.opt if config is not None else None)
     profile = PipelineProfile()
     with profile.phase("parse") as rec:
         program = parse_program(source, filename)
@@ -125,7 +141,7 @@ def compile_earthc(
     if reorder_fields:
         with profile.phase("reorder-fields"):
             from repro.comm.reorder import reorder_struct_fields
-            reorder_struct_fields(program)
+            reorder_struct_fields(program, effective_opt)
     with profile.phase("simplify") as rec:
         simple = simplify_program(program, symbols)
     rec.counters["basic_stmts"] = _basic_stmt_count(simple)
@@ -133,11 +149,28 @@ def compile_earthc(
         validate_program(simple)
     report = None
     if optimize:
+        if config is None and opt is not None:
+            config = CommConfig(opt=opt)
         with profile.phase("optimize") as rec:
             optimizer = CommunicationOptimizer(simple, config, cost_model)
             report = optimizer.run()
         rec.counters["basic_stmts"] = _basic_stmt_count(simple)
     return CompiledProgram(simple, optimize, report, inlined, profile)
+
+
+def _comm_config_with_opt(config: CommConfig,
+                          opt: OptConfig) -> CommConfig:
+    """A copy of ``config`` carrying ``opt`` (never mutates the
+    caller's object)."""
+    return CommConfig(
+        enable_locality=config.enable_locality,
+        enable_forwarding=config.enable_forwarding,
+        enable_placement=config.enable_placement,
+        enable_blocking=config.enable_blocking,
+        speculative_reads=config.speculative_reads,
+        split_phase_residuals=config.split_phase_residuals,
+        opt=opt,
+    )
 
 
 def _basic_stmt_count(simple: s.SimpleProgram) -> int:
@@ -339,8 +372,11 @@ def _run_configurations(source, filename, config: RunConfig, inline,
                             inline=inline)
     results["simple"] = execute(simple, config=base)
 
+    # Heuristic knobs from the RunConfig apply to the optimized leg
+    # only -- ``simple`` is the paper's fixed baseline.
     optimized = compile_earthc(source, filename, optimize=True,
-                               config=comm_config, inline=inline)
+                               config=comm_config, inline=inline,
+                               opt=config.opt)
     results["optimized"] = execute(optimized, config=base)
 
     if rcached:
@@ -373,7 +409,9 @@ def run(
     options travel in ``config``."""
     compiled = compile_earthc(source, filename, optimize=optimize,
                               config=comm_config, inline=inline,
-                              reorder_fields=reorder_fields)
+                              reorder_fields=reorder_fields,
+                              opt=config.opt if config is not None
+                              else None)
     return execute(compiled, params=params, tracer=tracer,
                    faults=faults, config=config or RunConfig())
 

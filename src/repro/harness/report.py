@@ -9,7 +9,10 @@ Prints Table I (communication cost calibration), Table II (workloads),
 Table III (performance improvement) and Figure 10 (dynamic communication
 counts).  ``--rcache`` extends Table III with the fourth configuration:
 the optimized program re-run with the per-node remote-data cache
-(:mod:`repro.earth.rcache`) at its default geometry.  ``--small`` uses
+(:mod:`repro.earth.rcache`) at its default geometry.  ``--opt-sweep``
+appends the OptConfig comparison: the optimized leg compiled under the
+``legacy`` vs ``probabilistic`` heuristic presets, with per-benchmark
+dynamic remote-operation deltas.  ``--small`` uses
 the reduced problem sizes (fast; used by the test suite), the default
 uses the DESIGN.md sizes and takes a minute or two.  EXPERIMENTS.md
 records a default run's output.
@@ -24,12 +27,14 @@ import time
 
 from repro.harness.experiments import (
     format_fig10,
+    format_opt_sweep,
     format_table1,
     format_table2,
     format_table3,
     format_utilization,
     measure_fig10,
     measure_fig10_pooled,
+    measure_opt_sweep,
     measure_table1,
     measure_table3,
     measure_table3_pooled,
@@ -51,6 +56,11 @@ def main(argv=None) -> int:
     parser.add_argument("--rcache", action="store_true",
                         help="add the fourth Table III configuration: "
                              "optimized + per-node remote-data cache")
+    parser.add_argument("--opt-sweep", action="store_true",
+                        dest="opt_sweep",
+                        help="add the OptConfig sweep: dynamic remote "
+                             "operations under the legacy vs "
+                             "probabilistic heuristic presets")
     parser.add_argument("--metrics-json", default=None, metavar="FILE",
                         help="also write machine-readable metrics "
                              "(per-benchmark EU/SU utilization for the "
@@ -98,6 +108,12 @@ def main(argv=None) -> int:
                              small=args.small)
     print(format_fig10(bars))
     print()
+    if args.opt_sweep:
+        print("=" * 72)
+        rows = measure_opt_sweep(min(4, max(processor_counts)),
+                                 benchmarks, small=args.small)
+        print(format_opt_sweep(rows))
+        print()
     if args.metrics_json:
         names = benchmarks if benchmarks is not None \
             else [spec.name for spec in catalog()]

@@ -45,6 +45,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.comm.optconfig import OptConfig, resolve_opt
 from repro.config import RunConfig
 from repro.earth.faults import FaultPlan
 from repro.earth.interpreter import ENGINES, RunResult
@@ -97,6 +98,7 @@ class JobSpec:
         rcache_policy: str = "lru",
         small: bool = False,
         selftest: Optional[Dict[str, object]] = None,
+        opt: Union[None, str, Dict[str, object], OptConfig] = None,
     ):
         if kind not in JOB_KINDS:
             raise ServiceError(f"unknown job kind {kind!r} "
@@ -133,6 +135,9 @@ class JobSpec:
             RunConfig(rcache_capacity=rcache_capacity,
                       rcache_line_words=rcache_line_words,
                       rcache_policy=rcache_policy)
+            # Optimizer heuristics validate eagerly too; stored in
+            # canonical JSON form so the wire format stays plain data.
+            opt_config = resolve_opt(opt)
         except ReproError as exc:
             raise ServiceError(str(exc)) from None
         self.kind = kind
@@ -157,6 +162,7 @@ class JobSpec:
         self.rcache_policy = rcache_policy
         self.small = bool(small)
         self.selftest = None if selftest is None else dict(selftest)
+        self.opt = None if opt_config is None else opt_config.to_json()
 
     # -- serialization -----------------------------------------------------
 
@@ -184,6 +190,7 @@ class JobSpec:
             "rcache_policy": self.rcache_policy,
             "small": self.small,
             "selftest": self.selftest,
+            "opt": self.opt,
         }
 
     @classmethod
@@ -198,7 +205,7 @@ class JobSpec:
                  "args", "engine", "params", "max_stmts",
                  "strict_nil_reads", "faults", "rcache_capacity",
                  "rcache_line_words", "rcache_policy", "small",
-                 "selftest"}
+                 "selftest", "opt"}
         unknown = set(data) - known
         if unknown:
             raise ServiceError(
@@ -260,6 +267,7 @@ class JobSpec:
                 "optimize": self.optimize,
                 "config": self.config,
                 "reorder_fields": self.reorder_fields,
+                "opt": self.opt,
             }
         if self.kind != "compile":
             config = RunConfig(
@@ -270,7 +278,8 @@ class JobSpec:
                 rcache_policy=self.rcache_policy,
                 max_stmts=max_stmts,
                 strict_nil_reads=self.strict_nil_reads,
-                faults=self.faults)
+                faults=self.faults,
+                opt=self.opt)
             if self.kind == "three-way":
                 # run_three_ways ignores the cache fields; normalize
                 # them out of the key so equivalent jobs share an
@@ -421,7 +430,8 @@ def _compile_for(resolved: Dict[str, object]) -> CompiledProgram:
         optimize=options.get("optimize", True),
         config=resolve_config(options.get("config", "default")),
         inline=set(inline) if isinstance(inline, list) else inline,
-        reorder_fields=options.get("reorder_fields", False))
+        reorder_fields=options.get("reorder_fields", False),
+        opt=options.get("opt"))
     _COMPILE_MEMO[memo_key] = compiled
     while len(_COMPILE_MEMO) > _COMPILE_MEMO_LIMIT:
         _COMPILE_MEMO.popitem(last=False)

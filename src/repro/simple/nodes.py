@@ -567,9 +567,13 @@ class AllocStmt(BasicStmt):
     explicit node (the benchmarks' data-distribution mechanism).
 
     ``site`` identifies the allocation site for heap analysis.
+    ``private`` is set by
+    :func:`~repro.analysis.locality.mark_private_sites`: the block is
+    provably never remotely accessed, so the simulator may skip
+    write-through cache invalidation for it.
     """
 
-    __slots__ = ("target", "words", "node", "site", "struct")
+    __slots__ = ("target", "words", "node", "site", "struct", "private")
 
     def __init__(self, target: str, words: Operand,
                  node: Optional[Operand], site: str,
@@ -580,10 +584,13 @@ class AllocStmt(BasicStmt):
         self.node = node
         self.site = site
         self.struct = struct
+        self.private = False
 
     def __repr__(self) -> str:
+        mark = " private" if self.private else ""
         return (f"AllocStmt(S{self.label}: {self.target} = "
-                f"malloc({self.words!r}) @ {self.node!r} [{self.site}])")
+                f"malloc({self.words!r}) @ {self.node!r} "
+                f"[{self.site}]{mark})")
 
 
 class BlkmovStmt(BasicStmt):

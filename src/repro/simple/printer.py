@@ -143,9 +143,11 @@ class SimplePrinter:
             self._line(depth, call + ";", stmt)
         elif isinstance(stmt, s.AllocStmt):
             node = f" @{_operand(stmt.node)}" if stmt.node is not None else ""
+            private = "   [private]" if stmt.private else ""
             self._line(
                 depth,
-                f"{stmt.target} = malloc({_operand(stmt.words)}){node};",
+                f"{stmt.target} = malloc({_operand(stmt.words)})"
+                f"{node};{private}",
                 stmt)
         elif isinstance(stmt, s.BlkmovStmt):
             self._line(

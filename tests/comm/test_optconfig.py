@@ -1,0 +1,240 @@
+"""The OptConfig value object and its legacy-compatibility contract.
+
+Three things are pinned here: the value-object mechanics (validation,
+presets, JSON round trip, resolution of the loose forms), the
+deprecation of the old module-level heuristic constants, and the two
+behavioural guarantees DESIGN.md section 18 promises -- a default/legacy
+OptConfig compiles byte-identically to the pre-OptConfig optimizer, and
+the probabilistic preset never changes a program's answer while never
+increasing its dynamic remote-operation count.
+"""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.comm.optconfig import (
+    BLKMOV_SHAPES,
+    OPT_PRESETS,
+    OptConfig,
+    resolve_opt,
+)
+from repro.config import RunConfig, config_digest, opt_from_cli_args
+from repro.errors import ReproDeprecationWarning, ReproError
+from repro.harness.pipeline import compile_earthc, execute
+from repro.olden.loader import get_benchmark
+
+SOURCE = """
+struct cell { int a; int b; int c; int d; };
+
+int main(int n)
+{
+    struct cell *p;
+    int i;
+    int sum;
+    p = (struct cell *) malloc(sizeof(struct cell)) @ 1;
+    p->a = 1;
+    p->b = 2;
+    p->c = 3;
+    sum = 0;
+    for (i = 0; i < n; i++) {
+        sum = sum + p->a + p->b + p->c;
+    }
+    return sum;
+}
+"""
+
+
+class TestValueObject:
+    def test_default_is_legacy(self):
+        assert OptConfig() == OptConfig.legacy()
+        assert not OptConfig().probabilistic
+        assert not OptConfig().private_lines
+        assert OptConfig().block_access_threshold == 3
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            OptConfig().loop_weight = 5.0
+
+    def test_replace_revalidates(self):
+        assert OptConfig().replace(loop_weight=4.0).loop_weight == 4.0
+        with pytest.raises(ReproError):
+            OptConfig().replace(loop_weight=0.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loop_weight": 0.0},
+        {"branch_weight": 0.0},
+        {"branch_weight": 1.5},
+        {"freq_eps": -1.0},
+        {"block_access_threshold": 0},
+        {"min_expected_accesses": -0.1},
+        {"max_spurious_ratio": 0.5},
+        {"blkmov_shape": "suffix"},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            OptConfig(**kwargs)
+
+    def test_probabilistic_preset(self):
+        opt = OptConfig.probabilistic_defaults()
+        assert opt.probabilistic
+        assert opt.private_lines
+        assert opt.block_access_threshold == 2
+        assert opt.min_expected_accesses == 1.0
+        # The frequency multipliers stay the paper's values: only
+        # selection's profitability story changes.
+        assert opt.loop_weight == OptConfig().loop_weight
+        assert opt.branch_weight == OptConfig().branch_weight
+
+    def test_json_round_trip(self):
+        for opt in (OptConfig(), OptConfig.probabilistic_defaults(),
+                    OptConfig(loop_weight=3.0, blkmov_shape="full")):
+            data = json.loads(json.dumps(opt.to_json()))
+            assert OptConfig.from_json(data) == opt
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ReproError, match="unknown opt config"):
+            OptConfig.from_json({"loop_weight": 2.0, "turbo": True})
+        with pytest.raises(ReproError):
+            OptConfig.from_json([1, 2, 3])
+
+    def test_str_names_only_non_defaults(self):
+        assert str(OptConfig()) == "OptConfig(legacy)"
+        text = str(OptConfig(loop_weight=5.0))
+        assert "loop_weight=5.0" in text
+        assert "branch_weight" not in text
+
+
+class TestResolveOpt:
+    def test_none_and_instances_pass_through(self):
+        assert resolve_opt(None) is None
+        opt = OptConfig(loop_weight=2.0)
+        assert resolve_opt(opt) is opt
+
+    def test_presets(self):
+        assert set(OPT_PRESETS) == {"legacy", "probabilistic"}
+        assert resolve_opt("legacy") == OptConfig()
+        assert resolve_opt("probabilistic") \
+            == OptConfig.probabilistic_defaults()
+        with pytest.raises(ReproError, match="unknown opt preset"):
+            resolve_opt("turbo")
+
+    def test_dict_form(self):
+        assert resolve_opt({"probabilistic": True}).probabilistic
+        with pytest.raises(ReproError):
+            resolve_opt(42)
+
+    def test_runconfig_normalizes_opt(self):
+        config = RunConfig(opt="probabilistic")
+        assert isinstance(config.opt, OptConfig)
+        assert config.opt.probabilistic
+        assert RunConfig().opt is None
+
+    def test_opt_changes_config_digest(self):
+        base = RunConfig()
+        assert config_digest(base) \
+            != config_digest(RunConfig(opt="probabilistic"))
+        # An explicit legacy preset digests differently from unset:
+        # the service must not serve a legacy-pinned artifact for an
+        # unpinned request once defaults drift.
+        assert config_digest(base) \
+            != config_digest(RunConfig(opt="legacy"))
+
+    def test_opt_from_cli_args(self):
+        class Opts:
+            opt_preset = "probabilistic"
+            opt_block_threshold = 4
+            opt_probabilistic = False  # store_true default: not given
+
+        opt = opt_from_cli_args(Opts())
+        assert opt.probabilistic  # preset field survives the False
+        assert opt.block_access_threshold == 4
+        assert opt_from_cli_args(object()) is None
+
+
+class TestDeprecatedConstants:
+    @pytest.mark.parametrize("module,name,expected", [
+        ("repro.comm.placement", "LOOP_FREQUENCY_FACTOR", 10.0),
+        ("repro.comm.selection", "FREQ_EPS", 1e-9),
+        ("repro.comm.reorder", "LOOP_WEIGHT", 10.0),
+    ])
+    def test_read_warns_and_matches_legacy(self, module, name, expected):
+        import importlib
+        mod = importlib.import_module(module)
+        with pytest.warns(ReproDeprecationWarning, match=name):
+            value = getattr(mod, name)
+        assert value == expected
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.comm import placement
+        with pytest.raises(AttributeError):
+            placement.NO_SUCH_CONSTANT
+
+
+class TestLegacyBitIdentity:
+    """``opt=None``, ``opt="legacy"`` and an explicit ``OptConfig()``
+    must produce the same compiled program, byte for byte."""
+
+    @staticmethod
+    def _compile(monkeypatch, opt):
+        # Statement labels come from a process-global counter; pin it
+        # so listings from successive compiles are comparable.
+        import itertools
+
+        from repro.simple import nodes
+        monkeypatch.setattr(nodes, "_label_counter", itertools.count(1))
+        return compile_earthc(SOURCE, optimize=True, opt=opt)
+
+    def test_listings_identical(self, monkeypatch):
+        baseline = self._compile(monkeypatch, None)
+        for opt in ("legacy", OptConfig(), OptConfig.legacy()):
+            other = self._compile(monkeypatch, opt)
+            assert other.listing() == baseline.listing()
+            assert other.threaded_listing() \
+                == baseline.threaded_listing()
+
+    def test_legacy_never_marks_private_lines(self):
+        compiled = compile_earthc(SOURCE, optimize=True, opt="legacy")
+        assert "[private]" not in compiled.listing()
+
+
+class TestProbabilisticPreset:
+    @pytest.mark.parametrize("name", ["treeadd", "mst"])
+    def test_values_equal_and_remote_ops_not_worse(self, name):
+        spec = get_benchmark(name)
+        config = RunConfig(nodes=4, args=tuple(spec.small_args),
+                           max_stmts=spec.max_stmts)
+
+        def remote_ops(result):
+            return (result.stats.remote_reads
+                    + result.stats.remote_writes
+                    + result.stats.remote_blkmovs)
+
+        runs = {}
+        for preset in ("legacy", "probabilistic"):
+            compiled = compile_earthc(spec.source(), spec.name,
+                                      optimize=True, inline=spec.inline,
+                                      opt=preset)
+            runs[preset] = execute(compiled, config=config)
+        assert runs["probabilistic"].value == runs["legacy"].value
+        assert runs["probabilistic"].output == runs["legacy"].output
+        assert remote_ops(runs["probabilistic"]) \
+            <= remote_ops(runs["legacy"])
+
+    def test_shapes_constant_is_exhaustive(self):
+        for shape in BLKMOV_SHAPES:
+            OptConfig(blkmov_shape=shape)  # all valid
+
+
+class TestPublicSurface:
+    def test_exported_from_repro(self):
+        assert repro.OptConfig is OptConfig
+        assert "OptConfig" in repro.__all__
+
+    def test_warning_is_a_deprecation_warning(self):
+        # So ``-W error::DeprecationWarning`` catches it, and the
+        # tier-1 filter promotes it to an error.
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
